@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark prints its reproduced table (next to the paper's
+reference numbers) and appends it to ``benchmarks/results.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves a reviewable artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+import pytest
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session")
+def experiment_log():
+    entries: List[str] = []
+    yield entries
+    if entries:
+        RESULTS_PATH.write_text("\n\n".join(entries) + "\n")
+
+
+@pytest.fixture
+def record(experiment_log):
+    """Print an ExperimentResult and persist it to results.txt."""
+
+    def _record(result) -> None:
+        text = result.render()
+        experiment_log.append(text)
+        print("\n" + text)
+
+    return _record

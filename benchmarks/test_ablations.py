@@ -1,0 +1,24 @@
+"""Ablations over the design choices DESIGN.md calls out:
+
+* quasi-succinct reduction on/off (Figure 8(a) workload);
+* iterative Jmax pruning on/off (Section 7.3 workload);
+* dovetailed shared scans vs sequential lattices (scan counts).
+"""
+
+from repro.bench.experiments import ablation_table
+
+
+def test_ablations(benchmark, record):
+    result = benchmark.pedantic(
+        ablation_table, kwargs={"scale": "full"}, rounds=1, iterations=1
+    )
+    record(result)
+    rows = {row[1]: (row[2], row[3]) for row in result.rows}
+    on, off = rows["quasi-succinct reduction"]
+    assert on > off
+    on, off = rows["iterative Jmax pruning"]
+    assert on > off
+    dovetail_scans, sequential_scans = rows["dovetailed shared scans"]
+    assert dovetail_scans < sequential_scans
+    fixpoint, one_round = rows["iterated reduction (extension)"]
+    assert fixpoint >= one_round

@@ -1,0 +1,54 @@
+"""Figure 8(a) + the Section 7.1 level table.
+
+Single 2-var quasi-succinct constraint ``max(S.Price) <= min(T.Price)``;
+speedup over Apriori+ as a function of the price-range overlap.  Paper:
+~4x at 16.6% overlap falling monotonically to >1.5x at 83.4%.
+"""
+
+from repro.bench.experiments import (
+    FIG8A_OVERLAPS,
+    fig8a_level_table,
+    fig8a_speedups,
+)
+
+
+def test_fig8a_speedup_curve(benchmark, record):
+    result = benchmark.pedantic(
+        fig8a_speedups, kwargs={"scale": "full"}, rounds=1, iterations=1
+    )
+    record(result)
+    from repro.bench.report import render_series
+
+    print()
+    print(
+        render_series(
+            "Figure 8(a) speedup curve",
+            result.column("overlap_pct"),
+            [result.column("speedup")],
+            ["quasi-succinct"],
+        )
+    )
+    speedups = result.column("speedup")
+    assert len(speedups) == len(FIG8A_OVERLAPS)
+    # The optimized strategy always wins.
+    assert all(s > 1.0 for s in speedups)
+    # Selectivity shape: less overlap => more pruning => larger speedup.
+    assert speedups == sorted(speedups, reverse=True)
+    # Order-of-magnitude agreement with the paper's endpoints.
+    assert speedups[0] >= 2.5
+    assert speedups[-1] >= 1.2
+
+
+def test_fig8a_level_table(benchmark, record):
+    result = benchmark.pedantic(
+        fig8a_level_table, kwargs={"scale": "full"}, rounds=1, iterations=1
+    )
+    record(result)
+    # Each entry is "valid/total": valid never exceeds total, and the
+    # constrained computation terminates no later than Apriori+ does.
+    for row in result.rows:
+        for cell in row[1:]:
+            if not cell:
+                continue
+            valid, total = (int(x) for x in cell.split("/"))
+            assert valid <= total

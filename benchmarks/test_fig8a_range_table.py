@@ -1,0 +1,19 @@
+"""Section 7.1's range table.
+
+At 50% overlap, narrowing the S.Price range makes the 2-var constraint
+more selective and the speedup larger.  Paper: [300,1000] -> 1.52x,
+[400,1000] -> 1.84x, [500,1000] -> 2.07x.
+"""
+
+from repro.bench.experiments import fig8a_range_table
+
+
+def test_fig8a_range_table(benchmark, record):
+    result = benchmark.pedantic(
+        fig8a_range_table, kwargs={"scale": "full"}, rounds=1, iterations=1
+    )
+    record(result)
+    speedups = result.column("speedup")
+    assert all(s > 1.0 for s in speedups)
+    # Narrower S range (later rows) => more selective => larger speedup.
+    assert speedups == sorted(speedups)

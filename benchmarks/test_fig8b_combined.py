@@ -1,0 +1,41 @@
+"""Figure 8(b): 2-var constraint on top of 1-var constraints.
+
+Three strategies: Apriori+ (y=1), CAP with only the 1-var price
+constraints (flat in Type overlap), and the optimizer additionally
+exploiting quasi-succinctness of ``S.Type = T.Type`` (large, decreasing
+with overlap).  Paper: 1-var only ~1.5x flat; combined ~20x at 20%
+overlap, ~6x at 40%.
+"""
+
+from repro.bench.experiments import FIG8B_OVERLAPS, fig8b_speedups
+
+
+def test_fig8b_three_strategies(benchmark, record):
+    result = benchmark.pedantic(
+        fig8b_speedups, kwargs={"scale": "full"}, rounds=1, iterations=1
+    )
+    record(result)
+    from repro.bench.report import render_series
+
+    print()
+    print(
+        render_series(
+            "Figure 8(b) speedup curves",
+            result.column("overlap_pct"),
+            [result.column("speedup_1var_only"),
+             result.column("speedup_1var_2var")],
+            ["1-var only", "1-var + 2-var"],
+        )
+    )
+    cap_only = result.column("speedup_1var_only")
+    combined = result.column("speedup_1var_2var")
+    assert len(combined) == len(FIG8B_OVERLAPS)
+    # The 2-var optimization strictly helps at every overlap.
+    for one_var, both in zip(cap_only, combined):
+        assert both > one_var
+    # The 1-var-only curve does not depend on Type overlap (within noise).
+    assert max(cap_only) / min(cap_only) < 2.0
+    # The combined curve decreases with overlap and dominates strongly at
+    # low overlap, as in the paper.
+    assert combined == sorted(combined, reverse=True)
+    assert combined[0] / cap_only[0] >= 2.0

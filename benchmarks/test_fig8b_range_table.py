@@ -1,0 +1,25 @@
+"""Section 7.2's range table.
+
+Widening the 1-var ranges reduces both strategies' speedups, but hits
+CAP (1-var only) harder, so the ratio between the combined and 1-var-only
+speedups widens.  Paper: ratios 4.17 / 4.0 / 1.875 from widest to
+narrowest ranges.
+"""
+
+from repro.bench.experiments import fig8b_range_table
+
+
+def test_fig8b_range_table(benchmark, record):
+    result = benchmark.pedantic(
+        fig8b_range_table, kwargs={"scale": "full"}, rounds=1, iterations=1
+    )
+    record(result)
+    one_var = result.column("speedup_1var")
+    combined = result.column("speedup_1and2var")
+    ratios = result.column("ratio")
+    # Rows go widest -> narrowest: 1-var speedup grows as its constraints
+    # get more selective.
+    assert one_var == sorted(one_var)
+    # The 2-var optimization helps at every range setting.
+    assert all(r > 1.0 for r in ratios)
+    assert all(c > o for c, o in zip(combined, one_var))

@@ -1,0 +1,30 @@
+"""Section 7.3: optimizing ``sum(S.Price) <= sum(T.Price)`` with Jmax.
+
+S prices are Normal(1000, 100); the mean T price sweeps 400..1000.  The
+lower the T prices, the more selective the constraint and the larger the
+speedup of iterative ``V^k`` pruning over Apriori+.  Paper: 3.14x / 1.91x
+/ 1.36x / 1.11x for means 400 / 600 / 800 / 1000.
+"""
+
+from repro.bench.experiments import JMAX_MEANS, jmax_table
+
+
+def test_jmax_speedup_table(benchmark, record):
+    result = benchmark.pedantic(
+        jmax_table, kwargs={"scale": "full"}, rounds=1, iterations=1
+    )
+    record(result)
+    speedups = result.column("speedup")
+    bounds = result.column("final_bound")
+    assert len(speedups) == len(JMAX_MEANS)
+    assert all(s >= 1.0 for s in speedups)
+    # More selective (lower T mean) => larger speedup; monotone
+    # non-increasing across the sweep.
+    assert all(a >= b for a, b in zip(speedups, speedups[1:]))
+    assert speedups[0] > speedups[-1]
+    # The final bound scales with the T price mean.
+    assert all(a < b for a, b in zip(bounds, bounds[1:]))
+    # Jmax prunes the S lattice: optimizer counts strictly fewer S-sets.
+    counted = result.column("s_sets_counted")
+    base = result.column("s_sets_base")
+    assert all(c < b for c, b in zip(counted, base))

@@ -1,0 +1,56 @@
+"""Quickstart: pose a constrained frequent set query and read the answer.
+
+The running example of the paper's Section 2: find pairs of frequent
+itemsets where S contains only snack items, T contains only beer items,
+and every snack in S is cheaper than every beer in T —
+
+    {(S, T) | S.Type = {snacks} & T.Type = {beers}
+              & max(S.Price) <= min(T.Price)}
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import CFQ, mine_cfq
+from repro.datagen import quickstart_workload
+
+
+def main() -> None:
+    workload = quickstart_workload()
+    print(f"transaction database: {workload.db!r}")
+    print(f"catalog attributes:   {workload.catalog.attribute_names}")
+
+    cfq = CFQ(
+        domains=workload.domains,
+        minsup=0.02,
+        constraints=[
+            "S.Type = {snacks}",
+            "T.Type = {beers}",
+            "max(S.Price) <= min(T.Price)",
+        ],
+    )
+    print(f"\nquery: {cfq}")
+
+    result = mine_cfq(workload.db, cfq)
+    for var in cfq.variables:
+        sets = result.frequent_valid(var)
+        print(f"\nfrequent valid {var}-sets: {len(sets)}")
+        for itemset, support in sorted(sets.items())[:5]:
+            prices = workload.catalog.project(itemset, "Price")
+            print(f"  {itemset}  support={support}  prices={prices}")
+
+    pairs = result.pairs(limit=10)
+    print(f"\nfirst {len(pairs)} valid (S, T) pairs:")
+    for s0, t0 in pairs[:5]:
+        print(f"  S={s0}  T={t0}")
+
+    rules = result.rules(workload.db, min_confidence=0.3)
+    print(f"\nphase-2 rules with confidence >= 0.3: {len(rules)}")
+    for rule in rules[:5]:
+        print(f"  {rule}")
+
+    print("\n--- how the optimizer ran this query ---")
+    print(result.explain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — reproduction of *Optimization of Constrained Frequent Set
+Queries with 2-variable Constraints* (Lakshmanan, Ng, Han, Pang;
+SIGMOD 1999).
+
+Public API
+----------
+Query building and execution::
+
+    from repro import CFQ, mine_cfq
+    result = mine_cfq(db, CFQ(domains={...}, minsup=0.01,
+                              constraints=["max(S.Price) <= min(T.Price)"]))
+    result.pairs()
+
+Strategies (for comparison and benchmarking)::
+
+    from repro import apriori_plus, cap_mine, apriori
+
+Substrate::
+
+    from repro import TransactionDatabase, ItemCatalog, Domain
+
+Analysis::
+
+    from repro import classify_twovar, audit_ccc, parse_constraint
+"""
+
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.constraints.properties import classify_onevar
+from repro.constraints.twovar import TwoVarView
+from repro.core.ccc import CCCReport, audit_ccc
+from repro.core.classify import classify_twovar
+from repro.core.optimizer import CFQOptimizer, CFQResult, mine_cfq
+from repro.core.pairs import Rule, form_valid_pairs, rules_from_pairs
+from repro.core.query import CFQ
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain, derived_type_domain
+from repro.db.stats import OpCounters
+from repro.db.transactions import TransactionDatabase
+from repro.errors import ReproError
+from repro.mining.apriori import apriori
+from repro.mining.aprioriplus import apriori_plus
+from repro.mining.cap import cap_mine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse_constraint",
+    "parse_constraints",
+    "classify_onevar",
+    "TwoVarView",
+    "CCCReport",
+    "audit_ccc",
+    "classify_twovar",
+    "CFQOptimizer",
+    "CFQResult",
+    "mine_cfq",
+    "Rule",
+    "form_valid_pairs",
+    "rules_from_pairs",
+    "CFQ",
+    "ItemCatalog",
+    "Domain",
+    "derived_type_domain",
+    "OpCounters",
+    "TransactionDatabase",
+    "ReproError",
+    "apriori",
+    "apriori_plus",
+    "cap_mine",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Benchmark harness: experiment definitions, runners and reporting.
+
+Each table and figure of the paper's Section 7 has one experiment
+function in :mod:`repro.bench.experiments`; ``benchmarks/`` wraps them in
+pytest-benchmark targets, and the examples reuse them for narrative
+output.
+"""
+
+from repro.bench.harness import StrategyRun, compare_strategies, run_strategy
+from repro.bench.report import render_series, render_table
+
+__all__ = [
+    "StrategyRun",
+    "compare_strategies",
+    "run_strategy",
+    "render_series",
+    "render_table",
+]

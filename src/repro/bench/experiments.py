@@ -1,0 +1,417 @@
+"""One function per table/figure of the paper's Section 7.
+
+Every function returns an :class:`ExperimentResult` whose ``rows`` carry
+the reproduced numbers and whose ``paper`` field records what the paper
+reported, so benchmarks can print both side by side and tests can assert
+the qualitative *shape* (who wins, monotonicity, crossovers) without
+pinning fragile absolute values.
+
+All experiments are seeded and deterministic.  ``scale`` trades fidelity
+for speed: ``"full"`` is the benchmark default; ``"smoke"`` shrinks the
+databases for use inside the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import run_strategy
+from repro.bench.report import render_table
+from repro.core.ccc import audit_ccc
+from repro.datagen.workloads import (
+    cascade_workload,
+    fig8a_workload,
+    fig8b_workload,
+    jmax_workload,
+)
+
+_SCALES = {
+    "full": {"n_transactions": 4000, "n_items": 600},
+    "smoke": {"n_transactions": 800, "n_items": 200},
+}
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table: headers, measured rows, and the paper's rows."""
+
+    experiment: str
+    headers: Sequence[str]
+    rows: List[List[object]]
+    paper: str = ""
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Table text plus the paper's reference numbers."""
+        parts = [render_table(self.headers, self.rows, title=self.experiment)]
+        if self.paper:
+            parts.append(f"paper reported: {self.paper}")
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> List:
+        """One column of the measured rows, by header name."""
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+
+def _scale_kwargs(scale: str) -> Dict[str, int]:
+    try:
+        return dict(_SCALES[scale])
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; use one of {sorted(_SCALES)}")
+
+
+# ----------------------------------------------------------------------
+# Figure 8(a): quasi-succinctness, 2-var constraint only (Section 7.1)
+# ----------------------------------------------------------------------
+FIG8A_OVERLAPS = (16.6, 33.3, 50.0, 66.7, 83.4)
+
+
+def fig8a_speedups(
+    overlaps: Sequence[float] = FIG8A_OVERLAPS, scale: str = "full"
+) -> ExperimentResult:
+    """Speedup of exploiting quasi-succinctness vs Apriori+, by overlap."""
+    rows: List[List[object]] = []
+    for overlap in overlaps:
+        workload = fig8a_workload(overlap, **_scale_kwargs(scale))
+        cfq = workload.cfq()
+        optimized = run_strategy("quasi-succinct", workload.db, cfq)
+        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+        rows.append(
+            [
+                overlap,
+                round(optimized.speedup_over(baseline), 2),
+                optimized.counters.total_counted,
+                baseline.counters.total_counted,
+            ]
+        )
+    return ExperimentResult(
+        experiment="Figure 8(a): max(S.Price) <= min(T.Price), speedup vs Apriori+",
+        headers=["overlap_pct", "speedup", "sets_counted_opt", "sets_counted_base"],
+        rows=rows,
+        paper="~4x at 16.6% overlap, decreasing to >1.5x at 83.4%",
+    )
+
+
+def fig8a_level_table(
+    overlap: float = 16.6, scale: str = "full"
+) -> ExperimentResult:
+    """The Section 7.1 per-level a/b table (valid/total frequent sets)."""
+    workload = fig8a_workload(overlap, **_scale_kwargs(scale))
+    cfq = workload.cfq()
+    optimized = run_strategy("quasi-succinct", workload.db, cfq)
+    baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+    rows: List[List[object]] = []
+    for var in cfq.variables:
+        opt_levels = optimized.result.raw.result_for(var).frequent
+        base_levels = baseline.result.lattices[var].frequent
+        deepest = max([k for k, v in base_levels.items() if v], default=0)
+        entries = [
+            f"{len(opt_levels.get(k, {}))}/{len(base_levels.get(k, {}))}"
+            for k in range(1, deepest + 1)
+        ]
+        rows.append([f"for {var}"] + entries + [""] * (8 - len(entries)))
+    return ExperimentResult(
+        experiment=f"Section 7.1 level table at {overlap}% overlap "
+        f"(valid/total frequent sets per level)",
+        headers=["var"] + [f"L{k}" for k in range(1, 9)],
+        rows=rows,
+        paper="S: 425/425 153/372 54/179 21/122 6/48 1/8; "
+        "T: 402/402 112/414 8/181 0/123 0/48 0/8",
+    )
+
+
+FIG8A_RANGES = ((300.0, 1000.0), (400.0, 1000.0), (500.0, 1000.0))
+
+
+def fig8a_range_table(
+    overlap: float = 50.0,
+    ranges: Sequence[Tuple[float, float]] = FIG8A_RANGES,
+    scale: str = "full",
+) -> ExperimentResult:
+    """Section 7.1's range table: speedup at 50% overlap for widening
+    S.Price ranges."""
+    rows: List[List[object]] = []
+    for s_range in ranges:
+        workload = fig8a_workload(overlap, s_price_range=s_range, **_scale_kwargs(scale))
+        cfq = workload.cfq()
+        optimized = run_strategy("quasi-succinct", workload.db, cfq)
+        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+        rows.append(
+            [f"[{s_range[0]:g},{s_range[1]:g}]",
+             round(optimized.speedup_over(baseline), 2)]
+        )
+    return ExperimentResult(
+        experiment=f"Section 7.1 range table ({overlap:g}% overlap)",
+        headers=["S.Price range", "speedup"],
+        rows=rows,
+        paper="[300,1000]: 1.52x, [400,1000]: 1.84x, [500,1000]: 2.07x "
+        "(wider range => less selective => smaller speedup)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8(b): 2-var on top of 1-var constraints (Section 7.2)
+# ----------------------------------------------------------------------
+FIG8B_OVERLAPS = (20.0, 40.0, 60.0, 80.0)
+
+
+def fig8b_speedups(
+    overlaps: Sequence[float] = FIG8B_OVERLAPS, scale: str = "full"
+) -> ExperimentResult:
+    """Three strategies vs Type overlap: Apriori+, CAP (1-var only), and
+    the full optimizer (1-var + quasi-succinct 2-var)."""
+    rows: List[List[object]] = []
+    for overlap in overlaps:
+        workload = fig8b_workload(overlap, **_scale_kwargs(scale))
+        cfq = workload.cfq()
+        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+        cap_only = run_strategy(
+            "cap-1var", workload.db, cfq, use_reduction=False, use_jmax=False
+        )
+        full = run_strategy("optimizer", workload.db, cfq)
+        rows.append(
+            [
+                overlap,
+                round(cap_only.speedup_over(baseline), 2),
+                round(full.speedup_over(baseline), 2),
+                round(cap_only.cost / full.cost, 2),
+            ]
+        )
+    return ExperimentResult(
+        experiment="Figure 8(b): T.Price/S.Price ranges + S.Type = T.Type",
+        headers=["overlap_pct", "speedup_1var_only", "speedup_1var_2var", "ratio"],
+        rows=rows,
+        paper="1-var only: flat ~1.5x; 1-var + 2-var: ~20x at 20% overlap, "
+        "~6x at 40%, decreasing with overlap",
+    )
+
+
+FIG8B_RANGES = (
+    ((100.0, 1000.0), (0.0, 900.0)),
+    ((400.0, 1000.0), (0.0, 600.0)),
+    ((800.0, 1000.0), (0.0, 200.0)),
+)
+
+
+def fig8b_range_table(
+    overlap: float = 40.0,
+    ranges: Sequence[Tuple[Tuple[float, float], Tuple[float, float]]] = FIG8B_RANGES,
+    scale: str = "full",
+) -> ExperimentResult:
+    """Section 7.2's range table: both speedups and their ratio as the
+    1-var ranges widen."""
+    rows: List[List[object]] = []
+    for (s_range, t_range) in ranges:
+        workload = fig8b_workload(
+            overlap,
+            s_price_min=s_range[0],
+            t_price_max=t_range[1],
+            **_scale_kwargs(scale),
+        )
+        cfq = workload.cfq()
+        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+        cap_only = run_strategy(
+            "cap-1var", workload.db, cfq, use_reduction=False, use_jmax=False
+        )
+        full = run_strategy("optimizer", workload.db, cfq)
+        speed_1 = cap_only.speedup_over(baseline)
+        speed_2 = full.speedup_over(baseline)
+        rows.append(
+            [
+                f"[{s_range[0]:g},1000]",
+                f"[0,{t_range[1]:g}]",
+                round(speed_1, 2),
+                round(speed_2, 2),
+                round(speed_2 / speed_1, 2),
+            ]
+        )
+    return ExperimentResult(
+        experiment=f"Section 7.2 range table ({overlap:g}% Type overlap)",
+        headers=["S.Price", "T.Price", "speedup_1var", "speedup_1and2var", "ratio"],
+        rows=rows,
+        paper="[100,1000]/[0,900]: 1.2x vs 5x (4.17); [400,1000]/[0,600]: "
+        "1.5x vs 6x (4.0); [800,1000]/[0,200]: 20x vs 37.5x (1.875)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 7.3: sum(S.Price) <= sum(T.Price) with Jmax
+# ----------------------------------------------------------------------
+JMAX_MEANS = (400.0, 600.0, 800.0, 1000.0)
+
+
+def jmax_table(
+    means: Sequence[float] = JMAX_MEANS, scale: str = "full"
+) -> ExperimentResult:
+    """Speedup of iterative Jmax pruning vs Apriori+ by mean T price."""
+    rows: List[List[object]] = []
+    for mean in means:
+        workload = jmax_workload(mean) if scale == "full" else jmax_workload(
+            mean, n_transactions=300, core_size=10
+        )
+        cfq = workload.cfq()
+        optimized = run_strategy("jmax", workload.db, cfq)
+        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+        histories = optimized.result.raw.bound_histories
+        final_bound = (
+            round(list(histories.values())[0][-1][1]) if histories else None
+        )
+        rows.append(
+            [
+                mean,
+                round(optimized.speedup_over(baseline), 2),
+                optimized.counters.counted_for("S"),
+                baseline.counters.counted_for("S"),
+                final_bound,
+            ]
+        )
+    return ExperimentResult(
+        experiment="Section 7.3: sum(S.Price) <= sum(T.Price), Jmax pruning",
+        headers=["t_price_mean", "speedup", "s_sets_counted", "s_sets_base",
+                 "final_bound"],
+        rows=rows,
+        paper="mean 400: 3.14x, 600: 1.91x, 800: 1.36x, 1000: 1.11x "
+        "(less selective => smaller speedup)",
+    )
+
+
+# ----------------------------------------------------------------------
+# ccc audit and ablations
+# ----------------------------------------------------------------------
+def ccc_experiment(scale: str = "smoke") -> ExperimentResult:
+    """Audit Theorem 4 / Corollary 2 on a quasi-succinct query, plus the
+    FM and Apriori+ contrast."""
+    from repro.datagen.workloads import quickstart_workload
+
+    workload = quickstart_workload(n_transactions=400)
+    cfq = workload.cfq()
+    result, report = audit_ccc(workload.db, cfq)
+    rows = [
+        [
+            "optimizer",
+            report.condition1_mgf,
+            report.condition1_complete,
+            report.condition2,
+            report.ccc_optimal,
+        ]
+    ]
+    return ExperimentResult(
+        experiment="ccc-optimality audit (Definition 6)",
+        headers=["strategy", "cond1_only_valid", "cond1_complete", "cond2",
+                 "ccc_optimal"],
+        rows=rows,
+        paper="Corollary 2: the optimizer's strategy is ccc-optimal for "
+        "1-var succinct + 2-var quasi-succinct constraints",
+    )
+
+
+def ablation_table(scale: str = "full") -> ExperimentResult:
+    """Design-choice ablations: reduction, Jmax, dovetailing."""
+    rows: List[List[object]] = []
+
+    workload = fig8a_workload(33.3, **_scale_kwargs(scale))
+    cfq = workload.cfq()
+    baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+    with_reduction = run_strategy("reduction on", workload.db, cfq)
+    without_reduction = run_strategy(
+        "reduction off", workload.db, cfq, use_reduction=False
+    )
+    rows.append(
+        [
+            "fig8a @33.3%",
+            "quasi-succinct reduction",
+            round(with_reduction.speedup_over(baseline), 2),
+            round(without_reduction.speedup_over(baseline), 2),
+        ]
+    )
+
+    jmax_wl = jmax_workload(600.0)
+    jmax_cfq = jmax_wl.cfq()
+    jmax_base = run_strategy("apriori+", jmax_wl.db, jmax_cfq, kind="apriori_plus")
+    jmax_on = run_strategy("jmax on", jmax_wl.db, jmax_cfq)
+    jmax_off = run_strategy("jmax off", jmax_wl.db, jmax_cfq, use_jmax=False)
+    rows.append(
+        [
+            "jmax @mean 600",
+            "iterative Jmax pruning",
+            round(jmax_on.speedup_over(jmax_base), 2),
+            round(jmax_off.speedup_over(jmax_base), 2),
+        ]
+    )
+
+    dovetailed = run_strategy("dovetail", jmax_wl.db, jmax_cfq)
+    sequential = run_strategy("sequential", jmax_wl.db, jmax_cfq, dovetail=False)
+    rows.append(
+        [
+            "jmax @mean 600 (scans)",
+            "dovetailed shared scans",
+            dovetailed.counters.scans,
+            sequential.counters.scans,
+        ]
+    )
+
+    cascade = cascade_workload(
+        n_transactions=_scale_kwargs(scale)["n_transactions"]
+    )
+    cascade_cfq = cascade.cfq()
+    cascade_base = run_strategy(
+        "apriori+", cascade.db, cascade_cfq, kind="apriori_plus"
+    )
+    one_round = run_strategy(
+        "1 round", cascade.db, cascade_cfq, reduction_rounds=1
+    )
+    fixpoint = run_strategy(
+        "fixpoint", cascade.db, cascade_cfq, reduction_rounds=4
+    )
+    rows.append(
+        [
+            "cascade",
+            "iterated reduction (extension)",
+            round(fixpoint.speedup_over(cascade_base), 2),
+            round(one_round.speedup_over(cascade_base), 2),
+        ]
+    )
+    return ExperimentResult(
+        experiment="Ablations (speedup vs Apriori+ with feature on / off; "
+        "last row compares scan counts)",
+        headers=["workload", "feature", "on", "off"],
+        rows=rows,
+        paper="Section 5.2 argues dovetailing shares scans; Sections 4-5 "
+        "attribute the speedups to reduction and iterative pruning; "
+        "iterated reduction is this reproduction's extension",
+    )
+
+
+def backend_table(scale: str = "full") -> ExperimentResult:
+    """Counting-backend comparison on the Figure 8(a) workload: the
+    hybrid enumerate/scan default vs the original Apriori hash tree vs
+    vertical TID-lists.  All produce identical answers; the table reports
+    elementary probe counts and wall time."""
+    workload = fig8a_workload(50.0, **_scale_kwargs(scale))
+    cfq = workload.cfq()
+    rows: List[List[object]] = []
+    reference = None
+    for name in ("hybrid", "hashtree", "vertical"):
+        run = run_strategy(name, workload.db, cfq, backend=name)
+        sizes = dict(run.frequent_sizes)
+        if reference is None:
+            reference = sizes
+        assert sizes == reference, "backends must agree on the answer"
+        rows.append(
+            [
+                name,
+                run.counters.subset_tests,
+                round(run.wall_seconds, 3),
+                sum(sizes.values()),
+            ]
+        )
+    return ExperimentResult(
+        experiment="Counting-backend ablation (Figure 8(a) workload, 50% overlap)",
+        headers=["backend", "probe_count", "wall_seconds", "frequent_valid_sets"],
+        rows=rows,
+        paper="the paper's C implementation used the Apriori hash tree [2]; "
+        "this compares it against the hybrid and vertical layouts",
+    )

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment tables and series.
+
+The paper reports results as small tables and two speedup curves; these
+helpers render the reproduced numbers in the same layouts so the bench
+output can be eyeballed against Section 7 directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table."""
+    cells = [[_fmt(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    xs: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    width: int = 50,
+) -> str:
+    """Render speedup curves as a compact ASCII chart plus value rows.
+
+    One character column per x value would be unreadable at five points,
+    so the chart lists each series as a labelled bar per x.
+    """
+    lines: List[str] = [title]
+    peak = max(max(ys) for ys in series) or 1.0
+    for x, *ys in zip(xs, *series):
+        for label, y in zip(labels, ys):
+            bar = "#" * max(1, int(round(width * y / peak)))
+            lines.append(f"  x={x:>6g}  {label:<18} {y:7.2f}x {bar}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,73 @@
+"""The CFQ constraint language.
+
+This package implements the constraint constructs of the paper's CFQ
+language (Section 2): domain, class and SQL-style aggregation constraints
+over set variables, in both 1-variable and 2-variable form.
+
+Layers
+------
+* :mod:`repro.constraints.ast` — expression/constraint AST;
+* :mod:`repro.constraints.parser` — a small text DSL
+  (``"max(S.Price) <= min(T.Price)"``) producing AST nodes;
+* :mod:`repro.constraints.evaluate` — evaluation of constraints against
+  concrete bound sets;
+* :mod:`repro.constraints.onevar` / :mod:`~repro.constraints.twovar` —
+  normalized views of 1-var and 2-var constraints;
+* :mod:`repro.constraints.properties` — anti-monotonicity, monotonicity
+  and succinctness of 1-var constraints (Lemma 1 and the CAP tables);
+* :mod:`repro.constraints.pruners` — the operational pruning forms CAP
+  consumes (item filters, required buckets, anti-monotone checks, post
+  filters) and the compilation of 1-var constraints into them.
+"""
+
+from repro.constraints.ast import (
+    AGG_FUNCS,
+    Agg,
+    AttrRef,
+    Comparison,
+    Const,
+    Constraint,
+    SetComparison,
+    SetConst,
+    CmpOp,
+    SetOp,
+)
+from repro.constraints.evaluate import evaluate_constraint
+from repro.constraints.onevar import OneVarView
+from repro.constraints.parser import parse_constraint
+from repro.constraints.properties import OneVarProperties, classify_onevar
+from repro.constraints.pruners import (
+    AntiMonotoneCheck,
+    CompiledPruning,
+    ItemFilter,
+    PostFilter,
+    RequiredBucket,
+    compile_onevar,
+)
+from repro.constraints.twovar import TwoVarShape, TwoVarView
+
+__all__ = [
+    "AGG_FUNCS",
+    "Agg",
+    "AttrRef",
+    "Comparison",
+    "Const",
+    "Constraint",
+    "SetComparison",
+    "SetConst",
+    "CmpOp",
+    "SetOp",
+    "evaluate_constraint",
+    "OneVarView",
+    "parse_constraint",
+    "OneVarProperties",
+    "classify_onevar",
+    "AntiMonotoneCheck",
+    "CompiledPruning",
+    "ItemFilter",
+    "PostFilter",
+    "RequiredBucket",
+    "compile_onevar",
+    "TwoVarShape",
+    "TwoVarView",
+]

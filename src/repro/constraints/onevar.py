@@ -1,0 +1,99 @@
+"""Normalized view of 1-variable constraints.
+
+A :class:`OneVarView` wraps a constraint that mentions exactly one set
+variable and exposes its *shape* in a canonical orientation (variable side
+on the left), which is what the property classifier and the pruner
+compiler dispatch on.
+
+Shapes
+------
+* :class:`SetConstShape` — ``X.A  setop  V`` for a constant set ``V``
+  (domain and class constraints);
+* :class:`AggConstShape` — ``agg(X.A)  op  c`` for a scalar constant ``c``
+  (aggregation constraints);
+* ``None`` — anything else (e.g. two aggregates of the same variable);
+  such constraints are legal but are handled as opaque post-filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Union
+
+from repro.constraints.ast import (
+    Agg,
+    AttrRef,
+    CmpOp,
+    Comparison,
+    Const,
+    Constraint,
+    SetComparison,
+    SetConst,
+    SetOp,
+)
+from repro.errors import ConstraintTypeError
+
+
+@dataclass(frozen=True)
+class SetConstShape:
+    """``X.A setop V``: a set relation against a constant set."""
+
+    op: SetOp
+    attr: Optional[str]
+    values: FrozenSet
+
+
+@dataclass(frozen=True)
+class AggConstShape:
+    """``agg(X.A) op c``: an aggregate compared against a constant."""
+
+    func: str
+    op: CmpOp
+    attr: Optional[str]
+    const: Union[int, float]
+
+
+Shape = Union[SetConstShape, AggConstShape]
+
+
+@dataclass(frozen=True)
+class OneVarView:
+    """A 1-var constraint, its variable, and its canonical shape."""
+
+    constraint: Constraint
+    var: str
+    shape: Optional[Shape]
+
+    @classmethod
+    def of(cls, constraint: Constraint) -> "OneVarView":
+        """Build the view; raises if the constraint is not 1-variable."""
+        variables = constraint.variables()
+        if len(variables) != 1:
+            raise ConstraintTypeError(
+                f"{constraint} mentions {len(variables)} variables, expected 1"
+            )
+        (var,) = variables
+        return cls(constraint, var, _extract_shape(constraint))
+
+    def __str__(self) -> str:
+        return str(self.constraint)
+
+
+def _extract_shape(constraint: Constraint) -> Optional[Shape]:
+    if isinstance(constraint, SetComparison):
+        left, op, right = constraint.left, constraint.op, constraint.right
+        if isinstance(left, SetConst) and isinstance(right, AttrRef):
+            flipped = constraint.flipped()
+            left, op, right = flipped.left, flipped.op, flipped.right
+        if isinstance(left, AttrRef) and isinstance(right, SetConst):
+            return SetConstShape(op, left.attr, right.values)
+        return None
+    if isinstance(constraint, Comparison):
+        left, op, right = constraint.left, constraint.op, constraint.right
+        if isinstance(left, Const) and isinstance(right, Agg):
+            flipped = constraint.flipped()
+            left, op, right = flipped.left, flipped.op, flipped.right
+        if isinstance(left, Agg) and isinstance(right, Const):
+            return AggConstShape(left.func, op, left.arg.attr, right.value)
+        return None
+    return None

@@ -1,0 +1,376 @@
+"""A small text DSL for the CFQ constraint language.
+
+The paper writes constraints like ``max(S.Price) <= min(T.Price)``,
+``S.Type ∩ T.Type = ∅`` and ``S.Type = {Snacks}``.  This module parses
+exactly that surface syntax (with plain-ASCII alternatives for every
+unicode operator) into the AST of :mod:`repro.constraints.ast`.
+
+Supported forms
+---------------
+Scalar comparisons::
+
+    sum(S.Price) <= 100
+    avg(T.Price) >= 200
+    max(S.Price) <= min(T.Price)
+    count(S.Type) = 1
+
+Set relations::
+
+    S.Type = {Snacks}
+    S.Type != T.Type
+    S.A subset T.B            (or  S.A ⊆ T.B)
+    S.A not subset T.B        (or  S.A ⊄ T.B)
+    S.A superset T.B          (or  S.A ⊇ T.B)
+    S.A ∩ T.B = ∅             (or  disjoint(S.A, T.B))
+    S.A ∩ T.B != ∅            (or  overlaps(S.A, T.B))
+    S.Type ⊆ T                (T ranging over a derived domain)
+
+Set literals take bare identifiers, quoted strings, or numbers:
+``{Snacks, "Dried Fruit", 42}``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Sequence, Union
+
+from repro.constraints.ast import (
+    AGG_FUNCS,
+    Agg,
+    AttrRef,
+    CmpOp,
+    Comparison,
+    Const,
+    Constraint,
+    SetComparison,
+    SetConst,
+    SetOp,
+    is_set_expr,
+)
+from repro.errors import ConstraintSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|≤|≥|≠|[<>=]|⊆|⊄|⊇|⊉|∩|∅|[(){},.])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ConstraintSyntaxError(
+                f"unexpected character {text[position]!r}", text, position
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+_CMP_OPS = {
+    "<": CmpOp.LT,
+    "<=": CmpOp.LE,
+    "≤": CmpOp.LE,
+    "=": CmpOp.EQ,
+    "==": CmpOp.EQ,
+    "!=": CmpOp.NE,
+    "≠": CmpOp.NE,
+    ">=": CmpOp.GE,
+    "≥": CmpOp.GE,
+    ">": CmpOp.GT,
+}
+
+_SET_KEYWORD_OPS = {
+    "subset": SetOp.SUBSET,
+    "superset": SetOp.SUPERSET,
+}
+
+_SET_SYMBOL_OPS = {
+    "⊆": SetOp.SUBSET,
+    "⊄": SetOp.NOT_SUBSET,
+    "⊇": SetOp.SUPERSET,
+    "⊉": SetOp.NOT_SUPERSET,
+}
+
+_FUNCTION_SET_OPS = {
+    "disjoint": SetOp.DISJOINT,
+    "overlaps": SetOp.OVERLAPS,
+    "intersects": SetOp.OVERLAPS,
+    "subset": SetOp.SUBSET,
+    "superset": SetOp.SUPERSET,
+}
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token stream helpers ------------------------------------------
+    def _peek(self, ahead: int = 0) -> Optional[_Token]:
+        index = self.index + ahead
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ConstraintSyntaxError(
+                "unexpected end of constraint", self.text, len(self.text)
+            )
+        self.index += 1
+        return token
+
+    def _expect(self, value: str) -> _Token:
+        token = self._next()
+        if token.value != value:
+            raise ConstraintSyntaxError(
+                f"expected {value!r}, got {token.value!r}", self.text, token.position
+            )
+        return token
+
+    def _error(self, message: str, token: Optional[_Token] = None) -> ConstraintSyntaxError:
+        position = token.position if token else len(self.text)
+        return ConstraintSyntaxError(message, self.text, position)
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> Constraint:
+        constraint = self._constraint()
+        trailing = self._peek()
+        if trailing is not None:
+            raise self._error(f"unexpected trailing input {trailing.value!r}", trailing)
+        return constraint
+
+    def _constraint(self) -> Constraint:
+        head = self._peek()
+        if (
+            head is not None
+            and head.kind == "name"
+            and head.value.lower() in _FUNCTION_SET_OPS
+            and self._peek(1) is not None
+            and self._peek(1).value == "("
+        ):
+            return self._function_set_constraint()
+        left = self._operand()
+        return self._relation(left)
+
+    def _function_set_constraint(self) -> SetComparison:
+        func_token = self._next()
+        op = _FUNCTION_SET_OPS[func_token.value.lower()]
+        self._expect("(")
+        left = self._operand()
+        self._expect(",")
+        right = self._operand()
+        self._expect(")")
+        self._require_set(left, func_token)
+        self._require_set(right, func_token)
+        return SetComparison(left, op, right)
+
+    def _relation(self, left) -> Constraint:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected a comparison operator")
+        # "A ∩ B = ∅" / "A ∩ B != ∅"
+        if token.value == "∩":
+            return self._intersection_relation(left)
+        # keyword set relations: subset / not subset / superset
+        if token.kind == "name":
+            return self._keyword_relation(left, token)
+        if token.value in _SET_SYMBOL_OPS:
+            self._next()
+            right = self._operand()
+            self._require_set(left, token)
+            self._require_set(right, token)
+            return SetComparison(left, _SET_SYMBOL_OPS[token.value], right)
+        if token.value in _CMP_OPS:
+            self._next()
+            right = self._operand()
+            return self._comparison(left, _CMP_OPS[token.value], right, token)
+        raise self._error(f"expected a comparison operator, got {token.value!r}", token)
+
+    def _intersection_relation(self, left) -> SetComparison:
+        cap = self._next()  # consume ∩
+        right = self._operand()
+        self._require_set(left, cap)
+        self._require_set(right, cap)
+        op_token = self._next()
+        if op_token.value in ("=", "=="):
+            set_op = SetOp.DISJOINT
+        elif op_token.value in ("!=", "≠"):
+            set_op = SetOp.OVERLAPS
+        else:
+            raise self._error(
+                f"expected '=' or '!=' after intersection, got {op_token.value!r}",
+                op_token,
+            )
+        empty = self._next()
+        is_empty_literal = empty.value == "∅" or (
+            empty.value == "{" and self._peek() is not None and self._peek().value == "}"
+        )
+        if empty.value == "{":
+            self._expect("}")
+        if not is_empty_literal and empty.value.lower() != "empty":
+            raise self._error(
+                f"expected the empty set after intersection comparison, got "
+                f"{empty.value!r}",
+                empty,
+            )
+        return SetComparison(left, set_op, right)
+
+    def _keyword_relation(self, left, token: _Token) -> SetComparison:
+        word = token.value.lower()
+        if word == "not":
+            self._next()
+            next_token = self._next()
+            next_word = next_token.value.lower()
+            if next_word == "subset":
+                op = SetOp.NOT_SUBSET
+            elif next_word == "superset":
+                op = SetOp.NOT_SUPERSET
+            else:
+                raise self._error(
+                    f"expected 'subset' or 'superset' after 'not', got "
+                    f"{next_token.value!r}",
+                    next_token,
+                )
+        elif word in _SET_KEYWORD_OPS:
+            self._next()
+            op = _SET_KEYWORD_OPS[word]
+        else:
+            raise self._error(
+                f"expected a comparison operator, got {token.value!r}", token
+            )
+        right = self._operand()
+        self._require_set(left, token)
+        self._require_set(right, token)
+        return SetComparison(left, op, right)
+
+    def _comparison(self, left, op: CmpOp, right, token: _Token) -> Constraint:
+        left_set = is_set_expr(left)
+        right_set = is_set_expr(right)
+        if left_set and right_set:
+            if op is CmpOp.EQ:
+                return SetComparison(left, SetOp.SETEQ, right)
+            if op is CmpOp.NE:
+                return SetComparison(left, SetOp.SETNEQ, right)
+            raise self._error(
+                f"ordering operator {op.value!r} cannot compare two sets", token
+            )
+        if left_set or right_set:
+            raise self._error(
+                "cannot compare a set expression with a scalar expression", token
+            )
+        return Comparison(left, op, right)
+
+    def _operand(self):
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.value)
+            return Const(int(value) if value.is_integer() else value)
+        if token.value == "{":
+            return self._set_literal(token)
+        if token.value == "∅":
+            return SetConst(frozenset())
+        if token.kind == "name":
+            word = token.value
+            lower = word.lower()
+            next_token = self._peek()
+            if lower in AGG_FUNCS and next_token is not None and next_token.value == "(":
+                return self._aggregate(lower)
+            if next_token is not None and next_token.value == ".":
+                self._next()
+                attr = self._next()
+                if attr.kind != "name":
+                    raise self._error(
+                        f"expected an attribute name after '.', got {attr.value!r}",
+                        attr,
+                    )
+                return AttrRef(word, attr.value)
+            return AttrRef(word, None)
+        raise self._error(f"unexpected token {token.value!r}", token)
+
+    def _aggregate(self, func: str) -> Agg:
+        self._expect("(")
+        inner = self._operand()
+        self._expect(")")
+        if not isinstance(inner, AttrRef):
+            raise self._error(
+                f"aggregate {func}(...) must take a variable or attribute "
+                f"projection, got {inner}"
+            )
+        return Agg(func, inner)
+
+    def _set_literal(self, opener: _Token) -> SetConst:
+        values = []
+        token = self._peek()
+        if token is not None and token.value == "}":
+            self._next()
+            return SetConst(frozenset())
+        while True:
+            token = self._next()
+            if token.kind == "number":
+                value = float(token.value)
+                values.append(int(value) if value.is_integer() else value)
+            elif token.kind == "string":
+                values.append(token.value[1:-1])
+            elif token.kind == "name":
+                values.append(token.value)
+            else:
+                raise self._error(
+                    f"unexpected token {token.value!r} in set literal", token
+                )
+            token = self._next()
+            if token.value == "}":
+                break
+            if token.value != ",":
+                raise self._error(
+                    f"expected ',' or '}}' in set literal, got {token.value!r}", token
+                )
+        return SetConst(frozenset(values))
+
+    def _require_set(self, expr, token: _Token) -> None:
+        if not is_set_expr(expr):
+            raise self._error(
+                f"operator near position {token.position} requires set operands, "
+                f"got {expr}",
+                token,
+            )
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse one constraint from its textual form.
+
+    >>> parse_constraint("max(S.Price) <= min(T.Price)")
+    Comparison(left=Agg(func='max', arg=AttrRef(var='S', attr='Price')), op=<CmpOp.LE: '<='>, right=Agg(func='min', arg=AttrRef(var='T', attr='Price')))
+    """
+    return _Parser(text).parse()
+
+
+def parse_constraints(texts: Sequence[Union[str, Constraint]]) -> List[Constraint]:
+    """Parse a conjunction given as strings (already-built AST nodes pass
+    through unchanged)."""
+    parsed: List[Constraint] = []
+    for entry in texts:
+        if isinstance(entry, str):
+            parsed.append(parse_constraint(entry))
+        else:
+            parsed.append(entry)
+    return parsed

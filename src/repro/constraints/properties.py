@@ -1,0 +1,140 @@
+"""Anti-monotonicity, monotonicity and succinctness of 1-var constraints.
+
+This reproduces the characterization the paper inherits from CAP
+(Ng et al., SIGMOD 1998) and restates as Lemma 1:
+
+    1-var domain, class, and aggregation constraints involving only
+    ``min()`` and/or ``max()`` are succinct; 1-var constraints involving
+    ``sum()`` and/or ``avg()`` are not.
+
+The table below is the full classification over the shapes the language
+admits.  ``sum`` results assume the aggregated attribute is non-negative
+(the caller supplies that fact from the catalog); with possibly-negative
+values ``sum`` constraints are neither anti-monotone nor monotone.
+
+==============================  ============  ========  ========
+shape                           anti-monotone monotone  succinct
+==============================  ============  ========  ========
+``S.A ⊆ V``                     yes           no        yes
+``S.A ⊇ V``                     no            yes       yes
+``S.A = V``                     no            no        yes
+``S.A ≠ V``                     no            no        no
+``S.A ∩ V = ∅``                 yes           no        yes
+``S.A ∩ V ≠ ∅``                 no            yes       yes
+``S.A ⊄ V``                     no            yes       yes
+``S.A ⊉ V``                     yes           no        yes
+``min(S.A) ≥ v`` (also ``>``)   yes           no        yes
+``min(S.A) ≤ v`` (also ``<``)   no            yes       yes
+``min(S.A) = v``                no            no        yes
+``max(S.A) ≤ v`` (also ``<``)   yes           no        yes
+``max(S.A) ≥ v`` (also ``>``)   no            yes       yes
+``max(S.A) = v``                no            no        yes
+``count ≤ v``                   yes           no        no
+``count ≥ v``                   no            yes       no
+``count = v``                   no            no        no
+``sum(S.A) ≤ v`` (A ≥ 0)        yes           no        no
+``sum(S.A) ≥ v`` (A ≥ 0)        no            yes       no
+``avg(S.A) op v``               no            no        no
+==============================  ============  ========  ========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.ast import CmpOp, SetOp
+from repro.constraints.onevar import AggConstShape, OneVarView, SetConstShape
+
+
+@dataclass(frozen=True)
+class OneVarProperties:
+    """Property triple of a 1-var constraint (Definitions 1 and 2)."""
+
+    anti_monotone: bool
+    monotone: bool
+    succinct: bool
+
+    @property
+    def none_apply(self) -> bool:
+        """Whether the constraint enjoys none of the exploitable properties."""
+        return not (self.anti_monotone or self.monotone or self.succinct)
+
+
+_UNKNOWN = OneVarProperties(anti_monotone=False, monotone=False, succinct=False)
+
+
+def classify_onevar(view: OneVarView, non_negative: bool = False) -> OneVarProperties:
+    """Classify a 1-var constraint per the table in the module docstring.
+
+    Parameters
+    ----------
+    view:
+        The normalized constraint view.
+    non_negative:
+        Whether the aggregated attribute is known to be non-negative
+        (relevant only for ``sum``; obtain from
+        :meth:`repro.db.catalog.ItemCatalog.non_negative_attribute`).
+    """
+    shape = view.shape
+    if shape is None:
+        return _UNKNOWN
+    if isinstance(shape, SetConstShape):
+        return _classify_set_shape(shape)
+    return _classify_agg_shape(shape, non_negative)
+
+
+def _classify_set_shape(shape: SetConstShape) -> OneVarProperties:
+    op = shape.op
+    if op is SetOp.SUBSET:
+        return OneVarProperties(True, False, True)
+    if op is SetOp.SUPERSET:
+        return OneVarProperties(False, True, True)
+    if op is SetOp.SETEQ:
+        return OneVarProperties(False, False, True)
+    if op is SetOp.SETNEQ:
+        return _UNKNOWN
+    if op is SetOp.DISJOINT:
+        return OneVarProperties(True, False, True)
+    if op is SetOp.OVERLAPS:
+        return OneVarProperties(False, True, True)
+    if op is SetOp.NOT_SUBSET:
+        return OneVarProperties(False, True, True)
+    if op is SetOp.NOT_SUPERSET:
+        return OneVarProperties(True, False, True)
+    return _UNKNOWN
+
+
+def _classify_agg_shape(shape: AggConstShape, non_negative: bool) -> OneVarProperties:
+    func, op = shape.func, shape.op
+    if func == "min":
+        if op.is_ge_like:
+            return OneVarProperties(True, False, True)
+        if op.is_le_like:
+            return OneVarProperties(False, True, True)
+        if op is CmpOp.EQ:
+            return OneVarProperties(False, False, True)
+        return _UNKNOWN
+    if func == "max":
+        if op.is_le_like:
+            return OneVarProperties(True, False, True)
+        if op.is_ge_like:
+            return OneVarProperties(False, True, True)
+        if op is CmpOp.EQ:
+            return OneVarProperties(False, False, True)
+        return _UNKNOWN
+    if func == "count":
+        if op.is_le_like:
+            return OneVarProperties(True, False, False)
+        if op.is_ge_like:
+            return OneVarProperties(False, True, False)
+        return _UNKNOWN
+    if func == "sum":
+        if not non_negative:
+            return _UNKNOWN
+        if op.is_le_like:
+            return OneVarProperties(True, False, False)
+        if op.is_ge_like:
+            return OneVarProperties(False, True, False)
+        return _UNKNOWN
+    # avg — neither anti-monotone, monotone, nor succinct
+    return _UNKNOWN

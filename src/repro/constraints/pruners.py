@@ -1,0 +1,435 @@
+"""Operational pruning forms and compilation of 1-var constraints.
+
+Every pruning condition the paper pushes into the levelwise computation —
+the user's own 1-var constraints, the reduced 1-var constraints of
+Figures 2/3, the induced weaker constraints of Figure 4, and the dynamic
+``V^k`` bounds of Section 5.2 — falls into one of four operational forms,
+which is how the CAP miner consumes them:
+
+``ItemFilter``
+    An anti-monotone *and* succinct condition that holds iff every element
+    of the set individually passes (e.g. ``max(S.A) <= c``, ``S.A ⊆ V``).
+    CAP restricts the item universe to the filter — pure generate-only.
+``RequiredBucket``
+    A succinct, non-anti-monotone condition of the form "the set contains
+    at least one element of R" (e.g. ``min(S.A) <= c``, ``S.A ∩ V ≠ ∅``).
+    This is the member-generating-function case: CAP orders bucket
+    elements first and generates only candidates containing one.
+``AntiMonotoneCheck``
+    A testable anti-monotone predicate that is not an item filter (e.g.
+    ``sum(S.A) <= c`` over a non-negative domain, ``V ⊄ S.A``).  Checked
+    once per generated candidate; failing candidates and all their
+    supersets are discarded.
+``PostFilter``
+    Everything else; checked only on final frequent sets (and again at
+    pair-formation time for 2-var originals).
+
+:func:`compile_onevar` maps a classified 1-var constraint to a
+:class:`CompiledPruning` bundle of these forms.  The compilation is
+*exact* where the table of :mod:`repro.constraints.properties` allows and
+conservative otherwise: any part of a constraint that cannot be pushed
+soundly becomes a post-filter, so answers are never wrong, only pruning
+power varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.constraints.ast import CmpOp, SetOp
+from repro.constraints.onevar import AggConstShape, OneVarView, SetConstShape
+from repro.db.domain import Domain
+
+SetIds = Tuple[int, ...]
+Predicate = Callable[[SetIds], bool]
+
+
+@dataclass(frozen=True)
+class ItemFilter:
+    """Keep only sets all of whose elements lie in ``keep``."""
+
+    keep: FrozenSet[int]
+    source: str
+
+    def admits(self, element: int) -> bool:
+        """Whether a single element passes the filter."""
+        return element in self.keep
+
+
+@dataclass(frozen=True)
+class RequiredBucket:
+    """Keep only sets containing at least one element of ``bucket``."""
+
+    bucket: FrozenSet[int]
+    source: str
+
+    def hit_by(self, elements: Iterable[int]) -> bool:
+        """Whether the set hits the bucket."""
+        return any(e in self.bucket for e in elements)
+
+
+@dataclass(frozen=True)
+class AntiMonotoneCheck:
+    """A testable anti-monotone predicate on candidate sets."""
+
+    predicate: Predicate
+    source: str
+
+    def holds(self, elements: SetIds) -> bool:
+        """Whether the candidate passes the check."""
+        return self.predicate(elements)
+
+
+@dataclass(frozen=True)
+class PostFilter:
+    """A predicate applied to final frequent sets only."""
+
+    predicate: Predicate
+    source: str
+
+    def holds(self, elements: SetIds) -> bool:
+        """Whether the final set passes the filter."""
+        return self.predicate(elements)
+
+
+@dataclass
+class CompiledPruning:
+    """A bundle of operational pruners for one variable's lattice."""
+
+    filters: List[ItemFilter] = field(default_factory=list)
+    buckets: List[RequiredBucket] = field(default_factory=list)
+    am_checks: List[AntiMonotoneCheck] = field(default_factory=list)
+    post_filters: List[PostFilter] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def merge(self, other: "CompiledPruning") -> "CompiledPruning":
+        """Conjunction of two pruning bundles."""
+        return CompiledPruning(
+            filters=self.filters + other.filters,
+            buckets=self.buckets + other.buckets,
+            am_checks=self.am_checks + other.am_checks,
+            post_filters=self.post_filters + other.post_filters,
+        )
+
+    def extend(self, other: "CompiledPruning") -> None:
+        """In-place conjunction with another bundle."""
+        self.filters.extend(other.filters)
+        self.buckets.extend(other.buckets)
+        self.am_checks.extend(other.am_checks)
+        self.post_filters.extend(other.post_filters)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def admits_element(self, element: int) -> bool:
+        """Whether a single element passes all item filters."""
+        return all(f.admits(element) for f in self.filters)
+
+    def filtered_universe(self, elements: Iterable[int]) -> Tuple[int, ...]:
+        """Restrict an element universe to those passing all item filters."""
+        return tuple(e for e in elements if self.admits_element(e))
+
+    def buckets_hit(self, elements: Iterable[int]) -> bool:
+        """Whether the set hits every required bucket."""
+        elements = tuple(elements)
+        return all(b.hit_by(elements) for b in self.buckets)
+
+    def am_checks_pass(self, elements: SetIds) -> bool:
+        """Whether the set passes every anti-monotone check."""
+        return all(c.holds(elements) for c in self.am_checks)
+
+    def post_filters_pass(self, elements: SetIds) -> bool:
+        """Whether the set passes every post-filter."""
+        return all(p.holds(elements) for p in self.post_filters)
+
+    def lattice_valid(self, elements: SetIds) -> bool:
+        """Validity during the lattice computation: filters are enforced
+        structurally by the universe restriction, so this checks buckets
+        and anti-monotone predicates."""
+        return self.buckets_hit(elements) and self.am_checks_pass(elements)
+
+    def describe(self) -> List[str]:
+        """Human-readable description of every installed pruner."""
+        lines: List[str] = []
+        for f in self.filters:
+            lines.append(f"item-filter[{len(f.keep)} elements] from {f.source}")
+        for b in self.buckets:
+            lines.append(f"required-bucket[{len(b.bucket)} elements] from {b.source}")
+        for c in self.am_checks:
+            lines.append(f"anti-monotone-check from {c.source}")
+        for p in self.post_filters:
+            lines.append(f"post-filter from {p.source}")
+        return lines
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether the bundle prunes nothing."""
+        return not (self.filters or self.buckets or self.am_checks or self.post_filters)
+
+
+# ----------------------------------------------------------------------
+# Compilation of 1-var constraints
+# ----------------------------------------------------------------------
+def element_value_map(domain: Domain, attr: Optional[str]) -> Dict[int, object]:
+    """Map each domain element to its value under ``attr`` (identity if None)."""
+    if attr is None:
+        return {e: domain.element_value(e) for e in domain.elements}
+    return domain.catalog.column(attr)
+
+
+def select_elements(
+    domain: Domain, attr: Optional[str], predicate: Callable[[object], bool]
+) -> FrozenSet[int]:
+    """Elements of the domain whose ``attr`` value satisfies ``predicate``."""
+    values = element_value_map(domain, attr)
+    return frozenset(e for e, v in values.items() if predicate(v))
+
+
+def compile_onevar(view: OneVarView, domain: Domain) -> CompiledPruning:
+    """Compile a 1-var constraint into operational pruning forms.
+
+    The compilation realizes the CAP treatment of the four 1-var classes;
+    it is sound for every constraint (what cannot be pushed becomes a
+    post-filter) and tight for the succinct and anti-monotone shapes.
+    """
+    shape = view.shape
+    source = str(view.constraint)
+    if shape is None:
+        return _opaque_post_filter(view, domain, source)
+    if isinstance(shape, SetConstShape):
+        return _compile_set_shape(view, shape, domain, source)
+    return _compile_agg_shape(view, shape, domain, source)
+
+
+def _opaque_post_filter(view: OneVarView, domain: Domain, source: str) -> CompiledPruning:
+    from repro.constraints.evaluate import evaluate_constraint
+
+    constraint, var = view.constraint, view.var
+
+    def check(elements: SetIds) -> bool:
+        return evaluate_constraint(constraint, {var: elements}, {var: domain})
+
+    return CompiledPruning(post_filters=[PostFilter(check, source)])
+
+
+def _compile_set_shape(
+    view: OneVarView, shape: SetConstShape, domain: Domain, source: str
+) -> CompiledPruning:
+    op, attr, values = shape.op, shape.attr, shape.values
+    value_of = element_value_map(domain, attr)
+
+    if op is SetOp.SUBSET:
+        keep = frozenset(e for e, v in value_of.items() if v in values)
+        return CompiledPruning(filters=[ItemFilter(keep, source)])
+
+    if op is SetOp.DISJOINT:
+        keep = frozenset(e for e, v in value_of.items() if v not in values)
+        return CompiledPruning(filters=[ItemFilter(keep, source)])
+
+    if op is SetOp.OVERLAPS:
+        bucket = frozenset(e for e, v in value_of.items() if v in values)
+        return CompiledPruning(buckets=[RequiredBucket(bucket, source)])
+
+    if op is SetOp.NOT_SUBSET:
+        bucket = frozenset(e for e, v in value_of.items() if v not in values)
+        return CompiledPruning(buckets=[RequiredBucket(bucket, source)])
+
+    if op is SetOp.SUPERSET:
+        buckets = [
+            RequiredBucket(
+                frozenset(e for e, v in value_of.items() if v == target),
+                f"{source} (value {target!r})",
+            )
+            for target in values
+        ]
+        return CompiledPruning(buckets=buckets)
+
+    if op is SetOp.SETEQ:
+        if not values:
+            # S.A = ∅ is unsatisfiable for the non-empty sets mining produces.
+            return CompiledPruning(filters=[ItemFilter(frozenset(), source)])
+        keep = frozenset(e for e, v in value_of.items() if v in values)
+        buckets = [
+            RequiredBucket(
+                frozenset(e for e, v in value_of.items() if v == target),
+                f"{source} (value {target!r})",
+            )
+            for target in values
+        ]
+        return CompiledPruning(filters=[ItemFilter(keep, source)], buckets=buckets)
+
+    if op is SetOp.NOT_SUPERSET:
+        if not values:
+            # S.A ⊉ ∅ is always false.
+            return CompiledPruning(filters=[ItemFilter(frozenset(), source)])
+
+        def not_covering(elements: SetIds) -> bool:
+            present = {value_of[e] for e in elements}
+            return not values.issubset(present)
+
+        return CompiledPruning(am_checks=[AntiMonotoneCheck(not_covering, source)])
+
+    # SETNEQ — no useful monotone structure; check at the end.
+    def differs(elements: SetIds) -> bool:
+        return frozenset(value_of[e] for e in elements) != values
+
+    return CompiledPruning(post_filters=[PostFilter(differs, source)])
+
+
+def _compile_agg_shape(
+    view: OneVarView, shape: AggConstShape, domain: Domain, source: str
+) -> CompiledPruning:
+    func, op, attr, const = shape.func, shape.op, shape.attr, shape.const
+    value_of = element_value_map(domain, attr)
+
+    def leq(v) -> bool:
+        return v < const if op.strict else v <= const
+
+    def geq(v) -> bool:
+        return v > const if op.strict else v >= const
+
+    if func == "min":
+        return _compile_min(op, value_of, const, leq, geq, source)
+    if func == "max":
+        return _compile_max(op, value_of, const, leq, geq, source)
+    if func == "count":
+        return _compile_count(op, attr, value_of, const, source)
+    if func == "sum":
+        return _compile_sum(op, value_of, const, domain, attr, source)
+    return _compile_avg(op, value_of, const, source)
+
+
+def _compile_min(op, value_of, const, leq, geq, source) -> CompiledPruning:
+    if op.is_ge_like:
+        keep = frozenset(e for e, v in value_of.items() if geq(v))
+        return CompiledPruning(filters=[ItemFilter(keep, source)])
+    if op.is_le_like:
+        bucket = frozenset(e for e, v in value_of.items() if leq(v))
+        return CompiledPruning(buckets=[RequiredBucket(bucket, source)])
+    if op is CmpOp.EQ:
+        keep = frozenset(e for e, v in value_of.items() if v >= const)
+        bucket = frozenset(e for e, v in value_of.items() if v == const)
+        return CompiledPruning(
+            filters=[ItemFilter(keep, source)], buckets=[RequiredBucket(bucket, source)]
+        )
+    # min != const — post-filter
+    def check(elements):
+        return min(value_of[e] for e in elements) != const
+
+    return CompiledPruning(post_filters=[PostFilter(check, source)])
+
+
+def _compile_max(op, value_of, const, leq, geq, source) -> CompiledPruning:
+    if op.is_le_like:
+        keep = frozenset(e for e, v in value_of.items() if leq(v))
+        return CompiledPruning(filters=[ItemFilter(keep, source)])
+    if op.is_ge_like:
+        bucket = frozenset(e for e, v in value_of.items() if geq(v))
+        return CompiledPruning(buckets=[RequiredBucket(bucket, source)])
+    if op is CmpOp.EQ:
+        keep = frozenset(e for e, v in value_of.items() if v <= const)
+        bucket = frozenset(e for e, v in value_of.items() if v == const)
+        return CompiledPruning(
+            filters=[ItemFilter(keep, source)], buckets=[RequiredBucket(bucket, source)]
+        )
+
+    def check(elements):
+        return max(value_of[e] for e in elements) != const
+
+    return CompiledPruning(post_filters=[PostFilter(check, source)])
+
+
+def _compile_count(op, attr, value_of, const, source) -> CompiledPruning:
+    if attr is None:
+        def measure(elements):
+            return len(elements)
+    else:
+        def measure(elements):
+            return len({value_of[e] for e in elements})
+
+    if op.is_le_like:
+        def am(elements):
+            return measure(elements) < const if op.strict else measure(elements) <= const
+
+        return CompiledPruning(am_checks=[AntiMonotoneCheck(am, source)])
+    if op.is_ge_like:
+        def post(elements):
+            return measure(elements) > const if op.strict else measure(elements) >= const
+
+        return CompiledPruning(post_filters=[PostFilter(post, source)])
+    if op is CmpOp.EQ:
+        def am_eq(elements):
+            return measure(elements) <= const
+
+        def post_eq(elements):
+            return measure(elements) == const
+
+        return CompiledPruning(
+            am_checks=[AntiMonotoneCheck(am_eq, f"{source} (<= part)")],
+            post_filters=[PostFilter(post_eq, source)],
+        )
+
+    def post_ne(elements):
+        return measure(elements) != const
+
+    return CompiledPruning(post_filters=[PostFilter(post_ne, source)])
+
+
+def _compile_sum(op, value_of, const, domain: Domain, attr, source) -> CompiledPruning:
+    non_negative = all(
+        isinstance(v, (int, float)) and v >= 0 for v in value_of.values()
+    )
+
+    def total(elements):
+        return sum(value_of[e] for e in elements)
+
+    if op.is_le_like and non_negative:
+        def am(elements):
+            return total(elements) < const if op.strict else total(elements) <= const
+
+        return CompiledPruning(am_checks=[AntiMonotoneCheck(am, source)])
+    if op is CmpOp.EQ and non_negative:
+        def am_eq(elements):
+            return total(elements) <= const
+
+        def post_eq(elements):
+            return total(elements) == const
+
+        return CompiledPruning(
+            am_checks=[AntiMonotoneCheck(am_eq, f"{source} (<= part)")],
+            post_filters=[PostFilter(post_eq, source)],
+        )
+
+    # sum >= v (monotone), != v, or a possibly-negative domain: post only.
+    def post(elements):
+        return op.apply(total(elements), const)
+
+    return CompiledPruning(post_filters=[PostFilter(post, source)])
+
+
+def _compile_avg(op, value_of, const, source) -> CompiledPruning:
+    """avg has no exploitable monotone structure, but ``avg(S.A) <= c``
+    implies ``min(S.A) <= c`` (and symmetrically for >=), which is a sound
+    succinct relaxation worth pushing alongside the exact post-filter."""
+
+    def average(elements):
+        return sum(value_of[e] for e in elements) / len(elements)
+
+    def post(elements):
+        return bool(elements) and op.apply(average(elements), const)
+
+    bundle = CompiledPruning(post_filters=[PostFilter(post, source)])
+    if op.is_le_like:
+        bucket = frozenset(
+            e for e, v in value_of.items() if (v < const if op.strict else v <= const)
+        )
+        bundle.buckets.append(RequiredBucket(bucket, f"{source} (implied min bound)"))
+    elif op.is_ge_like:
+        bucket = frozenset(
+            e for e, v in value_of.items() if (v > const if op.strict else v >= const)
+        )
+        bundle.buckets.append(RequiredBucket(bucket, f"{source} (implied max bound)"))
+    return bundle

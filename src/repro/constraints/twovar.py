@@ -1,0 +1,156 @@
+"""Normalized view of 2-variable constraints.
+
+A :class:`TwoVarView` wraps a constraint mentioning exactly two set
+variables and exposes its *shape* — the normal forms Sections 3–5 of the
+paper analyze:
+
+* :class:`SetSetShape` — ``X.A  setop  Y.B`` (2-var domain constraints:
+  the first block of Figure 1);
+* :class:`AggAggShape` — ``agg1(X.A)  op  agg2(Y.B)`` (2-var aggregation
+  constraints: the min/max block and the sum/avg block of Figure 1).
+
+Shapes can be *oriented*: ``oriented(var)`` rewrites the shape so that
+``var`` appears on the left, flipping the operator as needed.  All the
+characterization, reduction and induction tables are written for the
+left-oriented form, so orientation is the single place side-swapping
+happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.constraints.ast import (
+    Agg,
+    AttrRef,
+    CmpOp,
+    Comparison,
+    Constraint,
+    SetComparison,
+    SetOp,
+)
+from repro.errors import ConstraintTypeError
+
+
+@dataclass(frozen=True)
+class SetSetShape:
+    """``left_var.left_attr  setop  right_var.right_attr``."""
+
+    op: SetOp
+    left_var: str
+    left_attr: Optional[str]
+    right_var: str
+    right_attr: Optional[str]
+
+    def oriented(self, var: str) -> "SetSetShape":
+        """Return the shape with ``var`` on the left."""
+        if var == self.left_var:
+            return self
+        if var != self.right_var:
+            raise ConstraintTypeError(f"variable {var!r} not in shape {self}")
+        return SetSetShape(
+            self.op.flipped(), self.right_var, self.right_attr,
+            self.left_var, self.left_attr,
+        )
+
+    @property
+    def other_var(self) -> str:
+        """The right-hand variable."""
+        return self.right_var
+
+
+@dataclass(frozen=True)
+class AggAggShape:
+    """``left_func(left_var.left_attr)  op  right_func(right_var.right_attr)``."""
+
+    left_func: str
+    op: CmpOp
+    right_func: str
+    left_var: str
+    left_attr: Optional[str]
+    right_var: str
+    right_attr: Optional[str]
+
+    def oriented(self, var: str) -> "AggAggShape":
+        """Return the shape with ``var`` on the left."""
+        if var == self.left_var:
+            return self
+        if var != self.right_var:
+            raise ConstraintTypeError(f"variable {var!r} not in shape {self}")
+        return AggAggShape(
+            self.right_func, self.op.flipped(), self.left_func,
+            self.right_var, self.right_attr, self.left_var, self.left_attr,
+        )
+
+    @property
+    def uses_sum_or_avg(self) -> bool:
+        """Whether either side aggregates with ``sum`` or ``avg``."""
+        return self.left_func in ("sum", "avg") or self.right_func in ("sum", "avg")
+
+    @property
+    def min_max_only(self) -> bool:
+        """Whether both sides aggregate with ``min`` or ``max`` only."""
+        return self.left_func in ("min", "max") and self.right_func in ("min", "max")
+
+
+Shape2 = Union[SetSetShape, AggAggShape]
+
+
+@dataclass(frozen=True)
+class TwoVarView:
+    """A 2-var constraint, its two variables, and its canonical shape."""
+
+    constraint: Constraint
+    shape: Optional[Shape2]
+
+    @classmethod
+    def of(cls, constraint: Constraint) -> "TwoVarView":
+        """Build the view; raises if the constraint is not 2-variable."""
+        variables = constraint.variables()
+        if len(variables) != 2:
+            raise ConstraintTypeError(
+                f"{constraint} mentions {len(variables)} variables, expected 2"
+            )
+        return cls(constraint, _extract_shape(constraint))
+
+    @property
+    def variables(self) -> frozenset:
+        """The two variable names."""
+        return self.constraint.variables()
+
+    def oriented(self, var: str) -> Optional[Shape2]:
+        """The shape with ``var`` on the left, or None for opaque constraints."""
+        if self.shape is None:
+            return None
+        return self.shape.oriented(var)
+
+    def __str__(self) -> str:
+        return str(self.constraint)
+
+
+# Back-compat alias used in a few call sites and docs.
+TwoVarShape = Shape2
+
+
+def _extract_shape(constraint: Constraint) -> Optional[Shape2]:
+    if isinstance(constraint, SetComparison):
+        left, right = constraint.left, constraint.right
+        if isinstance(left, AttrRef) and isinstance(right, AttrRef):
+            if left.var == right.var:
+                return None
+            return SetSetShape(
+                constraint.op, left.var, left.attr, right.var, right.attr
+            )
+        return None
+    if isinstance(constraint, Comparison):
+        left, right = constraint.left, constraint.right
+        if isinstance(left, Agg) and isinstance(right, Agg):
+            if left.arg.var == right.arg.var:
+                return None
+            return AggAggShape(
+                left.func, constraint.op, right.func,
+                left.arg.var, left.arg.attr, right.arg.var, right.arg.attr,
+            )
+        return None
+    return None

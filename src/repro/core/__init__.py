@@ -1,0 +1,38 @@
+"""The paper's primary contribution: 2-var constraint optimization.
+
+* :mod:`repro.core.classify` — the Figure 1 characterization
+  (anti-monotonicity and quasi-succinctness of 2-var constraints);
+* :mod:`repro.core.reduction` — the Figure 2/3 quasi-succinct reductions
+  to 1-var succinct constraints;
+* :mod:`repro.core.induction` — the Figure 4 induced weaker constraints
+  for ``sum``/``avg``;
+* :mod:`repro.core.jmax` — the ``J^k_max`` bound and the ``V^k``/``A^k``
+  series of Section 5.2;
+* :mod:`repro.core.query` — the CFQ object;
+* :mod:`repro.core.optimizer` — the Figure 7 query optimizer;
+* :mod:`repro.core.ccc` — ccc-optimality accounting and audit;
+* :mod:`repro.core.pairs` — final pair formation and rule generation.
+"""
+
+from repro.core.classify import TwoVarProperties, classify_twovar
+from repro.core.induction import induce_weaker
+from repro.core.jmax import BoundSeries, jmax_upper_bound, vk_sum_bound
+from repro.core.optimizer import CFQOptimizer, CFQResult
+from repro.core.pairs import form_valid_pairs, valid_sets_existential
+from repro.core.query import CFQ
+from repro.core.reduction import reduce_twovar
+
+__all__ = [
+    "TwoVarProperties",
+    "classify_twovar",
+    "induce_weaker",
+    "BoundSeries",
+    "jmax_upper_bound",
+    "vk_sum_bound",
+    "CFQOptimizer",
+    "CFQResult",
+    "form_valid_pairs",
+    "valid_sets_existential",
+    "CFQ",
+    "reduce_twovar",
+]

@@ -1,0 +1,133 @@
+"""Parsing whole CFQs in the paper's surface syntax.
+
+The paper writes queries as ``{(S, T) | C1 & C2 & ...}`` with implicit
+``S ⊆ Item`` and ``freq(S)`` atoms.  :func:`parse_cfq` accepts exactly
+that form:
+
+* the head declares the set variables: ``{(S, T) | ...}`` or ``{(S) | ...}``;
+* the body is an ``&``-separated conjunction of constraint atoms in the
+  DSL of :mod:`repro.constraints.parser`;
+* frequency atoms ``freq(S)`` (use the default threshold) or
+  ``freq(S, 0.02)`` (per-variable threshold) may appear anywhere in the
+  body and are optional — every declared variable is implicitly frequent,
+  as in the paper;
+* domain-membership atoms like ``S ⊆ Item`` are accepted and ignored
+  (domains are supplied programmatically, since they carry data).
+
+Example::
+
+    parse_cfq(
+        "{(S, T) | freq(S, 0.01) & freq(T) & sum(S.Price) <= 100 "
+        "& avg(T.Price) >= 200}",
+        domains={"S": item, "T": item},
+        default_minsup=0.02,
+    )
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional
+
+from repro.constraints.parser import parse_constraint
+from repro.core.query import CFQ
+from repro.db.domain import Domain
+from repro.errors import ConstraintSyntaxError, QueryValidationError
+
+_HEAD_RE = re.compile(
+    r"^\s*\{\s*\(?\s*([A-Za-z_][A-Za-z_0-9]*(?:\s*,\s*[A-Za-z_][A-Za-z_0-9]*)?)"
+    r"\s*\)?\s*\|\s*(.*)\}\s*$",
+    re.DOTALL,
+)
+
+_FREQ_RE = re.compile(
+    r"^freq\s*\(\s*([A-Za-z_][A-Za-z_0-9]*)\s*(?:,\s*([0-9.]+)\s*)?\)$"
+)
+
+_MEMBERSHIP_RE = re.compile(
+    r"^([A-Za-z_][A-Za-z_0-9]*)\s*(?:⊆|subset)\s*[A-Za-z_][A-Za-z_0-9]*$"
+)
+
+
+def split_conjunction(body: str) -> List[str]:
+    """Split on top-level '&', respecting braces/parentheses (so set
+    literals and aggregate calls survive)."""
+    atoms: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in body:
+        if char in "({":
+            depth += 1
+        elif char in ")}":
+            depth -= 1
+        if char == "&" and depth == 0:
+            atoms.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        atoms.append(tail)
+    return [a for a in atoms if a]
+
+
+def parse_cfq(
+    text: str,
+    domains: Mapping[str, Domain],
+    default_minsup: float = 0.01,
+    max_level: Optional[int] = None,
+) -> CFQ:
+    """Parse a whole CFQ from the paper's ``{(S, T) | C}`` notation.
+
+    Parameters
+    ----------
+    text:
+        The query text.
+    domains:
+        The domain of each declared variable (data cannot be written in a
+        query string).
+    default_minsup:
+        Threshold for variables whose ``freq`` atom omits one (or is
+        absent entirely).
+    """
+    match = _HEAD_RE.match(text)
+    if match is None:
+        raise ConstraintSyntaxError(
+            "a CFQ looks like '{(S, T) | constraint & ...}'", text, 0
+        )
+    declared = tuple(v.strip() for v in match.group(1).split(","))
+    body = match.group(2).strip()
+
+    missing = set(declared) - set(domains)
+    if missing:
+        raise QueryValidationError(
+            f"query declares {sorted(missing)} but no domain was supplied "
+            f"for them"
+        )
+
+    minsup: Dict[str, float] = {var: default_minsup for var in declared}
+    constraints: List = []
+    for atom in split_conjunction(body):
+        freq = _FREQ_RE.match(atom)
+        if freq is not None:
+            var, threshold = freq.group(1), freq.group(2)
+            if var not in declared:
+                raise QueryValidationError(
+                    f"freq atom references undeclared variable {var!r}"
+                )
+            if threshold is not None:
+                minsup[var] = float(threshold)
+            continue
+        if _MEMBERSHIP_RE.match(atom) and atom.split()[0].rstrip("⊆") in declared:
+            # Domain membership like "S ⊆ Item": informational only.
+            head_var = re.split(r"⊆|subset", atom)[0].strip()
+            if head_var in declared:
+                continue
+        constraints.append(parse_constraint(atom))
+
+    return CFQ(
+        domains={var: domains[var] for var in declared},
+        minsup=minsup,
+        constraints=constraints,
+        max_level=max_level,
+    )

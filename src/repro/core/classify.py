@@ -1,0 +1,105 @@
+"""Characterization of 2-var constraints (Section 3/4, Figure 1).
+
+For every shape the CFQ language admits this module answers, per
+Theorem 1 and the quasi-succinctness analysis of Section 4:
+
+* is the constraint **anti-monotone** w.r.t. each variable
+  (Definition 4)?
+* is it **quasi-succinct** (Definition 5)?
+
+Figure 1's representative rows are reproduced exactly:
+
+====================================  =============  ==============
+2-var constraint                      anti-monotone  quasi-succinct
+====================================  =============  ==============
+``S.A ∩ T.B = ∅``                     yes            yes
+``S.A ∩ T.B ≠ ∅``                     no             yes
+``S.A ⊆ T.B``                         no             yes
+``S.A ⊄ T.B``                         no             yes
+``S.A = T.B``                         no             yes
+``max(S.A) ≤ min(T.B)``               yes            yes
+``min(S.A) ≤ min(T.B)``               no             yes
+``max(S.A) ≤ max(T.B)``               no             yes
+``min(S.A) ≤ max(T.B)``               no             yes
+``sum(S.A) ≤ max(T.B)``               no             no
+``sum(S.A) ≤ sum(T.B)``               no             no
+``avg(S.A) ≤ avg(T.B)``               no             no
+====================================  =============  ==============
+
+The full decision procedure generalizes the table: a 2-var aggregate
+constraint is quasi-succinct iff both sides aggregate with ``min`` or
+``max`` only; all 2-var domain (set-relation) constraints are
+quasi-succinct; constraints involving ``sum`` or ``avg`` (or ``count``,
+which behaves like ``sum`` over the unit weighting) are not.
+Anti-monotonicity holds exactly for ``S.A ∩ T.B = ∅`` and for the
+``max(S.A) ≤/< min(T.B)`` family (plus their flipped orientations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.ast import SetOp
+from repro.constraints.twovar import AggAggShape, SetSetShape, TwoVarView
+
+
+@dataclass(frozen=True)
+class TwoVarProperties:
+    """Property summary of a 2-var constraint.
+
+    ``anti_monotone`` is w.r.t. *both* variables (for the constraints in
+    the characterized language, 2-var anti-monotonicity is symmetric:
+    Figure 1 has a single anti-monotone column).
+    """
+
+    anti_monotone: bool
+    quasi_succinct: bool
+
+    @property
+    def needs_induction(self) -> bool:
+        """Whether the constraint needs the Section 5 machinery."""
+        return not self.quasi_succinct
+
+
+_OPAQUE = TwoVarProperties(anti_monotone=False, quasi_succinct=False)
+
+
+def classify_twovar(view: TwoVarView) -> TwoVarProperties:
+    """Classify a 2-var constraint per Figure 1."""
+    shape = view.shape
+    if shape is None:
+        return _OPAQUE
+    if isinstance(shape, SetSetShape):
+        return _classify_set_set(shape)
+    return _classify_agg_agg(shape)
+
+
+def _classify_set_set(shape: SetSetShape) -> TwoVarProperties:
+    # All 2-var domain constraints are quasi-succinct (Section 4.2);
+    # among them only the non-overlap constraint is anti-monotone
+    # (Theorem 1).
+    return TwoVarProperties(
+        anti_monotone=shape.op is SetOp.DISJOINT,
+        quasi_succinct=True,
+    )
+
+
+def _classify_agg_agg(shape: AggAggShape) -> TwoVarProperties:
+    if not shape.min_max_only:
+        # sum/avg (and count) on either side: neither anti-monotone nor
+        # quasi-succinct (Figure 1, bottom block).
+        return _OPAQUE
+    anti_monotone = _minmax_anti_monotone(shape)
+    return TwoVarProperties(anti_monotone=anti_monotone, quasi_succinct=True)
+
+
+def _minmax_anti_monotone(shape: AggAggShape) -> bool:
+    # max(S.A) <= min(T.B) is the unique anti-monotone min/max pattern
+    # (Theorem 1): growing S can only raise max(S.A) and growing T can
+    # only lower min(T.B), so a violation is permanent.  The flipped
+    # orientation min(S.A) >= max(T.B) is the same constraint.
+    if shape.op.is_le_like:
+        return shape.left_func == "max" and shape.right_func == "min"
+    if shape.op.is_ge_like:
+        return shape.left_func == "min" and shape.right_func == "max"
+    return False

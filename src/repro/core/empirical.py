@@ -1,0 +1,228 @@
+"""Brute-force empirical checkers for the paper's definitions.
+
+These utilities make the paper's *claims* testable on concrete data:
+
+* :func:`def3_valid_sets` — Definition 3's valid S-sets by exhaustive
+  enumeration;
+* :func:`reduction_soundness_tightness` — checks Theorems 2/3: the
+  reduced 1-var constraints prune no valid set (sound) and prune every
+  invalid one (tight);
+* :func:`anti_monotone_counterexample` — searches for a violation of
+  2-var anti-monotonicity (Definition 4); used to verify both the "yes"
+  and the "no" entries of Figure 1.
+
+Everything here is exponential in the universe size by design — these are
+oracles for small domains, not mining strategies.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.constraints.evaluate import evaluate_constraint
+from repro.constraints.twovar import TwoVarView
+from repro.core.reduction import reduce_twovar
+from repro.db.domain import Domain
+from repro.errors import ExecutionError
+from repro.itemsets import Itemset, all_nonempty_subsets
+
+
+def _check_universe(universe: Sequence[int], limit: int = 12) -> None:
+    if len(universe) > limit:
+        raise ExecutionError(
+            f"empirical checkers enumerate 2^N subsets; N={len(universe)} "
+            f"exceeds the safety limit {limit}"
+        )
+
+
+def def3_valid_sets(
+    view: TwoVarView,
+    var: str,
+    domains: Mapping[str, Domain],
+    frequent_other: Iterable[Itemset],
+) -> Set[Itemset]:
+    """Definition 3's valid sets of ``var``, by exhaustive enumeration.
+
+    ``frequent_other`` are the frequent sets of the other variable (the
+    one-sided frequency requirement of the definition).
+    """
+    (other,) = view.variables - {var}
+    universe = domains[var].elements
+    _check_universe(universe)
+    partners = list(frequent_other)
+    valid: Set[Itemset] = set()
+    for candidate in all_nonempty_subsets(universe):
+        for partner in partners:
+            if evaluate_constraint(
+                view.constraint, {var: candidate, other: partner}, domains
+            ):
+                valid.add(candidate)
+                break
+    return valid
+
+
+def reduction_soundness_tightness(
+    view: TwoVarView,
+    var: str,
+    domains: Mapping[str, Domain],
+    frequent_other: Sequence[Itemset],
+) -> Tuple[bool, bool, Set[Itemset], Set[Itemset]]:
+    """Check the reduced 1-var constraint of ``var`` against Definition 3.
+
+    Returns ``(sound, tight, valid, passing)`` where ``valid`` is the
+    ground-truth valid-set collection and ``passing`` the sets admitted by
+    the reduced constraints.  Sound means ``valid ⊆ passing``; tight means
+    ``passing ⊆ valid`` (Theorems 2 and 3).
+
+    ``frequent_other`` must be subset-closed (every subset of a frequent
+    set frequent), as real frequent-set collections are; the reduction's
+    L1 is derived from its singletons.
+    """
+    (other,) = view.variables - {var}
+    l1_other = sorted({e for itemset in frequent_other for e in itemset})
+    reduced = reduce_twovar(
+        view, domains, {var: tuple(domains[var].elements), other: l1_other}
+    )[var]
+    universe = domains[var].elements
+    _check_universe(universe)
+    valid = def3_valid_sets(view, var, domains, frequent_other)
+    passing: Set[Itemset] = set()
+    for candidate in all_nonempty_subsets(universe):
+        if all(
+            evaluate_constraint(c, {var: candidate}, domains) for c in reduced
+        ):
+            passing.add(candidate)
+    sound = valid.issubset(passing)
+    tight = passing.issubset(valid)
+    return sound, tight, valid, passing
+
+
+def pairwise_anti_monotone_counterexample(
+    view: TwoVarView,
+    domains: Mapping[str, Domain],
+    s_var: str = "S",
+    t_var: str = "T",
+) -> Optional[Tuple[Tuple[Itemset, Itemset], Tuple[Itemset, Itemset]]]:
+    """Search for a violation of pairwise 2-var anti-monotonicity.
+
+    This is the reading under which Figure 1's anti-monotone column is
+    exact, and the one the paper's own proof phrase expresses —
+    "violation is preserved when S0 grows bigger and/or T grows bigger":
+    a constraint is anti-monotone iff whenever a pair ``(S0, T0)``
+    violates it, every pair ``(S', T')`` with ``S' ⊇ S0`` and ``T' ⊇ T0``
+    also violates it.  (Definition 4's frequency-quantified form is the
+    operational consequence used for pruning.)
+
+    Returns ``((S0, T0), (S', T'))`` witnessing a violation, or ``None``.
+    """
+    s_universe = domains[s_var].elements
+    t_universe = domains[t_var].elements
+    _check_universe(s_universe, limit=6)
+    _check_universe(t_universe, limit=6)
+    s_subsets = list(all_nonempty_subsets(s_universe))
+    t_subsets = list(all_nonempty_subsets(t_universe))
+
+    valid: Dict[Tuple[Itemset, Itemset], bool] = {}
+    for s0 in s_subsets:
+        for t0 in t_subsets:
+            valid[(s0, t0)] = evaluate_constraint(
+                view.constraint, {s_var: s0, t_var: t0}, domains
+            )
+
+    # reachable[(s, t)]: some (s', t') with s' ⊇ s, t' ⊇ t satisfies C.
+    # Filled by dynamic programming from the largest pairs downward.
+    reachable: Dict[Tuple[Itemset, Itemset], bool] = {}
+    order = sorted(valid, key=lambda st: (len(st[0]) + len(st[1])), reverse=True)
+    for s0, t0 in order:
+        ok = valid[(s0, t0)]
+        if not ok:
+            for e in s_universe:
+                if e not in s0:
+                    if reachable.get((tuple(sorted(s0 + (e,))), t0)):
+                        ok = True
+                        break
+        if not ok:
+            for e in t_universe:
+                if e not in t0:
+                    if reachable.get((s0, tuple(sorted(t0 + (e,))))):
+                        ok = True
+                        break
+        reachable[(s0, t0)] = ok
+
+    for s0 in s_subsets:
+        for t0 in t_subsets:
+            if valid[(s0, t0)]:
+                continue
+            if reachable[(s0, t0)]:
+                witness = _find_satisfied_superpair(
+                    valid, s0, t0, s_universe, t_universe
+                )
+                if witness is not None:
+                    return (s0, t0), witness
+    return None
+
+
+def _find_satisfied_superpair(valid, s0, t0, s_universe, t_universe):
+    for s_ext in chain.from_iterable(
+        combinations([e for e in s_universe if e not in s0], n)
+        for n in range(len(s_universe) - len(s0) + 1)
+    ):
+        s_prime = tuple(sorted(s0 + s_ext))
+        for t_ext in chain.from_iterable(
+            combinations([e for e in t_universe if e not in t0], n)
+            for n in range(len(t_universe) - len(t0) + 1)
+        ):
+            t_prime = tuple(sorted(t0 + t_ext))
+            if valid[(s_prime, t_prime)]:
+                return s_prime, t_prime
+    return None
+
+
+def anti_monotone_counterexample(
+    view: TwoVarView,
+    var: str,
+    domains: Mapping[str, Domain],
+    frequent_other_by_size: Mapping[int, Sequence[Itemset]],
+) -> Optional[Tuple[Itemset, Itemset]]:
+    """Search for a violation of Definition 4 (2-var anti-monotonicity)
+    with respect to ``var``.
+
+    The operative content of the definition (at ``j = 1``, the case the
+    paper's pruning uses, with the ``|T0| >= j`` convention of its
+    ``sat^S_{C,j}`` notation) is: if ``S0`` is related to *no* frequent
+    partner at all, then no superset of ``S0`` may be related to any
+    frequent partner.  Note Figure 1's anti-monotone column asserts the
+    property w.r.t. *both* variables; callers should check each side.
+
+    Returns ``(S0, S_superset)`` witnessing a violation, or ``None`` if
+    the property holds on this data.
+    """
+    (other,) = view.variables - {var}
+    universe = domains[var].elements
+    _check_universe(universe, limit=8)
+    all_partners = [
+        partner for partners in frequent_other_by_size.values() for partner in partners
+    ]
+
+    def related(candidate: Itemset) -> bool:
+        return any(
+            evaluate_constraint(
+                view.constraint, {var: candidate, other: partner}, domains
+            )
+            for partner in all_partners
+        )
+
+    subsets = list(all_nonempty_subsets(universe))
+    valid = {candidate: related(candidate) for candidate in subsets}
+    for candidate in subsets:
+        if valid[candidate]:
+            continue
+        remaining = [e for e in universe if e not in candidate]
+        for extension in chain.from_iterable(
+            combinations(remaining, n) for n in range(1, len(remaining) + 1)
+        ):
+            superset = tuple(sorted(candidate + extension))
+            if valid[superset]:
+                return candidate, superset
+    return None

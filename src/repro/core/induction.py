@@ -1,0 +1,127 @@
+"""Induced weaker constraints for ``sum``/``avg`` (Section 5.1, Figure 4).
+
+A 2-var constraint involving ``sum`` or ``avg`` is not quasi-succinct, but
+— over **non-negative** domains — it *implies* a weaker constraint that
+is, which can then be reduced via Figure 3 and pushed as usual.  In the
+normalized ``lhs ≤ rhs`` orientation the paper's rules are::
+
+    avg(S.A)  ≤  agg(T.B)    induces    min(S.A)  ≤  agg(T.B)     (i)
+    sum(S.A)  ≤  agg(T.B)    induces    max(S.A)  ≤  agg(T.B)     (ii)
+    agg(S.A)  ≤  avg(T.B)    induces    agg(S.A)  ≤  max(T.B)     (iii)
+
+because ``min ≤ avg ≤ max ≤ sum`` pointwise over non-negative values.
+There is **no** min/max weakening for a ``sum`` on the *greater* side:
+nothing among min/max/avg dominates sum.  For those constraints the
+induction instead emits the paper's direct "loose" bound
+``lhs'(CS.A) ≤ sum(L1T.B)`` — numerically weak (the motivating example in
+Section 5.1: the bound 5050) — which is exactly the gap the iterative
+``J^k_max`` pruning of Section 5.2 closes.
+
+Pruning with an induced constraint is sound but not tight: final answers
+are re-verified against the original constraint at pair-formation time
+(footnote 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constraints.ast import Agg, AttrRef, CmpOp, Comparison, Constraint
+from repro.constraints.twovar import AggAggShape, TwoVarView
+from repro.errors import ClassificationError
+
+#: Weakenings for the lesser side of a ``≤``: replacements that are
+#: pointwise <= the original aggregate on non-negative domains.
+_WEAKEN_LESSER = {"sum": "max", "avg": "min", "min": "min", "max": "max"}
+
+#: Weakenings for the greater side of a ``≤``: replacements that are
+#: pointwise >= the original aggregate on non-negative domains.  ``sum``
+#: has no such replacement (None).
+_WEAKEN_GREATER = {"sum": None, "avg": "max", "min": "min", "max": "max"}
+
+
+@dataclass(frozen=True)
+class InducedConstraint:
+    """The outcome of weakening one non-quasi-succinct constraint.
+
+    Attributes
+    ----------
+    original:
+        The constraint the user wrote.
+    weaker:
+        A quasi-succinct 2-var constraint implied by the original, or
+        ``None`` when none exists (a ``sum`` on the greater side with a
+        min/max lesser side leaves nothing 2-var to induce).
+    sum_side_var / sum_side_attr:
+        Set when the greater side aggregates with ``sum``: the variable
+        and attribute whose frequent-set sums must be bounded — the input
+        to the ``J^k_max`` machinery (and to the loose ``sum(L1)`` bound).
+    pruned_var / pruned_func / pruned_attr:
+        The lesser-side variable as (func, attr) after weakening — the
+        side that receives the ``V^k``/``A^k`` series.
+    strict:
+        Whether the original comparison was strict.
+    """
+
+    original: TwoVarView
+    weaker: Optional[TwoVarView]
+    sum_side_var: Optional[str] = None
+    sum_side_attr: Optional[str] = None
+    pruned_var: Optional[str] = None
+    pruned_func: Optional[str] = None
+    pruned_attr: Optional[str] = None
+    strict: bool = False
+
+
+def induce_weaker(view: TwoVarView) -> InducedConstraint:
+    """Apply Figure 4 to a non-quasi-succinct aggregate constraint.
+
+    The caller must have checked (via the catalog) that both aggregated
+    attributes are non-negative; the rules are invalid otherwise.
+
+    Equality constraints are handled as the conjunction of both
+    directions; since only one direction can be pushed per variable
+    anyway, the ``<=`` direction is induced and the rest is left to final
+    verification.  ``!=`` induces nothing.
+    """
+    shape = view.shape
+    if shape is None or not isinstance(shape, AggAggShape):
+        raise ClassificationError(f"{view} is not a 2-var aggregate constraint")
+    if shape.min_max_only:
+        raise ClassificationError(
+            f"{view} is already quasi-succinct; reduce it directly"
+        )
+
+    if shape.op.is_ge_like:
+        shape = shape.oriented(shape.right_var)
+    if shape.op is CmpOp.NE:
+        return InducedConstraint(original=view, weaker=None)
+    # EQ is treated through its <= direction.
+    lesser_func = _WEAKEN_LESSER.get(shape.left_func)
+    greater_func = _WEAKEN_GREATER.get(shape.right_func)
+    if lesser_func is None or shape.left_func == "count" or shape.right_func == "count":
+        # count-based 2-var constraints are outside Figure 4; nothing to induce.
+        return InducedConstraint(original=view, weaker=None)
+
+    op = CmpOp.LT if shape.op is CmpOp.LT else CmpOp.LE
+    sum_on_greater = shape.right_func == "sum"
+    weaker_view: Optional[TwoVarView] = None
+    if greater_func is not None:
+        weaker_constraint: Constraint = Comparison(
+            Agg(lesser_func, AttrRef(shape.left_var, shape.left_attr)),
+            op,
+            Agg(greater_func, AttrRef(shape.right_var, shape.right_attr)),
+        )
+        weaker_view = TwoVarView.of(weaker_constraint)
+
+    return InducedConstraint(
+        original=view,
+        weaker=weaker_view,
+        sum_side_var=shape.right_var if sum_on_greater else None,
+        sum_side_attr=shape.right_attr if sum_on_greater else None,
+        pruned_var=shape.left_var,
+        pruned_func=shape.left_func if shape.left_func in ("sum", "avg") else lesser_func,
+        pruned_attr=shape.left_attr,
+        strict=op is CmpOp.LT,
+    )

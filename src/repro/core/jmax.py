@@ -1,0 +1,220 @@
+"""Iterative pruning with ``J^k_max`` (Section 5.2, Figures 5 and 6).
+
+Given all frequent T-sets of size ``k``, Figure 5 derives a combinatorial
+upper bound on the size of the largest frequent T-set:
+
+1. ``N_i^k`` — the number of frequent k-sets containing element ``t_i``;
+2. ``J_i^k`` — the largest ``j`` with ``N_i^k >= C(k+j-1, k-1)`` (for
+   ``t_i`` to occur in a frequent set of size ``k+j`` it must occur in at
+   least that many frequent k-sets);
+3. ``J^k_max = max_i J_i^k``.
+
+Figure 6 turns this into a value bound: for each ``t_i``, take the
+frequent k-set ``T_i^k`` containing ``t_i`` with maximum ``sum(T.B)``
+(call it ``Sum_i^k``), add the top ``J^k_max`` B-values among elements
+co-occurring with ``t_i`` (outside ``T_i^k``), and maximize over ``i`` —
+yielding ``V^k``, an upper bound on ``sum(T.B)`` over frequent T-sets *of
+size >= k*.
+
+:class:`BoundSeries` maintains the overall bound ``W^k`` used for pruning:
+the maximum of ``V^k`` and the largest sum among the frequent T-sets of
+size <= k already enumerated.  (The paper's Lemma 6 uses ``V^k`` directly;
+``W^k`` makes the small-set case explicit — ``V^k`` only covers sets of
+size >= k — while preserving Lemma 7's monotone decrease, since every
+frequent (k+1)-set's sum is itself <= ``V^k``.)
+
+The series is sound only when the T-side lattice enumerates *all*
+frequent sets over its (possibly filter-restricted) universe; required
+buckets or anti-monotone checks on the T side would hide frequent sets
+from the statistics, so the engine disables the series in that case.
+
+An analogous series bounds ``avg(T.B)`` (the ``A^k`` values the paper
+sketches at the end of Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import comb, inf
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import ExecutionError
+
+# Local alias rather than an import from repro.mining: this module is a
+# dependency of the mining engine, and importing the mining package here
+# would close an import cycle.
+Itemset = Tuple[int, ...]
+
+
+def element_set_counts(frequent_k: Iterable[Itemset]) -> Dict[int, int]:
+    """``N_i^k``: how many frequent k-sets contain each element."""
+    counts: Dict[int, int] = {}
+    for itemset in frequent_k:
+        for element in itemset:
+            counts[element] = counts.get(element, 0) + 1
+    return counts
+
+
+def j_bound(n_sets: int, k: int) -> int:
+    """``J_i^k``: the largest ``j`` with ``n_sets >= C(k+j-1, k-1)``."""
+    if k < 2:
+        raise ExecutionError("J bounds are defined for k >= 2 (Figure 5)")
+    j = 0
+    while n_sets >= comb(k + j, k - 1):
+        j += 1
+    return j
+
+
+def jmax_upper_bound(frequent_k: Iterable[Itemset], k: int) -> int:
+    """``J^k_max`` per Figure 5 — an upper bound on how many elements the
+    largest frequent set can have beyond ``k``.
+
+    As the paper notes, step 3 only needs the maximum ``N_i^k``.
+    """
+    counts = element_set_counts(frequent_k)
+    if not counts:
+        return 0
+    return j_bound(max(counts.values()), k)
+
+
+def _cooccurrence_index(frequent_k: List[Itemset]) -> Dict[int, List[int]]:
+    """Map each element to the indices of the frequent k-sets containing it."""
+    index: Dict[int, List[int]] = {}
+    for position, itemset in enumerate(frequent_k):
+        for element in itemset:
+            index.setdefault(element, []).append(position)
+    return index
+
+
+def vk_sum_bound(
+    frequent_k: Iterable[Itemset],
+    values: Mapping[int, float],
+    jmax: int,
+) -> float:
+    """``V^k`` per Figure 6: an upper bound on ``sum(T.B)`` over frequent
+    T-sets of size >= k.
+
+    ``values`` maps each element to its B-value.  Returns ``-inf`` when
+    there are no frequent k-sets (no set of size >= k can be frequent).
+    """
+    sets = list(frequent_k)
+    if not sets:
+        return -inf
+    sums = [sum(values[e] for e in itemset) for itemset in sets]
+    index = _cooccurrence_index(sets)
+    best = -inf
+    for positions in index.values():
+        # T_i^k: the containing set with maximum sum.
+        best_position = max(positions, key=sums.__getitem__)
+        base_sum = sums[best_position]
+        base_set = frozenset(sets[best_position])
+        if jmax > 0:
+            cooccurring = set()
+            for position in positions:
+                cooccurring.update(sets[position])
+            extras = sorted(
+                (values[e] for e in cooccurring - base_set), reverse=True
+            )[:jmax]
+            candidate = base_sum + sum(extras)
+        else:
+            candidate = base_sum
+        if candidate > best:
+            best = candidate
+    return best
+
+
+def ak_avg_bound(
+    frequent_k: Iterable[Itemset],
+    values: Mapping[int, float],
+    jmax: int,
+    k: int,
+) -> float:
+    """``A^k``: an upper bound on ``avg(T.B)`` over frequent T-sets of
+    size >= k, via the same co-occurrence statistics as ``V^k``."""
+    sets = list(frequent_k)
+    if not sets:
+        return -inf
+    sums = [sum(values[e] for e in itemset) for itemset in sets]
+    index = _cooccurrence_index(sets)
+    best = -inf
+    for positions in index.values():
+        best_position = max(positions, key=sums.__getitem__)
+        base_sum = sums[best_position]
+        base_set = frozenset(sets[best_position])
+        best = max(best, base_sum / k)
+        if jmax > 0:
+            cooccurring = set()
+            for position in positions:
+                cooccurring.update(sets[position])
+            extras = sorted(
+                (values[e] for e in cooccurring - base_set), reverse=True
+            )
+            running = base_sum
+            for j, extra in enumerate(extras[:jmax], start=1):
+                running += extra
+                best = max(best, running / (k + j))
+    return best
+
+
+@dataclass
+class BoundSeries:
+    """The decreasing series ``W^2 >= W^3 >= ...`` of Section 5.2.
+
+    One instance tracks the bound for one (variable, attribute) pair on
+    the "greater" side of a non-quasi-succinct constraint.  Feed it every
+    level of that variable's lattice via :meth:`update`; read
+    :attr:`bound` any time.  ``kind`` selects the aggregate bounded:
+    ``"sum"`` (the ``V^k`` series) or ``"avg"`` (the ``A^k`` series).
+    """
+
+    values: Mapping[int, float]
+    kind: str = "sum"
+    bound: float = inf
+    history: List[Tuple[int, float]] = field(default_factory=list)
+    _seen_max: float = -inf
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sum", "avg"):
+            raise ExecutionError(f"unknown bound kind {self.kind!r}")
+
+    def start(self, level1_elements: Iterable[int]) -> float:
+        """Initialize from L1: the loose ``sum(L1T.B)`` bound the paper
+        uses as the obvious-but-ineffective starting point (for ``avg``,
+        ``max(L1T.B)``)."""
+        element_values = [self.values[e] for e in level1_elements]
+        if not element_values:
+            self.bound = -inf
+            self.history.append((1, self.bound))
+            return self.bound
+        # Every frequent singleton {t} is itself a frequent set with
+        # sum (and avg) equal to value(t); the bound may never drop
+        # below the largest of these.
+        self._seen_max = max(element_values)
+        if self.kind == "sum":
+            positive_total = sum(v for v in element_values if v > 0)
+            self.bound = max(positive_total, self._seen_max)
+        else:
+            self.bound = self._seen_max
+        self.history.append((1, self.bound))
+        return self.bound
+
+    def update(self, k: int, frequent_k: Iterable[Itemset]) -> float:
+        """Absorb level ``k``'s frequent sets and tighten the bound."""
+        sets = list(frequent_k)
+        if k < 2:
+            raise ExecutionError("BoundSeries.update expects k >= 2; use start()")
+        for itemset in sets:
+            total = sum(self.values[e] for e in itemset)
+            measured = total if self.kind == "sum" else total / len(itemset)
+            if measured > self._seen_max:
+                self._seen_max = measured
+        jmax = jmax_upper_bound(sets, k)
+        if self.kind == "sum":
+            large = vk_sum_bound(sets, self.values, jmax)
+        else:
+            large = ak_avg_bound(sets, self.values, jmax, k)
+        candidate = max(large, self._seen_max)
+        if candidate < self.bound:
+            self.bound = candidate
+        self.history.append((k, self.bound))
+        return self.bound

@@ -1,0 +1,246 @@
+"""The CFQ query optimizer (Section 6, Figure 7).
+
+Given a CFQ, the optimizer produces an
+:class:`~repro.core.plan.ExecutionPlan`:
+
+1. split the constraint set ``C = C1 ∪ C2`` (purely syntactic);
+2. split ``C2 = Cqs ∪ Cnqs`` by quasi-succinctness (Figure 1);
+3. induce a weaker quasi-succinct constraint from each member of
+   ``Cnqs`` (Figure 4) and schedule the ``J^k_max`` iterative pruning for
+   the sum/avg sides (Section 5.2);
+4. schedule every member of (the possibly enlarged) ``Cqs`` for reduction
+   to 1-var succinct constraints after level 1 (Figures 2/3);
+5. hand ``C1`` plus the reduced constraints to CAP, via the dovetailed
+   dual-lattice engine;
+6. form the final valid pairs, re-verifying the original constraints.
+
+The strategy is ccc-optimal for the class of 1-var succinct and 2-var
+quasi-succinct constraints (Theorem 4 and Corollary 2); the audit in
+:mod:`repro.core.ccc` verifies the two conditions of Definition 6 on
+concrete runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.constraints.twovar import AggAggShape, TwoVarView
+from repro.core.classify import classify_twovar
+from repro.core.induction import induce_weaker
+from repro.core.pairs import form_valid_pairs, rules_from_pairs, valid_sets_existential
+from repro.core.plan import ExecutionPlan, JmaxPlan, ReductionPlan, VarPlan
+from repro.core.query import CFQ
+from repro.db.stats import OpCounters
+from repro.db.transactions import TransactionDatabase
+from repro.mining.dovetail import DovetailEngine, DovetailResult
+from repro.itemsets import Itemset
+
+
+@dataclass
+class CFQResult:
+    """The answer to a CFQ plus full instrumentation."""
+
+    cfq: CFQ
+    plan: ExecutionPlan
+    counters: OpCounters
+    raw: DovetailResult
+
+    # ------------------------------------------------------------------
+    # Answers
+    # ------------------------------------------------------------------
+    def frequent_valid(self, var: str) -> Dict[Itemset, int]:
+        """The frequent sets of ``var`` surviving all pushed pruning.
+
+        For induced (weaker) constraints this may include sets invalid for
+        the original constraint; :meth:`valid_sets` and :meth:`pairs`
+        apply the exact verification (footnote 4 of the paper).
+        """
+        return self.raw.result_for(var).all_sets()
+
+    def valid_sets(self, var: str) -> Dict[Itemset, int]:
+        """Frequent sets of ``var`` participating in at least one valid pair
+        (for single-variable queries: the frequent valid sets directly)."""
+        variables = self.cfq.variables
+        if len(variables) == 1:
+            return self.frequent_valid(var)
+        other = variables[0] if variables[1] == var else variables[1]
+        return valid_sets_existential(
+            self.frequent_valid(var),
+            self.frequent_valid(other),
+            self.cfq.parsed,
+            var,
+            other,
+            self.cfq.domains,
+            self.counters,
+        )
+
+    def pairs(self, limit: Optional[int] = None) -> List[Tuple[Itemset, Itemset]]:
+        """The frequent valid pairs — the answer to the CFQ."""
+        variables = self.cfq.variables
+        if len(variables) != 2:
+            raise ValueError("pairs() requires a 2-variable CFQ")
+        s_var, t_var = variables
+        return form_valid_pairs(
+            self.frequent_valid(s_var),
+            self.frequent_valid(t_var),
+            self.cfq.parsed,
+            self.cfq.domains,
+            s_var=s_var,
+            t_var=t_var,
+            counters=self.counters,
+            limit=limit,
+        )
+
+    def rules(self, db: TransactionDatabase, min_confidence: float = 0.0):
+        """Phase-2 association rules from the valid pairs."""
+        return rules_from_pairs(self.pairs(), db, min_confidence)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self) -> str:
+        """The executed plan, bound histories and operation counts."""
+        lines = [self.plan.explain()]
+        for key, history in self.raw.bound_histories.items():
+            rendered = ", ".join(f"W^{k}={bound:.6g}" for k, bound in history)
+            lines.append(f"  bound series {key}: {rendered}")
+        for note in self.raw.disabled_jmax:
+            lines.append(f"  note: {note}")
+        lines.append("  operation counts:")
+        for name, value in self.counters.as_dict().items():
+            lines.append(f"    {name}: {value}")
+        return "\n".join(lines)
+
+
+class CFQOptimizer:
+    """Builds and executes ccc-conscious strategies for CFQs."""
+
+    def __init__(self, cfq: CFQ):
+        self.cfq = cfq
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, db: TransactionDatabase) -> ExecutionPlan:
+        """Construct the Figure 7 strategy for this query."""
+        cfq = self.cfq
+        var_plans = {
+            var: VarPlan(
+                var=var,
+                domain=cfq.domains[var],
+                min_count=db.min_count(cfq.minsup_for(var)),
+                base_constraints=cfq.onevar_for(var),
+            )
+            for var in cfq.variables
+        }
+        plan = ExecutionPlan(var_plans=var_plans)
+        for constraint in cfq.twovar:
+            view = TwoVarView.of(constraint)
+            self._plan_twovar(view, plan)
+        return plan
+
+    def _plan_twovar(self, view: TwoVarView, plan: ExecutionPlan) -> None:
+        properties = classify_twovar(view)
+        if view.shape is None:
+            plan.notes.append(
+                f"{view}: unrecognized 2-var form; verified at pair formation only"
+            )
+            return
+        if properties.quasi_succinct:
+            plan.reductions.append(ReductionPlan(view))
+            return
+        shape = view.shape
+        if not isinstance(shape, AggAggShape):
+            plan.notes.append(
+                f"{view}: non-quasi-succinct non-aggregate form; pair-time only"
+            )
+            return
+        if not self._sides_non_negative(shape):
+            plan.notes.append(
+                f"{view}: aggregated domain may be negative; the Section 5 "
+                f"machinery is invalid there, so the constraint is verified "
+                f"at pair formation only"
+            )
+            return
+        induced = induce_weaker(view)
+        if induced.weaker is not None:
+            plan.reductions.append(
+                ReductionPlan(induced.weaker, induced_from=view.constraint)
+            )
+        oriented = shape if shape.op.is_le_like or shape.op.value in ("=",) else (
+            shape.oriented(shape.right_var)
+        )
+        if induced.pruned_var is not None and oriented.right_func in ("sum", "avg"):
+            plan.jmax.append(
+                JmaxPlan(
+                    bound_var=oriented.right_var,
+                    bound_attr=oriented.right_attr,
+                    bound_kind=oriented.right_func,
+                    pruned_var=induced.pruned_var,
+                    pruned_func=induced.pruned_func,
+                    pruned_attr=induced.pruned_attr,
+                    strict=induced.strict,
+                    source=str(view),
+                )
+            )
+        if induced.weaker is None and induced.pruned_var is None:
+            plan.notes.append(
+                f"{view}: nothing to induce (Figure 4 does not apply); "
+                f"pair-time verification only"
+            )
+
+    def _sides_non_negative(self, shape: AggAggShape) -> bool:
+        for var, attr in (
+            (shape.left_var, shape.left_attr),
+            (shape.right_var, shape.right_attr),
+        ):
+            domain = self.cfq.domains[var]
+            if attr is None:
+                values = [domain.element_value(e) for e in domain.elements]
+                if not all(isinstance(v, (int, float)) and v >= 0 for v in values):
+                    return False
+            elif not domain.catalog.non_negative_attribute(attr):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        db: TransactionDatabase,
+        counters: Optional[OpCounters] = None,
+        dovetail: bool = True,
+        use_reduction: bool = True,
+        use_jmax: bool = True,
+        keep_candidates: bool = False,
+        backend=None,
+        reduction_rounds: int = 1,
+    ) -> CFQResult:
+        """Plan and run the query; the keyword flags drive the ablations."""
+        plan = self.plan(db)
+        engine = DovetailEngine(
+            db,
+            plan,
+            counters=counters,
+            dovetail=dovetail,
+            use_reduction=use_reduction,
+            use_jmax=use_jmax,
+            max_level=self.cfq.max_level,
+            keep_candidates=keep_candidates,
+            backend=backend,
+            reduction_rounds=reduction_rounds,
+        )
+        raw = engine.run()
+        return CFQResult(cfq=self.cfq, plan=plan, counters=engine.counters, raw=raw)
+
+
+def mine_cfq(
+    db: TransactionDatabase,
+    cfq: CFQ,
+    counters: Optional[OpCounters] = None,
+    **options,
+) -> CFQResult:
+    """One-call entry point: optimize and execute a CFQ."""
+    return CFQOptimizer(cfq).execute(db, counters=counters, **options)

@@ -1,0 +1,99 @@
+"""Execution plans: the optimizer's explainable output.
+
+The Figure 7 optimizer turns a CFQ into a deterministic strategy; the
+plan objects here record that strategy so it can be executed by the
+dovetailed engine *and* rendered for inspection (``explain()``), which is
+what makes the ccc accounting auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.constraints.ast import Constraint
+from repro.constraints.twovar import TwoVarView
+from repro.db.domain import Domain
+
+
+@dataclass
+class VarPlan:
+    """Per-variable lattice configuration."""
+
+    var: str
+    domain: Domain
+    min_count: int
+    base_constraints: List[Constraint] = field(default_factory=list)
+
+
+@dataclass
+class ReductionPlan:
+    """One quasi-succinct constraint to reduce after level 1.
+
+    ``induced_from`` is set when ``view`` is a weaker constraint induced
+    from a non-quasi-succinct original (Section 5.1); the original is then
+    re-verified at pair formation.
+    """
+
+    view: TwoVarView
+    induced_from: Optional[Constraint] = None
+
+
+@dataclass
+class JmaxPlan:
+    """One iterative-pruning series (Section 5.2).
+
+    ``bound_var``'s lattice feeds a :class:`~repro.core.jmax.BoundSeries`
+    over attribute ``bound_attr`` with aggregate ``bound_kind``; the
+    resulting ``W^k`` bound prunes ``pruned_var`` via
+    ``pruned_func(pruned_var.pruned_attr) <= W^k``.
+    """
+
+    bound_var: str
+    bound_attr: Optional[str]
+    bound_kind: str
+    pruned_var: str
+    pruned_func: str
+    pruned_attr: Optional[str]
+    strict: bool
+    source: str
+
+
+@dataclass
+class ExecutionPlan:
+    """The full strategy for a CFQ."""
+
+    var_plans: Dict[str, VarPlan]
+    reductions: List[ReductionPlan] = field(default_factory=list)
+    jmax: List[JmaxPlan] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Render the plan in the layout of the paper's Figure 7."""
+        lines: List[str] = ["CFQ execution plan"]
+        for var in sorted(self.var_plans):
+            plan = self.var_plans[var]
+            lines.append(
+                f"  lattice {var}: domain {plan.domain.name!r} "
+                f"({len(plan.domain)} elements), min_count {plan.min_count}"
+            )
+            for constraint in plan.base_constraints:
+                lines.append(f"    push 1-var: {constraint}")
+        for reduction in self.reductions:
+            origin = (
+                f" (induced from {reduction.induced_from})"
+                if reduction.induced_from is not None
+                else ""
+            )
+            lines.append(f"  reduce after level 1: {reduction.view}{origin}")
+        for jplan in self.jmax:
+            op = "<" if jplan.strict else "<="
+            lines.append(
+                f"  iterative pruning: {jplan.pruned_func}"
+                f"({jplan.pruned_var}.{jplan.pruned_attr}) {op} W^k from "
+                f"{jplan.bound_kind} over {jplan.bound_var}.{jplan.bound_attr} "
+                f"[{jplan.source}]"
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""The CFQ object: ``{(S, T) | C}``.
+
+A :class:`CFQ` bundles the two set variables, their domains, the
+per-variable frequency thresholds, and the conjunction of constraints.
+Constraints may be given as DSL strings (parsed via
+:func:`repro.constraints.parser.parse_constraint`) or as prebuilt AST
+nodes.  Validation checks that every mentioned variable and attribute
+exists and that the implicit language restrictions hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.constraints.ast import (
+    Agg,
+    AttrRef,
+    Comparison,
+    Constraint,
+    SetComparison,
+    is_onevar,
+)
+from repro.constraints.parser import parse_constraints
+from repro.db.domain import Domain
+from repro.errors import QueryValidationError
+
+
+@dataclass
+class CFQ:
+    """A constrained frequent set query.
+
+    Parameters
+    ----------
+    domains:
+        Mapping from variable name to domain.  One entry gives a
+        single-variable query (degenerate but allowed); two entries give
+        the full 2-var form.
+    minsup:
+        Relative support threshold per variable (or one float applied to
+        both).
+    constraints:
+        The conjunction ``C`` — DSL strings and/or AST nodes.
+
+    Examples
+    --------
+    >>> from repro.db import ItemCatalog, Domain
+    >>> catalog = ItemCatalog({"Price": {1: 10, 2: 20}})
+    >>> item = Domain.items(catalog)
+    >>> cfq = CFQ(
+    ...     domains={"S": item, "T": item},
+    ...     minsup=0.1,
+    ...     constraints=["max(S.Price) <= min(T.Price)"],
+    ... )
+    >>> len(cfq.twovar)
+    1
+    """
+
+    domains: Mapping[str, Domain]
+    minsup: Union[float, Mapping[str, float]]
+    constraints: Sequence[Union[str, Constraint]]
+    max_level: Optional[int] = None
+
+    parsed: List[Constraint] = field(init=False)
+    onevar: Dict[str, List[Constraint]] = field(init=False)
+    twovar: List[Constraint] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.domains:
+            raise QueryValidationError("a CFQ needs at least one variable")
+        if len(self.domains) > 2:
+            raise QueryValidationError(
+                f"CFQs have at most two set variables, got {sorted(self.domains)}"
+            )
+        self.parsed = parse_constraints(self.constraints)
+        self.onevar = {}
+        self.twovar = []
+        for constraint in self.parsed:
+            self._validate(constraint)
+            if is_onevar(constraint):
+                (var,) = constraint.variables()
+                self.onevar.setdefault(var, []).append(constraint)
+            else:
+                self.twovar.append(constraint)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The variable names, in sorted order."""
+        return tuple(sorted(self.domains))
+
+    def minsup_for(self, var: str) -> float:
+        """The relative support threshold of one variable."""
+        if isinstance(self.minsup, Mapping):
+            try:
+                return self.minsup[var]
+            except KeyError:
+                raise QueryValidationError(f"no minsup given for {var!r}") from None
+        return float(self.minsup)
+
+    def onevar_for(self, var: str) -> List[Constraint]:
+        """The 1-var constraints on one variable."""
+        return list(self.onevar.get(var, []))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self, constraint: Constraint) -> None:
+        variables = constraint.variables()
+        unknown = variables - set(self.domains)
+        if unknown:
+            raise QueryValidationError(
+                f"constraint {constraint} mentions unknown variables "
+                f"{sorted(unknown)}; query variables are {sorted(self.domains)}"
+            )
+        for ref in _attr_refs(constraint):
+            if ref.attr is None:
+                continue
+            domain = self.domains[ref.var]
+            if not domain.catalog.has_attribute(ref.attr):
+                raise QueryValidationError(
+                    f"constraint {constraint}: domain {domain.name!r} of "
+                    f"{ref.var!r} has no attribute {ref.attr!r}"
+                )
+
+    def __str__(self) -> str:
+        body = " & ".join(str(c) for c in self.parsed)
+        variables = ", ".join(self.variables)
+        return f"{{({variables}) | {body}}}"
+
+
+def _attr_refs(constraint: Constraint) -> List[AttrRef]:
+    refs: List[AttrRef] = []
+    sides = (
+        (constraint.left, constraint.right)
+        if isinstance(constraint, (Comparison, SetComparison))
+        else ()
+    )
+    for side in sides:
+        if isinstance(side, AttrRef):
+            refs.append(side)
+        elif isinstance(side, Agg):
+            refs.append(side.arg)
+    return refs

@@ -1,0 +1,180 @@
+"""Quasi-succinct reduction: Figures 2 and 3 of the paper.
+
+A quasi-succinct 2-var constraint ``C(S, T)`` reduces to two 1-var
+*succinct* constraints ``C1(S, qc_s)`` and ``C2(T, qc_t)`` whose constants
+are computed from the level-1 frequent elements of the *other* variable —
+sets the levelwise computation produces anyway, which is why the paper
+calls the de-coupling essentially free.
+
+Figure 2 (domain constraints)::
+
+    C                    C1(S)                     C2(T)
+    S.A ∩ T.B = ∅        CS.A ⊄ L1T.B              CT.B ⊄ L1S.A
+    S.A ∩ T.B ≠ ∅        CS.A ∩ L1T.B ≠ ∅          CT.B ∩ L1S.A ≠ ∅
+    S.A ⊆ T.B            CS.A ⊆ L1T.B              L1S.A ∩ CT.B ≠ ∅
+    S.A ⊄ T.B            (CS ≠ ∅, trivial)         L1S.A ⊄ CT.B
+    S.A = T.B            CS.A ⊆ L1T.B              CT.B ⊆ L1S.A
+
+Figure 3 (min/max aggregates) collapses, once shapes are oriented with
+the reduced variable on the left, to a single rule::
+
+    f(X.A) ≤ g(Y.B)   ->   f(CX.A) ≤ max(L1Y.B)
+    f(X.A) ≥ g(Y.B)   ->   f(CX.A) ≥ min(L1Y.B)
+
+with equality treated as the conjunction of both directions (the paper's
+tables list the four ≤ rows explicitly; the rule above reproduces each).
+
+The reductions are emitted as ordinary 1-var AST constraints so the
+standard CAP compilation (:func:`repro.constraints.pruners.compile_onevar`)
+turns them into item filters and required buckets — which is precisely
+what makes them succinct pruning conditions.
+
+Tightness caveat: all emitted conditions are *sound*; every non-equality
+row is also *tight* (Theorems 2 and 3).  The equality-aggregate rows use
+the two directional bounds, which are sound but not tight (exact
+verification happens at pair formation, as for induced constraints).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from repro.constraints.ast import (
+    Agg,
+    AttrRef,
+    CmpOp,
+    Comparison,
+    Const,
+    Constraint,
+    SetComparison,
+    SetConst,
+    SetOp,
+)
+from repro.constraints.twovar import AggAggShape, SetSetShape, TwoVarView
+from repro.db.domain import Domain
+from repro.errors import ClassificationError
+
+
+def other_side_values(
+    shape, domains: Mapping[str, Domain], l1_elements: Mapping[str, Iterable[int]]
+) -> frozenset:
+    """The value set ``L1Y.B`` for an oriented shape's right-hand side."""
+    y = shape.right_var
+    domain = domains[y]
+    elements = l1_elements[y]
+    if shape.right_attr is None:
+        return frozenset(domain.element_value(e) for e in elements)
+    return domain.catalog.project_set(elements, shape.right_attr)
+
+
+def _unsatisfiable(var: str, attr) -> Constraint:
+    # No frequent set exists on the other side, so no set of `var` can be
+    # valid; an empty-subset constraint compiles to an empty item filter.
+    return SetComparison(AttrRef(var, attr), SetOp.SUBSET, SetConst(frozenset()))
+
+
+def reduce_twovar(
+    view: TwoVarView,
+    domains: Mapping[str, Domain],
+    l1_elements: Mapping[str, Iterable[int]],
+) -> Dict[str, List[Constraint]]:
+    """Reduce a quasi-succinct 2-var constraint to per-variable 1-var
+    succinct constraints.
+
+    Parameters
+    ----------
+    view:
+        The 2-var constraint; must have a recognized shape with both sides
+        aggregating via min/max only (for aggregate shapes).
+    domains:
+        Per-variable domains.
+    l1_elements:
+        Per-variable frequent level-1 elements (``L1``).  Using the
+        variable's *constrained* L1 (frequent elements passing its item
+        filters) is sound and tighter than the plain frequent L1, since
+        elements of any valid set individually pass all item filters.
+
+    Returns
+    -------
+    ``{var: [1-var constraints]}`` — an empty list means the reduction for
+    that variable is trivial (no pruning power), as for the ``S`` side of
+    ``S.A ⊄ T.B``.
+    """
+    shape = view.shape
+    if shape is None:
+        raise ClassificationError(f"{view} has no reducible shape")
+    l1_elements = {v: tuple(es) for v, es in l1_elements.items()}
+    reduced: Dict[str, List[Constraint]] = {}
+    for var in sorted(view.variables):
+        oriented = shape.oriented(var)
+        if not l1_elements[oriented.right_var]:
+            # No frequent singleton on the other side means no frequent
+            # set at all there, hence no valid pair can involve `var`.
+            reduced[var] = [_unsatisfiable(var, oriented.left_attr)]
+            continue
+        values = other_side_values(oriented, domains, l1_elements)
+        if isinstance(oriented, SetSetShape):
+            reduced[var] = _reduce_set_shape(oriented, values)
+        else:
+            reduced[var] = _reduce_agg_shape(oriented, values)
+    return reduced
+
+
+def _reduce_set_shape(shape: SetSetShape, values: frozenset) -> List[Constraint]:
+    ref = AttrRef(shape.left_var, shape.left_attr)
+    const = SetConst(values)
+    op = shape.op
+    if op is SetOp.DISJOINT:
+        # Lemma 2/3: CX is valid iff it does not swallow every value of
+        # L1Y.B — if it did, every frequent partner (whose values all lie
+        # in L1Y.B) would intersect it.  An anti-monotone, succinct
+        # condition; note the direction is ⊉, not ⊄.
+        return [SetComparison(ref, SetOp.NOT_SUPERSET, const)]
+    if op is SetOp.OVERLAPS:
+        return [SetComparison(ref, SetOp.OVERLAPS, const)]
+    if op is SetOp.SUBSET:
+        return [SetComparison(ref, SetOp.SUBSET, const)]
+    if op is SetOp.SUPERSET:
+        # Figure 2, C2 column of the S.A ⊆ T.B row: L1S.A ∩ CT.B ≠ ∅.
+        if not values:
+            return [_unsatisfiable(shape.left_var, shape.left_attr)]
+        return [SetComparison(ref, SetOp.OVERLAPS, const)]
+    if op is SetOp.SETEQ:
+        return [SetComparison(ref, SetOp.SUBSET, const)]
+    if op is SetOp.NOT_SUBSET:
+        # Figure 2 row 4, C1 column: CS ≠ ∅ — trivially true in mining.
+        return []
+    if op is SetOp.NOT_SUPERSET:
+        # Figure 2 row 4, C2 column: L1S.A ⊄ CT.B — an anti-monotone
+        # testable condition (the set's values must not cover L1Y.B).
+        if not values:
+            return [_unsatisfiable(shape.left_var, shape.left_attr)]
+        return [SetComparison(ref, SetOp.NOT_SUPERSET, const)]
+    # SETNEQ: the paper's extreme example of a trivial reduction.
+    return []
+
+
+def _reduce_agg_shape(shape: AggAggShape, values: frozenset) -> List[Constraint]:
+    if not shape.min_max_only:
+        raise ClassificationError(
+            f"{shape} involves sum/avg/count; reduce its induced weaker "
+            f"constraint instead (Section 5.1)"
+        )
+    if not values:
+        return [_unsatisfiable(shape.left_var, shape.left_attr)]
+    numeric = [v for v in values]
+    agg = Agg(shape.left_func, AttrRef(shape.left_var, shape.left_attr))
+    op = shape.op
+    if op.is_le_like:
+        return [Comparison(agg, op, Const(max(numeric)))]
+    if op.is_ge_like:
+        return [Comparison(agg, op, Const(min(numeric)))]
+    if op is CmpOp.EQ:
+        return [
+            Comparison(agg, CmpOp.LE, Const(max(numeric))),
+            Comparison(agg, CmpOp.GE, Const(min(numeric))),
+        ]
+    # NE: some frequent singleton on the other side differs unless the
+    # other side carries a single constant value everywhere; no useful
+    # succinct pruning either way.
+    return []

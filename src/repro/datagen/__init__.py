@@ -1,0 +1,37 @@
+"""Synthetic data generation.
+
+* :mod:`repro.datagen.quest` — a reimplementation of the IBM Almaden
+  Quest transaction generator [Agrawal & Srikant 1994] the paper uses;
+* :mod:`repro.datagen.iteminfo` — price/type attribute generators for the
+  ``itemInfo(Item, Type, Price)`` relation, including the controlled
+  Type-overlap construction the Section 7.2 experiments need;
+* :mod:`repro.datagen.workloads` — named, seeded workloads matching each
+  experiment in Section 7.
+"""
+
+from repro.datagen.iteminfo import (
+    normal_prices,
+    typed_catalog_with_overlap,
+    uniform_prices,
+)
+from repro.datagen.quest import QuestParameters, generate_quest
+from repro.datagen.workloads import (
+    cascade_workload,
+    fig8a_workload,
+    fig8b_workload,
+    jmax_workload,
+    quickstart_workload,
+)
+
+__all__ = [
+    "normal_prices",
+    "typed_catalog_with_overlap",
+    "uniform_prices",
+    "QuestParameters",
+    "generate_quest",
+    "cascade_workload",
+    "fig8a_workload",
+    "fig8b_workload",
+    "jmax_workload",
+    "quickstart_workload",
+]

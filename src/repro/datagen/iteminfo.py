@@ -1,0 +1,124 @@
+"""Attribute generation for the ``itemInfo(Item, Type, Price)`` relation.
+
+The Section 7 experiments control the *value structure* of the item
+catalog: price ranges per item segment (7.1), Type-vocabulary overlap
+between price bands (7.2), and normally distributed prices with shifted
+means (7.3).  These builders produce exactly those structures, seeded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.catalog import ItemCatalog
+from repro.errors import DataError
+
+
+def uniform_prices(
+    items: Sequence[int], low: float, high: float, seed: int = 0
+) -> Dict[int, float]:
+    """Uniform prices in ``[low, high]`` for the given items."""
+    if high < low:
+        raise DataError(f"empty price range [{low}, {high}]")
+    rng = np.random.RandomState(seed)
+    return {item: float(p) for item, p in zip(items, rng.uniform(low, high, len(items)))}
+
+
+def normal_prices(
+    items: Sequence[int],
+    mean: float,
+    sd: float,
+    seed: int = 0,
+    minimum: float = 1.0,
+) -> Dict[int, float]:
+    """Normal prices (clipped below at ``minimum``), as in Section 7.3."""
+    rng = np.random.RandomState(seed)
+    draws = np.maximum(minimum, rng.normal(mean, sd, len(items)))
+    return {item: float(p) for item, p in zip(items, draws)}
+
+
+def typed_catalog_with_overlap(
+    n_items: int,
+    s_price_range: Tuple[float, float],
+    t_price_range: Tuple[float, float],
+    overlap_pct: float,
+    n_types_per_side: int = 10,
+    price_cap: float = 1000.0,
+    seed: int = 0,
+) -> ItemCatalog:
+    """Catalog whose Type vocabulary overlaps controllably across the two
+    variables' price bands (the Section 7.2 construction).
+
+    The experiment varies "the percentage overlap between the Types of
+    items of T (price in ``t_price_range``) and the Types of items of S
+    (price in ``s_price_range``)".  To keep that overlap *exactly*
+    controlled for any pair of (possibly overlapping) ranges, types are
+    assigned first and prices conditioned on the type group:
+
+    * ``overlap_pct`` percent of each side's ``n_types_per_side`` types
+      are **shared**;
+    * half the items belong to the S population and half to the T
+      population; each item draws a type uniformly from its side's
+      vocabulary, so ``overlap_pct`` percent of each side's *items* carry
+      a shared type — the quantity the 2-var type filter prunes on;
+    * an item with an exclusive type is priced inside its side's range
+      but *outside* the other side's, so exclusive types never leak into
+      the other band; shared-typed items are priced anywhere in their
+      side's range.
+    """
+    if not 0.0 <= overlap_pct <= 100.0:
+        raise DataError(f"overlap_pct must be in [0, 100], got {overlap_pct}")
+    s_exclusive = _range_minus(s_price_range, t_price_range)
+    t_exclusive = _range_minus(t_price_range, s_price_range)
+    if s_exclusive is None or t_exclusive is None:
+        raise DataError(
+            "the S and T price ranges must each have an exclusive portion"
+        )
+
+    rng = np.random.RandomState(seed)
+    n_shared = int(round(n_types_per_side * overlap_pct / 100.0))
+    shared = [f"type_shared_{i}" for i in range(n_shared)]
+    s_only = [f"type_s_{i}" for i in range(n_types_per_side - n_shared)]
+    t_only = [f"type_t_{i}" for i in range(n_types_per_side - n_shared)]
+
+    types: Dict[int, str] = {}
+    prices: Dict[int, float] = {}
+    for item in range(n_items):
+        s_side = item % 2 == 0
+        vocab = shared + (s_only if s_side else t_only)
+        chosen = vocab[rng.randint(len(vocab))]
+        types[item] = chosen
+        own_range = s_price_range if s_side else t_price_range
+        exclusive = s_exclusive if s_side else t_exclusive
+        in_shared = chosen in shared
+        low, high = own_range if in_shared else exclusive
+        prices[item] = float(rng.uniform(low, high))
+    return ItemCatalog({"Price": prices, "Type": types})
+
+
+def _range_minus(
+    keep: Tuple[float, float], remove: Tuple[float, float]
+) -> Optional[Tuple[float, float]]:
+    """The larger remaining piece of ``keep`` after removing ``remove``
+    (None when nothing remains)."""
+    low, high = keep
+    r_low, r_high = remove
+    left = (low, min(high, r_low))
+    right = (max(low, r_high), high)
+    pieces = [p for p in (left, right) if p[1] > p[0]]
+    if not pieces:
+        return None
+    return max(pieces, key=lambda p: p[1] - p[0])
+
+
+def segmented_prices(
+    segments: Sequence[Tuple[Sequence[int], float, float]],
+    seed: int = 0,
+) -> Dict[int, float]:
+    """Uniform prices per item segment: ``[(items, low, high), ...]``."""
+    prices: Dict[int, float] = {}
+    for index, (items, low, high) in enumerate(segments):
+        prices.update(uniform_prices(items, low, high, seed=seed + index))
+    return prices

@@ -1,0 +1,148 @@
+"""IBM-Quest-style synthetic transaction generation.
+
+The paper generates its transaction databases with "the program developed
+at IBM Almaden Research Center" — the synthetic generator of Agrawal &
+Srikant (VLDB 1994).  This module reimplements that generator's
+stochastic process:
+
+* a pool of ``n_patterns`` *maximal potentially frequent itemsets*, whose
+  sizes are Poisson-distributed around ``avg_pattern_size`` and whose
+  contents partially overlap with the previous pattern (an exponentially
+  distributed fraction with mean ``correlation``);
+* pattern weights drawn from an exponential and normalized to sum to 1;
+* per-pattern *corruption levels* (normal around ``corruption_mean``):
+  when a pattern is inserted into a transaction, items are dropped from
+  it while successive uniform draws fall below the corruption level;
+* transactions whose sizes are Poisson around ``avg_transaction_size``,
+  filled by weighted pattern picks; an oversized pattern is inserted
+  anyway in half the cases and deferred otherwise.
+
+The process is seeded and fully deterministic given
+:class:`QuestParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.transactions import TransactionDatabase
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class QuestParameters:
+    """Parameters of the Quest generator (names follow the 1994 paper).
+
+    ``T10.I4.D100K`` in the literature's notation means
+    ``avg_transaction_size=10, avg_pattern_size=4, n_transactions=100_000``.
+    """
+
+    n_transactions: int = 10_000
+    avg_transaction_size: float = 10.0
+    avg_pattern_size: float = 4.0
+    n_patterns: int = 500
+    n_items: int = 1000
+    correlation: float = 0.5
+    corruption_mean: float = 0.5
+    corruption_sd: float = 0.1
+    seed: int = 1999
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.DataError` on nonsensical settings."""
+        if self.n_transactions <= 0 or self.n_items <= 1:
+            raise DataError("need at least one transaction and two items")
+        if self.avg_transaction_size < 1 or self.avg_pattern_size < 1:
+            raise DataError("average sizes must be >= 1")
+        if self.n_patterns <= 0:
+            raise DataError("need at least one pattern")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise DataError("correlation must be in [0, 1]")
+
+
+def _generate_patterns(
+    params: QuestParameters, rng: np.random.RandomState
+) -> Tuple[List[Tuple[int, ...]], np.ndarray, np.ndarray]:
+    sizes = np.maximum(1, rng.poisson(params.avg_pattern_size, params.n_patterns))
+    sizes = np.minimum(sizes, params.n_items)
+    patterns: List[Tuple[int, ...]] = []
+    previous: Tuple[int, ...] = ()
+    for size in sizes:
+        reused: List[int] = []
+        if previous:
+            fraction = min(1.0, rng.exponential(params.correlation))
+            n_reused = min(int(round(fraction * size)), len(previous))
+            if n_reused:
+                reused = list(
+                    rng.choice(len(previous), size=n_reused, replace=False)
+                )
+                reused = [previous[i] for i in reused]
+        needed = size - len(reused)
+        fresh: List[int] = []
+        if needed > 0:
+            pool = rng.choice(params.n_items, size=min(needed * 3 + 8, params.n_items),
+                              replace=False)
+            for item in pool:
+                if item not in reused:
+                    fresh.append(int(item))
+                if len(fresh) == needed:
+                    break
+        pattern = tuple(sorted(set(reused + fresh)))
+        patterns.append(pattern)
+        previous = pattern
+    weights = rng.exponential(1.0, params.n_patterns)
+    weights /= weights.sum()
+    corruptions = np.clip(
+        rng.normal(params.corruption_mean, params.corruption_sd, params.n_patterns),
+        0.0,
+        0.95,
+    )
+    return patterns, weights, corruptions
+
+
+def _corrupt(
+    pattern: Sequence[int], level: float, rng: np.random.RandomState
+) -> List[int]:
+    items = list(pattern)
+    while items and rng.uniform() < level:
+        items.pop(rng.randint(len(items)))
+    return items
+
+
+def generate_quest(params: QuestParameters) -> TransactionDatabase:
+    """Generate a transaction database from Quest parameters.
+
+    Item ids are ``0 .. n_items - 1``.
+    """
+    params.validate()
+    rng = np.random.RandomState(params.seed)
+    patterns, weights, corruptions = _generate_patterns(params, rng)
+    pattern_ids = np.arange(params.n_patterns)
+
+    transactions: List[List[int]] = []
+    deferred: List[int] = []  # items pushed to the next transaction
+    sizes = np.maximum(1, rng.poisson(params.avg_transaction_size, params.n_transactions))
+    for size in sizes:
+        transaction: List[int] = list(deferred)
+        deferred = []
+        guard = 0
+        while len(transaction) < size and guard < 50:
+            guard += 1
+            pick = int(rng.choice(pattern_ids, p=weights))
+            inserted = _corrupt(patterns[pick], float(corruptions[pick]), rng)
+            if not inserted:
+                continue
+            if len(transaction) + len(inserted) > size and transaction:
+                # Oversized: insert anyway half the time, defer otherwise.
+                if rng.uniform() < 0.5:
+                    transaction.extend(inserted)
+                else:
+                    deferred = inserted
+                break
+            transaction.extend(inserted)
+        if not transaction:
+            transaction = [int(rng.randint(params.n_items))]
+        transactions.append(sorted(set(transaction)))
+    return TransactionDatabase(transactions)

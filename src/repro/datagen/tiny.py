@@ -1,0 +1,95 @@
+"""Tiny random scenarios for the empirical checkers and property tests.
+
+A scenario is a pair of small domains (with numeric attribute ``A`` on
+the S side and ``B`` on the T side, plus a categorical ``C``), genuinely
+mined frequent-set collections for each side (hence subset-closed, as
+Definitions 3/4 assume), and the transaction databases behind them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain
+from repro.itemsets import Itemset
+from repro.mining.apriori import mine_frequent
+
+
+@dataclass
+class TinyScenario:
+    """A small two-domain world with mined frequent sets."""
+
+    domains: Dict[str, Domain]
+    frequent: Dict[str, Dict[Itemset, int]]
+    frequent_by_size: Dict[str, Dict[int, List[Itemset]]]
+    transactions: Dict[str, List[Tuple[int, ...]]]
+
+    def l1(self, var: str) -> List[int]:
+        """Frequent singleton elements of one variable."""
+        return sorted(e for (e,) in self.frequent_by_size[var].get(1, []))
+
+
+def tiny_scenario(
+    seed: int,
+    n_s: int = 5,
+    n_t: int = 5,
+    n_transactions: int = 30,
+    minsup_count: int = 3,
+    value_range: Tuple[int, int] = (0, 9),
+    n_categories: int = 3,
+) -> TinyScenario:
+    """Build a seeded tiny scenario.
+
+    S elements are ids ``0..n_s-1`` with attributes ``A`` (numeric) and
+    ``C`` (categorical); T elements are ids ``100..100+n_t-1`` with
+    attributes ``B`` and ``C``.  Transactions per side are independent
+    random subsets, then mined so the frequent collections are
+    subset-closed.
+    """
+    rng = np.random.RandomState(seed)
+    low, high = value_range
+    s_items = list(range(n_s))
+    t_items = list(range(100, 100 + n_t))
+    categories = [f"c{i}" for i in range(n_categories)]
+    s_catalog = ItemCatalog(
+        {
+            "A": {i: int(rng.randint(low, high + 1)) for i in s_items},
+            "C": {i: categories[rng.randint(n_categories)] for i in s_items},
+        }
+    )
+    t_catalog = ItemCatalog(
+        {
+            "B": {i: int(rng.randint(low, high + 1)) for i in t_items},
+            "C": {i: categories[rng.randint(n_categories)] for i in t_items},
+        }
+    )
+    domains = {
+        "S": Domain.items(s_catalog, name="TinyS"),
+        "T": Domain.items(t_catalog, name="TinyT"),
+    }
+
+    transactions: Dict[str, List[Tuple[int, ...]]] = {}
+    frequent: Dict[str, Dict[Itemset, int]] = {}
+    frequent_by_size: Dict[str, Dict[int, List[Itemset]]] = {}
+    for var, items in (("S", s_items), ("T", t_items)):
+        rows: List[Tuple[int, ...]] = []
+        for __ in range(n_transactions):
+            mask = rng.uniform(size=len(items)) < rng.uniform(0.2, 0.8)
+            rows.append(tuple(item for item, keep in zip(items, mask) if keep))
+        transactions[var] = rows
+        mined = mine_frequent(rows, items, minsup_count, var=var)
+        frequent[var] = mined.all_sets()
+        by_size: Dict[int, List[Itemset]] = {}
+        for itemset in frequent[var]:
+            by_size.setdefault(len(itemset), []).append(itemset)
+        frequent_by_size[var] = by_size
+    return TinyScenario(
+        domains=domains,
+        frequent=frequent,
+        frequent_by_size=frequent_by_size,
+        transactions=transactions,
+    )

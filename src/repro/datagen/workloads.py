@@ -1,0 +1,373 @@
+"""Named, seeded workloads for the paper's experiments (Section 7).
+
+Each builder returns a :class:`Workload` bundling the transaction
+database, item catalog, variable domains and the constraint strings of
+one experiment family, so examples, tests and benchmarks construct the
+exact same inputs.
+
+Scales are laptop-sized (the paper used 100k transactions on a SPARC-10;
+the pure-Python substrate targets the same *relative* behaviour at a few
+thousand transactions — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.query import CFQ
+from repro.datagen.iteminfo import (
+    normal_prices,
+    typed_catalog_with_overlap,
+    uniform_prices,
+)
+from repro.datagen.quest import QuestParameters, generate_quest
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain
+from repro.db.transactions import TransactionDatabase
+
+
+@dataclass
+class Workload:
+    """A ready-to-run experiment input."""
+
+    name: str
+    db: TransactionDatabase
+    catalog: ItemCatalog
+    domains: Dict[str, Domain]
+    minsup: Union[float, Dict[str, float]]
+    constraints: List[str]
+    description: str = ""
+    max_level: Optional[int] = None
+
+    def cfq(
+        self,
+        constraints: Optional[Sequence[str]] = None,
+        minsup: Optional[Union[float, Dict[str, float]]] = None,
+    ) -> CFQ:
+        """Build the workload's CFQ (optionally overriding parts)."""
+        return CFQ(
+            domains=self.domains,
+            minsup=minsup if minsup is not None else self.minsup,
+            constraints=list(constraints) if constraints is not None else self.constraints,
+            max_level=self.max_level,
+        )
+
+
+# ----------------------------------------------------------------------
+# Figure 8(a) / Section 7.1: single quasi-succinct 2-var constraint
+# ----------------------------------------------------------------------
+def fig8a_workload(
+    overlap_pct: float,
+    s_price_range: Tuple[float, float] = (400.0, 1000.0),
+    n_items: int = 600,
+    n_transactions: int = 4000,
+    minsup: float = 0.010,
+    seed: int = 8,
+) -> Workload:
+    """The Section 7.1 setup: ``max(S.Price) <= min(T.Price)``.
+
+    ``S`` ranges over one half of the item universe, priced uniformly in
+    ``s_price_range``; ``T`` over the other half, priced in ``[0, v]``
+    where ``v`` realizes the requested percentage overlap between the two
+    price ranges (``x = 100 * (v - s_low) / (s_high - s_low)``, the
+    paper's x-axis).
+    """
+    s_low, s_high = s_price_range
+    v = s_low + overlap_pct / 100.0 * (s_high - s_low)
+    half = n_items // 2
+    s_items = list(range(half))
+    t_items = list(range(half, n_items))
+    prices = {}
+    prices.update(uniform_prices(s_items, s_low, s_high, seed=seed))
+    prices.update(uniform_prices(t_items, 0.0, v, seed=seed + 1))
+    catalog = ItemCatalog({"Price": prices})
+    db = generate_quest(
+        QuestParameters(
+            n_transactions=n_transactions,
+            avg_transaction_size=10,
+            avg_pattern_size=4,
+            n_patterns=300,
+            n_items=n_items,
+            seed=seed + 2,
+        )
+    )
+    domains = {
+        "S": Domain.items(catalog, name="ItemS", subset=s_items),
+        "T": Domain.items(catalog, name="ItemT", subset=t_items),
+    }
+    return Workload(
+        name=f"fig8a-overlap{overlap_pct:g}",
+        db=db,
+        catalog=catalog,
+        domains=domains,
+        minsup=minsup,
+        constraints=["max(S.Price) <= min(T.Price)"],
+        description=(
+            f"Section 7.1: S priced U{s_price_range}, T priced U[0, {v:g}] "
+            f"({overlap_pct:g}% range overlap)"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8(b) / Section 7.2: 2-var on top of 1-var constraints
+# ----------------------------------------------------------------------
+def fig8b_workload(
+    type_overlap_pct: float,
+    s_price_min: float = 400.0,
+    t_price_max: float = 600.0,
+    n_items: int = 600,
+    n_transactions: int = 4000,
+    minsup: float = 0.010,
+    n_types_per_side: int = 10,
+    seed: int = 82,
+) -> Workload:
+    """The Section 7.2 setup: range 1-var constraints plus
+    ``S.Type = T.Type``.
+
+    Both variables range over the full item universe; the 1-var
+    constraints restrict ``S`` to ``[s_price_min, 1000]`` and ``T`` to
+    ``[0, t_price_max]``; the Type vocabulary occurring in the S band
+    overlaps that of the T band by exactly ``type_overlap_pct`` percent
+    (see :func:`~repro.datagen.iteminfo.typed_catalog_with_overlap`).
+    """
+    catalog = typed_catalog_with_overlap(
+        n_items=n_items,
+        s_price_range=(s_price_min, 1000.0),
+        t_price_range=(0.0, t_price_max),
+        overlap_pct=type_overlap_pct,
+        n_types_per_side=n_types_per_side,
+        seed=seed + 1,
+    )
+    db = generate_quest(
+        QuestParameters(
+            n_transactions=n_transactions,
+            avg_transaction_size=10,
+            avg_pattern_size=4,
+            n_patterns=300,
+            n_items=n_items,
+            seed=seed + 2,
+        )
+    )
+    item_domain = Domain.items(catalog)
+    return Workload(
+        name=f"fig8b-overlap{type_overlap_pct:g}",
+        db=db,
+        catalog=catalog,
+        domains={"S": item_domain, "T": item_domain},
+        minsup=minsup,
+        constraints=[
+            f"min(S.Price) >= {s_price_min:g}",
+            f"max(T.Price) <= {t_price_max:g}",
+            "S.Type = T.Type",
+        ],
+        description=(
+            f"Section 7.2: S.Price in [{s_price_min:g},1000], T.Price in "
+            f"[0,{t_price_max:g}], Type overlap {type_overlap_pct:g}%"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 7.3: sum(S.Price) <= sum(T.Price) with Jmax pruning
+# ----------------------------------------------------------------------
+def jmax_workload(
+    t_price_mean: float,
+    core_size: int = 12,
+    n_s_items: int = 24,
+    n_t_items: int = 60,
+    n_transactions: int = 600,
+    core_probability: float = 0.3,
+    t_pattern_size: int = 5,
+    n_t_patterns: int = 8,
+    minsup: Optional[Dict[str, float]] = None,
+    seed: int = 73,
+) -> Workload:
+    """The Section 7.3 setup: ``sum(S.Price) <= sum(T.Price)``.
+
+    S prices are Normal(1000, 100); T prices Normal(``t_price_mean``,
+    100).  The S side uses a low support threshold and a correlated "core
+    block" of items so high-cardinality frequent S-sets exist (the paper
+    reports maximum cardinality 14 — the default here is 12 to keep the
+    pure-Python baseline enumerable), which is what gives the iterative
+    ``V^k`` series something to prune.  The T side carries a pool of
+    patterns of size ``t_pattern_size``, so the largest frequent T-set
+    sums scale with ``t_price_mean`` — the knob the paper's 7.3 table
+    turns.
+    """
+    rng = np.random.RandomState(seed)
+    s_items = list(range(n_s_items))
+    t_items = list(range(n_s_items, n_s_items + n_t_items))
+    prices: Dict[int, float] = {}
+    prices.update(normal_prices(s_items, 1000.0, 100.0, seed=seed))
+    prices.update(normal_prices(t_items, t_price_mean, 100.0, seed=seed + 1))
+    catalog = ItemCatalog({"Price": prices})
+
+    core = s_items[:core_size]
+    other_s = s_items[core_size:]
+    t_patterns = [
+        [int(i) for i in rng.choice(t_items, size=t_pattern_size, replace=False)]
+        for __ in range(n_t_patterns)
+    ]
+    transactions: List[List[int]] = []
+    for __ in range(n_transactions):
+        transaction: List[int] = []
+        if rng.uniform() < core_probability:
+            # A core transaction: the whole block, with light corruption.
+            transaction.extend(i for i in core if rng.uniform() > 0.05)
+        else:
+            n_random = rng.randint(0, 3)
+            transaction.extend(
+                int(i) for i in rng.choice(s_items, size=n_random, replace=False)
+            )
+        if other_s and rng.uniform() < 0.3:
+            transaction.append(int(other_s[rng.randint(len(other_s))]))
+        pattern = t_patterns[rng.randint(n_t_patterns)]
+        transaction.extend(i for i in pattern if rng.uniform() > 0.15)
+        n_t = rng.randint(0, 3)
+        transaction.extend(
+            int(i) for i in rng.choice(t_items, size=n_t, replace=False)
+        )
+        transactions.append(sorted(set(transaction)))
+    db = TransactionDatabase(transactions)
+    domains = {
+        "S": Domain.items(catalog, name="ItemS", subset=s_items),
+        "T": Domain.items(catalog, name="ItemT", subset=t_items),
+    }
+    return Workload(
+        name=f"jmax-tmean{t_price_mean:g}",
+        db=db,
+        catalog=catalog,
+        domains=domains,
+        minsup=minsup or {"S": 0.18, "T": 0.02},
+        constraints=["sum(S.Price) <= sum(T.Price)"],
+        description=(
+            f"Section 7.3: S ~ Normal(1000, 100), T ~ Normal({t_price_mean:g}, 100), "
+            f"core block of {core_size} S-items"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Cascade: a workload where iterated reduction provably helps
+# ----------------------------------------------------------------------
+def cascade_workload(
+    n_group: int = 120,
+    n_transactions: int = 3000,
+    minsup: float = 0.012,
+    seed: int = 51,
+) -> Workload:
+    """A constraint cascade that a single reduction round cannot resolve.
+
+    Three item groups over types {alpha*, beta*}:
+
+    * group A — alpha types, priced U[450, 550] (eligible for both sides);
+    * group B_S — beta types, priced U[600, 1000] (S band only);
+    * group B_T — beta types, priced U[0, 350] (T band only).
+
+    Query: ``min(S.Price) >= 400 & max(T.Price) <= 600 & S.Type = T.Type
+    & min(S.Price) <= min(T.Price)``.
+
+    Round 1 of the reduction leaves S's type filter at {alpha, beta}
+    (both type groups still occur in T's constrained L1), but the *price*
+    reduction of the second 2-var constraint forces T items above
+    min(L1S.Price) ≈ 450, which eliminates every beta-typed T item.
+    Only a second round can propagate that loss into S's type filter and
+    drop group B_S — the cascade iterated reduction exists for.
+    """
+    rng = np.random.RandomState(seed)
+    a_items = list(range(n_group))
+    bs_items = list(range(n_group, 2 * n_group))
+    bt_items = list(range(2 * n_group, 3 * n_group))
+    alpha = [f"alpha_{i}" for i in range(5)]
+    beta = [f"beta_{i}" for i in range(5)]
+    prices: Dict[int, float] = {}
+    types: Dict[int, str] = {}
+    for item in a_items:
+        prices[item] = float(rng.uniform(450, 550))
+        types[item] = alpha[rng.randint(len(alpha))]
+    for item in bs_items:
+        prices[item] = float(rng.uniform(600, 1000))
+        types[item] = beta[rng.randint(len(beta))]
+    for item in bt_items:
+        prices[item] = float(rng.uniform(0, 350))
+        types[item] = beta[rng.randint(len(beta))]
+    catalog = ItemCatalog({"Price": prices, "Type": types})
+    db = generate_quest(
+        QuestParameters(
+            n_transactions=n_transactions,
+            avg_transaction_size=10,
+            avg_pattern_size=4,
+            n_patterns=200,
+            n_items=3 * n_group,
+            seed=seed + 1,
+        )
+    )
+    item_domain = Domain.items(catalog)
+    return Workload(
+        name="cascade",
+        db=db,
+        catalog=catalog,
+        domains={"S": item_domain, "T": item_domain},
+        minsup=minsup,
+        constraints=[
+            "min(S.Price) >= 400",
+            "max(T.Price) <= 600",
+            "S.Type = T.Type",
+            "min(S.Price) <= min(T.Price)",
+        ],
+        description="constraint cascade resolvable only by iterated reduction",
+    )
+
+
+# ----------------------------------------------------------------------
+# Quickstart: the paper's market-basket motivating examples
+# ----------------------------------------------------------------------
+def quickstart_workload(
+    n_transactions: int = 1500,
+    seed: int = 7,
+) -> Workload:
+    """A small market-basket catalog (snacks, beers, ...) for examples.
+
+    Matches the introduction's running example: find pairs of frequent
+    sets of cheaper snack items and more expensive beer items.
+    """
+    type_names = ["snacks", "beers", "wine", "dairy", "frozen", "produce"]
+    rng = np.random.RandomState(seed)
+    n_items = 60
+    items = list(range(n_items))
+    types = {i: type_names[i % len(type_names)] for i in items}
+    base_price = {"snacks": 3, "beers": 9, "wine": 15, "dairy": 4, "frozen": 6,
+                  "produce": 2}
+    prices = {
+        i: float(max(1, round(rng.normal(base_price[types[i]] * 10, 8))))
+        for i in items
+    }
+    catalog = ItemCatalog({"Type": types, "Price": prices})
+    db = generate_quest(
+        QuestParameters(
+            n_transactions=n_transactions,
+            avg_transaction_size=8,
+            avg_pattern_size=3,
+            n_patterns=60,
+            n_items=n_items,
+            seed=seed,
+        )
+    )
+    item_domain = Domain.items(catalog)
+    return Workload(
+        name="quickstart",
+        db=db,
+        catalog=catalog,
+        domains={"S": item_domain, "T": item_domain},
+        minsup=0.02,
+        constraints=[
+            "S.Type = {snacks}",
+            "T.Type = {beers}",
+            "max(S.Price) <= min(T.Price)",
+        ],
+        description="Cheap snacks leading to expensive beers (Section 2)",
+    )

@@ -1,0 +1,28 @@
+"""In-memory database substrate for CFQ mining.
+
+The paper's experiments assume two relations:
+
+* ``trans(TID, Itemset)`` — the transaction database, represented here by
+  :class:`~repro.db.transactions.TransactionDatabase`;
+* ``itemInfo(Item, Type, Price)`` — auxiliary per-item attributes,
+  represented by :class:`~repro.db.catalog.ItemCatalog`.
+
+The substrate also provides :class:`~repro.db.domain.Domain` (the range of
+a set variable, possibly a segment of the item universe or a derived
+domain such as the set of Types) and :class:`~repro.db.stats.OpCounters`
+(instrumentation used by the ccc-optimality audit).
+"""
+
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain, derived_type_domain
+from repro.db.stats import OpCounters, ScanStats
+from repro.db.transactions import TransactionDatabase
+
+__all__ = [
+    "ItemCatalog",
+    "Domain",
+    "derived_type_domain",
+    "OpCounters",
+    "ScanStats",
+    "TransactionDatabase",
+]

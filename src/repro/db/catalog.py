@@ -1,0 +1,182 @@
+"""The item catalog: the paper's ``itemInfo(Item, Type, Price)`` relation.
+
+An :class:`ItemCatalog` stores, for every item id, a value for each named
+attribute (``Type``, ``Price``, ...).  Attribute values may be numbers or
+strings.  The catalog supports the operations the constraint machinery
+needs:
+
+* projecting a set of items onto an attribute (``S.Price``),
+* selecting the items satisfying a predicate on an attribute
+  (the succinct-set operation ``sigma_p(Item)`` of Definition 2), and
+* answering per-item lookups during constraint evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.errors import ConstraintTypeError, DataError
+
+AttrValue = Union[int, float, str]
+
+
+class ItemCatalog:
+    """Per-item attribute store, the ``itemInfo`` relation of the paper.
+
+    Parameters
+    ----------
+    attributes:
+        Mapping from attribute name to a mapping ``item_id -> value``.
+        Every attribute must cover exactly the same set of item ids.
+
+    Examples
+    --------
+    >>> catalog = ItemCatalog({
+    ...     "Price": {1: 100, 2: 250},
+    ...     "Type": {1: "snacks", 2: "beer"},
+    ... })
+    >>> catalog.value(1, "Price")
+    100
+    >>> sorted(catalog.select("Price", lambda p: p >= 200))
+    [2]
+    """
+
+    def __init__(self, attributes: Mapping[str, Mapping[int, AttrValue]]):
+        if not attributes:
+            raise DataError("an item catalog needs at least one attribute")
+        self._attributes: Dict[str, Dict[int, AttrValue]] = {
+            name: dict(column) for name, column in attributes.items()
+        }
+        first_name = next(iter(self._attributes))
+        item_ids = set(self._attributes[first_name])
+        for name, column in self._attributes.items():
+            if set(column) != item_ids:
+                raise DataError(
+                    f"attribute {name!r} covers a different set of items than "
+                    f"{first_name!r}; all attributes must cover the same items"
+                )
+        self._items: Tuple[int, ...] = tuple(sorted(item_ids))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> Tuple[int, ...]:
+        """All item ids, sorted ascending."""
+        return self._items
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Names of the attributes stored in this catalog."""
+        return tuple(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: int) -> bool:
+        return bool(self._items) and item_id in self._attributes[next(iter(self._attributes))]
+
+    def has_attribute(self, name: str) -> bool:
+        """Return whether attribute ``name`` exists in the catalog."""
+        return name in self._attributes
+
+    # ------------------------------------------------------------------
+    # Lookups and projections
+    # ------------------------------------------------------------------
+    def value(self, item_id: int, attribute: str) -> AttrValue:
+        """Return the value of ``attribute`` for ``item_id``."""
+        column = self._column(attribute)
+        try:
+            return column[item_id]
+        except KeyError:
+            raise DataError(f"unknown item id {item_id}") from None
+
+    def project(self, items: Iterable[int], attribute: str) -> List[AttrValue]:
+        """Project a set of items onto an attribute (``S.A`` as a multiset).
+
+        The paper's notation ``S.A`` denotes the *set* of A-values of the
+        elements of ``S``; aggregate semantics (``sum``, ``avg``) operate on
+        the multiset, so this returns one value per item.  Use
+        :meth:`project_set` for the set semantics of domain constraints.
+        """
+        column = self._column(attribute)
+        try:
+            return [column[i] for i in items]
+        except KeyError as exc:
+            raise DataError(f"unknown item id {exc.args[0]}") from None
+
+    def project_set(self, items: Iterable[int], attribute: str) -> frozenset:
+        """Project items onto an attribute with set semantics (``S.A``)."""
+        column = self._column(attribute)
+        try:
+            return frozenset(column[i] for i in items)
+        except KeyError as exc:
+            raise DataError(f"unknown item id {exc.args[0]}") from None
+
+    def select(self, attribute: str, predicate: Callable[[AttrValue], bool]) -> frozenset:
+        """Return the succinct set ``sigma_{predicate(attribute)}(Item)``."""
+        column = self._column(attribute)
+        return frozenset(i for i, v in column.items() if predicate(v))
+
+    def column(self, attribute: str) -> Dict[int, AttrValue]:
+        """Return a copy of the full ``item -> value`` column."""
+        return dict(self._column(attribute))
+
+    def numeric_attribute(self, attribute: str) -> bool:
+        """Return whether every value of ``attribute`` is numeric."""
+        column = self._column(attribute)
+        return all(isinstance(v, (int, float)) for v in column.values())
+
+    def non_negative_attribute(self, attribute: str) -> bool:
+        """Return whether ``attribute`` is numeric with all values >= 0.
+
+        The induced-weaker-constraint results of Section 5.1 assume the
+        aggregated domains are non-negative; the optimizer consults this
+        before applying them.
+        """
+        column = self._column(attribute)
+        return all(isinstance(v, (int, float)) and v >= 0 for v in column.values())
+
+    def restrict(self, items: Iterable[int]) -> "ItemCatalog":
+        """Return a new catalog restricted to the given item ids."""
+        keep = set(items)
+        unknown = keep - set(self._items)
+        if unknown:
+            raise DataError(f"unknown item ids in restriction: {sorted(unknown)[:5]}")
+        return ItemCatalog(
+            {
+                name: {i: v for i, v in column.items() if i in keep}
+                for name, column in self._attributes.items()
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _column(self, attribute: str) -> Dict[int, AttrValue]:
+        try:
+            return self._attributes[attribute]
+        except KeyError:
+            raise ConstraintTypeError(
+                f"unknown attribute {attribute!r}; catalog has "
+                f"{sorted(self._attributes)}"
+            ) from None
+
+
+def catalog_from_rows(
+    rows: Sequence[Tuple[int, AttrValue, AttrValue]],
+    attribute_names: Tuple[str, str] = ("Type", "Price"),
+) -> ItemCatalog:
+    """Build a catalog from ``(item, type, price)``-style rows.
+
+    Convenience mirroring the paper's ``itemInfo(Item, Type, Price)``
+    relation layout.
+    """
+    first: Dict[int, AttrValue] = {}
+    second: Dict[int, AttrValue] = {}
+    for item_id, a, b in rows:
+        if item_id in first:
+            raise DataError(f"duplicate item id {item_id} in itemInfo rows")
+        first[item_id] = a
+        second[item_id] = b
+    return ItemCatalog({attribute_names[0]: first, attribute_names[1]: second})

@@ -1,0 +1,137 @@
+"""The transaction database: the paper's ``trans(TID, Itemset)`` relation.
+
+Transactions are stored as sorted tuples of int item ids.  The class keeps
+its own :class:`~repro.db.stats.ScanStats` and offers :meth:`scan`, a
+generator that records one database pass per full iteration — mining
+strategies use it so the dovetailing experiments can report scan savings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.stats import ScanStats
+from repro.errors import DataError
+
+
+class TransactionDatabase:
+    """An in-memory transaction database with scan accounting.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of item-id collections.  Each transaction is deduplicated
+        and stored sorted.  Empty transactions are kept (they simply never
+        support anything) so TID arithmetic stays simple.
+
+    Examples
+    --------
+    >>> db = TransactionDatabase([[3, 1], [1, 2], [1, 2, 3]])
+    >>> len(db)
+    3
+    >>> db.support((1, 2))
+    2
+    """
+
+    def __init__(self, transactions: Iterable[Sequence[int]]):
+        self._transactions: List[Tuple[int, ...]] = [
+            tuple(sorted(set(t))) for t in transactions
+        ]
+        self.stats = ScanStats()
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate without scan accounting (for tests and inspection)."""
+        return iter(self._transactions)
+
+    def __getitem__(self, tid: int) -> Tuple[int, ...]:
+        return self._transactions[tid]
+
+    @property
+    def transactions(self) -> List[Tuple[int, ...]]:
+        """The underlying transaction list (treat as read-only)."""
+        return self._transactions
+
+    def item_universe(self) -> frozenset:
+        """All item ids occurring in any transaction."""
+        universe = set()
+        for t in self._transactions:
+            universe.update(t)
+        return frozenset(universe)
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+    def scan(self, stats: Optional[ScanStats] = None) -> Iterator[Tuple[int, ...]]:
+        """Yield every transaction, recording one full database pass.
+
+        The pass is recorded up front (on both the database's own stats and
+        the optional per-run ``stats``), matching the paper's model where a
+        levelwise iteration always reads the whole database.
+        """
+        self.stats.record_scan(len(self._transactions))
+        if stats is not None:
+            stats.record_scan(len(self._transactions))
+        return iter(self._transactions)
+
+    # ------------------------------------------------------------------
+    # Derived databases
+    # ------------------------------------------------------------------
+    def filtered(self, keep_items: Iterable[int]) -> "TransactionDatabase":
+        """Project every transaction onto ``keep_items``.
+
+        Used for transaction trimming: once the frequent items are known,
+        infrequent items can never contribute to a frequent set, so
+        dropping them shrinks every later scan.
+        """
+        keep = frozenset(keep_items)
+        return TransactionDatabase(
+            tuple(i for i in t if i in keep) for t in self._transactions
+        )
+
+    def projected(self, domain) -> "TransactionDatabase":
+        """Project every transaction through a :class:`~repro.db.domain.Domain`."""
+        return TransactionDatabase(domain.project(t) for t in self._transactions)
+
+    # ------------------------------------------------------------------
+    # Direct support queries (reference implementations; miners count in
+    # bulk via repro.mining.counting)
+    # ------------------------------------------------------------------
+    def support(self, itemset: Iterable[int]) -> int:
+        """Absolute support of an itemset (number of containing transactions)."""
+        target = frozenset(itemset)
+        if not target:
+            return len(self._transactions)
+        return sum(1 for t in self._transactions if target.issubset(t))
+
+    def support_fraction(self, itemset: Iterable[int]) -> float:
+        """Relative support of an itemset."""
+        if not self._transactions:
+            return 0.0
+        return self.support(itemset) / len(self._transactions)
+
+    def min_count(self, minsup: float) -> int:
+        """Absolute support threshold for a relative ``minsup`` in [0, 1].
+
+        A set is frequent iff its absolute support is >= this value; the
+        threshold is at least 1 so that empty data never declares anything
+        frequent.
+        """
+        if not 0.0 < minsup <= 1.0:
+            raise DataError(f"minsup must be in (0, 1], got {minsup}")
+        import math
+
+        return max(1, math.ceil(minsup * len(self._transactions)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = [len(t) for t in self._transactions]
+        avg = sum(sizes) / len(sizes) if sizes else 0.0
+        return (
+            f"TransactionDatabase({len(self._transactions)} transactions, "
+            f"avg size {avg:.1f})"
+        )

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the CFQ reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subclass corresponds to one stage of the pipeline:
+parsing the constraint language, validating a query against the catalog,
+classifying constraints, and executing a mining strategy.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConstraintSyntaxError(ReproError):
+    """The constraint DSL text could not be parsed.
+
+    Carries the offending text and the character position where parsing
+    failed, so callers can render a caret diagnostic.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        self.text = text
+        self.position = position
+        if text and position >= 0:
+            caret = " " * position + "^"
+            message = f"{message}\n  {text}\n  {caret}"
+        super().__init__(message)
+
+
+class ConstraintTypeError(ReproError):
+    """A parsed constraint is ill-typed for the CFQ language.
+
+    Examples: aggregating a non-numeric attribute with ``sum``, comparing a
+    set expression to a scalar, or referencing an attribute that does not
+    exist in the item catalog.
+    """
+
+
+class QueryValidationError(ReproError):
+    """A CFQ is structurally invalid (unknown variables, empty body, ...)."""
+
+
+class ClassificationError(ReproError):
+    """A constraint falls outside the characterized CFQ language."""
+
+
+class ExecutionError(ReproError):
+    """A mining strategy failed at run time (bad parameters, etc.)."""
+
+
+class DataError(ReproError):
+    """The transaction database or item catalog is malformed."""

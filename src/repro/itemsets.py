@@ -1,0 +1,57 @@
+"""Itemset representation helpers.
+
+Throughout the mining code an itemset is a **canonical tuple**: element
+ids sorted ascending.  Candidate generation additionally works in *rank
+space* — tuples sorted by a per-run rank that places required-bucket
+elements first (the member-generating-function ordering of CAP) — and the
+helpers here convert between the two.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+Itemset = Tuple[int, ...]
+
+
+def canonical(elements: Iterable[int]) -> Itemset:
+    """The canonical (id-sorted) form of an itemset."""
+    return tuple(sorted(elements))
+
+
+def ranked(elements: Iterable[int], rank: Mapping[int, int]) -> Itemset:
+    """The rank-space form of an itemset (sorted by rank)."""
+    return tuple(sorted(elements, key=rank.__getitem__))
+
+
+def subsets_of_size(itemset: Sequence[int], size: int) -> Iterator[Itemset]:
+    """All subsets of the given size, in generation order."""
+    return combinations(itemset, size)
+
+
+def proper_subsets(itemset: Sequence[int]) -> Iterator[Itemset]:
+    """All (k-1)-subsets of a k-itemset."""
+    return combinations(itemset, len(itemset) - 1)
+
+
+def all_nonempty_subsets(elements: Sequence[int]) -> Iterator[Itemset]:
+    """Every non-empty subset, smallest first (for the FM strategy and
+    brute-force oracles; exponential — small universes only)."""
+    elements = canonical(elements)
+    for size in range(1, len(elements) + 1):
+        yield from combinations(elements, size)
+
+
+def max_level(frequent_by_level: Mapping[int, Mapping[Itemset, int]]) -> int:
+    """The largest level with at least one frequent set (0 if none)."""
+    levels = [k for k, sets in frequent_by_level.items() if sets]
+    return max(levels) if levels else 0
+
+
+def flatten(frequent_by_level: Mapping[int, Mapping[Itemset, int]]) -> Dict[Itemset, int]:
+    """Merge the per-level maps into one ``itemset -> support`` map."""
+    merged: Dict[Itemset, int] = {}
+    for sets in frequent_by_level.values():
+        merged.update(sets)
+    return merged

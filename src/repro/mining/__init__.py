@@ -1,0 +1,38 @@
+"""Mining strategies: Apriori, Apriori+, CAP and the dovetailed engine.
+
+The module layering mirrors the paper's Figure 7:
+
+* :mod:`repro.mining.counting` / :mod:`repro.mining.candidates` — the
+  levelwise substrate (support counting, apriori-gen join + prune);
+* :mod:`repro.mining.lattice` — :class:`ConstrainedLattice`, the CAP-style
+  stepper for one variable: item filters, required buckets (member
+  generating functions), anti-monotone checks, post-filters;
+* :mod:`repro.mining.apriori` — classic unconstrained Apriori;
+* :mod:`repro.mining.aprioriplus` — the paper's baseline ``Apriori+``;
+* :mod:`repro.mining.cap` — single-variable CAP entry point;
+* :mod:`repro.mining.fm` — the full-materialization counterexample of
+  Section 6.2;
+* :mod:`repro.mining.dovetail` — the dual-lattice dovetailed engine with
+  the quasi-succinct reduction hook (after level 1) and the ``J^k_max``
+  hook (every level).
+"""
+
+from repro.mining.apriori import apriori, mine_frequent
+from repro.mining.aprioriplus import AprioriPlusResult, apriori_plus
+from repro.mining.cap import cap_mine
+from repro.mining.dovetail import DovetailEngine, DovetailResult
+from repro.mining.fm import full_materialization
+from repro.mining.lattice import ConstrainedLattice, LatticeResult
+
+__all__ = [
+    "apriori",
+    "mine_frequent",
+    "AprioriPlusResult",
+    "apriori_plus",
+    "cap_mine",
+    "DovetailEngine",
+    "DovetailResult",
+    "full_materialization",
+    "ConstrainedLattice",
+    "LatticeResult",
+]

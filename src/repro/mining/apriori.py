@@ -1,0 +1,84 @@
+"""Classic Apriori: all frequent sets, no constraints.
+
+This is the unconstrained base case of
+:class:`~repro.mining.lattice.ConstrainedLattice` and the substrate of the
+paper's baseline ``Apriori+``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.db.stats import OpCounters
+from repro.db.transactions import TransactionDatabase
+from repro.mining.lattice import ConstrainedLattice, LatticeResult
+
+
+def mine_frequent(
+    transactions: Sequence[Tuple[int, ...]],
+    elements: Iterable[int],
+    min_count: int,
+    counters: Optional[OpCounters] = None,
+    var: str = "S",
+    max_level: Optional[int] = None,
+    backend=None,
+) -> LatticeResult:
+    """Mine all frequent itemsets from pre-projected transactions.
+
+    Parameters
+    ----------
+    transactions:
+        Transactions as tuples of element ids (already projected onto the
+        variable's domain if applicable).
+    elements:
+        The element universe.
+    min_count:
+        Absolute support threshold.
+    counters:
+        Operation counters to meter the run with.
+    var:
+        Label under which counted work is recorded.
+    max_level:
+        Optional cap on lattice depth.
+    backend:
+        Counting backend name or instance (see
+        :mod:`repro.mining.backends`); defaults to the hybrid strategy.
+    """
+    lattice = ConstrainedLattice(
+        var=var,
+        elements=tuple(elements),
+        transactions=transactions,
+        min_count=min_count,
+        counters=counters,
+        max_level=max_level,
+        backend=backend,
+    )
+    while lattice.count_and_absorb():
+        pass
+    return lattice.result()
+
+
+def apriori(
+    db: TransactionDatabase,
+    minsup: float,
+    elements: Optional[Iterable[int]] = None,
+    counters: Optional[OpCounters] = None,
+    max_level: Optional[int] = None,
+    backend=None,
+) -> LatticeResult:
+    """Classic Apriori over a transaction database.
+
+    ``minsup`` is relative (a fraction of the database size); ``elements``
+    defaults to the items occurring in the database.
+    """
+    universe = tuple(sorted(elements)) if elements is not None else tuple(
+        sorted(db.item_universe())
+    )
+    return mine_frequent(
+        db.transactions,
+        universe,
+        db.min_count(minsup),
+        counters=counters,
+        max_level=max_level,
+        backend=backend,
+    )

@@ -1,0 +1,125 @@
+"""Pluggable support-counting backends.
+
+The levelwise miners delegate per-level counting to a backend with the
+signature::
+
+    backend.count(transactions, candidates, k, counters, var) -> {itemset: support}
+
+Three are provided (and compared in the backend ablation benchmark):
+
+``HybridBackend``
+    The default of :mod:`repro.mining.counting`: per transaction, pick
+    the cheaper of subset enumeration and candidate scanning.
+``HashTreeBackend``
+    The original Apriori candidate hash tree [2].
+``VerticalBackend``
+    TID-list intersections (vertical layout), rebuilt per level from the
+    (possibly trimmed) transaction list.
+
+All backends meter their work into ``counters.subset_tests`` using
+comparable units (elementary probes), so the operation-count cost model
+remains meaningful across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.db.stats import OpCounters
+from repro.itemsets import Itemset
+from repro.mining.counting import count_candidates
+from repro.mining.hashtree import build_hash_tree
+from repro.mining.vertical import build_tidlists, count_with_tidlists
+
+
+class HybridBackend:
+    """The default enumerate-or-scan strategy."""
+
+    name = "hybrid"
+
+    def count(
+        self,
+        transactions: Sequence[Tuple[int, ...]],
+        candidates: Sequence[Itemset],
+        k: int,
+        counters: Optional[OpCounters] = None,
+        var: str = "S",
+    ) -> Dict[Itemset, int]:
+        return count_candidates(transactions, candidates, k, counters, var)
+
+
+class HashTreeBackend:
+    """Counting through the classic Apriori hash tree."""
+
+    name = "hashtree"
+
+    def __init__(self, leaf_size: int = 8, fanout: int = 16):
+        self.leaf_size = leaf_size
+        self.fanout = fanout
+
+    def count(
+        self,
+        transactions: Sequence[Tuple[int, ...]],
+        candidates: Sequence[Itemset],
+        k: int,
+        counters: Optional[OpCounters] = None,
+        var: str = "S",
+    ) -> Dict[Itemset, int]:
+        if not candidates:
+            return {}
+        tree = build_hash_tree(candidates, k, self.leaf_size, self.fanout)
+        return tree.count(transactions, counters, var)
+
+
+class VerticalBackend:
+    """Counting through TID-list intersections.
+
+    TID-lists are cached per transaction-list object, so repeated levels
+    over the same (untrimmed) list pay the build once.
+    """
+
+    name = "vertical"
+
+    def __init__(self):
+        self._cache_key: Optional[int] = None
+        self._cache_len: int = -1
+        self._tidlists: Dict[int, frozenset] = {}
+
+    def count(
+        self,
+        transactions: Sequence[Tuple[int, ...]],
+        candidates: Sequence[Itemset],
+        k: int,
+        counters: Optional[OpCounters] = None,
+        var: str = "S",
+    ) -> Dict[Itemset, int]:
+        if not candidates:
+            return {}
+        key = id(transactions)
+        if key != self._cache_key or len(transactions) != self._cache_len:
+            self._tidlists = build_tidlists(transactions)
+            self._cache_key = key
+            self._cache_len = len(transactions)
+        return count_with_tidlists(
+            self._tidlists, candidates, counters, var, k=k
+        )
+
+
+BACKENDS = {
+    "hybrid": HybridBackend,
+    "hashtree": HashTreeBackend,
+    "vertical": VerticalBackend,
+}
+
+
+def make_backend(name_or_backend) -> object:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(name_or_backend, str):
+        try:
+            return BACKENDS[name_or_backend]()
+        except KeyError:
+            raise ValueError(
+                f"unknown counting backend {name_or_backend!r}; "
+                f"choose from {sorted(BACKENDS)}"
+            ) from None
+    return name_or_backend

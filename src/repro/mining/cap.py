@@ -1,0 +1,82 @@
+"""CAP: constraint-pushing levelwise mining for 1-var constraints.
+
+The CAP algorithm (Ng et al., SIGMOD 1998) pushes 1-var constraints into
+the Apriori lattice according to their properties.  Here it is a thin
+assembly: each constraint is normalized (:class:`OneVarView`), compiled to
+operational pruning forms (:func:`compile_onevar`) and installed into a
+:class:`~repro.mining.lattice.ConstrainedLattice`, which realizes the four
+CAP cases:
+
+* succinct + anti-monotone  -> item filter (generate-only);
+* succinct, not anti-monotone -> required bucket (member generating
+  function, bucket elements ordered first);
+* anti-monotone, not succinct -> anti-monotone candidate check;
+* neither -> sound relaxation where one exists, plus a final post-filter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.constraints.ast import Constraint
+from repro.constraints.onevar import OneVarView
+from repro.constraints.pruners import CompiledPruning, compile_onevar
+from repro.db.domain import Domain
+from repro.db.stats import OpCounters
+from repro.errors import ConstraintTypeError
+from repro.mining.lattice import ConstrainedLattice, LatticeResult
+
+
+def compile_constraints(
+    constraints: Sequence[Constraint], var: str, domain: Domain
+) -> CompiledPruning:
+    """Compile a conjunction of 1-var constraints on ``var`` into one
+    pruning bundle."""
+    bundle = CompiledPruning()
+    for constraint in constraints:
+        view = OneVarView.of(constraint)
+        if view.var != var:
+            raise ConstraintTypeError(
+                f"constraint {constraint} is on {view.var!r}, expected {var!r}"
+            )
+        bundle.extend(compile_onevar(view, domain))
+    return bundle
+
+
+def cap_mine(
+    var: str,
+    domain: Domain,
+    transactions: Sequence[Tuple[int, ...]],
+    min_count: int,
+    constraints: Sequence[Constraint] = (),
+    counters: Optional[OpCounters] = None,
+    max_level: Optional[int] = None,
+) -> LatticeResult:
+    """Run CAP for one variable.
+
+    Parameters
+    ----------
+    var:
+        Variable name.
+    domain:
+        The variable's domain (supplies elements and attribute values).
+    transactions:
+        Transactions projected onto the domain.
+    min_count:
+        Absolute support threshold.
+    constraints:
+        The 1-var constraints to push (all must be on ``var``).
+    """
+    pruning = compile_constraints(constraints, var, domain)
+    lattice = ConstrainedLattice(
+        var=var,
+        elements=domain.elements,
+        transactions=transactions,
+        min_count=min_count,
+        pruning=pruning,
+        counters=counters,
+        max_level=max_level,
+    )
+    while lattice.count_and_absorb():
+        pass
+    return lattice.result()

@@ -1,0 +1,94 @@
+"""Support counting over (projected) transaction lists.
+
+Counting is the dominant cost of levelwise mining, and its volume is what
+the paper's optimizations reduce, so this module both counts supports and
+*meters the work* (``subset_tests`` on the run's
+:class:`~repro.db.stats.OpCounters`).
+
+Two complementary strategies are used per transaction, picking whichever
+is cheaper — the classic trade-off between subset enumeration and
+candidate scanning:
+
+* **enumeration** — generate the k-subsets of the (candidate-filtered)
+  transaction and probe the candidate hash table: cost ``C(|t|, k)``;
+* **candidate scan** — test each candidate for containment in the
+  transaction: cost ``|candidates| * k``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.stats import OpCounters
+from repro.mining.itemsets import Itemset
+
+
+def count_singletons(
+    transactions: Sequence[Tuple[int, ...]],
+    elements: Iterable[int],
+    counters: Optional[OpCounters] = None,
+    var: str = "S",
+) -> Dict[int, int]:
+    """Count the support of each element in one pass.
+
+    Returns ``{element: support}`` for every requested element (including
+    zero-support ones).
+    """
+    wanted = set(elements)
+    support = dict.fromkeys(wanted, 0)
+    probes = 0
+    for t in transactions:
+        probes += len(t)
+        for item in t:
+            if item in wanted:
+                support[item] += 1
+    if counters is not None:
+        counters.record_counted(var, 1, len(wanted))
+        counters.subset_tests += probes
+    return support
+
+
+def count_candidates(
+    transactions: Sequence[Tuple[int, ...]],
+    candidates: Sequence[Itemset],
+    k: int,
+    counters: Optional[OpCounters] = None,
+    var: str = "S",
+) -> Dict[Itemset, int]:
+    """Count the support of canonical k-itemset candidates in one pass."""
+    support: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
+    if not support:
+        return support
+    candidate_items = frozenset(item for c in support for item in c)
+    candidate_list: List[Itemset] = list(support)
+    scan_cost = len(candidate_list) * k
+    work = 0
+    for t in transactions:
+        relevant = [i for i in t if i in candidate_items]
+        m = len(relevant)
+        if m < k:
+            work += len(t)
+            continue
+        enum_cost = comb(m, k)
+        if enum_cost <= scan_cost:
+            work += enum_cost + len(t)
+            for subset in combinations(relevant, k):
+                if subset in support:
+                    support[subset] += 1
+        else:
+            work += scan_cost + len(t)
+            t_set = frozenset(relevant)
+            for candidate in candidate_list:
+                if t_set.issuperset(candidate):
+                    support[candidate] += 1
+    if counters is not None:
+        counters.record_counted(var, k, len(candidate_list))
+        counters.subset_tests += work
+    return support
+
+
+def frequent_only(support: Dict, min_count: int) -> Dict:
+    """Filter a support map down to the frequent entries."""
+    return {key: n for key, n in support.items() if n >= min_count}

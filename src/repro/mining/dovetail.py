@@ -1,0 +1,350 @@
+"""The dovetailed dual-lattice engine (Sections 4–6).
+
+This engine executes an :class:`~repro.core.plan.ExecutionPlan`:
+
+1. **Level 1** — counts all (filter-passing) singletons for both
+   variables in one shared scan.
+2. **Reduction hook** — reduces each quasi-succinct (or induced weaker)
+   2-var constraint into 1-var succinct constraints using the two L1s
+   (Figures 2/3) and installs them into the lattices, *before* any level-2
+   candidate is generated.
+3. **Jmax hook** — starts a :class:`~repro.core.jmax.BoundSeries` per
+   non-quasi-succinct sum/avg constraint and installs a dynamic pruning
+   condition on the lesser side; the bound tightens after every level of
+   the greater side's lattice.
+4. **Dovetailed levels** — both lattices advance level by level, their
+   candidates counted against a single shared database pass (the I/O
+   argument of Section 5.2).  ``dovetail=False`` runs the lattices
+   sequentially instead (each paying its own scans), for the ablation.
+
+The engine is strategy-agnostic: with no constraints in the plan it is
+plain dual Apriori; with only 1-var constraints it is CAP per variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.constraints.pruners import (
+    AntiMonotoneCheck,
+    CompiledPruning,
+    PostFilter,
+    RequiredBucket,
+    element_value_map,
+)
+from repro.core.jmax import BoundSeries
+from repro.core.plan import ExecutionPlan, JmaxPlan
+from repro.core.reduction import reduce_twovar
+from repro.db.stats import OpCounters
+from repro.db.transactions import TransactionDatabase
+from repro.errors import ExecutionError
+from repro.mining.cap import compile_constraints
+from repro.mining.counting import count_singletons
+from repro.mining.lattice import ConstrainedLattice, LatticeResult
+
+
+@dataclass
+class DovetailResult:
+    """The engine's output: per-variable results plus instrumentation."""
+
+    lattices: Dict[str, LatticeResult]
+    counters: OpCounters
+    bound_histories: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    disabled_jmax: List[str] = field(default_factory=list)
+    candidate_logs: Dict[str, Dict[int, List[Tuple[int, ...]]]] = field(
+        default_factory=dict
+    )
+
+    def result_for(self, var: str) -> LatticeResult:
+        """One variable's lattice result."""
+        return self.lattices[var]
+
+
+class DovetailEngine:
+    """Executes an :class:`ExecutionPlan` against a transaction database."""
+
+    def __init__(
+        self,
+        db: TransactionDatabase,
+        plan: ExecutionPlan,
+        counters: Optional[OpCounters] = None,
+        dovetail: bool = True,
+        use_reduction: bool = True,
+        use_jmax: bool = True,
+        max_level: Optional[int] = None,
+        keep_candidates: bool = False,
+        backend=None,
+        reduction_rounds: int = 1,
+    ):
+        if reduction_rounds < 1:
+            raise ExecutionError("reduction_rounds must be >= 1")
+        self.db = db
+        self.plan = plan
+        self.counters = counters if counters is not None else OpCounters()
+        self.dovetail = dovetail
+        self.use_reduction = use_reduction
+        self.use_jmax = use_jmax
+        self.max_level = max_level
+        self.keep_candidates = keep_candidates
+        self.backend = backend
+        self.reduction_rounds = reduction_rounds
+        self._series: List[Tuple[JmaxPlan, BoundSeries]] = []
+        self._bound_side_done: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> DovetailResult:
+        """Execute the plan and return per-variable results."""
+        lattices, projected = self._build_lattices()
+
+        self._run_level1(lattices, projected)
+        if self.use_reduction:
+            self._apply_reductions(lattices)
+        disabled = self._setup_jmax(lattices) if self.use_jmax else [
+            f"{p.pruned_var}: jmax disabled by engine option" for p in self.plan.jmax
+        ]
+
+        del projected  # lattices own (and trim) their transaction lists
+        if self.dovetail:
+            self._run_dovetailed(lattices)
+        else:
+            self._run_sequential(lattices)
+
+        histories = {
+            f"{plan.bound_var}.{plan.bound_attr}": series.history
+            for plan, series in self._series
+        }
+        return DovetailResult(
+            lattices={var: lattice.result() for var, lattice in lattices.items()},
+            counters=self.counters,
+            bound_histories=histories,
+            disabled_jmax=disabled,
+            candidate_logs={
+                var: dict(lattice.candidate_log) for var, lattice in lattices.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _build_lattices(self):
+        lattices: Dict[str, ConstrainedLattice] = {}
+        projected: Dict[str, List[Tuple[int, ...]]] = {}
+        for var, var_plan in self.plan.var_plans.items():
+            domain = var_plan.domain
+            projected[var] = [domain.project(t) for t in self.db.transactions]
+            pruning = compile_constraints(var_plan.base_constraints, var, domain)
+            lattices[var] = ConstrainedLattice(
+                var=var,
+                elements=domain.elements,
+                transactions=projected[var],
+                min_count=var_plan.min_count,
+                pruning=pruning,
+                counters=self.counters,
+                max_level=self.max_level,
+                keep_candidates=self.keep_candidates,
+                backend=self.backend,
+            )
+        return lattices, projected
+
+    def _run_level1(self, lattices, projected) -> None:
+        self._record_level_scan(n_active=len(lattices))
+        for var, lattice in lattices.items():
+            candidates = lattice.candidates()
+            if not candidates:
+                # Item filters admit nothing: the lattice is already done
+                # (its constrained L1 is empty, which the reduction step
+                # will propagate to the other side).
+                continue
+            supports = count_singletons(
+                lattice.transactions, (c[0] for c in candidates), self.counters, var
+            )
+            lattice.absorb({(e,): n for e, n in supports.items()})
+
+    def _apply_reductions(self, lattices) -> None:
+        """Install the Figure 2/3 reductions; optionally iterate.
+
+        Iterated reduction (an extension beyond the paper; see DESIGN.md):
+        the round-1 reductions shrink each side's constrained L1, which
+        tightens the other side's reduction constants, and so on to a
+        fixpoint.  Iteration is sound because the reduced *item filters*
+        are itemwise conditions on the elements of valid sets — every
+        element of a valid-pair set survives them, so constants computed
+        from the filtered L1 still cover all possible partners.  Rounds
+        after the first install only the (monotonically shrinking) item
+        filters, never duplicate buckets or checks.
+        """
+        domains = {var: plan.domain for var, plan in self.plan.var_plans.items()}
+        for round_index in range(self.reduction_rounds):
+            l1 = {
+                var: tuple(lattice.level1_supports)
+                for var, lattice in lattices.items()
+            }
+            changed = False
+            for reduction in self.plan.reductions:
+                if not reduction.view.variables <= set(lattices):
+                    raise ExecutionError(
+                        f"reduction {reduction.view} mentions variables outside "
+                        f"the plan"
+                    )
+                reduced = reduce_twovar(reduction.view, domains, l1)
+                for var, constraints in reduced.items():
+                    if not constraints:
+                        continue
+                    bundle = compile_constraints(constraints, var, domains[var])
+                    if round_index > 0:
+                        bundle = CompiledPruning(filters=bundle.filters)
+                        if not bundle.filters:
+                            continue
+                    before = len(lattices[var].level1_supports)
+                    lattices[var].install_pruning(bundle)
+                    if len(lattices[var].level1_supports) != before:
+                        changed = True
+            if round_index > 0 and not changed:
+                break
+
+    def _setup_jmax(self, lattices) -> List[str]:
+        disabled: List[str] = []
+        for jplan in self.plan.jmax:
+            bound_lattice = lattices[jplan.bound_var]
+            if bound_lattice.pruning.buckets or bound_lattice.pruning.am_checks:
+                # The series needs *all* frequent sets over the bound
+                # side's universe; buckets/AM checks hide some, so using
+                # the series would be unsound.  Item filters are fine.
+                disabled.append(
+                    f"{jplan.source}: bound side {jplan.bound_var} has "
+                    f"non-filter pruning; series disabled"
+                )
+                continue
+            domain = self.plan.var_plans[jplan.bound_var].domain
+            values = element_value_map(domain, jplan.bound_attr)
+            series = BoundSeries(values=values, kind=jplan.bound_kind)
+            series.start(tuple(bound_lattice.level1_supports))
+            self._install_dynamic_check(lattices[jplan.pruned_var], jplan, series)
+            self._series.append((jplan, series))
+            self._bound_side_done[jplan.bound_var] = False
+        return disabled
+
+    def _install_dynamic_check(
+        self, lattice: ConstrainedLattice, jplan: JmaxPlan, series: BoundSeries
+    ) -> None:
+        domain = self.plan.var_plans[jplan.pruned_var].domain
+        values = element_value_map(domain, jplan.pruned_attr)
+        strict = jplan.strict
+        func = jplan.pruned_func
+
+        def within_bound(total: float) -> bool:
+            return total < series.bound if strict else total <= series.bound
+
+        if func in ("sum", "max"):
+            # sum <= W and max <= W are anti-monotone: prune candidates.
+            if func == "sum":
+                def check(elements):
+                    return within_bound(sum(values[e] for e in elements))
+            else:
+                def check(elements):
+                    return within_bound(max(values[e] for e in elements))
+
+            lattice.install_pruning(
+                CompiledPruning(
+                    am_checks=[AntiMonotoneCheck(check, jplan.source)]
+                )
+            )
+        else:
+            # min <= W and avg <= W are not anti-monotone; push the static
+            # L1 relaxation as a bucket and verify against the final bound
+            # in a post-filter (the bound only tightens, so deferring to
+            # the end is sound and strictly stronger).
+            start_bound = series.bound
+            bucket = frozenset(
+                e for e, v in values.items()
+                if (v < start_bound if strict else v <= start_bound)
+            )
+
+            def post(elements):
+                measured = (
+                    min(values[e] for e in elements)
+                    if func == "min"
+                    else sum(values[e] for e in elements) / len(elements)
+                )
+                return within_bound(measured)
+
+            lattice.install_pruning(
+                CompiledPruning(
+                    buckets=[RequiredBucket(bucket, f"{jplan.source} (L1 bound)")],
+                    post_filters=[PostFilter(post, jplan.source)],
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Level loops
+    # ------------------------------------------------------------------
+    def _run_dovetailed(self, lattices) -> None:
+        while True:
+            active = [lattice for lattice in lattices.values() if lattice.active]
+            if not active:
+                break
+            # Generate first: a level with no candidates anywhere needs no
+            # database pass.
+            pending = [
+                (lattice, candidates)
+                for lattice in active
+                for candidates in [lattice.candidates()]
+                if candidates
+            ]
+            if not pending:
+                break
+            self._record_level_scan(n_active=1)
+            for lattice, candidates in pending:
+                support = lattice.backend.count(
+                    lattice.transactions, candidates, len(candidates[0]),
+                    self.counters, lattice.var,
+                )
+                lattice.absorb(support)
+            self._update_series(lattices)
+
+    def _run_sequential(self, lattices) -> None:
+        # Bound-side variables first, so the pruned side sees the final
+        # (global-maximum) bound — the non-dovetailed strategy the paper
+        # discusses at the end of Section 5.2.
+        bound_vars = [jplan.bound_var for jplan, __ in self._series]
+        order = sorted(lattices, key=lambda v: (v not in bound_vars, v))
+        for var in order:
+            lattice = lattices[var]
+            while lattice.active:
+                candidates = lattice.candidates()
+                if not candidates:
+                    break
+                self._record_level_scan(n_active=1)
+                support = lattice.backend.count(
+                    lattice.transactions, candidates, len(candidates[0]),
+                    self.counters, lattice.var,
+                )
+                lattice.absorb(support)
+                self._update_series(lattices, only_var=var)
+
+    def _update_series(self, lattices, only_var: Optional[str] = None) -> None:
+        for jplan, series in self._series:
+            var = jplan.bound_var
+            if only_var is not None and var != only_var:
+                continue
+            lattice = lattices[var]
+            level = lattice.level
+            if level >= 2 and level in lattice.frequent:
+                already = [k for k, __ in series.history]
+                if level not in already:
+                    series.update(level, lattice.frequent[level].keys())
+            if not lattice.active and not self._bound_side_done.get(var, True):
+                # No frequent sets beyond the last level: the bound
+                # collapses to the maximum over the enumerated sets.
+                series.update(max(lattice.level, 2) + 1, [])
+                self._bound_side_done[var] = True
+
+    def _record_level_scan(self, n_active: int) -> None:
+        # Dovetailing shares one physical pass across all lattices of the
+        # level; sequential execution pays one pass per lattice per level.
+        passes = 1 if self.dovetail else n_active
+        for __ in range(passes):
+            self.counters.record_scan(len(self.db))

@@ -1,0 +1,28 @@
+"""Itemset helpers — re-exported from :mod:`repro.itemsets`.
+
+The implementations live at the package top level so that core modules
+(which the mining engine itself depends on) can use them without closing
+an import cycle through ``repro.mining``.
+"""
+
+from repro.itemsets import (
+    Itemset,
+    all_nonempty_subsets,
+    canonical,
+    flatten,
+    max_level,
+    proper_subsets,
+    ranked,
+    subsets_of_size,
+)
+
+__all__ = [
+    "Itemset",
+    "all_nonempty_subsets",
+    "canonical",
+    "flatten",
+    "max_level",
+    "proper_subsets",
+    "ranked",
+    "subsets_of_size",
+]

@@ -1,0 +1,376 @@
+"""The CAP-style constrained levelwise lattice for one set variable.
+
+:class:`ConstrainedLattice` is the workhorse every strategy in this
+library is built from:
+
+* with no pruning installed it is exactly classic **Apriori**;
+* with the user's 1-var constraints compiled in
+  (:func:`repro.constraints.pruners.compile_onevar`) it is **CAP**
+  (Ng et al., SIGMOD 1998), handling all four constraint classes:
+  item filters (succinct + anti-monotone), required buckets (succinct
+  only — the member-generating-function case), anti-monotone checks, and
+  post-filters;
+* driven by :class:`repro.mining.dovetail.DovetailEngine` with reduced
+  2-var constraints installed after level 1 and ``V^k`` bounds installed
+  every level, it is the paper's optimized strategy.
+
+The lattice is a *stepper*: callers ask for the next level's candidates,
+count them (possibly sharing a database scan with another lattice — the
+dovetailing of Section 5.2), and feed the counts back.  This inversion is
+what lets two lattices interleave level by level.
+
+Rank space
+----------
+Candidate generation uses a per-run *rank* ordering that places the
+elements of the first required bucket ahead of all others.  A rank-sorted
+candidate then hits the bucket iff its first element does — a structural
+property of generation, not a constraint check — which is how CAP meets
+condition (2) of ccc-optimality (Definition 6) for succinct constraints.
+The ordering is frozen the first time level-2 candidates are requested;
+pruners installed later (the dynamic ``V^k`` bounds) may only be
+anti-monotone checks, which do not interact with the ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.constraints.pruners import CompiledPruning
+from repro.db.stats import OpCounters
+from repro.errors import ExecutionError
+from repro.mining.backends import make_backend
+from repro.mining.candidates import generate_pairs, join_and_prune
+from repro.mining.counting import count_singletons, frequent_only
+from repro.mining.itemsets import Itemset, canonical
+
+RankTuple = Tuple[int, ...]
+
+
+@dataclass
+class LatticeResult:
+    """The outcome of one variable's lattice computation.
+
+    Attributes
+    ----------
+    var:
+        The variable name.
+    frequent:
+        Post-filtered frequent valid itemsets per level (canonical
+        element-id tuples mapped to absolute support).
+    level1_supports:
+        Supports of *all* frequent filter-passing singletons — the set the
+        paper calls ``L1``, whose values parameterize the quasi-succinct
+        reduction.
+    counted_per_level:
+        Number of candidate sets whose support was counted, per level.
+    """
+
+    var: str
+    frequent: Dict[int, Dict[Itemset, int]]
+    level1_supports: Dict[int, int]
+    counted_per_level: Dict[int, int]
+
+    def all_sets(self) -> Dict[Itemset, int]:
+        """All frequent valid itemsets across levels."""
+        merged: Dict[Itemset, int] = {}
+        for sets in self.frequent.values():
+            merged.update(sets)
+        return merged
+
+    @property
+    def max_level(self) -> int:
+        """Largest level with a frequent valid set (0 if none)."""
+        levels = [k for k, sets in self.frequent.items() if sets]
+        return max(levels) if levels else 0
+
+
+class ConstrainedLattice:
+    """Levelwise miner for one variable under operational pruning forms.
+
+    Parameters
+    ----------
+    var:
+        Variable name ("S" or "T" in the paper's queries).
+    elements:
+        The element universe the variable's sets draw from (a
+        :class:`~repro.db.domain.Domain`'s ``elements``, or any iterable
+        of ids for plain frequency mining).
+    transactions:
+        The domain-projected transactions (tuples of element ids).
+    min_count:
+        Absolute support threshold.
+    pruning:
+        Initially installed pruning (the variable's own 1-var
+        constraints); more may be installed between levels via
+        :meth:`install_pruning`.
+    counters:
+        Shared operation counters; created if omitted.
+    max_level:
+        Optional hard cap on the lattice depth.
+    """
+
+    def __init__(
+        self,
+        var: str,
+        elements: Sequence[int],
+        transactions: Sequence[Tuple[int, ...]],
+        min_count: int,
+        pruning: Optional[CompiledPruning] = None,
+        counters: Optional[OpCounters] = None,
+        max_level: Optional[int] = None,
+        keep_candidates: bool = False,
+        backend=None,
+    ):
+        if min_count < 1:
+            raise ExecutionError(f"min_count must be >= 1, got {min_count}")
+        self.var = var
+        self.elements: Tuple[int, ...] = tuple(elements)
+        self.transactions: List[Tuple[int, ...]] = list(transactions)
+        self.min_count = min_count
+        self.pruning = pruning if pruning is not None else CompiledPruning()
+        self.counters = counters if counters is not None else OpCounters()
+        self.max_level_cap = max_level
+
+        self.level = 0
+        self.active = True
+        self.frequent: Dict[int, Dict[Itemset, int]] = {}
+        self.level1_supports: Dict[int, int] = {}
+        self.counted_per_level: Dict[int, int] = {}
+        self.keep_candidates = keep_candidates
+        self.candidate_log: Dict[int, List[Itemset]] = {}
+        self.backend = make_backend(backend if backend is not None else "hybrid")
+
+        self._universe: Tuple[int, ...] = self.pruning.filtered_universe(self.elements)
+        self._record_level1_checks(len(self.elements))
+        self._frozen = False
+        self._rank: Dict[int, int] = {}
+        self._order: List[int] = []
+        self._has_buckets = False
+        self._primary_bucket_size = 0
+        self._prev_ranked: Set[RankTuple] = set()
+        self._pending: Optional[List[Itemset]] = None  # canonical candidates awaiting counts
+        self._pending_level = 0
+
+    # ------------------------------------------------------------------
+    # Stepper interface
+    # ------------------------------------------------------------------
+    def next_level(self) -> int:
+        """The level whose candidates would be produced next."""
+        return self.level + 1
+
+    def candidates(self) -> List[Itemset]:
+        """Produce the next level's candidates (canonical tuples).
+
+        Level 1 candidates are the filter-passing singleton elements; the
+        caller counts them and feeds the supports to :meth:`absorb`.
+        Returns an empty list when the lattice has gone inactive.
+        """
+        if not self.active:
+            return []
+        k = self.level + 1
+        if self.max_level_cap is not None and k > self.max_level_cap:
+            self.active = False
+            return []
+        if k == 1:
+            cands = [(e,) for e in self._universe]
+        elif k == 2:
+            cands = self._level2_candidates()
+        else:
+            cands = self._deeper_candidates(k)
+        if not cands:
+            self.active = False
+            return []
+        self._pending = cands
+        self._pending_level = k
+        return cands
+
+    def absorb(self, support: Mapping[Itemset, int]) -> None:
+        """Feed back the supports of the pending candidates."""
+        if self._pending is None:
+            raise ExecutionError("absorb() called with no pending candidates")
+        k = self._pending_level
+        self.counted_per_level[k] = self.counted_per_level.get(k, 0) + len(self._pending)
+        if self.keep_candidates:
+            self.candidate_log.setdefault(k, []).extend(self._pending)
+        freq = frequent_only(dict(support), self.min_count)
+        self._pending = None
+        self.level = k
+        if k == 1:
+            self.level1_supports = {items[0]: n for items, n in freq.items()}
+            self._trim_transactions()
+            self.frequent[1] = dict(freq)
+        else:
+            self.frequent[k] = freq
+        self._prev_ranked = (
+            {self._to_ranked(itemset) for itemset in freq} if self._frozen else set()
+        )
+        if not freq:
+            self.active = False
+
+    def count_and_absorb(self) -> bool:
+        """Run one full level against this lattice's own transactions.
+
+        Returns whether the lattice is still active.  Used by the
+        single-variable strategies; the dovetail engine counts the two
+        variables' candidates in a shared scan instead.
+        """
+        cands = self.candidates()
+        if not cands:
+            return False
+        k = self._pending_level
+        self.counters.record_scan(len(self.transactions))
+        if k == 1:
+            supports = count_singletons(
+                self.transactions, (c[0] for c in cands), self.counters, self.var
+            )
+            self.absorb({(e,): n for e, n in supports.items()})
+        else:
+            self.absorb(
+                self.backend.count(self.transactions, cands, k, self.counters,
+                                   self.var)
+            )
+        return self.active
+
+    # ------------------------------------------------------------------
+    # Pruning installation (the reduction / Jmax hooks)
+    # ------------------------------------------------------------------
+    def install_pruning(self, extra: CompiledPruning) -> None:
+        """Conjoin additional pruning, e.g. the reduced 1-var constraints
+        of Figures 2/3 after level 1, or a tightened ``V^k`` bound.
+
+        Item filters and buckets may only be installed before the ordering
+        freezes (i.e. before level-2 candidates are generated);
+        anti-monotone checks and post-filters may arrive at any time.
+        """
+        if self._frozen and (extra.filters or extra.buckets):
+            raise ExecutionError(
+                "item filters and buckets must be installed before level 2"
+            )
+        self.pruning.extend(extra)
+        if extra.filters:
+            self._universe = self.pruning.filtered_universe(self._universe)
+            if self.level >= 1:
+                keep = set(self._universe)
+                self.level1_supports = {
+                    e: n for e, n in self.level1_supports.items() if e in keep
+                }
+                if 1 in self.frequent:
+                    self.frequent[1] = {
+                        (e,): n for e, n in self.level1_supports.items()
+                    }
+                self._trim_transactions()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> LatticeResult:
+        """Final frequent valid sets, with post-filters applied.
+
+        Post-filter invocations are metered as final-verification checks
+        (``pair_checks``), matching the paper's accounting where the extra
+        verification for induced weaker constraints happens outside the
+        lattice computation.
+        """
+        needs_final = bool(
+            self.pruning.post_filters or self.pruning.buckets or self.pruning.am_checks
+        )
+        filtered: Dict[int, Dict[Itemset, int]] = {}
+        for k, sets in self.frequent.items():
+            if not needs_final:
+                filtered[k] = dict(sets)
+                continue
+            kept: Dict[Itemset, int] = {}
+            for itemset, n in sets.items():
+                # Re-apply the full validity test: level-1 sets were counted
+                # regardless of buckets (the MGF needs their supports), and
+                # dynamic anti-monotone bounds may have tightened since a
+                # set was admitted.  These are final-verification checks.
+                n_checks = len(self.pruning.am_checks) + len(self.pruning.post_filters)
+                self.counters.pair_checks += n_checks
+                if self.pruning.lattice_valid(itemset) and (
+                    self.pruning.post_filters_pass(itemset)
+                ):
+                    kept[itemset] = n
+            filtered[k] = kept
+        return LatticeResult(
+            var=self.var,
+            frequent=filtered,
+            level1_supports=dict(self.level1_supports),
+            counted_per_level=dict(self.counted_per_level),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record_level1_checks(self, n_elements: int) -> None:
+        # Constructing the filtered universe evaluates each element against
+        # the installed succinct constraints — the level-1 constraint
+        # checks that Definition 6's condition (2) permits.
+        if not self.pruning.is_trivial:
+            self.counters.record_check(1, n_elements)
+
+    def _trim_transactions(self) -> None:
+        keep = frozenset(self.level1_supports)
+        self.transactions = [
+            tuple(i for i in t if i in keep) for t in self.transactions
+        ]
+
+    def _freeze_order(self) -> None:
+        if self._frozen:
+            return
+        # Only ONE bucket can be enforced structurally (the MGF ordering);
+        # a set missing the other buckets may still grow into them, so
+        # they are applied as final validity filters only (see DESIGN.md).
+        # The smallest bucket is chosen as the structural one, maximizing
+        # pruning.
+        buckets = [b.bucket & set(self.level1_supports) for b in self.pruning.buckets]
+        self._has_buckets = bool(buckets)
+        primary: FrozenSet[int] = (
+            frozenset(min(buckets, key=len)) if buckets else frozenset()
+        )
+        front = sorted(primary)
+        back = sorted(e for e in self.level1_supports if e not in primary)
+        self._order = front + back
+        self._rank = {e: r for r, e in enumerate(self._order)}
+        self._primary_bucket_size = len(front)
+        self._prev_ranked = {
+            self._to_ranked(itemset) for itemset in self.frequent.get(1, {})
+        }
+        self._frozen = True
+
+    def _to_ranked(self, itemset: Itemset) -> RankTuple:
+        return tuple(sorted(self._rank[e] for e in itemset))
+
+    def _to_canonical(self, ranked: RankTuple) -> Itemset:
+        return canonical(self._order[r] for r in ranked)
+
+    def _ranked_hits_buckets(self, ranked: RankTuple) -> bool:
+        return not (self._has_buckets and ranked[0] >= self._primary_bucket_size)
+
+    def _passes_am_checks(self, ranked: RankTuple) -> bool:
+        if not self.pruning.am_checks:
+            return True
+        elements = self._to_canonical(ranked)
+        self.counters.record_check(len(elements), len(self.pruning.am_checks))
+        return self.pruning.am_checks_pass(elements)
+
+    def _level2_candidates(self) -> List[Itemset]:
+        self._freeze_order()
+        if self._has_buckets and self._primary_bucket_size == 0:
+            return []
+        level1_ranks = list(range(len(self._order)))
+        limit = self._primary_bucket_size if self._has_buckets else 0
+
+        def admissible(a: int, b: int) -> bool:
+            if limit and a >= limit:
+                return False
+            return self._passes_am_checks((a, b))
+
+        pairs = generate_pairs(level1_ranks, admissible)
+        return [self._to_canonical(p) for p in pairs]
+
+    def _deeper_candidates(self, k: int) -> List[Itemset]:
+        ranked = join_and_prune(self._prev_ranked, k, self._ranked_hits_buckets)
+        survivors = [rt for rt in ranked if self._passes_am_checks(rt)]
+        return [self._to_canonical(rt) for rt in survivors]

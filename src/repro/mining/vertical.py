@@ -1,0 +1,61 @@
+"""Vertical (TID-list) support counting.
+
+Instead of scanning transactions horizontally, the vertical layout keeps,
+for each item, the sorted set of transaction ids containing it; a
+candidate's support is the size of the intersection of its items'
+TID-lists (Eclat-style).  Intersections start from the two smallest lists,
+and bail out as soon as the running intersection drops below any useful
+size.
+
+Provided as a counting backend for the backend ablation; it shines when
+candidates are few and deep, and loses to the horizontal hybrid when the
+candidate set is broad and shallow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.db.stats import OpCounters
+from repro.itemsets import Itemset
+
+
+def build_tidlists(
+    transactions: Sequence[Tuple[int, ...]]
+) -> Dict[int, frozenset]:
+    """Map each item to the set of transaction ids containing it."""
+    lists: Dict[int, set] = {}
+    for tid, transaction in enumerate(transactions):
+        for item in transaction:
+            lists.setdefault(item, set()).add(tid)
+    return {item: frozenset(tids) for item, tids in lists.items()}
+
+
+def count_with_tidlists(
+    tidlists: Dict[int, frozenset],
+    candidates: Sequence[Itemset],
+    counters: Optional[OpCounters] = None,
+    var: str = "S",
+    k: Optional[int] = None,
+) -> Dict[Itemset, int]:
+    """Support of each candidate via TID-list intersection."""
+    support: Dict[Itemset, int] = {}
+    work = 0
+    empty: frozenset = frozenset()
+    for candidate in candidates:
+        lists = sorted(
+            (tidlists.get(item, empty) for item in candidate), key=len
+        )
+        running = lists[0]
+        work += len(running)
+        for tids in lists[1:]:
+            if not running:
+                break
+            running = running & tids
+            work += min(len(running), len(tids)) + 1
+        support[candidate] = len(running)
+    if counters is not None:
+        level = k if k is not None else (len(candidates[0]) if candidates else 0)
+        counters.record_counted(var, level, len(candidates))
+        counters.subset_tests += work
+    return support

@@ -1,0 +1,78 @@
+"""Shared fixtures and oracles for the test suite.
+
+``brute_frequent`` is an *independent* frequent-set implementation (plain
+subset enumeration, no shared code with the library's miners) used as the
+ground truth throughout.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain
+from repro.db.transactions import TransactionDatabase
+
+
+def brute_frequent(
+    transactions: Sequence[Tuple[int, ...]],
+    universe: Iterable[int],
+    min_count: int,
+    max_size: Optional[int] = None,
+) -> Dict[Tuple[int, ...], int]:
+    """All frequent itemsets by exhaustive enumeration (test oracle)."""
+    universe = sorted(universe)
+    frozen = [frozenset(t) for t in transactions]
+    frequent: Dict[Tuple[int, ...], int] = {}
+    limit = max_size if max_size is not None else len(universe)
+    for k in range(1, limit + 1):
+        found = False
+        for combo in combinations(universe, k):
+            needed = frozenset(combo)
+            support = sum(1 for t in frozen if needed <= t)
+            if support >= min_count:
+                frequent[combo] = support
+                found = True
+        if not found:
+            break
+    return frequent
+
+
+@pytest.fixture
+def market_catalog() -> ItemCatalog:
+    """Six items, two types, hand-picked prices."""
+    return ItemCatalog(
+        {
+            "Price": {1: 10, 2: 20, 3: 30, 4: 40, 5: 50, 6: 60},
+            "Type": {1: "snack", 2: "snack", 3: "snack",
+                     4: "beer", 5: "beer", 6: "beer"},
+        }
+    )
+
+
+@pytest.fixture
+def market_domain(market_catalog) -> Domain:
+    return Domain.items(market_catalog)
+
+
+@pytest.fixture
+def market_db() -> TransactionDatabase:
+    """Ten transactions over the six market items, hand-written so exact
+    supports are easy to read off."""
+    return TransactionDatabase(
+        [
+            (1, 2, 4),
+            (1, 2, 5),
+            (1, 3, 4),
+            (1, 2, 3),
+            (2, 4, 5),
+            (1, 4, 5),
+            (2, 3, 6),
+            (1, 2, 4, 5),
+            (3, 4),
+            (1, 2),
+        ]
+    )

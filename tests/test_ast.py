@@ -1,0 +1,127 @@
+"""Unit tests for the constraint AST nodes and operators."""
+
+import pytest
+
+from repro.constraints.ast import (
+    Agg,
+    AttrRef,
+    CmpOp,
+    Comparison,
+    Const,
+    SetComparison,
+    SetConst,
+    SetOp,
+    is_onevar,
+    is_twovar,
+)
+from repro.errors import ConstraintTypeError
+
+
+@pytest.mark.parametrize(
+    "op, a, b, expected",
+    [
+        (CmpOp.LT, 1, 2, True),
+        (CmpOp.LE, 2, 2, True),
+        (CmpOp.EQ, 2, 2, True),
+        (CmpOp.NE, 1, 2, True),
+        (CmpOp.GE, 1, 2, False),
+        (CmpOp.GT, 3, 2, True),
+    ],
+)
+def test_cmp_apply(op, a, b, expected):
+    assert op.apply(a, b) is expected
+
+
+def test_cmp_flip_is_involutive_on_order():
+    for op in CmpOp:
+        flipped = op.flipped()
+        # a op b == b flipped(op) a for arbitrary samples
+        for a, b in ((1, 2), (2, 2), (3, 1)):
+            assert op.apply(a, b) == flipped.apply(b, a)
+
+
+def test_cmp_categories():
+    assert CmpOp.LT.is_le_like and CmpOp.LE.is_le_like
+    assert CmpOp.GT.is_ge_like and CmpOp.GE.is_ge_like
+    assert CmpOp.LT.strict and not CmpOp.LE.strict
+
+
+def test_set_op_apply_matrix():
+    a, b = frozenset({1, 2}), frozenset({2, 3})
+    assert SetOp.OVERLAPS.apply(a, b)
+    assert not SetOp.DISJOINT.apply(a, b)
+    assert SetOp.SUBSET.apply(frozenset({2}), b)
+    assert SetOp.NOT_SUBSET.apply(a, b)
+    assert SetOp.SUPERSET.apply(b, frozenset({3}))
+    assert SetOp.NOT_SUPERSET.apply(a, b)
+    assert SetOp.SETEQ.apply(a, frozenset({2, 1}))
+    assert SetOp.SETNEQ.apply(a, b)
+
+
+def test_set_op_flip_consistent():
+    samples = [
+        (frozenset({1}), frozenset({1, 2})),
+        (frozenset({1, 2}), frozenset({3})),
+        (frozenset(), frozenset({1})),
+        (frozenset({1, 2}), frozenset({1, 2})),
+    ]
+    for op in SetOp:
+        flipped = op.flipped()
+        for a, b in samples:
+            assert op.apply(a, b) == flipped.apply(b, a), op
+
+
+def test_comparison_variables_and_flip():
+    constraint = Comparison(
+        Agg("max", AttrRef("S", "A")), CmpOp.LE, Agg("min", AttrRef("T", "B"))
+    )
+    assert constraint.variables() == frozenset({"S", "T"})
+    assert is_twovar(constraint)
+    flipped = constraint.flipped()
+    assert flipped.op is CmpOp.GE
+    assert flipped.left == constraint.right
+
+
+def test_onevar_detection():
+    constraint = Comparison(Agg("sum", AttrRef("S", "A")), CmpOp.LE, Const(5))
+    assert is_onevar(constraint)
+    assert not is_twovar(constraint)
+
+
+def test_comparison_rejects_set_operand():
+    with pytest.raises(ConstraintTypeError):
+        Comparison(AttrRef("S", "A"), CmpOp.LE, Const(5))
+
+
+def test_comparison_rejects_constant_only():
+    with pytest.raises(ConstraintTypeError):
+        Comparison(Const(1), CmpOp.LE, Const(5))
+
+
+def test_set_comparison_rejects_scalar_operand():
+    with pytest.raises(ConstraintTypeError):
+        SetComparison(Agg("max", AttrRef("S", "A")), SetOp.SUBSET, SetConst(frozenset()))
+
+
+def test_set_comparison_rejects_two_constants():
+    with pytest.raises(ConstraintTypeError):
+        SetComparison(SetConst(frozenset({1})), SetOp.SUBSET, SetConst(frozenset()))
+
+
+def test_agg_rejects_unknown_function():
+    with pytest.raises(ConstraintTypeError):
+        Agg("median", AttrRef("S", "A"))
+
+
+def test_str_round_trips_through_parser():
+    from repro.constraints.parser import parse_constraint
+
+    for text in (
+        "max(S.Price) <= min(T.Price)",
+        "sum(S.Price) <= 100",
+        "S.Type = {a, b}",
+        "S.A ∩ T.B = ∅",
+        "S.A ⊆ T.B",
+    ):
+        constraint = parse_constraint(text)
+        assert parse_constraint(str(constraint)) == constraint

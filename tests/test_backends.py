@@ -1,0 +1,142 @@
+"""Counting backends: hash tree, vertical TID-lists, hybrid — all must
+agree with each other and with the brute-force oracle."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.stats import OpCounters
+from repro.mining.backends import (
+    BACKENDS,
+    HashTreeBackend,
+    HybridBackend,
+    VerticalBackend,
+    make_backend,
+)
+from repro.mining.hashtree import HashTree, build_hash_tree
+from repro.mining.vertical import build_tidlists, count_with_tidlists
+from tests.conftest import brute_frequent
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+def test_backend_agrees_with_direct_support(market_db, name):
+    backend = make_backend(name)
+    candidates = [(1, 2), (4, 5), (2, 3), (1, 6), (3, 6)]
+    support = backend.count(market_db.transactions, candidates, 2)
+    for candidate in candidates:
+        assert support[candidate] == market_db.support(candidate), name
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+def test_backend_empty_candidates(market_db, name):
+    backend = make_backend(name)
+    assert backend.count(market_db.transactions, [], 2) == {}
+
+
+def test_make_backend_passthrough_and_errors():
+    backend = HybridBackend()
+    assert make_backend(backend) is backend
+    with pytest.raises(ValueError):
+        make_backend("quantum")
+
+
+def test_hash_tree_structure_splits():
+    tree = build_hash_tree(
+        [tuple(sorted((a, b))) for a in range(10) for b in range(a + 1, 10)],
+        2,
+        leaf_size=4,
+    )
+    assert tree.size == 45
+    assert not tree.root.is_leaf
+
+
+def test_hash_tree_rejects_wrong_size():
+    tree = HashTree(3)
+    with pytest.raises(ValueError):
+        tree.insert((1, 2))
+
+
+def test_hash_tree_counts_duplicated_buckets(market_db):
+    """Items 1 and 17 share a bucket at fanout 16; routing must still
+    reach candidates starting with the later item."""
+    transactions = [(1, 17, 20), (17, 20), (1, 20)]
+    tree = build_hash_tree([(17, 20)], 2, leaf_size=1, fanout=16)
+    support = tree.count(transactions)
+    assert support[(17, 20)] == 2
+
+
+def test_tidlists():
+    lists = build_tidlists([(1, 2), (2, 3), (1, 3)])
+    assert lists[1] == frozenset({0, 2})
+    assert lists[2] == frozenset({0, 1})
+    support = count_with_tidlists(lists, [(1, 2), (1, 3), (1, 2, 3)])
+    assert support == {(1, 2): 1, (1, 3): 1, (1, 2, 3): 0}
+
+
+def test_vertical_backend_caches_per_list(market_db):
+    backend = VerticalBackend()
+    backend.count(market_db.transactions, [(1, 2)], 2)
+    first = backend._tidlists
+    backend.count(market_db.transactions, [(4, 5)], 2)
+    assert backend._tidlists is first  # same list object -> cache hit
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    raw=st.lists(
+        st.lists(st.integers(min_value=0, max_value=25), min_size=0, max_size=8),
+        min_size=1,
+        max_size=30,
+    ),
+    k=st.integers(min_value=2, max_value=4),
+    name=st.sampled_from(sorted(BACKENDS)),
+)
+def test_backends_match_oracle_property(raw, k, name):
+    transactions = [tuple(sorted(set(t))) for t in raw]
+    universe = sorted({i for t in transactions for i in t})
+    if len(universe) < k:
+        return
+    candidates = list(combinations(universe, k))[:80]
+    backend = make_backend(name)
+    support = backend.count(transactions, candidates, k)
+    frozen = [frozenset(t) for t in transactions]
+    for candidate in candidates:
+        expected = sum(1 for t in frozen if frozenset(candidate) <= t)
+        assert support[candidate] == expected, (name, candidate)
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+def test_full_mining_identical_across_backends(market_db, name):
+    from repro.mining.apriori import mine_frequent
+
+    reference = mine_frequent(market_db.transactions, range(1, 7), 2)
+    other = mine_frequent(
+        market_db.transactions, range(1, 7), 2, backend=name
+    )
+    assert other.all_sets() == reference.all_sets()
+
+
+def test_optimizer_accepts_backend(market_catalog, market_db):
+    from repro.core.optimizer import CFQOptimizer
+    from repro.core.query import CFQ
+    from repro.db.domain import Domain
+
+    item = Domain.items(market_catalog)
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.2,
+              constraints=["max(S.Price) <= min(T.Price)"])
+    hybrid = CFQOptimizer(cfq).execute(market_db)
+    for name in sorted(BACKENDS):
+        run = CFQOptimizer(cfq).execute(market_db, backend=name)
+        assert set(run.pairs()) == set(hybrid.pairs()), name
+
+
+def test_backends_meter_work(market_db):
+    for name in sorted(BACKENDS):
+        counters = OpCounters()
+        make_backend(name).count(
+            market_db.transactions, [(1, 2), (4, 5)], 2, counters, "S"
+        )
+        assert counters.subset_tests > 0, name
+        assert counters.support_counted[("S", 2)] == 2

@@ -1,0 +1,90 @@
+"""Benchmark harness and reporting (unit level; the real experiments run
+under ``pytest benchmarks/ --benchmark-only``)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    fig8a_speedups,
+    fig8b_speedups,
+)
+from repro.bench.harness import compare_strategies, run_strategy
+from repro.bench.report import render_series, render_table
+from repro.core.query import CFQ
+from repro.datagen.workloads import quickstart_workload
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "bb"], [[1, 2.5], ["xxx", "y"]], title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "2.50" in text
+    assert all(len(line) == len(lines[1]) or i == 0
+               for i, line in enumerate(lines))
+
+
+def test_render_series_has_bars():
+    text = render_series("title", [1, 2], [[1.0, 2.0], [3.0, 4.0]],
+                         ["a", "b"])
+    assert text.count("#") > 0
+    assert "a" in text and "b" in text
+
+
+def test_experiment_result_accessors():
+    result = ExperimentResult(
+        experiment="x", headers=["k", "v"], rows=[["a", 1], ["b", 2]],
+        paper="ref", notes=["n"],
+    )
+    assert result.column("v") == [1, 2]
+    rendered = result.render()
+    assert "paper reported: ref" in rendered and "note: n" in rendered
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return quickstart_workload(n_transactions=200)
+
+
+def test_run_strategy_kinds(workload):
+    cfq = CFQ(domains=workload.domains, minsup=0.05,
+              constraints=["max(S.Price) <= min(T.Price)"])
+    optimizer_run = run_strategy("opt", workload.db, cfq)
+    baseline_run = run_strategy("base", workload.db, cfq, kind="apriori_plus")
+    assert optimizer_run.cost > 0 and baseline_run.cost > 0
+    assert optimizer_run.speedup_over(baseline_run) > 1.0
+    assert set(optimizer_run.frequent_sizes) == {"S", "T"}
+    with pytest.raises(ValueError):
+        run_strategy("x", workload.db, cfq, kind="mystery")
+
+
+def test_compare_strategies(workload):
+    cfq = CFQ(domains=workload.domains, minsup=0.05,
+              constraints=["S.Type = T.Type"])
+    runs = compare_strategies(
+        workload.db, cfq,
+        [
+            {"name": "apriori+", "kind": "apriori_plus"},
+            {"name": "optimizer"},
+            {"name": "no-reduction", "use_reduction": False},
+        ],
+    )
+    assert [r.name for r in runs] == ["apriori+", "optimizer", "no-reduction"]
+
+
+def test_smoke_scale_experiments_preserve_shape():
+    """A fast sanity pass over the two headline figures; the full-scale
+    versions run in the benchmark suite."""
+    fig8a = fig8a_speedups(overlaps=(16.6, 83.4), scale="smoke")
+    speedups = fig8a.column("speedup")
+    assert speedups[0] > speedups[1] >= 1.0
+
+    fig8b = fig8b_speedups(overlaps=(20.0, 80.0), scale="smoke")
+    combined = fig8b.column("speedup_1var_2var")
+    one_var = fig8b.column("speedup_1var_only")
+    assert combined[0] > combined[1]
+    assert all(c > o for c, o in zip(combined, one_var))
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError):
+        fig8a_speedups(scale="galactic")

@@ -1,0 +1,71 @@
+"""Fuzzed CAP correctness: random 1-var constraint conjunctions on random
+catalogs/databases must match the oracle (brute-force frequent sets
+filtered by ground-truth evaluation)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.evaluate import evaluate_all
+from repro.constraints.parser import parse_constraint
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain
+from repro.mining.cap import cap_mine
+from tests.conftest import brute_frequent
+
+TEMPLATES = [
+    "max(S.A) <= {c}",
+    "min(S.A) >= {c}",
+    "min(S.A) <= {c}",
+    "max(S.A) >= {c}",
+    "sum(S.A) <= {c2}",
+    "avg(S.A) <= {c}",
+    "avg(S.A) >= {c}",
+    "count(S) <= 3",
+    "count(S.C) = 1",
+    "S.C = {{x}}",
+    "S.C ∩ {{y}} != ∅",
+    "S.C ⊆ {{x, y}}",
+    "S.C ⊇ {{x}}",
+    "S.C ⊄ {{x}}",
+]
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    templates=st.lists(st.sampled_from(TEMPLATES), min_size=1, max_size=3,
+                       unique=True),
+    const=st.integers(min_value=0, max_value=20),
+)
+def test_cap_matches_oracle_under_random_conjunctions(seed, templates, const):
+    rng = np.random.RandomState(seed)
+    n_items = 7
+    catalog = ItemCatalog(
+        {
+            "A": {i: int(rng.randint(0, 20)) for i in range(n_items)},
+            "C": {i: ["x", "y", "z"][rng.randint(3)] for i in range(n_items)},
+        }
+    )
+    domain = Domain.items(catalog)
+    transactions = [
+        tuple(sorted(rng.choice(n_items, size=rng.randint(1, n_items),
+                                replace=False)))
+        for __ in range(25)
+    ]
+    constraints = [
+        parse_constraint(t.format(c=const, c2=const * 3)) for t in templates
+    ]
+    mined = cap_mine("S", domain, transactions, 3, constraints).all_sets()
+    oracle = {
+        itemset: support
+        for itemset, support in brute_frequent(
+            transactions, domain.elements, 3
+        ).items()
+        if evaluate_all(constraints, {"S": itemset}, {"S": domain})
+    }
+    assert mined == oracle, templates

@@ -1,0 +1,89 @@
+"""Unit tests for the item catalog (the itemInfo relation)."""
+
+import pytest
+
+from repro.db.catalog import ItemCatalog, catalog_from_rows
+from repro.errors import ConstraintTypeError, DataError
+
+
+def test_basic_lookup(market_catalog):
+    assert market_catalog.value(1, "Price") == 10
+    assert market_catalog.value(4, "Type") == "beer"
+
+
+def test_items_sorted(market_catalog):
+    assert market_catalog.items == (1, 2, 3, 4, 5, 6)
+    assert len(market_catalog) == 6
+    assert 3 in market_catalog
+    assert 99 not in market_catalog
+
+
+def test_project_is_multiset(market_catalog):
+    assert market_catalog.project([1, 2], "Type") == ["snack", "snack"]
+
+
+def test_project_set_is_set(market_catalog):
+    assert market_catalog.project_set([1, 2], "Type") == frozenset({"snack"})
+
+
+def test_select_returns_succinct_set(market_catalog):
+    assert market_catalog.select("Price", lambda p: p >= 40) == frozenset({4, 5, 6})
+
+
+def test_column_returns_copy(market_catalog):
+    column = market_catalog.column("Price")
+    column[1] = 9999
+    assert market_catalog.value(1, "Price") == 10
+
+
+def test_numeric_and_non_negative(market_catalog):
+    assert market_catalog.numeric_attribute("Price")
+    assert not market_catalog.numeric_attribute("Type")
+    assert market_catalog.non_negative_attribute("Price")
+    negative = ItemCatalog({"A": {1: -5, 2: 3}})
+    assert negative.numeric_attribute("A")
+    assert not negative.non_negative_attribute("A")
+
+
+def test_restrict(market_catalog):
+    small = market_catalog.restrict([1, 4])
+    assert small.items == (1, 4)
+    assert small.value(4, "Price") == 40
+
+
+def test_restrict_unknown_item_raises(market_catalog):
+    with pytest.raises(DataError):
+        market_catalog.restrict([1, 999])
+
+
+def test_unknown_attribute_raises(market_catalog):
+    with pytest.raises(ConstraintTypeError):
+        market_catalog.value(1, "Weight")
+
+
+def test_unknown_item_raises(market_catalog):
+    with pytest.raises(DataError):
+        market_catalog.value(42, "Price")
+    with pytest.raises(DataError):
+        market_catalog.project([42], "Price")
+
+
+def test_mismatched_attribute_coverage_rejected():
+    with pytest.raises(DataError):
+        ItemCatalog({"A": {1: 1}, "B": {2: 2}})
+
+
+def test_empty_catalog_rejected():
+    with pytest.raises(DataError):
+        ItemCatalog({})
+
+
+def test_catalog_from_rows():
+    catalog = catalog_from_rows([(1, "snack", 10), (2, "beer", 20)])
+    assert catalog.value(1, "Type") == "snack"
+    assert catalog.value(2, "Price") == 20
+
+
+def test_catalog_from_rows_duplicate_rejected():
+    with pytest.raises(DataError):
+        catalog_from_rows([(1, "a", 1), (1, "b", 2)])

@@ -1,0 +1,68 @@
+"""ccc-optimality audit (Definition 6, Theorem 4, Corollary 2)."""
+
+import pytest
+
+from repro.core.ccc import audit_ccc
+from repro.core.query import CFQ
+from repro.datagen.workloads import quickstart_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return quickstart_workload(n_transactions=250)
+
+
+def audit(workload, constraints, **options):
+    cfq = CFQ(domains=workload.domains, minsup=0.04, constraints=constraints)
+    return audit_ccc(workload.db, cfq, **options)
+
+
+def test_unconstrained_mining_is_ccc_optimal(workload):
+    __, report = audit(workload, [])
+    assert report.ccc_optimal_strict
+    assert report.singleton_checks == 0
+
+
+def test_succinct_onevar_query_is_strictly_ccc_optimal(workload):
+    """Theorem 4: CAP with item-filter succinct constraints meets both
+    conditions under the verbatim reading."""
+    __, report = audit(workload, ["S.Type = {snacks}", "max(T.Price) <= 90"])
+    assert report.ccc_optimal_strict, report.describe()
+    assert report.singleton_checks <= report.universe_size
+
+
+def test_mgf_bucket_query_is_ccc_optimal(workload):
+    """Required buckets (min <= c): optimal under the MGF reading; the
+    strict reading may count sets whose invalid subsets are infrequent."""
+    __, report = audit(workload, ["min(S.Price) <= 40"])
+    assert report.ccc_optimal, report.describe()
+    assert report.condition2
+
+
+def test_quasi_succinct_twovar_query_is_ccc_optimal(workload):
+    """Corollary 2 on the reproduced pipeline."""
+    __, report = audit(workload, ["max(S.Price) <= min(T.Price)"])
+    assert report.ccc_optimal, report.describe()
+
+
+def test_combined_query_is_ccc_optimal(workload):
+    __, report = audit(
+        workload,
+        ["S.Type = {snacks}", "T.Type = {beers}", "max(S.Price) <= min(T.Price)"],
+    )
+    assert report.ccc_optimal, report.describe()
+
+
+def test_sum_query_is_not_ccc_optimal(workload):
+    """Section 6.2: strategies for non-quasi-succinct constraints violate
+    condition (1) (they count sets invalid for the original constraint)
+    and/or condition (2) (anti-monotone checks on larger sets)."""
+    __, report = audit(workload, ["sum(S.Price) <= sum(T.Price)"])
+    assert not report.ccc_optimal
+    assert not report.condition2  # dynamic sum checks hit larger sets
+
+
+def test_report_describe_mentions_conditions(workload):
+    __, report = audit(workload, ["max(S.Price) <= min(T.Price)"])
+    text = report.describe()
+    assert "condition 1" in text and "condition 2" in text

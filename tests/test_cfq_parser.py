@@ -1,0 +1,88 @@
+"""Whole-query parsing: the paper's {(S, T) | C} notation."""
+
+import pytest
+
+from repro.core.cfq_parser import parse_cfq, split_conjunction
+from repro.db.domain import Domain
+from repro.errors import ConstraintSyntaxError, QueryValidationError
+
+
+@pytest.fixture
+def domains(market_catalog):
+    item = Domain.items(market_catalog)
+    return {"S": item, "T": item}
+
+
+def test_paper_intro_query(domains):
+    cfq = parse_cfq(
+        "{(S, T) | freq(S) & freq(T) & sum(S.Price) <= 100 "
+        "& avg(T.Price) >= 200}",
+        domains,
+        default_minsup=0.05,
+    )
+    assert cfq.variables == ("S", "T")
+    assert cfq.minsup_for("S") == 0.05
+    assert len(cfq.onevar_for("S")) == 1
+    assert len(cfq.onevar_for("T")) == 1
+
+
+def test_per_variable_thresholds(domains):
+    cfq = parse_cfq(
+        "{(S, T) | freq(S, 0.01) & freq(T, 0.2) & S.Type = T.Type}", domains
+    )
+    assert cfq.minsup_for("S") == 0.01
+    assert cfq.minsup_for("T") == 0.2
+    assert len(cfq.twovar) == 1
+
+
+def test_membership_atoms_ignored(domains):
+    cfq = parse_cfq(
+        "{(S, T) | S ⊆ Item & T subset Item & max(S.Price) <= min(T.Price)}",
+        domains,
+    )
+    assert len(cfq.parsed) == 1
+
+
+def test_single_variable_query(domains):
+    cfq = parse_cfq("{(S) | S.Type = {snack}}", {"S": domains["S"]})
+    assert cfq.variables == ("S",)
+
+
+def test_set_literals_survive_splitting():
+    atoms = split_conjunction("S.Type = {a, b} & count(S.Type) = 1")
+    assert atoms == ["S.Type = {a, b}", "count(S.Type) = 1"]
+
+
+def test_nested_parens_survive_splitting():
+    atoms = split_conjunction("max(S.Price) <= min(T.Price) & freq(S, 0.1)")
+    assert len(atoms) == 2
+
+
+def test_bad_head_rejected(domains):
+    with pytest.raises(ConstraintSyntaxError):
+        parse_cfq("SELECT * FROM rules", domains)
+
+
+def test_undeclared_domain_rejected(domains):
+    with pytest.raises(QueryValidationError):
+        parse_cfq("{(S, U) | S.Type = U.Type}", domains)
+
+
+def test_freq_for_undeclared_variable_rejected(domains):
+    with pytest.raises(QueryValidationError):
+        parse_cfq("{(S) | freq(T)}", {"S": domains["S"]})
+
+
+def test_parsed_query_actually_runs(domains, market_db):
+    from repro import mine_cfq
+
+    cfq = parse_cfq(
+        "{(S, T) | freq(S, 0.2) & freq(T, 0.2) & S.Type = {snack} "
+        "& T.Type = {beer} & max(S.Price) <= min(T.Price)}",
+        domains,
+    )
+    result = mine_cfq(market_db, cfq)
+    for s0, t0 in result.pairs():
+        s_prices = domains["S"].catalog.project(s0, "Price")
+        t_prices = domains["T"].catalog.project(t0, "Price")
+        assert max(s_prices) <= min(t_prices)

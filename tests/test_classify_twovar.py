@@ -1,0 +1,84 @@
+"""Figure 1: classification of 2-var constraints (unit level).
+
+The exhaustive empirical verification lives in the benchmark suite
+(``benchmarks/test_fig1_characterization.py``); here the classifier's
+table entries and edge cases are checked directly, plus a couple of
+cheap empirical spot checks.
+"""
+
+import pytest
+
+from repro.constraints.parser import parse_constraint
+from repro.constraints.twovar import TwoVarView
+from repro.core.classify import classify_twovar
+from repro.core.empirical import pairwise_anti_monotone_counterexample
+from repro.datagen.tiny import tiny_scenario
+
+
+FIGURE_1 = [
+    ("S.A ∩ T.B = ∅", True, True),
+    ("S.A ∩ T.B != ∅", False, True),
+    ("S.A ⊆ T.B", False, True),
+    ("S.A ⊄ T.B", False, True),
+    ("S.A = T.B", False, True),
+    ("max(S.A) <= min(T.B)", True, True),
+    ("min(S.A) <= min(T.B)", False, True),
+    ("max(S.A) <= max(T.B)", False, True),
+    ("min(S.A) <= max(T.B)", False, True),
+    ("sum(S.A) <= max(T.B)", False, False),
+    ("sum(S.A) <= sum(T.B)", False, False),
+    ("avg(S.A) <= avg(T.B)", False, False),
+]
+
+
+@pytest.mark.parametrize("text, am, qs", FIGURE_1)
+def test_figure1_rows(text, am, qs):
+    props = classify_twovar(TwoVarView.of(parse_constraint(text)))
+    assert props.anti_monotone is am
+    assert props.quasi_succinct is qs
+    assert props.needs_induction is (not qs)
+
+
+def test_flipped_orientations_classify_identically():
+    a = classify_twovar(TwoVarView.of(parse_constraint("max(S.A) <= min(T.B)")))
+    b = classify_twovar(TwoVarView.of(parse_constraint("min(T.B) >= max(S.A)")))
+    assert a == b
+
+
+def test_equality_of_min_max_is_quasi_succinct():
+    props = classify_twovar(TwoVarView.of(parse_constraint("min(S.A) = min(T.B)")))
+    assert props.quasi_succinct
+    assert not props.anti_monotone
+
+
+def test_count_aggregates_are_not_quasi_succinct():
+    props = classify_twovar(TwoVarView.of(parse_constraint("count(S.A) <= max(T.B)")))
+    assert not props.quasi_succinct
+
+
+def test_ne_minmax_not_anti_monotone():
+    props = classify_twovar(TwoVarView.of(parse_constraint("max(S.A) != min(T.B)")))
+    assert props.quasi_succinct and not props.anti_monotone
+
+
+def test_anti_monotone_rows_hold_pairwise_on_sample_data():
+    scenario = tiny_scenario(3, n_s=4, n_t=4)
+    for text in ("S.A ∩ T.B = ∅", "max(S.A) <= min(T.B)"):
+        witness = pairwise_anti_monotone_counterexample(
+            TwoVarView.of(parse_constraint(text)), scenario.domains
+        )
+        assert witness is None, (text, witness)
+
+
+def test_non_anti_monotone_row_refuted_pairwise():
+    # min <= min: growing S lowers its min and can repair a violation.
+    found = False
+    for seed in range(5):
+        scenario = tiny_scenario(seed, n_s=4, n_t=4)
+        witness = pairwise_anti_monotone_counterexample(
+            TwoVarView.of(parse_constraint("min(S.A) <= min(T.B)")), scenario.domains
+        )
+        if witness is not None:
+            found = True
+            break
+    assert found

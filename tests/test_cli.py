@@ -1,0 +1,73 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_query_command(capsys):
+    code = main(
+        [
+            "query",
+            "{(S, T) | S.Type = {snacks} & T.Type = {beers} "
+            "& max(S.Price) <= min(T.Price)}",
+            "--transactions", "300",
+            "--pairs", "3",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "valid pairs" in out
+    assert "frequent valid S-sets" in out
+
+
+def test_query_with_baseline_and_explain(capsys):
+    code = main(
+        [
+            "query",
+            "{(S, T) | max(S.Price) <= min(T.Price)}",
+            "--transactions", "250",
+            "--baseline",
+            "--explain",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "speedup over Apriori+" in out
+    assert "operation counts" in out
+
+
+def test_single_variable_query(capsys):
+    code = main(
+        ["query", "{(S) | S.Type = {snacks}}", "--transactions", "200"]
+    )
+    assert code == 0
+    assert "frequent valid S-sets" in capsys.readouterr().out
+
+
+def test_classify_onevar(capsys):
+    assert main(["classify", "min(S.Price) <= 10"]) == 0
+    out = capsys.readouterr().out
+    assert "1-variable" in out and "succinct:      True" in out
+
+
+def test_classify_twovar(capsys):
+    assert main(["classify", "max(S.A) <= min(T.B)"]) == 0
+    out = capsys.readouterr().out
+    assert "quasi-succinct: True" in out
+    assert "Figures 2-3" in out
+
+
+def test_classify_syntax_error_exit_code(capsys):
+    assert main(["classify", "max(S.A <= 5"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_experiments_smoke_single_family(capsys):
+    assert main(["experiments", "--scale", "smoke", "--only", "ccc"]) == 0
+    out = capsys.readouterr().out
+    assert "ccc-optimality audit" in out
+
+
+def test_bad_query_exit_code(capsys):
+    assert main(["query", "not a query"]) == 2

@@ -1,0 +1,192 @@
+"""Data generation: the Quest generator, attribute builders, workloads."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.iteminfo import (
+    normal_prices,
+    segmented_prices,
+    typed_catalog_with_overlap,
+    uniform_prices,
+)
+from repro.datagen.quest import QuestParameters, generate_quest
+from repro.datagen.workloads import (
+    fig8a_workload,
+    fig8b_workload,
+    jmax_workload,
+    quickstart_workload,
+)
+from repro.errors import DataError
+
+
+# ----------------------------------------------------------------------
+# Quest generator
+# ----------------------------------------------------------------------
+def test_quest_is_deterministic():
+    params = QuestParameters(n_transactions=200, n_items=50, seed=42)
+    a = generate_quest(params)
+    b = generate_quest(params)
+    assert a.transactions == b.transactions
+
+
+def test_quest_seed_changes_output():
+    base = QuestParameters(n_transactions=200, n_items=50, seed=1)
+    other = QuestParameters(n_transactions=200, n_items=50, seed=2)
+    assert generate_quest(base).transactions != generate_quest(other).transactions
+
+
+def test_quest_respects_counts_and_universe():
+    params = QuestParameters(n_transactions=300, n_items=40,
+                             avg_transaction_size=6, seed=3)
+    db = generate_quest(params)
+    assert len(db) == 300
+    assert db.item_universe() <= frozenset(range(40))
+    sizes = [len(t) for t in db.transactions]
+    assert all(s >= 1 for s in sizes)
+    # Average size in the right ballpark (Poisson around 6, pattern fill).
+    assert 2.0 <= float(np.mean(sizes)) <= 12.0
+
+
+def test_quest_produces_correlation():
+    """Pattern reuse should make some pairs far more frequent than
+    independence would allow."""
+    params = QuestParameters(n_transactions=800, n_items=100,
+                             avg_transaction_size=8, n_patterns=20, seed=5)
+    db = generate_quest(params)
+    from repro.mining.apriori import apriori
+
+    frequent = apriori(db, 0.02)
+    assert frequent.max_level >= 2, "expected correlated pairs"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_transactions": 0},
+        {"n_items": 1},
+        {"avg_transaction_size": 0},
+        {"n_patterns": 0},
+        {"correlation": 1.5},
+    ],
+)
+def test_quest_parameter_validation(kwargs):
+    with pytest.raises(DataError):
+        QuestParameters(**kwargs).validate()
+
+
+# ----------------------------------------------------------------------
+# itemInfo builders
+# ----------------------------------------------------------------------
+def test_uniform_prices_range_and_determinism():
+    items = list(range(50))
+    prices = uniform_prices(items, 100, 200, seed=1)
+    assert prices == uniform_prices(items, 100, 200, seed=1)
+    assert all(100 <= p <= 200 for p in prices.values())
+    with pytest.raises(DataError):
+        uniform_prices(items, 200, 100)
+
+
+def test_normal_prices_clipped():
+    prices = normal_prices(list(range(200)), 10, 50, seed=2, minimum=1.0)
+    assert min(prices.values()) >= 1.0
+
+
+def test_segmented_prices():
+    prices = segmented_prices([(range(5), 0, 10), (range(5, 10), 90, 100)])
+    assert all(prices[i] <= 10 for i in range(5))
+    assert all(prices[i] >= 90 for i in range(5, 10))
+
+
+def test_typed_catalog_overlap_is_exact():
+    """The fraction of each band's types shared with the other band must
+    track the requested overlap."""
+    for overlap in (0.0, 40.0, 100.0):
+        catalog = typed_catalog_with_overlap(
+            n_items=600,
+            s_price_range=(400.0, 1000.0),
+            t_price_range=(0.0, 600.0),
+            overlap_pct=overlap,
+            n_types_per_side=10,
+            seed=3,
+        )
+        s_types = {
+            catalog.value(i, "Type")
+            for i in catalog.items
+            if catalog.value(i, "Price") >= 400
+        }
+        t_types = {
+            catalog.value(i, "Type")
+            for i in catalog.items
+            if catalog.value(i, "Price") <= 600
+        }
+        shared = {t for t in s_types & t_types if t.startswith("type_shared")}
+        assert len(shared) == round(10 * overlap / 100)
+        # Exclusive types never leak across bands.
+        assert not any(t.startswith("type_t_") for t in s_types)
+        assert not any(t.startswith("type_s_") for t in t_types)
+
+
+def test_typed_catalog_rejects_fully_nested_ranges():
+    with pytest.raises(DataError):
+        typed_catalog_with_overlap(
+            n_items=10,
+            s_price_range=(0.0, 1000.0),
+            t_price_range=(100.0, 900.0),
+            overlap_pct=50.0,
+        )
+
+
+def test_typed_catalog_rejects_bad_percentage():
+    with pytest.raises(DataError):
+        typed_catalog_with_overlap(
+            n_items=10,
+            s_price_range=(400.0, 1000.0),
+            t_price_range=(0.0, 600.0),
+            overlap_pct=150.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def test_fig8a_workload_shape():
+    workload = fig8a_workload(50.0, n_items=100, n_transactions=200)
+    assert set(workload.domains) == {"S", "T"}
+    s_prices = [
+        workload.catalog.value(i, "Price") for i in workload.domains["S"].elements
+    ]
+    t_prices = [
+        workload.catalog.value(i, "Price") for i in workload.domains["T"].elements
+    ]
+    assert min(s_prices) >= 400
+    assert max(t_prices) <= 400 + 0.5 * 600 + 1e-9
+    cfq = workload.cfq()
+    assert len(cfq.twovar) == 1
+
+
+def test_fig8b_workload_constraints():
+    workload = fig8b_workload(40.0, n_items=120, n_transactions=200)
+    cfq = workload.cfq()
+    assert len(cfq.onevar_for("S")) == 1
+    assert len(cfq.onevar_for("T")) == 1
+    assert len(cfq.twovar) == 1
+
+
+def test_jmax_workload_has_deep_s_lattice():
+    workload = jmax_workload(600.0, n_transactions=250, core_size=8)
+    from repro.mining.apriori import mine_frequent
+
+    projected = [workload.domains["S"].project(t) for t in workload.db.transactions]
+    result = mine_frequent(
+        projected,
+        workload.domains["S"].elements,
+        workload.db.min_count(workload.minsup["S"]),
+    )
+    assert result.max_level >= 6
+
+
+def test_quickstart_workload_cfq_overrides():
+    workload = quickstart_workload(n_transactions=100)
+    cfq = workload.cfq(constraints=["S.Type = T.Type"], minsup=0.5)
+    assert cfq.minsup_for("S") == 0.5
+    assert len(cfq.parsed) == 1

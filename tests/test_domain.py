@@ -1,0 +1,62 @@
+"""Unit tests for variable domains (item segments, derived domains)."""
+
+import pytest
+
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain, derived_type_domain
+from repro.errors import DataError
+
+
+def test_item_domain_projection_is_intersection(market_catalog):
+    domain = Domain.items(market_catalog)
+    assert domain.project((2, 4, 99)) == (2, 4)
+
+
+def test_item_domain_subset(market_catalog):
+    domain = Domain.items(market_catalog, name="Snacks", subset=[1, 2, 3])
+    assert domain.elements == (1, 2, 3)
+    assert domain.project((1, 4, 3)) == (1, 3)
+    assert 4 not in domain
+    assert len(domain) == 3
+
+
+def test_item_domain_identity_values(market_catalog):
+    domain = Domain.items(market_catalog)
+    assert domain.element_value(5) == 5
+    assert domain.element_values((1, 2)) == frozenset({1, 2})
+
+
+def test_item_domain_unknown_element(market_catalog):
+    domain = Domain.items(market_catalog, subset=[1, 2])
+    with pytest.raises(DataError):
+        domain.element_value(5)
+
+
+def test_derived_type_domain_projection(market_catalog):
+    types = derived_type_domain(market_catalog)
+    assert types.is_derived
+    assert len(types) == 2  # snack, beer
+    projected = types.project((1, 2, 4))
+    values = types.element_values(projected)
+    assert values == frozenset({"snack", "beer"})
+
+
+def test_derived_type_domain_catalog_attributes(market_catalog):
+    types = derived_type_domain(market_catalog)
+    assert types.catalog.has_attribute("Type")
+    assert types.catalog.has_attribute("Value")
+    for eid in types.elements:
+        assert types.catalog.value(eid, "Type") == types.element_value(eid)
+
+
+def test_derived_domain_ignores_foreign_items(market_catalog):
+    types = derived_type_domain(market_catalog)
+    assert types.project((999,)) == ()
+
+
+def test_derived_domain_custom_attribute():
+    catalog = ItemCatalog({"Brand": {1: "x", 2: "y", 3: "x"}})
+    brands = derived_type_domain(catalog, attribute="Brand", name="Brands")
+    assert brands.name == "Brands"
+    assert len(brands) == 2
+    assert brands.project((1, 3)) == brands.project((1,))

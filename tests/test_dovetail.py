@@ -1,0 +1,170 @@
+"""The dovetailed dual-lattice engine: answer equivalence with Apriori+,
+scan sharing, and the reduction/Jmax hooks."""
+
+import pytest
+
+from repro.core.optimizer import CFQOptimizer
+from repro.core.query import CFQ
+from repro.datagen.workloads import quickstart_workload
+from repro.db.domain import Domain
+from repro.db.stats import OpCounters
+from repro.mining.aprioriplus import apriori_plus
+
+
+QUERIES = [
+    ["max(S.Price) <= min(T.Price)"],
+    ["S.Type = T.Type"],
+    ["S.Type ∩ T.Type = ∅"],
+    ["S.Type ∩ T.Type != ∅"],
+    ["S.Type ⊆ T.Type"],
+    ["min(S.Price) <= max(T.Price)"],
+    ["max(S.Price) <= max(T.Price)", "min(T.Price) >= 30"],
+    ["S.Type = {snacks}", "T.Type = {beers}", "max(S.Price) <= min(T.Price)"],
+    ["sum(S.Price) <= sum(T.Price)"],
+    ["sum(S.Price) <= max(T.Price)"],
+    ["avg(S.Price) <= avg(T.Price)"],
+    ["avg(S.Price) >= min(T.Price)"],
+    ["min(S.Price) = min(T.Price)"],
+    ["S.Type != T.Type"],
+    ["sum(S.Price) <= 150", "sum(S.Price) <= sum(T.Price)"],
+    ["count(S.Type) = 1", "count(T.Type) = 1", "S.Type != T.Type"],
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return quickstart_workload(n_transactions=400)
+
+
+@pytest.mark.parametrize("texts", QUERIES)
+def test_optimizer_pairs_equal_apriori_plus(workload, texts):
+    """The headline correctness property: for every query shape, the
+    optimized strategy and the naive baseline produce the same pairs."""
+    cfq = CFQ(domains=workload.domains, minsup=0.03, constraints=texts)
+    optimized = CFQOptimizer(cfq).execute(workload.db)
+    baseline = apriori_plus(workload.db, cfq)
+    assert set(optimized.pairs()) == set(baseline.pairs()), texts
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        {"dovetail": False},
+        {"use_reduction": False},
+        {"use_jmax": False},
+        {"dovetail": False, "use_reduction": False, "use_jmax": False},
+    ],
+)
+def test_every_ablation_is_still_correct(workload, options):
+    cfq = CFQ(
+        domains=workload.domains,
+        minsup=0.03,
+        constraints=["max(S.Price) <= min(T.Price)",
+                     "sum(S.Price) <= sum(T.Price)"],
+    )
+    optimized = CFQOptimizer(cfq).execute(workload.db, **options)
+    baseline = apriori_plus(workload.db, cfq)
+    assert set(optimized.pairs()) == set(baseline.pairs()), options
+
+
+def test_dovetailing_shares_scans(workload):
+    cfq = CFQ(domains=workload.domains, minsup=0.03,
+              constraints=["max(S.Price) <= min(T.Price)"])
+    dovetailed = CFQOptimizer(cfq).execute(workload.db, counters=OpCounters())
+    sequential = CFQOptimizer(cfq).execute(
+        workload.db, counters=OpCounters(), dovetail=False
+    )
+    assert dovetailed.counters.scans < sequential.counters.scans
+
+
+def test_reduction_reduces_counted_sets(workload):
+    cfq = CFQ(domains=workload.domains, minsup=0.03,
+              constraints=["S.Type = T.Type", "min(S.Price) >= 60",
+                           "max(T.Price) <= 50"])
+    with_reduction = CFQOptimizer(cfq).execute(workload.db)
+    without = CFQOptimizer(cfq).execute(workload.db, use_reduction=False)
+    assert with_reduction.counters.total_counted <= without.counters.total_counted
+    assert set(with_reduction.pairs()) == set(without.pairs())
+
+
+def test_jmax_disabled_when_bound_side_has_buckets(workload):
+    """A bucket on the T side would hide frequent sets from the V^k
+    statistics, so the engine must refuse the series."""
+    cfq = CFQ(
+        domains=workload.domains,
+        minsup=0.03,
+        constraints=["sum(S.Price) <= sum(T.Price)", "min(T.Price) <= 30"],
+    )
+    result = CFQOptimizer(cfq).execute(workload.db)
+    assert result.raw.disabled_jmax, "series should be disabled"
+    assert not result.raw.bound_histories
+    baseline = apriori_plus(workload.db, cfq)
+    assert set(result.pairs()) == set(baseline.pairs())
+
+
+def test_jmax_allowed_with_filters_on_bound_side(workload):
+    """Item filters keep the T lattice exhaustive over its restricted
+    universe, so the series stays sound and enabled."""
+    cfq = CFQ(
+        domains=workload.domains,
+        minsup=0.03,
+        constraints=["sum(S.Price) <= sum(T.Price)", "max(T.Price) <= 120"],
+    )
+    result = CFQOptimizer(cfq).execute(workload.db)
+    assert not result.raw.disabled_jmax
+    assert result.raw.bound_histories
+    baseline = apriori_plus(workload.db, cfq)
+    assert set(result.pairs()) == set(baseline.pairs())
+
+
+def test_bound_history_is_monotone_decreasing(workload):
+    cfq = CFQ(domains=workload.domains, minsup=0.03,
+              constraints=["sum(S.Price) <= sum(T.Price)"])
+    result = CFQOptimizer(cfq).execute(workload.db)
+    for history in result.raw.bound_histories.values():
+        bounds = [bound for __, bound in history]
+        assert all(a >= b - 1e-9 for a, b in zip(bounds, bounds[1:]))
+
+
+def test_sequential_mode_mines_bound_side_first(workload):
+    """Without dovetailing the engine mines the sum side to completion
+    first, so the S side starts with the *final* (global-maximum) bound —
+    the alternative strategy discussed at the end of Section 5.2.  Its S
+    lattice therefore never counts more sets than the dovetailed run."""
+    cfq = CFQ(domains=workload.domains, minsup=0.03,
+              constraints=["sum(S.Price) <= sum(T.Price)"])
+    dovetailed = CFQOptimizer(cfq).execute(workload.db, counters=OpCounters())
+    sequential = CFQOptimizer(cfq).execute(
+        workload.db, counters=OpCounters(), dovetail=False
+    )
+    assert (sequential.counters.counted_for("S")
+            <= dovetailed.counters.counted_for("S"))
+    assert set(sequential.pairs()) == set(dovetailed.pairs())
+
+
+def test_single_variable_query(workload):
+    cfq = CFQ(
+        domains={"S": workload.domains["S"]},
+        minsup=0.03,
+        constraints=["S.Type = {snacks}"],
+    )
+    result = CFQOptimizer(cfq).execute(workload.db)
+    sets = result.valid_sets("S")
+    assert sets
+    types = {
+        t for s in sets for t in workload.catalog.project_set(s, "Type")
+    }
+    assert types == {"snacks"}
+    with pytest.raises(ValueError):
+        result.pairs()
+
+
+def test_different_minsup_per_variable(workload):
+    cfq = CFQ(
+        domains=workload.domains,
+        minsup={"S": 0.02, "T": 0.10},
+        constraints=["max(S.Price) <= min(T.Price)"],
+    )
+    result = CFQOptimizer(cfq).execute(workload.db)
+    baseline = apriori_plus(workload.db, cfq)
+    assert set(result.pairs()) == set(baseline.pairs())

@@ -1,0 +1,128 @@
+"""Edge cases and failure injection across the pipeline."""
+
+import pytest
+
+from repro.core.optimizer import CFQOptimizer, mine_cfq
+from repro.core.query import CFQ
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain, derived_type_domain
+from repro.db.transactions import TransactionDatabase
+from repro.mining.aprioriplus import apriori_plus
+
+
+@pytest.fixture
+def item(market_catalog):
+    return Domain.items(market_catalog)
+
+
+def test_nothing_frequent(item):
+    """A threshold nothing meets: empty lattices, empty pairs, no crash."""
+    db = TransactionDatabase([(1,), (2,), (3,)])
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.9,
+              constraints=["max(S.Price) <= min(T.Price)"])
+    result = mine_cfq(db, cfq)
+    assert result.frequent_valid("S") == {}
+    assert result.pairs() == []
+
+
+def test_one_side_empty_after_constraints(item, market_db):
+    """S's filter admits nothing: the reduction must not crash and pairs
+    must be empty — matching the baseline."""
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.2,
+              constraints=["max(S.Price) <= 1", "S.Type = T.Type"])
+    result = mine_cfq(market_db, cfq)
+    baseline = apriori_plus(market_db, cfq)
+    assert result.pairs() == []
+    assert baseline.pairs() == []
+
+
+def test_empty_transactions_in_db(item, market_db):
+    db = TransactionDatabase([()] * 5 + list(market_db.transactions))
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.2,
+              constraints=["max(S.Price) <= min(T.Price)"])
+    result = mine_cfq(db, cfq)
+    baseline = apriori_plus(db, cfq)
+    assert set(result.pairs()) == set(baseline.pairs())
+
+
+def test_unsatisfiable_twovar_constraint(item, market_db):
+    """max(S.Price) <= min(T.Price) with T restricted below every S
+    price: valid pairs are exactly none, discovered early."""
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.2,
+              constraints=["min(S.Price) >= 50", "max(T.Price) <= 20",
+                           "max(S.Price) <= min(T.Price)"])
+    result = mine_cfq(market_db, cfq)
+    assert result.pairs() == []
+    # The reduction should have shut down at least one lattice quickly.
+    assert result.counters.total_counted <= 20
+
+
+def test_derived_domain_end_to_end(market_catalog, market_db):
+    """T ranges over the Type domain; the whole pipeline (projection,
+    reduction, pairs) agrees with the baseline."""
+    item = Domain.items(market_catalog)
+    types = derived_type_domain(market_catalog)
+    cfq = CFQ(
+        domains={"S": item, "T": types},
+        minsup={"S": 0.2, "T": 0.2},
+        constraints=["S.Type ⊆ T"],
+    )
+    result = mine_cfq(market_db, cfq)
+    baseline = apriori_plus(market_db, cfq)
+    pairs = set(result.pairs())
+    assert pairs == set(baseline.pairs())
+    assert pairs  # snack/beer type sets exist and are frequent
+    for s0, t0 in pairs:
+        s_types = market_catalog.project_set(s0, "Type")
+        t_values = types.element_values(t0)
+        assert s_types <= t_values
+
+
+def test_aggregate_over_bare_variable(market_db):
+    """max(S) aggregates the element ids themselves (identity values)."""
+    catalog = ItemCatalog({"Price": {i: i * 10 for i in range(1, 7)}})
+    item = Domain.items(catalog)
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.2,
+              constraints=["max(S) <= min(T)"])
+    result = mine_cfq(market_db, cfq)
+    baseline = apriori_plus(market_db, cfq)
+    assert set(result.pairs()) == set(baseline.pairs())
+    for s0, t0 in result.pairs():
+        assert max(s0) <= min(t0)
+
+
+def test_duplicate_constraints_are_harmless(item, market_db):
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.2,
+              constraints=["S.Type = T.Type", "S.Type = T.Type"])
+    result = mine_cfq(market_db, cfq)
+    baseline = apriori_plus(market_db, cfq)
+    assert set(result.pairs()) == set(baseline.pairs())
+
+
+def test_contradictory_onevar_constraints(item, market_db):
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.2,
+              constraints=["min(S.Price) >= 50", "max(S.Price) <= 20"])
+    result = mine_cfq(market_db, cfq)
+    assert result.frequent_valid("S") == {}
+    assert result.pairs() == []
+
+
+def test_same_domain_trivial_reduction_case(market_db):
+    """Section 6.2's Apriori+-is-ccc-optimal corner: min(S.A) <= min(T.A)
+    with both variables over the same lattice — the reduced constraints
+    become trivial, every frequent set is a valid S- and T-set."""
+    catalog = ItemCatalog({"A": {i: i for i in range(1, 7)}})
+    item = Domain.items(catalog)
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.3,
+              constraints=["min(S.A) <= min(T.A)"])
+    result = mine_cfq(market_db, cfq)
+    baseline = apriori_plus(market_db, cfq)
+    assert result.frequent_valid("S") == baseline.frequent("S")
+    assert set(result.pairs()) == set(baseline.pairs())
+
+
+def test_max_level_bounds_everything(item, market_db):
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.2,
+              constraints=["S.Type = T.Type"], max_level=1)
+    result = mine_cfq(market_db, cfq)
+    assert all(len(s) == 1 for s in result.frequent_valid("S"))

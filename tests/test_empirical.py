@@ -1,0 +1,84 @@
+"""The empirical checkers themselves (oracles must be trustworthy)."""
+
+import pytest
+
+from repro.constraints.parser import parse_constraint
+from repro.constraints.twovar import TwoVarView
+from repro.core.empirical import (
+    anti_monotone_counterexample,
+    def3_valid_sets,
+    pairwise_anti_monotone_counterexample,
+    reduction_soundness_tightness,
+)
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain
+from repro.errors import ExecutionError
+
+
+def two_domains(s_values, t_values):
+    s_catalog = ItemCatalog({"A": {i: v for i, v in enumerate(s_values)}})
+    t_catalog = ItemCatalog({"B": {100 + i: v for i, v in enumerate(t_values)}})
+    return {"S": Domain.items(s_catalog), "T": Domain.items(t_catalog)}
+
+
+def test_def3_valid_sets_hand_checked():
+    domains = two_domains([1, 5], [3, 4])
+    view = TwoVarView.of(parse_constraint("max(S.A) <= min(T.B)"))
+    valid = def3_valid_sets(view, "S", domains, [(100,), (101,)])
+    # max(S.A) must be <= 4 (the best frequent partner min): {0} (A=1)
+    # qualifies, anything containing element 1 (A=5) does not.
+    assert valid == {(0,)}
+
+
+def test_def3_requires_frequent_partner():
+    domains = two_domains([1], [9])
+    view = TwoVarView.of(parse_constraint("max(S.A) <= min(T.B)"))
+    assert def3_valid_sets(view, "S", domains, []) == set()
+
+
+def test_pairwise_checker_finds_known_counterexample():
+    # min(S.A) <= min(T.B): S0={A=9} vs T0={B=5} violates; adding the A=1
+    # element to S repairs it.
+    domains = two_domains([9, 1], [5])
+    view = TwoVarView.of(parse_constraint("min(S.A) <= min(T.B)"))
+    witness = pairwise_anti_monotone_counterexample(view, domains)
+    assert witness is not None
+    (s0, t0), (s1, t1) = witness
+    assert set(s0) <= set(s1) and set(t0) <= set(t1)
+
+
+def test_pairwise_checker_confirms_anti_monotone():
+    domains = two_domains([1, 9], [5, 7])
+    view = TwoVarView.of(parse_constraint("max(S.A) <= min(T.B)"))
+    assert pairwise_anti_monotone_counterexample(view, domains) is None
+
+
+def test_def4_checker_on_disjoint_is_clean():
+    domains = two_domains([1, 2], [1, 3])
+    view = TwoVarView.of(parse_constraint("S.A ∩ T.B = ∅"))
+    frequent_t = {1: [(100,), (101,)], 2: [(100, 101)]}
+    assert anti_monotone_counterexample(view, "S", domains, frequent_t) is None
+
+
+def test_def4_checker_finds_min_counterexample():
+    domains = two_domains([9, 1], [5])
+    view = TwoVarView.of(parse_constraint("min(S.A) <= min(T.B)"))
+    witness = anti_monotone_counterexample(view, "S", domains, {1: [(100,)]})
+    assert witness is not None
+
+
+def test_reduction_checker_reports_sound_and_tight():
+    domains = two_domains([1, 5], [3, 4])
+    view = TwoVarView.of(parse_constraint("max(S.A) <= min(T.B)"))
+    sound, tight, valid, passing = reduction_soundness_tightness(
+        view, "S", domains, [(100,), (101,)]
+    )
+    assert sound and tight
+    assert valid == passing == {(0,)}
+
+
+def test_universe_limit_enforced():
+    domains = two_domains(list(range(15)), [1])
+    view = TwoVarView.of(parse_constraint("max(S.A) <= min(T.B)"))
+    with pytest.raises(ExecutionError):
+        def3_valid_sets(view, "S", domains, [(100,)])

@@ -1,0 +1,44 @@
+"""The exception hierarchy and error ergonomics."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConstraintSyntaxError",
+        "ConstraintTypeError",
+        "QueryValidationError",
+        "ClassificationError",
+        "ExecutionError",
+        "DataError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_syntax_error_renders_caret():
+    err = errors.ConstraintSyntaxError("boom", "abc def", 4)
+    message = str(err)
+    assert "abc def" in message
+    lines = message.splitlines()
+    assert lines[-1].index("^") == 2 + 4  # two-space indent + position
+
+
+def test_syntax_error_without_context():
+    err = errors.ConstraintSyntaxError("boom")
+    assert str(err) == "boom"
+    assert err.position == -1
+
+
+def test_library_raises_only_repro_errors_on_bad_input():
+    from repro import CFQ, Domain, ItemCatalog, parse_constraint
+
+    with pytest.raises(errors.ReproError):
+        parse_constraint("max(S.Price <= 5")
+    with pytest.raises(errors.ReproError):
+        ItemCatalog({})
+    catalog = ItemCatalog({"A": {1: 1}})
+    with pytest.raises(errors.ReproError):
+        CFQ(domains={"S": Domain.items(catalog)}, minsup=0.1,
+            constraints=["max(Q.A) <= 1"])

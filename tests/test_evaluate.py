@@ -1,0 +1,102 @@
+"""Unit tests for constraint evaluation semantics."""
+
+import pytest
+
+from repro.constraints.evaluate import (
+    evaluate_aggregate,
+    evaluate_all,
+    evaluate_constraint,
+    projection_set,
+    projection_values,
+)
+from repro.constraints.ast import Agg, AttrRef
+from repro.constraints.parser import parse_constraint
+from repro.db.domain import Domain, derived_type_domain
+from repro.errors import ConstraintTypeError
+
+
+@pytest.fixture
+def domains(market_catalog):
+    item = Domain.items(market_catalog)
+    return {"S": item, "T": item}
+
+
+def evaluate(text, s, t, domains):
+    return evaluate_constraint(parse_constraint(text), {"S": s, "T": t}, domains)
+
+
+def test_aggregates(market_catalog, domains):
+    domain = domains["S"]
+    assert evaluate_aggregate(Agg("min", AttrRef("S", "Price")), (1, 4), domain) == 10
+    assert evaluate_aggregate(Agg("max", AttrRef("S", "Price")), (1, 4), domain) == 40
+    assert evaluate_aggregate(Agg("sum", AttrRef("S", "Price")), (1, 4), domain) == 50
+    assert evaluate_aggregate(Agg("avg", AttrRef("S", "Price")), (1, 4), domain) == 25
+    assert evaluate_aggregate(Agg("count", AttrRef("S", "Type")), (1, 2, 4), domain) == 2
+
+
+def test_projection_values_multiset_vs_set(domains):
+    ref = AttrRef("S", "Type")
+    assert projection_values(ref, (1, 2), domains["S"]) == ["snack", "snack"]
+    assert projection_set(ref, (1, 2), domains["S"]) == frozenset({"snack"})
+
+
+def test_scalar_comparisons(domains):
+    assert evaluate("max(S.Price) <= min(T.Price)", (1, 2), (4, 5), domains)
+    assert not evaluate("max(S.Price) <= min(T.Price)", (1, 6), (4,), domains)
+    assert evaluate("sum(S.Price) <= 100", (1, 2, 3), (), domains)
+    assert evaluate("count(S.Type) = 1", (1, 2, 3), (), domains)
+    assert not evaluate("count(S.Type) = 1", (1, 4), (), domains)
+
+
+def test_set_comparisons(domains):
+    assert evaluate("S.Type = T.Type", (1,), (2, 3), domains)
+    assert evaluate("S.Type ∩ T.Type = ∅", (1,), (4,), domains)
+    assert not evaluate("S.Type ∩ T.Type = ∅", (1,), (2, 4), domains)
+    assert evaluate("S.Type = {snack}", (1, 2), (), domains)
+    assert not evaluate("S.Type = {snack}", (1, 4), (), domains)
+
+
+def test_empty_set_semantics(domains):
+    # sum over empty is 0; count over empty is 0.
+    assert evaluate("sum(S.Price) <= 100", (), (), domains)
+    assert evaluate("count(S.Type) = 0", (), (), domains)
+    # min/max/avg over empty are undefined -> comparison is False.
+    assert not evaluate("min(S.Price) >= 0", (), (), domains)
+    assert not evaluate("max(S.Price) <= 9999", (), (), domains)
+    assert not evaluate("avg(S.Price) >= 0", (), (), domains)
+
+
+def test_derived_domain_evaluation(market_catalog):
+    item = Domain.items(market_catalog)
+    types = derived_type_domain(market_catalog)
+    domains = {"S": item, "T": types}
+    constraint = parse_constraint("S.Type ⊆ T")
+    snack_type_elements = types.project((1,))
+    assert evaluate_constraint(
+        constraint, {"S": (1, 2), "T": snack_type_elements}, domains
+    )
+    beer_type_elements = types.project((4,))
+    assert not evaluate_constraint(
+        constraint, {"S": (1, 2), "T": beer_type_elements}, domains
+    )
+
+
+def test_sum_over_strings_raises(domains):
+    with pytest.raises(ConstraintTypeError):
+        evaluate("sum(S.Type) <= 5", (1,), (), domains)
+
+
+def test_unbound_variable_raises(domains):
+    with pytest.raises(ConstraintTypeError):
+        evaluate_constraint(
+            parse_constraint("max(S.Price) <= min(T.Price)"), {"S": (1,)}, domains
+        )
+
+
+def test_evaluate_all_conjunction(domains):
+    constraints = [
+        parse_constraint("max(S.Price) <= 30"),
+        parse_constraint("S.Type = {snack}"),
+    ]
+    assert evaluate_all(constraints, {"S": (1, 2)}, domains)
+    assert not evaluate_all(constraints, {"S": (1, 4)}, domains)

@@ -1,0 +1,78 @@
+"""Figure 3's four explicit rows, transcribed and checked verbatim.
+
+The general min/max reduction rule is tested in ``test_reduction``; this
+file pins the *specific* table entries the paper prints, including the
+regularities its proof commentary points out (identical C1 for the
+max-left rows, identical C2 for rows sharing the right aggregate's
+direction).
+"""
+
+import pytest
+
+from repro.constraints.ast import CmpOp
+from repro.constraints.parser import parse_constraint
+from repro.constraints.twovar import TwoVarView
+from repro.core.reduction import reduce_twovar
+from repro.datagen.tiny import tiny_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return tiny_scenario(11, n_s=5, n_t=5)
+
+
+def reduce_row(text, scenario):
+    view = TwoVarView.of(parse_constraint(text))
+    return reduce_twovar(
+        view, scenario.domains, {"S": scenario.l1("S"), "T": scenario.l1("T")}
+    )
+
+
+def bounds(scenario):
+    t_values = scenario.domains["T"].catalog.project(scenario.l1("T"), "B")
+    s_values = scenario.domains["S"].catalog.project(scenario.l1("S"), "A")
+    return max(t_values), min(s_values)
+
+
+# Figure 3 verbatim: (2-var constraint, C1 func+op, C2 func+op, C2 const kind)
+ROWS = [
+    # min(S.A) <= min(T.B): C1 min <= max(L1T.B); C2 min >= min(L1S.A)
+    ("min(S.A) <= min(T.B)", ("min", CmpOp.LE), ("min", CmpOp.GE)),
+    # min(S.A) <= max(T.B): C1 min <= max(L1T.B); C2 max >= min(L1S.A)
+    ("min(S.A) <= max(T.B)", ("min", CmpOp.LE), ("max", CmpOp.GE)),
+    # max(S.A) <= min(T.B): C1 max <= max(L1T.B); C2 min >= min(L1S.A)
+    ("max(S.A) <= min(T.B)", ("max", CmpOp.LE), ("min", CmpOp.GE)),
+    # max(S.A) <= max(T.B): C1 max <= max(L1T.B); C2 max >= min(L1S.A)
+    ("max(S.A) <= max(T.B)", ("max", CmpOp.LE), ("max", CmpOp.GE)),
+]
+
+
+@pytest.mark.parametrize("text, c1_shape, c2_shape", ROWS)
+def test_figure3_row(text, c1_shape, c2_shape, scenario):
+    max_b, min_a = bounds(scenario)
+    reduced = reduce_row(text, scenario)
+    (c1,) = reduced["S"]
+    (c2,) = reduced["T"]
+    assert (c1.left.func, c1.op) == c1_shape, text
+    assert c1.right.value == max_b, text  # the constant is max(L1T.B)
+    assert (c2.left.func, c2.op) == c2_shape, text
+    assert c2.right.value == min_a, text  # the constant is min(L1S.A)
+
+
+def test_figure3_regularity_c1_identical_for_max_rows(scenario):
+    """The paper's observation: C1 is identical in the third and fourth
+    rows (and in the first and second), because only the left aggregate
+    matters for C1."""
+    rows = [reduce_row(text, scenario)["S"][0] for text, __, __ in ROWS]
+    assert rows[0] == rows[1]
+    assert rows[2] == rows[3]
+    assert rows[0] != rows[2]
+
+
+def test_figure3_regularity_c2_pairs(scenario):
+    """C2 depends only on the right aggregate: rows 1/3 share min(CT.B),
+    rows 2/4 share max(CT.B)."""
+    rows = [reduce_row(text, scenario)["T"][0] for text, __, __ in ROWS]
+    assert rows[0] == rows[2]
+    assert rows[1] == rows[3]
+    assert rows[0] != rows[1]

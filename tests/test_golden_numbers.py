@@ -1,0 +1,50 @@
+"""Golden-number regression tests.
+
+Every workload is seeded and every metric is a deterministic operation
+count, so the reproduced numbers are exactly repeatable.  Pinning a few
+of them catches silent behavioural drift (a pruning rule quietly
+weakening, a counter double-counting) that shape-only assertions would
+miss.  If a deliberate algorithm change moves these numbers, update them
+alongside the change — the diff is then visible in review.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig8a_speedups, fig8b_speedups, jmax_table
+
+
+def test_fig8a_smoke_golden():
+    result = fig8a_speedups(overlaps=(16.6, 83.4), scale="smoke")
+    assert result.rows == [
+        [16.6, 11.88, 350, 8815],
+        [83.4, 1.83, 4710, 8815],
+    ]
+
+
+def test_fig8b_smoke_golden():
+    result = fig8b_speedups(overlaps=(20.0, 80.0), scale="smoke")
+    assert result.rows == [
+        [20.0, 9.58, 58.24, 6.08],
+        [80.0, 6.45, 10.35, 1.6],
+    ]
+
+
+def test_jmax_smoke_golden():
+    result = jmax_table(means=(400.0, 1000.0), scale="smoke")
+    assert result.rows == [
+        [400.0, 2.67, 194, 1037, 2205],
+        [1000.0, 1.42, 651, 1037, 5205],
+    ]
+
+
+def test_quickstart_op_counts_golden():
+    from repro import mine_cfq
+    from repro.datagen import quickstart_workload
+
+    workload = quickstart_workload(n_transactions=300)
+    result = mine_cfq(workload.db, workload.cfq())
+    summary = result.counters.as_dict()
+    assert summary["sets_counted"] == 123
+    assert summary["constraint_checks_singleton"] == 120
+    assert summary["constraint_checks_larger"] == 0
+    assert summary["scans"] == 3

@@ -1,0 +1,119 @@
+"""Induced weaker constraints (Section 5.1, Figure 4)."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.evaluate import evaluate_constraint
+from repro.constraints.parser import parse_constraint
+from repro.constraints.twovar import TwoVarView
+from repro.core.induction import induce_weaker
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain
+from repro.errors import ClassificationError
+
+
+def induced(text):
+    return induce_weaker(TwoVarView.of(parse_constraint(text)))
+
+
+# The three Figure 4 rows, verbatim.
+@pytest.mark.parametrize(
+    "original, weaker",
+    [
+        ("avg(S.A) <= min(T.B)", "min(S.A) <= min(T.B)"),
+        ("sum(S.A) <= max(T.B)", "max(S.A) <= max(T.B)"),
+        ("avg(S.A) <= avg(T.B)", "min(S.A) <= max(T.B)"),
+    ],
+)
+def test_figure4_rows(original, weaker):
+    result = induced(original)
+    assert result.weaker is not None
+    assert str(result.weaker.constraint) == str(parse_constraint(weaker))
+
+
+def test_sum_on_greater_side_induces_no_minmax_weakening():
+    result = induced("sum(S.A) <= sum(T.B)")
+    assert result.weaker is None
+    assert result.sum_side_var == "T"
+    assert result.sum_side_attr == "B"
+    assert result.pruned_var == "S"
+    assert result.pruned_func == "sum"
+
+
+def test_avg_vs_sum_combination():
+    result = induced("avg(S.A) <= sum(T.B)")
+    assert result.weaker is None  # sum on the greater side
+    assert result.sum_side_var == "T"
+    assert result.pruned_func == "avg"
+
+
+def test_ge_orientation_is_flipped_before_induction():
+    result = induced("sum(T.B) >= avg(S.A)")
+    assert result.pruned_var == "S"
+    assert result.sum_side_var == "T"
+
+
+def test_strictness_recorded():
+    assert induced("sum(S.A) < max(T.B)").strict
+    assert not induced("sum(S.A) <= max(T.B)").strict
+
+
+def test_ne_induces_nothing():
+    result = induced("sum(S.A) != sum(T.B)")
+    assert result.weaker is None and result.sum_side_var is None
+
+
+def test_count_rejected_politely():
+    result = induced("count(S.A) <= sum(T.B)")
+    assert result.weaker is None and result.pruned_var is None
+
+
+def test_quasi_succinct_input_rejected():
+    with pytest.raises(ClassificationError):
+        induced("max(S.A) <= min(T.B)")
+
+
+def test_non_aggregate_input_rejected():
+    with pytest.raises(ClassificationError):
+        induced("S.A ⊆ T.B")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    s_values=st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=5),
+    t_values=st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=5),
+    text=st.sampled_from(
+        [
+            "avg(S.A) <= min(T.B)",
+            "sum(S.A) <= max(T.B)",
+            "avg(S.A) <= avg(T.B)",
+            "avg(S.A) >= max(T.B)",
+            "sum(S.A) >= min(T.B)",
+        ]
+    ),
+)
+def test_weaker_is_implied_by_original_on_non_negative_data(
+    s_values, t_values, text
+):
+    """Figure 4's defining property: C(S0,T0) implies C'(S0,T0) pointwise
+    over non-negative domains."""
+    result = induced(text)
+    if result.weaker is None:
+        return
+    s_catalog = ItemCatalog({"A": {i: v for i, v in enumerate(s_values)}})
+    t_catalog = ItemCatalog({"B": {100 + i: v for i, v in enumerate(t_values)}})
+    domains = {"S": Domain.items(s_catalog), "T": Domain.items(t_catalog)}
+    original = result.original.constraint
+    weaker = result.weaker.constraint
+    for sk in (1, 2):
+        for s0 in combinations(domains["S"].elements, sk):
+            for tk in (1, 2):
+                for t0 in combinations(domains["T"].elements, tk):
+                    bindings = {"S": s0, "T": t0}
+                    if evaluate_constraint(original, bindings, domains):
+                        assert evaluate_constraint(weaker, bindings, domains), (
+                            text, s0, t0,
+                        )

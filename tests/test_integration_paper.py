@@ -1,0 +1,59 @@
+"""Integration tests: the paper's headline claims at smoke scale.
+
+The benchmark suite reproduces the full tables; these tests assert the
+same qualitative shapes quickly, so a plain ``pytest tests/`` run already
+validates the reproduction's direction.
+"""
+
+import pytest
+
+from repro.bench.experiments import jmax_table
+from repro.bench.harness import run_strategy
+from repro.core.query import CFQ
+from repro.datagen.workloads import fig8a_workload, fig8b_workload, jmax_workload
+
+
+@pytest.mark.parametrize("low, high", [(16.6, 83.4)])
+def test_fig8a_speedup_decreases_with_overlap(low, high):
+    speedups = {}
+    for overlap in (low, high):
+        workload = fig8a_workload(overlap, n_items=200, n_transactions=600)
+        cfq = workload.cfq()
+        optimized = run_strategy("opt", workload.db, cfq)
+        baseline = run_strategy("base", workload.db, cfq, kind="apriori_plus")
+        speedups[overlap] = optimized.speedup_over(baseline)
+        assert set(optimized.result.pairs()) == set(baseline.result.pairs())
+    assert speedups[low] > speedups[high] >= 1.0
+
+
+def test_fig8b_two_var_beats_one_var_and_tracks_overlap():
+    combined = {}
+    for overlap in (20.0, 80.0):
+        workload = fig8b_workload(overlap, n_items=200, n_transactions=600)
+        cfq = workload.cfq()
+        baseline = run_strategy("base", workload.db, cfq, kind="apriori_plus")
+        one_var = run_strategy("1var", workload.db, cfq,
+                               use_reduction=False, use_jmax=False)
+        both = run_strategy("2var", workload.db, cfq)
+        assert both.cost < one_var.cost < baseline.cost
+        combined[overlap] = both.speedup_over(baseline)
+    assert combined[20.0] > combined[80.0]
+
+
+def test_jmax_speedup_decreases_with_t_mean():
+    speedups = {}
+    for mean in (400.0, 1000.0):
+        workload = jmax_workload(mean, n_transactions=300, core_size=9)
+        cfq = workload.cfq()
+        optimized = run_strategy("opt", workload.db, cfq)
+        baseline = run_strategy("base", workload.db, cfq, kind="apriori_plus")
+        speedups[mean] = optimized.speedup_over(baseline)
+        assert set(optimized.result.pairs()) == set(baseline.result.pairs())
+    assert speedups[400.0] > speedups[1000.0]
+    assert speedups[1000.0] >= 0.9  # never meaningfully slower
+
+
+def test_jmax_table_smoke_scale_runs():
+    result = jmax_table(means=(400.0, 800.0), scale="smoke")
+    assert len(result.rows) == 2
+    assert result.rows[0][1] >= result.rows[1][1]

@@ -1,0 +1,49 @@
+"""Itemset helper utilities."""
+
+from repro.itemsets import (
+    all_nonempty_subsets,
+    canonical,
+    flatten,
+    max_level,
+    proper_subsets,
+    ranked,
+    subsets_of_size,
+)
+
+
+def test_canonical_sorts():
+    assert canonical({3, 1, 2}) == (1, 2, 3)
+    assert canonical([]) == ()
+
+
+def test_ranked_orders_by_rank():
+    rank = {10: 2, 20: 0, 30: 1}
+    assert ranked((10, 20, 30), rank) == (20, 30, 10)
+
+
+def test_subsets_of_size():
+    assert list(subsets_of_size((1, 2, 3), 2)) == [(1, 2), (1, 3), (2, 3)]
+
+
+def test_proper_subsets():
+    assert list(proper_subsets((1, 2, 3))) == [(1, 2), (1, 3), (2, 3)]
+
+
+def test_all_nonempty_subsets_ordered_by_size():
+    subsets = list(all_nonempty_subsets((2, 1)))
+    assert subsets == [(1,), (2,), (1, 2)]
+
+
+def test_max_level_and_flatten():
+    by_level = {1: {(1,): 5}, 2: {(1, 2): 3}, 3: {}}
+    assert max_level(by_level) == 2
+    assert flatten(by_level) == {(1,): 5, (1, 2): 3}
+    assert max_level({}) == 0
+
+
+def test_mining_reexport_is_same_objects():
+    import repro.itemsets as top
+    import repro.mining.itemsets as nested
+
+    assert nested.canonical is top.canonical
+    assert nested.Itemset is top.Itemset

@@ -1,0 +1,60 @@
+"""Iterated (fixpoint) quasi-succinct reduction — the extension ablation."""
+
+import pytest
+
+from repro.core.optimizer import CFQOptimizer
+from repro.core.query import CFQ
+from repro.datagen.workloads import fig8b_workload, quickstart_workload
+from repro.errors import ExecutionError
+from repro.mining.aprioriplus import apriori_plus
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return fig8b_workload(30.0, n_items=150, n_transactions=400)
+
+
+def test_iterated_reduction_preserves_answers(workload):
+    cfq = workload.cfq()
+    single = CFQOptimizer(cfq).execute(workload.db, reduction_rounds=1)
+    iterated = CFQOptimizer(cfq).execute(workload.db, reduction_rounds=4)
+    baseline = apriori_plus(workload.db, cfq)
+    expected = set(baseline.pairs())
+    assert set(single.pairs()) == expected
+    assert set(iterated.pairs()) == expected
+
+
+def test_iterated_reduction_never_counts_more(workload):
+    cfq = workload.cfq()
+    single = CFQOptimizer(cfq).execute(workload.db, reduction_rounds=1)
+    iterated = CFQOptimizer(cfq).execute(workload.db, reduction_rounds=4)
+    assert iterated.counters.total_counted <= single.counters.total_counted
+
+
+def test_iteration_reaches_fixpoint_quickly(workload):
+    cfq = workload.cfq()
+    four = CFQOptimizer(cfq).execute(workload.db, reduction_rounds=4)
+    many = CFQOptimizer(cfq).execute(workload.db, reduction_rounds=10)
+    assert four.counters.total_counted == many.counters.total_counted
+
+
+def test_cascade_workload_shows_strict_improvement():
+    """The dedicated cascade: a type group eliminable only once the price
+    reduction's effect on the other side's L1 has propagated — round 1
+    cannot see it, the fixpoint must."""
+    from repro.datagen.workloads import cascade_workload
+
+    workload = cascade_workload(n_group=60, n_transactions=800)
+    cfq = workload.cfq()
+    one = CFQOptimizer(cfq).execute(workload.db, reduction_rounds=1)
+    fixpoint = CFQOptimizer(cfq).execute(workload.db, reduction_rounds=4)
+    baseline = apriori_plus(workload.db, cfq)
+    assert set(one.pairs()) == set(fixpoint.pairs()) == set(baseline.pairs())
+    assert fixpoint.counters.total_counted < one.counters.total_counted
+
+
+def test_rounds_validated():
+    workload = quickstart_workload(n_transactions=100)
+    cfq = workload.cfq()
+    with pytest.raises(ExecutionError):
+        CFQOptimizer(cfq).execute(workload.db, reduction_rounds=0)

@@ -1,0 +1,165 @@
+"""The J^k_max machinery (Section 5.2, Figures 5 and 6, Lemmas 5-7)."""
+
+from math import inf
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.jmax import (
+    BoundSeries,
+    ak_avg_bound,
+    element_set_counts,
+    j_bound,
+    jmax_upper_bound,
+    vk_sum_bound,
+)
+from repro.errors import ExecutionError
+from tests.conftest import brute_frequent
+
+
+def test_paper_numerical_example_jbound():
+    """Section 5.2's running example: 17 frequent 4-sets containing t1
+    rule out frequent sets of size 7 because C(6,3)=20 > 17; the bound is
+    J = 2 (size at most 6)."""
+    assert j_bound(17, 4) == 2
+    # And exactly 20 would allow one more.
+    assert j_bound(20, 4) == 3
+
+
+def test_j_bound_boundaries():
+    # One frequent k-set containing t allows no extension beyond j=0.
+    assert j_bound(1, 2) == 0
+    # k frequent k-sets allow j=1 (C(k, k-1) = k).
+    assert j_bound(3, 3) == 1
+    with pytest.raises(ExecutionError):
+        j_bound(5, 1)
+
+
+def test_element_set_counts():
+    counts = element_set_counts([(1, 2), (1, 3), (2, 3)])
+    assert counts == {1: 2, 2: 2, 3: 2}
+
+
+def test_paper_numerical_example_vk():
+    """The MaxSum example: Sum_100^4 = 240 from {t10,t50,t80,t100}, the
+    top-2 co-occurring values are 90 and 70, so MaxSum = 400."""
+    # Element ids are the values themselves (ti.B = i).
+    values = {i: i for i in (10, 50, 80, 100, 90, 70)}
+    frequent_4 = [
+        (10, 50, 80, 100),
+        (10, 50, 90, 100),  # co-occurring: 90
+        (10, 70, 80, 100),  # co-occurring: 70
+    ]
+    bound = vk_sum_bound(frequent_4, values, jmax=2)
+    # For t=100 the best base set is (10,50,80,100) with sum 240; adding
+    # the top-2 co-occurring outside values 90 and 70 gives 400.
+    assert bound == 240 + 90 + 70
+
+
+def test_vk_bounds_every_frequent_superset_sum():
+    """Lemma 6 grounding: V^k upper-bounds sum over frequent sets of
+    size >= k (checked against a brute-force mined lattice)."""
+    transactions = [
+        (1, 2, 3, 4), (1, 2, 3, 4), (1, 2, 3), (2, 3, 4), (1, 3, 4),
+        (1, 2), (2, 4), (3, 4), (1, 2, 3, 4),
+    ]
+    values = {1: 5.0, 2: 9.0, 3: 2.0, 4: 7.0}
+    frequent = brute_frequent(transactions, [1, 2, 3, 4], 3)
+    for k in (2, 3):
+        level_k = [s for s in frequent if len(s) == k]
+        jm = jmax_upper_bound(level_k, k)
+        bound = vk_sum_bound(level_k, values, jm)
+        for itemset in frequent:
+            if len(itemset) >= k:
+                assert sum(values[e] for e in itemset) <= bound, (k, itemset)
+
+
+def test_ak_bounds_every_frequent_superset_avg():
+    transactions = [
+        (1, 2, 3), (1, 2, 3), (1, 2), (2, 3), (1, 3), (1, 2, 3),
+    ]
+    values = {1: 4.0, 2: 10.0, 3: 6.0}
+    frequent = brute_frequent(transactions, [1, 2, 3], 2)
+    level_2 = [s for s in frequent if len(s) == 2]
+    jm = jmax_upper_bound(level_2, 2)
+    bound = ak_avg_bound(level_2, values, jm, 2)
+    for itemset in frequent:
+        if len(itemset) >= 2:
+            avg = sum(values[e] for e in itemset) / len(itemset)
+            assert avg <= bound
+
+
+def test_empty_level_gives_minus_inf():
+    assert vk_sum_bound([], {}, 2) == -inf
+    assert ak_avg_bound([], {}, 2, 2) == -inf
+    assert jmax_upper_bound([], 2) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_items=st.integers(min_value=3, max_value=6),
+)
+def test_bound_series_is_sound_and_monotone(seed, n_items):
+    """Lemmas 5-7 as one property: feeding successive levels of a real
+    mined lattice, the W^k series never increases and always bounds the
+    maximum frequent-set sum."""
+    import numpy as np
+
+    rng = np.random.RandomState(seed)
+    items = list(range(n_items))
+    transactions = [
+        tuple(sorted(rng.choice(items, size=rng.randint(1, n_items + 1),
+                                replace=False)))
+        for __ in range(25)
+    ]
+    values = {i: float(rng.randint(0, 50)) for i in items}
+    frequent = brute_frequent(transactions, items, 4)
+    if not frequent:
+        return
+    true_max = max(sum(values[e] for e in s) for s in frequent)
+    series = BoundSeries(values=values, kind="sum")
+    series.start([s[0] for s in frequent if len(s) == 1])
+    previous = series.bound
+    assert previous >= true_max
+    deepest = max(len(s) for s in frequent)
+    for k in range(2, deepest + 1):
+        level = [s for s in frequent if len(s) == k]
+        bound = series.update(k, level)
+        assert bound <= previous + 1e-9
+        assert bound >= true_max - 1e-9, (bound, true_max)
+        previous = bound
+
+
+def test_lemma5_j_decreases_with_k():
+    transactions = [(1, 2, 3, 4, 5)] * 5 + [(1, 2), (2, 3), (4, 5)]
+    frequent = brute_frequent(transactions, [1, 2, 3, 4, 5], 4)
+    by_level = {}
+    for s in frequent:
+        by_level.setdefault(len(s), []).append(s)
+    bounds = [jmax_upper_bound(by_level[k], k) for k in sorted(by_level) if k >= 2]
+    assert all(a >= b for a, b in zip(bounds, bounds[1:]))
+
+
+def test_bound_series_rejects_bad_kind_and_level():
+    with pytest.raises(ExecutionError):
+        BoundSeries(values={}, kind="median")
+    series = BoundSeries(values={1: 1.0}, kind="sum")
+    series.start([1])
+    with pytest.raises(ExecutionError):
+        series.update(1, [])
+
+
+def test_bound_series_empty_l1():
+    series = BoundSeries(values={}, kind="sum")
+    assert series.start([]) == -inf
+
+
+def test_bound_series_history_records_levels():
+    values = {1: 3.0, 2: 4.0}
+    series = BoundSeries(values=values, kind="sum")
+    series.start([1, 2])
+    series.update(2, [(1, 2)])
+    assert [k for k, __ in series.history] == [1, 2]
+    assert series.bound == pytest.approx(7.0)

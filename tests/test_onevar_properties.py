@@ -1,0 +1,117 @@
+"""The 1-var property table (Lemma 1 and the CAP classification),
+plus empirical spot checks of anti-monotonicity/monotonicity.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.constraints.evaluate import evaluate_constraint
+from repro.constraints.onevar import AggConstShape, OneVarView, SetConstShape
+from repro.constraints.parser import parse_constraint
+from repro.constraints.properties import classify_onevar
+from repro.db.domain import Domain
+
+
+CASES = [
+    # text, anti_monotone, monotone, succinct, needs_non_negative
+    ("S.Type ⊆ {a, b}", True, False, True, False),
+    ("S.Type ⊇ {a}", False, True, True, False),
+    ("S.Type = {a}", False, False, True, False),
+    ("S.Type != {a}", False, False, False, False),
+    ("S.Type ∩ {a} = ∅", True, False, True, False),
+    ("S.Type ∩ {a} != ∅", False, True, True, False),
+    ("S.Type ⊄ {a}", False, True, True, False),
+    ("S.Type ⊉ {a}", True, False, True, False),
+    ("min(S.A) >= 5", True, False, True, False),
+    ("min(S.A) > 5", True, False, True, False),
+    ("min(S.A) <= 5", False, True, True, False),
+    ("min(S.A) = 5", False, False, True, False),
+    ("max(S.A) <= 5", True, False, True, False),
+    ("max(S.A) >= 5", False, True, True, False),
+    ("max(S.A) = 5", False, False, True, False),
+    ("count(S) <= 3", True, False, False, False),
+    ("count(S.A) >= 3", False, True, False, False),
+    ("count(S.A) = 3", False, False, False, False),
+    ("sum(S.A) <= 5", True, False, False, True),
+    ("sum(S.A) >= 5", False, True, False, True),
+    ("avg(S.A) <= 5", False, False, False, False),
+    ("avg(S.A) >= 5", False, False, False, False),
+]
+
+
+@pytest.mark.parametrize("text, am, mono, succinct, needs_nn", CASES)
+def test_classification_table(text, am, mono, succinct, needs_nn):
+    view = OneVarView.of(parse_constraint(text))
+    props = classify_onevar(view, non_negative=True)
+    assert props.anti_monotone is am, text
+    assert props.monotone is mono, text
+    assert props.succinct is succinct, text
+    if needs_nn:
+        pessimistic = classify_onevar(view, non_negative=False)
+        assert pessimistic.none_apply, f"{text} without non-negativity"
+
+
+def test_shape_extraction_normalizes_constant_side():
+    view = OneVarView.of(parse_constraint("5 >= sum(S.A)"))
+    assert isinstance(view.shape, AggConstShape)
+    assert view.shape.func == "sum"
+    assert view.shape.op.value == "<="
+    view2 = OneVarView.of(parse_constraint("{a} ⊆ S.Type"))
+    assert isinstance(view2.shape, SetConstShape)
+    assert view2.shape.op.value == "superset"
+
+
+def test_unrecognized_shape_is_none():
+    view = OneVarView.of(parse_constraint("min(S.A) <= max(S.A)"))
+    assert view.shape is None
+    assert classify_onevar(view).none_apply
+
+
+def test_onevar_view_rejects_twovar():
+    from repro.errors import ConstraintTypeError
+
+    with pytest.raises(ConstraintTypeError):
+        OneVarView.of(parse_constraint("max(S.A) <= min(T.B)"))
+
+
+@pytest.mark.parametrize("text, am, mono, succinct, needs_nn", CASES)
+def test_classification_matches_empirical_monotonicity(
+    text, am, mono, succinct, needs_nn
+):
+    """Exhaustively verify AM/monotone verdicts on a small concrete domain.
+
+    Anti-monotone: satisfaction closed under subsets; monotone:
+    satisfaction closed under supersets.  The claimed properties must
+    hold; no claim is made (or checked) in the 'no' direction because a
+    specific dataset may coincidentally be closed.
+    """
+    from repro.db.catalog import ItemCatalog
+
+    catalog = ItemCatalog(
+        {
+            "A": {1: 2, 2: 4, 3: 5, 4: 7},
+            "Type": {1: "a", 2: "b", 3: "a", 4: "c"},
+        }
+    )
+    domain = Domain.items(catalog)
+    constraint = parse_constraint(text)
+    universe = domain.elements
+    satisfied = {}
+    for k in range(1, len(universe) + 1):
+        for combo in combinations(universe, k):
+            satisfied[combo] = evaluate_constraint(
+                constraint, {"S": combo}, {"S": domain}
+            )
+    for itemset, ok in satisfied.items():
+        if not ok:
+            continue
+        if am:
+            for sub in combinations(itemset, len(itemset) - 1):
+                if sub:
+                    assert satisfied[sub], (text, itemset, sub)
+        if mono:
+            for extra in universe:
+                if extra not in itemset:
+                    superset = tuple(sorted(itemset + (extra,)))
+                    assert satisfied[superset], (text, itemset, superset)

@@ -1,0 +1,108 @@
+"""Pair formation, existential validity, and phase-2 rules."""
+
+import pytest
+
+from repro.constraints.parser import parse_constraints
+from repro.core.pairs import (
+    form_valid_pairs,
+    rules_from_pairs,
+    split_constraints,
+    valid_sets_existential,
+)
+from repro.db.domain import Domain
+from repro.db.stats import OpCounters
+
+
+@pytest.fixture
+def domains(market_catalog):
+    item = Domain.items(market_catalog)
+    return {"S": item, "T": item}
+
+
+@pytest.fixture
+def sets():
+    s_sets = {(1,): 7, (2,): 6, (1, 2): 5, (4,): 6}
+    t_sets = {(4,): 6, (5,): 4, (4, 5): 3, (1,): 7}
+    return s_sets, t_sets
+
+
+def test_split_constraints():
+    constraints = parse_constraints(
+        ["max(S.Price) <= 40", "min(T.Price) >= 20", "S.Type = T.Type"]
+    )
+    onevar, twovar = split_constraints(constraints)
+    assert set(onevar) == {"S", "T"}
+    assert len(twovar) == 1
+
+
+def test_form_valid_pairs_brute_force_agreement(domains, sets):
+    from repro.constraints.evaluate import evaluate_all
+
+    s_sets, t_sets = sets
+    constraints = parse_constraints(
+        ["max(S.Price) <= min(T.Price)", "S.Type = {snack}"]
+    )
+    pairs = form_valid_pairs(s_sets, t_sets, constraints, domains)
+    expected = {
+        (s0, t0)
+        for s0 in s_sets
+        for t0 in t_sets
+        if evaluate_all(constraints, {"S": s0, "T": t0}, domains)
+    }
+    assert set(pairs) == expected
+
+
+def test_form_valid_pairs_limit_and_counters(domains, sets):
+    s_sets, t_sets = sets
+    counters = OpCounters()
+    constraints = parse_constraints(["max(S.Price) <= min(T.Price)"])
+    pairs = form_valid_pairs(
+        s_sets, t_sets, constraints, domains, counters=counters, limit=2
+    )
+    assert len(pairs) == 2
+    assert counters.pair_checks > 0
+
+
+def test_valid_sets_existential(domains, sets):
+    s_sets, t_sets = sets
+    constraints = parse_constraints(["max(S.Price) <= min(T.Price)"])
+    survivors = valid_sets_existential(
+        s_sets, t_sets, constraints, "S", "T", domains
+    )
+    # (4,) has price 40; the cheapest partner min is 10 via (1,) -> fails
+    # against every partner? (1,) in t_sets has min 10 < 40; partner (4,)
+    # min 40 >= 40 -> survives.
+    assert (4,) in survivors
+    assert (1, 2) in survivors
+
+
+def test_valid_sets_existential_no_twovar_returns_own(domains, sets):
+    s_sets, __ = sets
+    constraints = parse_constraints(["S.Type = {snack}"])
+    survivors = valid_sets_existential(s_sets, {}, constraints, "S", "T", domains)
+    assert set(survivors) == {(1,), (2,), (1, 2)}
+
+
+def test_rules_from_pairs(market_db):
+    pairs = [((1,), (4,)), ((1, 2), (4,)), ((1,), (1, 2))]
+    rules = rules_from_pairs(pairs, market_db)
+    # Overlapping antecedent/consequent pairs are skipped.
+    assert len(rules) == 2
+    by_key = {(r.antecedent, r.consequent): r for r in rules}
+    rule = by_key[((1,), (4,))]
+    assert rule.support == pytest.approx(market_db.support((1, 4)) / len(market_db))
+    assert rule.confidence == pytest.approx(
+        market_db.support((1, 4)) / market_db.support((1,))
+    )
+
+
+def test_rules_min_confidence_filters(market_db):
+    pairs = [((1,), (4,)), ((3,), (6,))]
+    all_rules = rules_from_pairs(pairs, market_db, min_confidence=0.0)
+    high = rules_from_pairs(pairs, market_db, min_confidence=0.9)
+    assert len(high) <= len(all_rules)
+
+
+def test_rules_str_is_readable(market_db):
+    (rule,) = rules_from_pairs([((1,), (4,))], market_db)
+    assert "=>" in str(rule)

@@ -1,0 +1,164 @@
+"""Unit tests for the constraint DSL parser."""
+
+import pytest
+
+from repro.constraints.ast import (
+    Agg,
+    AttrRef,
+    CmpOp,
+    Comparison,
+    Const,
+    SetComparison,
+    SetConst,
+    SetOp,
+)
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.errors import ConstraintSyntaxError
+
+
+def test_agg_vs_agg():
+    constraint = parse_constraint("max(S.Price) <= min(T.Price)")
+    assert constraint == Comparison(
+        Agg("max", AttrRef("S", "Price")), CmpOp.LE, Agg("min", AttrRef("T", "Price"))
+    )
+
+
+def test_agg_vs_const():
+    constraint = parse_constraint("sum(S.Price) <= 100")
+    assert constraint == Comparison(
+        Agg("sum", AttrRef("S", "Price")), CmpOp.LE, Const(100)
+    )
+
+
+def test_const_vs_agg():
+    constraint = parse_constraint("200 <= avg(T.Price)")
+    assert constraint == Comparison(
+        Const(200), CmpOp.LE, Agg("avg", AttrRef("T", "Price"))
+    )
+
+
+def test_float_and_negative_constants():
+    assert parse_constraint("avg(S.A) >= 1.5").right == Const(1.5)
+    assert parse_constraint("min(S.A) >= -3").right == Const(-3)
+
+
+def test_count_distinct():
+    constraint = parse_constraint("count(S.Type) = 1")
+    assert constraint == Comparison(
+        Agg("count", AttrRef("S", "Type")), CmpOp.EQ, Const(1)
+    )
+
+
+def test_count_of_bare_variable():
+    constraint = parse_constraint("count(S) <= 4")
+    assert constraint.left == Agg("count", AttrRef("S", None))
+
+
+def test_set_equality_with_literal():
+    constraint = parse_constraint("S.Type = {Snacks}")
+    assert constraint == SetComparison(
+        AttrRef("S", "Type"), SetOp.SETEQ, SetConst(frozenset({"Snacks"}))
+    )
+
+
+def test_set_literal_kinds():
+    constraint = parse_constraint('S.Type = {Snacks, "Dried Fruit", 42}')
+    assert constraint.right == SetConst(frozenset({"Snacks", "Dried Fruit", 42}))
+
+
+def test_empty_set_literal():
+    constraint = parse_constraint("S.Type = {}")
+    assert constraint.right == SetConst(frozenset())
+
+
+def test_set_inequality_between_vars():
+    constraint = parse_constraint("S.Type != T.Type")
+    assert constraint.op is SetOp.SETNEQ
+
+
+@pytest.mark.parametrize(
+    "text, op",
+    [
+        ("S.A subset T.B", SetOp.SUBSET),
+        ("S.A ⊆ T.B", SetOp.SUBSET),
+        ("S.A not subset T.B", SetOp.NOT_SUBSET),
+        ("S.A ⊄ T.B", SetOp.NOT_SUBSET),
+        ("S.A superset T.B", SetOp.SUPERSET),
+        ("S.A ⊇ T.B", SetOp.SUPERSET),
+        ("S.A not superset T.B", SetOp.NOT_SUPERSET),
+        ("S.A ⊉ T.B", SetOp.NOT_SUPERSET),
+    ],
+)
+def test_subset_family(text, op):
+    constraint = parse_constraint(text)
+    assert constraint.op is op
+    assert constraint.left == AttrRef("S", "A")
+    assert constraint.right == AttrRef("T", "B")
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["S.A ∩ T.B = ∅", "S.A ∩ T.B = {}", "disjoint(S.A, T.B)"],
+)
+def test_disjoint_spellings(text):
+    assert parse_constraint(text).op is SetOp.DISJOINT
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["S.A ∩ T.B != ∅", "overlaps(S.A, T.B)", "intersects(S.A, T.B)"],
+)
+def test_overlap_spellings(text):
+    assert parse_constraint(text).op is SetOp.OVERLAPS
+
+
+def test_bare_variable_reference():
+    constraint = parse_constraint("S.Type ⊆ T")
+    assert constraint.right == AttrRef("T", None)
+
+
+def test_unicode_comparison_operators():
+    assert parse_constraint("min(S.A) ≤ 5").op is CmpOp.LE
+    assert parse_constraint("min(S.A) ≥ 5").op is CmpOp.GE
+    assert parse_constraint("min(S.A) ≠ 5").op is CmpOp.NE
+
+
+def test_parse_constraints_mixes_text_and_ast():
+    prebuilt = parse_constraint("sum(S.A) <= 1")
+    out = parse_constraints(["min(T.B) >= 2", prebuilt])
+    assert out[1] is prebuilt
+    assert isinstance(out[0], Comparison)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "max(S.Price",
+        "max(S.Price) <=",
+        "S.A <=> T.B",
+        "S.A subset 5",
+        "{1,2} <= 5",
+        "min(S.A) <= max(T.B) extra",
+        "sum(S.A) = {1}",
+        "S.A ∩ T.B = 5",
+        "min({1,2}) <= 5",
+        "S.A = {1,",
+        "100 <= 200",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(Exception) as excinfo:
+        parse_constraint(bad)
+    assert excinfo.type.__name__ in ("ConstraintSyntaxError", "ConstraintTypeError")
+
+
+def test_syntax_error_carries_position():
+    with pytest.raises(ConstraintSyntaxError) as excinfo:
+        parse_constraint("max(S.Price) <= $$$")
+    assert "^" in str(excinfo.value)
+
+
+def test_ordering_op_between_sets_rejected():
+    with pytest.raises(ConstraintSyntaxError):
+        parse_constraint("S.A <= T.B")

@@ -1,0 +1,64 @@
+"""Parser robustness: round-trips and garbage rejection under fuzzing."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.parser import parse_constraint
+from repro.errors import ReproError
+
+identifiers = st.text(
+    alphabet=string.ascii_letters + "_", min_size=1, max_size=8
+).filter(lambda s: s.lower() not in (
+    "min", "max", "sum", "avg", "count", "not", "subset", "superset",
+    "disjoint", "overlaps", "intersects", "empty",
+))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    func=st.sampled_from(["min", "max", "sum", "avg"]),
+    var=st.sampled_from(["S", "T"]),
+    attr=identifiers,
+    op=st.sampled_from(["<=", "<", ">=", ">", "=", "!="]),
+    const=st.one_of(
+        st.integers(min_value=-1000, max_value=1000),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                  allow_infinity=False).map(lambda x: round(x, 3)),
+    ),
+)
+def test_aggregate_comparisons_round_trip(func, var, attr, op, const):
+    text = f"{func}({var}.{attr}) {op} {const}"
+    constraint = parse_constraint(text)
+    again = parse_constraint(str(constraint))
+    assert again == constraint
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.sets(
+        st.one_of(identifiers, st.integers(min_value=0, max_value=99)),
+        min_size=0,
+        max_size=4,
+    ),
+    op_text=st.sampled_from(["=", "!=", "⊆", "⊇", "⊄", "⊉"]),
+)
+def test_set_literal_round_trip(values, op_text):
+    literal = "{" + ", ".join(
+        str(v) if isinstance(v, int) else v for v in sorted(values, key=str)
+    ) + "}"
+    constraint = parse_constraint(f"S.Type {op_text} {literal}")
+    again = parse_constraint(str(constraint))
+    assert again == constraint
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.text(max_size=40))
+def test_garbage_never_crashes_with_foreign_exceptions(text):
+    """Arbitrary input either parses or raises a library error — never an
+    uncontrolled exception type."""
+    try:
+        parse_constraint(text)
+    except ReproError:
+        pass

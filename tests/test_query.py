@@ -1,0 +1,81 @@
+"""The CFQ object: construction, validation, accessors."""
+
+import pytest
+
+from repro.core.query import CFQ
+from repro.db.domain import Domain
+from repro.errors import QueryValidationError
+
+
+@pytest.fixture
+def item(market_catalog):
+    return Domain.items(market_catalog)
+
+
+def test_basic_construction(item):
+    cfq = CFQ(
+        domains={"S": item, "T": item},
+        minsup=0.1,
+        constraints=["max(S.Price) <= min(T.Price)", "S.Type = {snack}"],
+    )
+    assert cfq.variables == ("S", "T")
+    assert len(cfq.twovar) == 1
+    assert len(cfq.onevar_for("S")) == 1
+    assert cfq.onevar_for("T") == []
+
+
+def test_minsup_scalar_and_mapping(item):
+    scalar = CFQ(domains={"S": item}, minsup=0.2, constraints=[])
+    assert scalar.minsup_for("S") == 0.2
+    mapped = CFQ(domains={"S": item, "T": item},
+                 minsup={"S": 0.1, "T": 0.3}, constraints=[])
+    assert mapped.minsup_for("T") == 0.3
+    with pytest.raises(QueryValidationError):
+        CFQ(domains={"S": item, "T": item}, minsup={"S": 0.1},
+            constraints=[]).minsup_for("T")
+
+
+def test_unknown_variable_rejected(item):
+    with pytest.raises(QueryValidationError):
+        CFQ(domains={"S": item}, minsup=0.1,
+            constraints=["max(X.Price) <= 5"])
+
+
+def test_unknown_attribute_rejected(item):
+    with pytest.raises(QueryValidationError):
+        CFQ(domains={"S": item}, minsup=0.1,
+            constraints=["max(S.Weight) <= 5"])
+
+
+def test_too_many_variables_rejected(item):
+    with pytest.raises(QueryValidationError):
+        CFQ(domains={"S": item, "T": item, "U": item}, minsup=0.1,
+            constraints=[])
+
+
+def test_no_variables_rejected():
+    with pytest.raises(QueryValidationError):
+        CFQ(domains={}, minsup=0.1, constraints=[])
+
+
+def test_prebuilt_ast_accepted(item):
+    from repro.constraints.parser import parse_constraint
+
+    node = parse_constraint("max(S.Price) <= 40")
+    cfq = CFQ(domains={"S": item}, minsup=0.1, constraints=[node])
+    assert cfq.parsed == [node]
+
+
+def test_str_renders_query(item):
+    cfq = CFQ(domains={"S": item, "T": item}, minsup=0.1,
+              constraints=["S.Type = T.Type"])
+    assert str(cfq).startswith("{(S, T) |")
+
+
+def test_bare_variable_attr_ok_on_derived_domain(market_catalog, item):
+    from repro.db.domain import derived_type_domain
+
+    types = derived_type_domain(market_catalog)
+    cfq = CFQ(domains={"S": item, "T": types}, minsup=0.1,
+              constraints=["S.Type ⊆ T"])
+    assert len(cfq.twovar) == 1

@@ -1,0 +1,131 @@
+"""Randomized end-to-end equivalence battery.
+
+For randomly generated catalogs, databases and constraint conjunctions,
+the optimizer's answer (under randomly sampled engine options) must equal
+``Apriori+``'s.  This is the strongest single correctness property in the
+suite: it exercises the parser, classification, reduction, induction,
+Jmax, CAP compilation, dovetailing and pair formation together.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import CFQOptimizer
+from repro.core.query import CFQ
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain
+from repro.db.transactions import TransactionDatabase
+from repro.mining.aprioriplus import apriori_plus
+
+TYPES = ["red", "blue", "green"]
+
+ONEVAR_TEMPLATES = [
+    "max({v}.Price) <= {c}",
+    "min({v}.Price) >= {c}",
+    "min({v}.Price) <= {c}",
+    "sum({v}.Price) <= {c2}",
+    "avg({v}.Price) >= {c}",
+    "{v}.Type = {{red}}",
+    "{v}.Type ∩ {{blue}} != ∅",
+    "count({v}.Type) = 1",
+]
+
+TWOVAR_TEMPLATES = [
+    "max(S.Price) <= min(T.Price)",
+    "min(S.Price) <= min(T.Price)",
+    "max(S.Price) <= max(T.Price)",
+    "min(S.Price) >= max(T.Price)",
+    "S.Type = T.Type",
+    "S.Type ∩ T.Type = ∅",
+    "S.Type ∩ T.Type != ∅",
+    "S.Type ⊆ T.Type",
+    "sum(S.Price) <= sum(T.Price)",
+    "sum(S.Price) <= max(T.Price)",
+    "avg(S.Price) <= avg(T.Price)",
+    "avg(S.Price) >= sum(T.Price)",
+]
+
+
+def build_world(seed: int, n_items: int, n_transactions: int):
+    rng = np.random.RandomState(seed)
+    catalog = ItemCatalog(
+        {
+            "Price": {i: int(rng.randint(1, 60)) for i in range(n_items)},
+            "Type": {i: TYPES[rng.randint(len(TYPES))] for i in range(n_items)},
+        }
+    )
+    transactions = [
+        tuple(
+            sorted(
+                rng.choice(
+                    n_items, size=rng.randint(1, max(2, n_items // 2)),
+                    replace=False,
+                )
+            )
+        )
+        for __ in range(n_transactions)
+    ]
+    return catalog, TransactionDatabase(transactions)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    onevar_s=st.lists(st.sampled_from(ONEVAR_TEMPLATES), max_size=1),
+    onevar_t=st.lists(st.sampled_from(ONEVAR_TEMPLATES), max_size=1),
+    twovar=st.lists(st.sampled_from(TWOVAR_TEMPLATES), min_size=1, max_size=2),
+    const=st.integers(min_value=5, max_value=55),
+    dovetail=st.booleans(),
+    use_reduction=st.booleans(),
+    use_jmax=st.booleans(),
+    rounds=st.integers(min_value=1, max_value=3),
+)
+def test_random_query_equivalence(
+    seed, onevar_s, onevar_t, twovar, const, dovetail, use_reduction,
+    use_jmax, rounds,
+):
+    catalog, db = build_world(seed, n_items=12, n_transactions=40)
+    item = Domain.items(catalog)
+    constraints = (
+        [t.format(v="S", c=const, c2=const * 2) for t in onevar_s]
+        + [t.format(v="T", c=const, c2=const * 2) for t in onevar_t]
+        + twovar
+    )
+    cfq = CFQ(
+        domains={"S": item, "T": item}, minsup=0.15, constraints=constraints,
+        max_level=5,
+    )
+    optimized = CFQOptimizer(cfq).execute(
+        db,
+        dovetail=dovetail,
+        use_reduction=use_reduction,
+        use_jmax=use_jmax,
+        reduction_rounds=rounds,
+    )
+    baseline = apriori_plus(db, cfq)
+    assert set(optimized.pairs()) == set(baseline.pairs()), constraints
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_query_equivalence_with_segmented_domains(seed):
+    """Different domains per variable (the Figure 8(a) shape), random
+    constraints mixing everything."""
+    rng = np.random.RandomState(seed + 500)
+    catalog, db = build_world(seed + 500, n_items=16, n_transactions=60)
+    s_items = list(range(8))
+    t_items = list(range(8, 16))
+    domains = {
+        "S": Domain.items(catalog, name="SegS", subset=s_items),
+        "T": Domain.items(catalog, name="SegT", subset=t_items),
+    }
+    twovar = [TWOVAR_TEMPLATES[rng.randint(len(TWOVAR_TEMPLATES))]]
+    cfq = CFQ(domains=domains, minsup=0.1, constraints=twovar, max_level=5)
+    optimized = CFQOptimizer(cfq).execute(db)
+    baseline = apriori_plus(db, cfq)
+    assert set(optimized.pairs()) == set(baseline.pairs()), twovar

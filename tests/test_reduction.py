@@ -1,0 +1,191 @@
+"""Quasi-succinct reduction (Figures 2 and 3): structure and semantics.
+
+Soundness (Theorems 2/3, the direction pruning correctness rests on) is
+property-tested over random tiny scenarios for *every* reducible row;
+tightness is asserted for the rows where a singleton-witness argument
+proves it (disjoint/overlaps, the min/max aggregate rows, and the
+OVERLAPS-style sides of subset/superset) — see DESIGN.md for the
+tightness caveat on the remaining rows.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.ast import CmpOp, Comparison, SetComparison, SetOp
+from repro.constraints.parser import parse_constraint
+from repro.constraints.twovar import TwoVarView
+from repro.core.empirical import reduction_soundness_tightness
+from repro.core.reduction import reduce_twovar
+from repro.datagen.tiny import tiny_scenario
+from repro.errors import ClassificationError
+
+REDUCIBLE = [
+    "S.A ∩ T.B = ∅",
+    "S.A ∩ T.B != ∅",
+    "S.A ⊆ T.B",
+    "S.A ⊄ T.B",
+    "S.A ⊇ T.B",
+    "S.A ⊉ T.B",
+    "S.A = T.B",
+    "S.A != T.B",
+    "min(S.A) <= min(T.B)",
+    "min(S.A) <= max(T.B)",
+    "max(S.A) <= min(T.B)",
+    "max(S.A) <= max(T.B)",
+    "min(S.A) >= max(T.B)",
+    "max(S.A) >= max(T.B)",
+    "min(S.A) < min(T.B)",
+    "max(S.A) > min(T.B)",
+    "min(S.A) = min(T.B)",
+    "max(S.A) != max(T.B)",
+]
+
+TIGHT = [
+    "S.A ∩ T.B = ∅",
+    "S.A ∩ T.B != ∅",
+    "min(S.A) <= min(T.B)",
+    "min(S.A) <= max(T.B)",
+    "max(S.A) <= min(T.B)",
+    "max(S.A) <= max(T.B)",
+    "min(S.A) >= max(T.B)",
+    "max(S.A) >= max(T.B)",
+    "min(S.A) < min(T.B)",
+    "max(S.A) > min(T.B)",
+]
+
+
+@pytest.mark.parametrize("text", REDUCIBLE)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("var", ["S", "T"])
+def test_reduction_soundness(text, seed, var):
+    scenario = tiny_scenario(seed, n_s=5, n_t=5)
+    view = TwoVarView.of(parse_constraint(text))
+    other = "T" if var == "S" else "S"
+    sound, __, valid, passing = reduction_soundness_tightness(
+        view, var, scenario.domains, list(scenario.frequent[other])
+    )
+    assert sound, (
+        f"{text} for {var}: pruned valid sets {sorted(valid - passing)[:3]}"
+    )
+
+
+@pytest.mark.parametrize("text", TIGHT)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_reduction_tightness_where_provable(text, seed):
+    scenario = tiny_scenario(seed, n_s=5, n_t=5)
+    view = TwoVarView.of(parse_constraint(text))
+    for var, other in (("S", "T"), ("T", "S")):
+        __, tight, valid, passing = reduction_soundness_tightness(
+            view, var, scenario.domains, list(scenario.frequent[other])
+        )
+        assert tight, (
+            f"{text} for {var}: admitted invalid sets {sorted(passing - valid)[:3]}"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       text=st.sampled_from(REDUCIBLE))
+def test_reduction_soundness_fuzz(seed, text):
+    scenario = tiny_scenario(seed, n_s=4, n_t=4)
+    view = TwoVarView.of(parse_constraint(text))
+    sound, __, __, __ = reduction_soundness_tightness(
+        view, "S", scenario.domains, list(scenario.frequent["T"])
+    )
+    assert sound
+
+
+# ----------------------------------------------------------------------
+# Structural checks of the emitted constraints (table rows verbatim)
+# ----------------------------------------------------------------------
+def _reduce(text, scenario):
+    view = TwoVarView.of(parse_constraint(text))
+    l1 = {"S": scenario.l1("S"), "T": scenario.l1("T")}
+    return reduce_twovar(view, scenario.domains, l1)
+
+
+def test_disjoint_row_emits_not_superset(market_catalog):
+    scenario = tiny_scenario(0)
+    reduced = _reduce("S.A ∩ T.B = ∅", scenario)
+    for var in ("S", "T"):
+        (constraint,) = reduced[var]
+        assert isinstance(constraint, SetComparison)
+        assert constraint.op is SetOp.NOT_SUPERSET
+
+
+def test_overlap_row_emits_overlaps():
+    scenario = tiny_scenario(0)
+    reduced = _reduce("S.A ∩ T.B != ∅", scenario)
+    for var in ("S", "T"):
+        (constraint,) = reduced[var]
+        assert constraint.op is SetOp.OVERLAPS
+
+
+def test_subset_row_is_asymmetric():
+    scenario = tiny_scenario(0)
+    reduced = _reduce("S.A ⊆ T.B", scenario)
+    assert reduced["S"][0].op is SetOp.SUBSET
+    assert reduced["T"][0].op is SetOp.OVERLAPS
+
+
+def test_not_subset_row_is_trivial_for_s():
+    scenario = tiny_scenario(0)
+    reduced = _reduce("S.A ⊄ T.B", scenario)
+    assert reduced["S"] == []
+    assert reduced["T"][0].op is SetOp.NOT_SUPERSET
+
+
+def test_seteq_row_gives_filters_both_sides():
+    scenario = tiny_scenario(0)
+    reduced = _reduce("S.A = T.B", scenario)
+    assert reduced["S"][0].op is SetOp.SUBSET
+    assert reduced["T"][0].op is SetOp.SUBSET
+
+
+def test_setneq_row_is_trivial():
+    scenario = tiny_scenario(0)
+    reduced = _reduce("S.A != T.B", scenario)
+    assert reduced["S"] == [] and reduced["T"] == []
+
+
+def test_minmax_rows_use_extreme_of_other_l1():
+    scenario = tiny_scenario(0)
+    t_values = scenario.domains["T"].catalog.project(scenario.l1("T"), "B")
+    s_values = scenario.domains["S"].catalog.project(scenario.l1("S"), "A")
+    reduced = _reduce("max(S.A) <= min(T.B)", scenario)
+    (c1,) = reduced["S"]
+    assert isinstance(c1, Comparison)
+    assert c1.op is CmpOp.LE and c1.right.value == max(t_values)
+    (c2,) = reduced["T"]
+    assert c2.op is CmpOp.GE and c2.right.value == min(s_values)
+
+
+def test_strictness_preserved():
+    scenario = tiny_scenario(0)
+    reduced = _reduce("max(S.A) < min(T.B)", scenario)
+    assert reduced["S"][0].op is CmpOp.LT
+    assert reduced["T"][0].op is CmpOp.GT
+
+
+def test_agg_equality_emits_both_bounds():
+    scenario = tiny_scenario(0)
+    reduced = _reduce("min(S.A) = min(T.B)", scenario)
+    assert {c.op for c in reduced["S"]} == {CmpOp.LE, CmpOp.GE}
+
+
+def test_empty_other_l1_is_unsatisfiable():
+    scenario = tiny_scenario(0)
+    view = TwoVarView.of(parse_constraint("max(S.A) <= min(T.B)"))
+    reduced = reduce_twovar(
+        view, scenario.domains, {"S": scenario.l1("S"), "T": []}
+    )
+    (constraint,) = reduced["S"]
+    assert isinstance(constraint, SetComparison)
+    assert constraint.op is SetOp.SUBSET and not constraint.right.values
+
+
+def test_sum_avg_shapes_rejected():
+    scenario = tiny_scenario(0)
+    with pytest.raises(ClassificationError):
+        _reduce("sum(S.A) <= sum(T.B)", scenario)

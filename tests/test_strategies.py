@@ -1,0 +1,118 @@
+"""The single-variable strategies: Apriori, CAP, FM, and their agreement."""
+
+import pytest
+
+from repro.constraints.parser import parse_constraint
+from repro.db.stats import OpCounters
+from repro.db.transactions import TransactionDatabase
+from repro.errors import ConstraintTypeError, ExecutionError
+from repro.mining.apriori import apriori, mine_frequent
+from repro.mining.cap import cap_mine, compile_constraints
+from repro.mining.fm import full_materialization
+from tests.conftest import brute_frequent
+
+
+def test_apriori_on_database(market_db):
+    result = apriori(market_db, 0.3)
+    assert result.all_sets() == brute_frequent(market_db.transactions, range(1, 7), 3)
+
+
+def test_apriori_custom_universe(market_db):
+    result = apriori(market_db, 0.2, elements=[1, 2, 3])
+    assert all(set(s) <= {1, 2, 3} for s in result.all_sets())
+
+
+def test_mine_frequent_records_levels(market_db):
+    counters = OpCounters()
+    result = mine_frequent(market_db.transactions, range(1, 7), 3,
+                           counters=counters, var="T")
+    assert result.var == "T"
+    assert counters.counted_for("T") == sum(result.counted_per_level.values())
+    assert result.max_level >= 2
+    assert result.level1_supports[1] == 7
+
+
+CONSTRAINT_CASES = [
+    ["max(S.Price) <= 40"],
+    ["min(S.Price) <= 20", "max(S.Price) <= 50"],
+    ["S.Type = {snack}"],
+    ["S.Type ∩ {beer} != ∅"],
+    ["sum(S.Price) <= 80"],
+    ["avg(S.Price) >= 25"],
+    ["count(S) <= 2", "min(S.Price) >= 20"],
+    ["min(S.Price) <= 20", "S.Type ⊇ {snack, beer}"],
+]
+
+
+@pytest.mark.parametrize("texts", CONSTRAINT_CASES)
+def test_cap_equals_filtered_brute_force(market_catalog, market_db, texts):
+    from repro.constraints.evaluate import evaluate_all
+    from repro.db.domain import Domain
+
+    domain = Domain.items(market_catalog)
+    constraints = [parse_constraint(t) for t in texts]
+    result = cap_mine("S", domain, market_db.transactions, 2, constraints)
+    oracle = {
+        itemset: support
+        for itemset, support in brute_frequent(
+            market_db.transactions, domain.elements, 2
+        ).items()
+        if evaluate_all(constraints, {"S": itemset}, {"S": domain})
+    }
+    assert result.all_sets() == oracle, texts
+
+
+@pytest.mark.parametrize("texts", CONSTRAINT_CASES[:6])
+def test_fm_agrees_with_cap(market_catalog, market_db, texts):
+    from repro.db.domain import Domain
+
+    domain = Domain.items(market_catalog)
+    constraints = [parse_constraint(t) for t in texts]
+    fm_result = full_materialization(
+        "S", domain, market_db.transactions, 2, constraints
+    )
+    cap_result = cap_mine("S", domain, market_db.transactions, 2, constraints)
+    assert fm_result.all_sets() == cap_result.all_sets()
+
+
+def test_fm_checks_exponentially(market_catalog, market_db):
+    from repro.db.domain import Domain
+
+    domain = Domain.items(market_catalog)
+    counters = OpCounters()
+    full_materialization("S", domain, market_db.transactions, 2,
+                         [parse_constraint("max(S.Price) <= 40")],
+                         counters=counters)
+    assert counters.total_checks == 2 ** 6 - 1
+
+
+def test_fm_refuses_large_universe():
+    from repro.db.catalog import ItemCatalog
+    from repro.db.domain import Domain
+
+    catalog = ItemCatalog({"A": {i: i for i in range(30)}})
+    with pytest.raises(ExecutionError):
+        full_materialization("S", Domain.items(catalog), [], 1)
+
+
+def test_compile_constraints_rejects_wrong_variable(market_catalog):
+    from repro.db.domain import Domain
+
+    with pytest.raises(ConstraintTypeError):
+        compile_constraints(
+            [parse_constraint("max(T.Price) <= 10")], "S",
+            Domain.items(market_catalog),
+        )
+
+
+def test_cap_cheaper_than_unconstrained(market_catalog, market_db):
+    from repro.db.domain import Domain
+
+    domain = Domain.items(market_catalog)
+    plain = OpCounters()
+    mine_frequent(market_db.transactions, domain.elements, 2, counters=plain)
+    constrained = OpCounters()
+    cap_mine("S", domain, market_db.transactions, 2,
+             [parse_constraint("S.Type = {snack}")], counters=constrained)
+    assert constrained.total_counted < plain.total_counted
+    assert constrained.cost() < plain.cost()

@@ -1,0 +1,46 @@
+"""The tiny-scenario builder used by the empirical verification layer."""
+
+from repro.datagen.tiny import tiny_scenario
+
+
+def test_scenario_is_deterministic():
+    a = tiny_scenario(3)
+    b = tiny_scenario(3)
+    assert a.frequent == b.frequent
+    assert a.transactions == b.transactions
+
+
+def test_frequent_collections_are_subset_closed():
+    from itertools import combinations
+
+    scenario = tiny_scenario(5)
+    for var in ("S", "T"):
+        frequent = scenario.frequent[var]
+        for itemset in frequent:
+            for subset in combinations(itemset, len(itemset) - 1):
+                if subset:
+                    assert subset in frequent, (var, itemset, subset)
+
+
+def test_domains_are_disjoint_id_spaces():
+    scenario = tiny_scenario(1)
+    s_ids = set(scenario.domains["S"].elements)
+    t_ids = set(scenario.domains["T"].elements)
+    assert not (s_ids & t_ids)
+
+
+def test_value_range_respected():
+    scenario = tiny_scenario(2, value_range=(-3, 4))
+    for var, attr in (("S", "A"), ("T", "B")):
+        for element in scenario.domains[var].elements:
+            value = scenario.domains[var].catalog.value(element, attr)
+            assert -3 <= value <= 4
+
+
+def test_l1_matches_frequent_singletons():
+    scenario = tiny_scenario(4)
+    for var in ("S", "T"):
+        expected = sorted(
+            s[0] for s in scenario.frequent[var] if len(s) == 1
+        )
+        assert scenario.l1(var) == expected

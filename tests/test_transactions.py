@@ -1,0 +1,75 @@
+"""Unit tests for the transaction database."""
+
+import pytest
+
+from repro.db.domain import Domain
+from repro.db.stats import ScanStats
+from repro.db.transactions import TransactionDatabase
+from repro.errors import DataError
+
+
+def test_transactions_are_deduplicated_and_sorted():
+    db = TransactionDatabase([[3, 1, 3], [2]])
+    assert db[0] == (1, 3)
+    assert db[1] == (2,)
+    assert len(db) == 2
+
+
+def test_support(market_db):
+    assert market_db.support((1,)) == 7
+    assert market_db.support((1, 2)) == 5
+    assert market_db.support((4, 5)) == 3
+    assert market_db.support((6, 5)) == 0
+    # Empty set is supported by every transaction.
+    assert market_db.support(()) == len(market_db)
+
+
+def test_support_fraction(market_db):
+    assert market_db.support_fraction((1, 2)) == 0.5
+
+
+def test_item_universe(market_db):
+    assert market_db.item_universe() == frozenset({1, 2, 3, 4, 5, 6})
+
+
+def test_scan_records_stats(market_db):
+    external = ScanStats()
+    list(market_db.scan(external))
+    list(market_db.scan())
+    assert market_db.stats.scans == 2
+    assert market_db.stats.tuples_read == 2 * len(market_db)
+    assert external.scans == 1
+    assert external.tuples_read == len(market_db)
+
+
+def test_plain_iteration_does_not_record(market_db):
+    list(iter(market_db))
+    assert market_db.stats.scans == 0
+
+
+def test_filtered(market_db):
+    trimmed = market_db.filtered({1, 2})
+    assert all(set(t) <= {1, 2} for t in trimmed)
+    assert len(trimmed) == len(market_db)
+    assert trimmed.support((1, 2)) == market_db.support((1, 2))
+
+
+def test_projected(market_catalog, market_db):
+    snack_domain = Domain.items(market_catalog, subset=[1, 2, 3])
+    projected = market_db.projected(snack_domain)
+    assert all(set(t) <= {1, 2, 3} for t in projected)
+
+
+def test_min_count():
+    db = TransactionDatabase([[1]] * 100)
+    assert db.min_count(0.05) == 5
+    assert db.min_count(0.051) == 6
+    assert db.min_count(1.0) == 100
+    assert db.min_count(1e-9) == 1  # never zero
+
+
+@pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+def test_min_count_validates(bad):
+    db = TransactionDatabase([[1]])
+    with pytest.raises(DataError):
+        db.min_count(bad)

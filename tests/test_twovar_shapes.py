@@ -1,0 +1,73 @@
+"""Normalization and orientation of 2-var constraint shapes."""
+
+import pytest
+
+from repro.constraints.ast import CmpOp, SetOp
+from repro.constraints.parser import parse_constraint
+from repro.constraints.twovar import AggAggShape, SetSetShape, TwoVarView
+from repro.errors import ConstraintTypeError
+
+
+def view(text) -> TwoVarView:
+    return TwoVarView.of(parse_constraint(text))
+
+
+def test_agg_agg_shape_extraction():
+    shape = view("max(S.A) <= min(T.B)").shape
+    assert isinstance(shape, AggAggShape)
+    assert (shape.left_func, shape.right_func) == ("max", "min")
+    assert shape.left_var == "S" and shape.right_var == "T"
+    assert shape.op is CmpOp.LE
+
+
+def test_set_set_shape_extraction():
+    shape = view("S.A ∩ T.B = ∅").shape
+    assert isinstance(shape, SetSetShape)
+    assert shape.op is SetOp.DISJOINT
+
+
+def test_orientation_flips_operator():
+    shape = view("max(S.A) <= min(T.B)").shape
+    oriented = shape.oriented("T")
+    assert oriented.left_var == "T"
+    assert oriented.op is CmpOp.GE
+    assert (oriented.left_func, oriented.right_func) == ("min", "max")
+    # Orienting back is the identity.
+    assert oriented.oriented("S") == shape
+
+
+def test_orientation_flips_set_op():
+    shape = view("S.A ⊆ T.B").shape
+    oriented = shape.oriented("T")
+    assert oriented.op is SetOp.SUPERSET
+    assert oriented.left_attr == "B"
+
+
+def test_orientation_rejects_foreign_variable():
+    shape = view("S.A ⊆ T.B").shape
+    with pytest.raises(ConstraintTypeError):
+        shape.oriented("X")
+
+
+def test_min_max_only_and_uses_sum_or_avg():
+    assert view("max(S.A) <= min(T.B)").shape.min_max_only
+    assert not view("sum(S.A) <= min(T.B)").shape.min_max_only
+    assert view("sum(S.A) <= min(T.B)").shape.uses_sum_or_avg
+    assert view("avg(S.A) >= avg(T.B)").shape.uses_sum_or_avg
+    assert not view("max(S.A) <= min(T.B)").shape.uses_sum_or_avg
+
+
+def test_same_variable_agg_comparison_has_no_shape():
+    constraint = parse_constraint("min(S.A) <= max(T.B)")
+    assert TwoVarView.of(constraint).shape is not None
+    # A genuinely opaque case: a set comparison whose sides mix const/attr
+    # in an unrecognized way cannot arise from the parser, so exercise via
+    # the variables guard instead.
+    with pytest.raises(ConstraintTypeError):
+        TwoVarView.of(parse_constraint("max(S.A) <= 5"))
+
+
+def test_bare_variable_shape():
+    shape = view("S.Type ⊆ T").shape
+    assert shape.left_attr == "Type"
+    assert shape.right_attr is None
