@@ -34,7 +34,8 @@ from repro.core.cfq_parser import parse_cfq
 from repro.core.classify import classify_twovar
 from repro.core.optimizer import CFQOptimizer
 from repro.datagen.workloads import quickstart_workload
-from repro.errors import ReproError
+from repro.errors import ExecutionError, ReproError
+from repro.mining.backends import BACKENDS, ParallelBackend, make_backend
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,6 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the execution plan and operation counts")
     query.add_argument("--baseline", action="store_true",
                        help="also run Apriori+ and report the speedup")
+    query.add_argument("--backend", choices=sorted(BACKENDS), default="hybrid",
+                       help="support-counting backend (default: hybrid)")
+    query.add_argument("--workers", type=int, default=None,
+                       help="worker processes for '--backend parallel' "
+                       "(default: up to 4, bounded by the visible CPUs)")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's Section 7 tables"
@@ -75,13 +81,27 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_backend(name: str, workers: Optional[int]):
+    """Build the counting backend the query flags describe."""
+    if name == "parallel":
+        if workers is not None:
+            return ParallelBackend(workers=workers)
+        return ParallelBackend()
+    if workers is not None:
+        raise ExecutionError(
+            f"--workers only applies to '--backend parallel', not {name!r}"
+        )
+    return make_backend(name)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    backend = _resolve_backend(args.backend, args.workers)
     workload = quickstart_workload(n_transactions=args.transactions,
                                    seed=args.seed)
     cfq = parse_cfq(args.cfq, workload.domains, default_minsup=args.minsup)
     print(f"workload: {workload.db!r}")
     print(f"query:    {cfq}")
-    result = CFQOptimizer(cfq).execute(workload.db)
+    result = CFQOptimizer(cfq).execute(workload.db, backend=backend)
     for var in cfq.variables:
         print(f"frequent valid {var}-sets: {len(result.frequent_valid(var))}")
     if len(cfq.variables) == 2:
@@ -97,6 +117,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"op-cost speedup over Apriori+: {speedup:.2f}x")
     if args.explain:
         print(result.explain())
+        if isinstance(backend, ParallelBackend) and backend.stats.levels:
+            print(f"parallel counting: {backend.stats.summary()}")
     return 0
 
 

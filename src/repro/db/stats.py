@@ -19,7 +19,7 @@ deterministic, machine-independent cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 @dataclass
@@ -162,6 +162,126 @@ class OpCounters:
             "pair_checks": self.pair_checks,
             "cost": self.cost(),
         }
+
+
+def merge_shard_counters(shards: Sequence[OpCounters]) -> OpCounters:
+    """Merge per-shard counters from one sharded count of ONE candidate set.
+
+    This is *not* :meth:`OpCounters.merged`, which sums everything: when a
+    transaction list is partitioned into shards and every shard counts the
+    *same* candidates, the work-style quantities (``subset_tests``,
+    ``scans``, ``tuples_read``) are additive across shards, but the
+    candidate-set ledger (``support_counted``) is not — each shard counted
+    the same sets, so summing would multiply the ccc "sets counted" figure
+    by the shard fan-out.  The merged counters therefore take the ledger
+    from the first shard (all shards' ledgers are identical by
+    construction) and sum the rest, which makes a sharded run's totals
+    equal a serial run's.
+    """
+    if not shards:
+        return OpCounters()
+    first = shards[0]
+    for other in shards[1:]:
+        if other.support_counted != first.support_counted:
+            raise ValueError(
+                "shard counters disagree on the counted candidate sets; "
+                "merge_shard_counters is only valid when every shard "
+                "counted the same candidates"
+            )
+    merged = OpCounters(support_counted=dict(first.support_counted))
+    for shard in shards:
+        merged.subset_tests += shard.subset_tests
+        merged.scans += shard.scans
+        merged.tuples_read += shard.tuples_read
+        merged.constraint_checks_singleton += shard.constraint_checks_singleton
+        merged.constraint_checks_larger += shard.constraint_checks_larger
+        merged.pair_checks += shard.pair_checks
+    return merged
+
+
+@dataclass
+class ParallelLevelStats:
+    """Timing record for one sharded counting pass (one lattice level)."""
+
+    shard_sizes: Tuple[int, ...]
+    shard_seconds: Tuple[float, ...]
+    merge_seconds: float
+    in_process: bool
+
+    @property
+    def span_seconds(self) -> float:
+        """Critical-path estimate: the slowest shard plus the merge."""
+        return (max(self.shard_seconds) if self.shard_seconds else 0.0) + (
+            self.merge_seconds
+        )
+
+
+@dataclass
+class ParallelStats:
+    """Shard-level instrumentation of a :class:`ParallelBackend` run.
+
+    One :class:`ParallelLevelStats` is recorded per counting call (i.e.
+    per lattice level), so speedup and shard balance are measurable after
+    the fact: compare ``sum(shard_seconds)`` (serial work) against
+    ``span_seconds`` (parallel critical path).
+    """
+
+    levels: List[ParallelLevelStats] = field(default_factory=list)
+
+    def record_level(
+        self,
+        shard_sizes: Sequence[int],
+        shard_seconds: Sequence[float],
+        merge_seconds: float,
+        in_process: bool,
+    ) -> None:
+        self.levels.append(
+            ParallelLevelStats(
+                shard_sizes=tuple(shard_sizes),
+                shard_seconds=tuple(shard_seconds),
+                merge_seconds=merge_seconds,
+                in_process=in_process,
+            )
+        )
+
+    @property
+    def total_shard_seconds(self) -> float:
+        """Summed per-shard wall time (the serialized work)."""
+        return sum(sum(level.shard_seconds) for level in self.levels)
+
+    @property
+    def total_merge_seconds(self) -> float:
+        return sum(level.merge_seconds for level in self.levels)
+
+    @property
+    def total_span_seconds(self) -> float:
+        """Summed critical paths — what a perfectly parallel run pays."""
+        return sum(level.span_seconds for level in self.levels)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary suitable for reports."""
+        return {
+            "levels": len(self.levels),
+            "max_shards": max(
+                (len(level.shard_sizes) for level in self.levels), default=0
+            ),
+            "pooled_levels": sum(1 for lvl in self.levels if not lvl.in_process),
+            "total_shard_seconds": self.total_shard_seconds,
+            "total_merge_seconds": self.total_merge_seconds,
+            "total_span_seconds": self.total_span_seconds,
+        }
+
+    def summary(self) -> str:
+        """One-line rendering for CLI ``--explain`` output."""
+        d = self.as_dict()
+        return (
+            f"{d['levels']} sharded levels "
+            f"({d['pooled_levels']} via worker pool, "
+            f"max {d['max_shards']} shards); "
+            f"shard work {d['total_shard_seconds']:.3f}s, "
+            f"critical path {d['total_span_seconds']:.3f}s, "
+            f"merge {d['total_merge_seconds']:.3f}s"
+        )
 
 
 @dataclass(frozen=True)

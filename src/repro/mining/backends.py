@@ -5,7 +5,7 @@ signature::
 
     backend.count(transactions, candidates, k, counters, var) -> {itemset: support}
 
-Three are provided (and compared in the backend ablation benchmark):
+Four are provided (and compared in the backend ablation benchmark):
 
 ``HybridBackend``
     The default of :mod:`repro.mining.counting`: per transaction, pick
@@ -15,6 +15,14 @@ Three are provided (and compared in the backend ablation benchmark):
 ``VerticalBackend``
     TID-list intersections (vertical layout), rebuilt per level from the
     (possibly trimmed) transaction list.
+``ParallelBackend``
+    Transaction-sharded counting: the transaction list is split into N
+    contiguous shards, each counted with the hybrid kernel in a worker
+    process, and the per-shard ``{itemset: support}`` maps and
+    :class:`~repro.db.stats.OpCounters` deltas are merged into results
+    identical to ``HybridBackend`` (supports sum across shards; the
+    candidate-set ledger is recorded once — see
+    :func:`repro.db.stats.merge_shard_counters`).
 
 All backends meter their work into ``counters.subset_tests`` using
 comparable units (elementary probes), so the operation-count cost model
@@ -23,9 +31,13 @@ remains meaningful across backends.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.db.stats import OpCounters
+from repro.db.stats import OpCounters, ParallelStats, merge_shard_counters
+from repro.errors import ExecutionError
 from repro.itemsets import Itemset
 from repro.mining.counting import count_candidates
 from repro.mining.hashtree import build_hash_tree
@@ -105,18 +117,188 @@ class VerticalBackend:
         )
 
 
+# ----------------------------------------------------------------------
+# Transaction-sharded parallel counting
+# ----------------------------------------------------------------------
+def shard_transactions(
+    transactions: Sequence[Tuple[int, ...]], n_shards: int
+) -> List[List[Tuple[int, ...]]]:
+    """Partition ``transactions`` into ``n_shards`` contiguous shards.
+
+    Shards are size-balanced (sizes differ by at most one) and preserve
+    transaction order, so the split is deterministic for a given input.
+    Trailing shards may be empty when there are fewer transactions than
+    shards; they still participate in the merge so counter merging stays
+    uniform.
+    """
+    if n_shards < 1:
+        raise ExecutionError(f"n_shards must be >= 1, got {n_shards}")
+    base, extra = divmod(len(transactions), n_shards)
+    shards: List[List[Tuple[int, ...]]] = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(list(transactions[start:start + size]))
+        start += size
+    return shards
+
+
+def merge_shard_supports(
+    per_shard: Sequence[Dict[Itemset, int]],
+    candidates: Sequence[Itemset],
+) -> Dict[Itemset, int]:
+    """Sum per-shard support maps over the shared candidate list.
+
+    The result is keyed in candidate order — the same insertion order
+    :func:`~repro.mining.counting.count_candidates` produces — so a
+    merged sharded count is indistinguishable from a serial one, keys
+    included.  Addition is commutative and associative, so any shard
+    order or grouping yields the same map (property-tested in
+    ``tests/test_parallel_merge.py``).
+    """
+    merged: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
+    for shard_support in per_shard:
+        for itemset, support in shard_support.items():
+            merged[itemset] += support
+    return merged
+
+
+def count_shard(
+    shard: Sequence[Tuple[int, ...]],
+    candidates: Sequence[Itemset],
+    k: int,
+    var: str,
+) -> Tuple[Dict[Itemset, int], OpCounters, float]:
+    """Count one shard with the hybrid kernel (worker entry point).
+
+    Returns the shard's support map, its private counter deltas, and its
+    wall time.  Module-level so it pickles for ``multiprocessing.Pool``.
+    """
+    counters = OpCounters()
+    start = time.perf_counter()
+    support = count_candidates(shard, candidates, k, counters, var)
+    return support, counters, time.perf_counter() - start
+
+
+def _count_shard_task(args) -> Tuple[Dict[Itemset, int], OpCounters, float]:
+    return count_shard(*args)
+
+
+def default_workers() -> int:
+    """Default worker count: up to four, bounded by the visible CPUs."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class ParallelBackend:
+    """Transaction-sharded parallel counting with a serial fallback.
+
+    Parameters
+    ----------
+    workers:
+        Number of shards / worker processes (defaults to
+        :func:`default_workers`).
+    shard_threshold:
+        Inputs with fewer transactions than this are counted in-process
+        (still sharded and merged, so the code path and metering are
+        identical) — forking a pool for a tiny list costs more than the
+        count itself.  Set to 0 to force the pool whenever ``workers > 1``.
+
+    Results are bit-identical to :class:`HybridBackend`: supports are
+    per-transaction sums, so they distribute over any partition of the
+    transaction list, and the hybrid kernel's probe metering is likewise
+    a per-transaction sum (see :mod:`repro.mining.counting`).  Shard
+    timings accumulate on :attr:`stats` (:class:`~repro.db.stats.ParallelStats`).
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shard_threshold: int = 512,
+    ):
+        if workers is None:
+            workers = default_workers()
+        if not isinstance(workers, int) or isinstance(workers, bool):
+            raise ExecutionError(f"workers must be an integer, got {workers!r}")
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        if shard_threshold < 0:
+            raise ExecutionError(
+                f"shard_threshold must be >= 0, got {shard_threshold}"
+            )
+        self.workers = workers
+        self.shard_threshold = shard_threshold
+        self.stats = ParallelStats()
+
+    def count(
+        self,
+        transactions: Sequence[Tuple[int, ...]],
+        candidates: Sequence[Itemset],
+        k: int,
+        counters: Optional[OpCounters] = None,
+        var: str = "S",
+    ) -> Dict[Itemset, int]:
+        if not candidates:
+            return {}
+        shards = shard_transactions(transactions, self.workers)
+        tasks = [(shard, list(candidates), k, var) for shard in shards]
+        in_process = (
+            self.workers == 1 or len(transactions) < self.shard_threshold
+        )
+        if in_process:
+            outcomes = [_count_shard_task(task) for task in tasks]
+        else:
+            with multiprocessing.Pool(self.workers) as pool:
+                outcomes = pool.map(_count_shard_task, tasks, chunksize=1)
+        merge_start = time.perf_counter()
+        supports = merge_shard_supports([o[0] for o in outcomes], candidates)
+        shard_total = merge_shard_counters([o[1] for o in outcomes])
+        if counters is not None:
+            counters.subset_tests += shard_total.subset_tests
+            for (v, level), n_sets in shard_total.support_counted.items():
+                counters.record_counted(v, level, n_sets)
+        merge_seconds = time.perf_counter() - merge_start
+        self.stats.record_level(
+            shard_sizes=[len(shard) for shard in shards],
+            shard_seconds=[o[2] for o in outcomes],
+            merge_seconds=merge_seconds,
+            in_process=in_process,
+        )
+        return supports
+
+
 BACKENDS = {
     "hybrid": HybridBackend,
     "hashtree": HashTreeBackend,
     "vertical": VerticalBackend,
+    "parallel": ParallelBackend,
 }
 
 
 def make_backend(name_or_backend) -> object:
-    """Resolve a backend name (or pass an instance through)."""
+    """Resolve a backend name (or pass an instance through).
+
+    ``"parallel"`` accepts an optional worker suffix: ``"parallel:4"``
+    builds a :class:`ParallelBackend` with four workers.
+    """
     if isinstance(name_or_backend, str):
+        name, sep, arg = name_or_backend.partition(":")
+        if sep and name != "parallel":
+            raise ValueError(
+                f"backend {name!r} takes no {arg!r} argument; only "
+                f"'parallel:<workers>' is parameterized"
+            )
+        if sep:
+            try:
+                workers = int(arg)
+            except ValueError:
+                raise ValueError(
+                    f"invalid worker count {arg!r} in {name_or_backend!r}"
+                ) from None
+            return ParallelBackend(workers=workers)
         try:
-            return BACKENDS[name_or_backend]()
+            return BACKENDS[name]()
         except KeyError:
             raise ValueError(
                 f"unknown counting backend {name_or_backend!r}; "

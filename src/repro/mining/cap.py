@@ -51,6 +51,7 @@ def cap_mine(
     constraints: Sequence[Constraint] = (),
     counters: Optional[OpCounters] = None,
     max_level: Optional[int] = None,
+    backend=None,
 ) -> LatticeResult:
     """Run CAP for one variable.
 
@@ -66,6 +67,9 @@ def cap_mine(
         Absolute support threshold.
     constraints:
         The 1-var constraints to push (all must be on ``var``).
+    backend:
+        Counting backend name or instance (see
+        :mod:`repro.mining.backends`); defaults to the hybrid strategy.
     """
     pruning = compile_constraints(constraints, var, domain)
     lattice = ConstrainedLattice(
@@ -76,6 +80,7 @@ def cap_mine(
         pruning=pruning,
         counters=counters,
         max_level=max_level,
+        backend=backend,
     )
     while lattice.count_and_absorb():
         pass

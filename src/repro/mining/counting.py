@@ -13,6 +13,26 @@ candidate scanning:
   transaction and probe the candidate hash table: cost ``C(|t|, k)``;
 * **candidate scan** — test each candidate for containment in the
   transaction: cost ``|candidates| * k``.
+
+Shard additivity
+----------------
+:func:`count_candidates` is the kernel of the transaction-sharded
+:class:`~repro.mining.backends.ParallelBackend`, which relies on two
+audited invariants:
+
+* **supports** are per-transaction sums, so they distribute over any
+  partition of the transaction list;
+* **probe metering** (``subset_tests``) is likewise a per-transaction
+  sum whose per-transaction term depends only on the transaction and the
+  candidate set — the enumerate-vs-scan decision threshold
+  (``|candidates| * k``) is shard-independent, so each shard makes the
+  same per-transaction choice a serial run would, and per-shard work
+  sums to exactly the serial total.
+
+The candidate-set ledger (``record_counted``) is *not* additive across
+shards — every shard counts the same candidates — which is why sharded
+runs merge their counters with
+:func:`repro.db.stats.merge_shard_counters` instead of summing.
 """
 
 from __future__ import annotations
@@ -63,6 +83,9 @@ def count_candidates(
         return support
     candidate_items = frozenset(item for c in support for item in c)
     candidate_list: List[Itemset] = list(support)
+    # Depends only on the candidate set, never on the transaction list, so
+    # sharded runs make identical per-transaction strategy choices and
+    # their metered work sums to the serial total (see module docstring).
     scan_cost = len(candidate_list) * k
     work = 0
     for t in transactions:

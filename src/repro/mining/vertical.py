@@ -10,6 +10,15 @@ size.
 Provided as a counting backend for the backend ablation; it shines when
 candidates are few and deep, and loses to the horizontal hybrid when the
 candidate set is broad and shallow.
+
+Note on sharding: vertical *supports* distribute over a transaction
+partition (each shard's TID-lists cover disjoint TIDs), but the probe
+metering here is per-candidate — intersection costs depend on TID-list
+sizes, which a split changes — so sharded vertical work would not sum to
+the serial figure.  The transaction-sharded
+:class:`~repro.mining.backends.ParallelBackend` therefore shards the
+horizontal hybrid kernel, whose metering is per-transaction additive
+(see :mod:`repro.mining.counting`).
 """
 
 from __future__ import annotations

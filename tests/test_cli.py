@@ -71,3 +71,61 @@ def test_experiments_smoke_single_family(capsys):
 
 def test_bad_query_exit_code(capsys):
     assert main(["query", "not a query"]) == 2
+
+
+QUERY = "{(S, T) | max(S.Price) <= min(T.Price)}"
+
+
+@pytest.mark.parametrize("backend", ["hybrid", "hashtree", "vertical"])
+def test_query_backend_flag(capsys, backend):
+    code = main(
+        ["query", QUERY, "--transactions", "200", "--backend", backend]
+    )
+    assert code == 0
+    assert "valid pairs" in capsys.readouterr().out
+
+
+def test_query_parallel_backend_with_workers(capsys):
+    code = main(
+        [
+            "query", QUERY,
+            "--transactions", "200",
+            "--backend", "parallel",
+            "--workers", "2",
+            "--explain",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "valid pairs" in out
+    assert "parallel counting:" in out
+
+
+def test_query_parallel_matches_hybrid(capsys):
+    argv = ["query", QUERY, "--transactions", "200", "--pairs", "5"]
+    assert main(argv + ["--backend", "hybrid"]) == 0
+    hybrid_out = capsys.readouterr().out
+    assert main(argv + ["--backend", "parallel", "--workers", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert parallel_out == hybrid_out
+
+
+@pytest.mark.parametrize("workers", ["0", "-3"])
+def test_query_invalid_worker_count(capsys, workers):
+    code = main(
+        ["query", QUERY, "--backend", "parallel", "--workers", workers]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "workers must be >= 1" in err
+
+
+def test_query_workers_require_parallel_backend(capsys):
+    code = main(["query", QUERY, "--workers", "2"])
+    assert code == 2
+    assert "--backend parallel" in capsys.readouterr().err
+
+
+def test_query_unknown_backend_rejected_by_argparse():
+    with pytest.raises(SystemExit):
+        main(["query", QUERY, "--backend", "quantum"])

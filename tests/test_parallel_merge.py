@@ -1,0 +1,130 @@
+"""Property tests for the sharded-counting merge algebra.
+
+Two families of laws keep the :class:`ParallelBackend` honest:
+
+* **merge algebra** — summing per-shard support maps is associative and
+  commutative, so shard order, grouping, and fan-out never change the
+  answer;
+* **metering parity** — for *any* split of the transaction list, the
+  merged :class:`OpCounters` totals equal the serial run's totals
+  (subset tests sum per transaction; the candidate-set ledger is
+  recorded once, not once per shard).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.stats import OpCounters, merge_shard_counters
+from repro.mining.backends import (
+    count_shard,
+    merge_shard_supports,
+    shard_transactions,
+)
+from repro.mining.counting import count_candidates
+
+
+@st.composite
+def database_and_candidates(draw):
+    raw = draw(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=18),
+                     min_size=0, max_size=7),
+            min_size=1,
+            max_size=28,
+        )
+    )
+    transactions = [tuple(sorted(set(t))) for t in raw]
+    universe = sorted({i for t in transactions for i in t})
+    k = draw(st.integers(min_value=2, max_value=3))
+    candidates = list(combinations(universe, k))[:50]
+    return transactions, candidates, k
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=database_and_candidates(), n_shards=st.integers(1, 6))
+def test_any_shard_split_reproduces_serial_supports(data, n_shards):
+    transactions, candidates, k = data
+    if not candidates:
+        return
+    serial = count_candidates(transactions, candidates, k)
+    shards = shard_transactions(transactions, n_shards)
+    assert sum(len(s) for s in shards) == len(transactions)
+    assert [t for s in shards for t in s] == list(transactions)
+    per_shard = [count_shard(s, candidates, k, "S")[0] for s in shards]
+    merged = merge_shard_supports(per_shard, candidates)
+    assert merged == serial
+    assert list(merged) == list(serial)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=database_and_candidates(),
+    n_shards=st.integers(2, 5),
+    seed=st.randoms(use_true_random=False),
+)
+def test_merge_is_commutative_and_associative(data, n_shards, seed):
+    transactions, candidates, k = data
+    if not candidates:
+        return
+    per_shard = [
+        count_shard(shard, candidates, k, "S")[0]
+        for shard in shard_transactions(transactions, n_shards)
+    ]
+    reference = merge_shard_supports(per_shard, candidates)
+
+    # Commutativity: any shard permutation merges to the same map.
+    shuffled = list(per_shard)
+    seed.shuffle(shuffled)
+    assert merge_shard_supports(shuffled, candidates) == reference
+
+    # Associativity: merging a pre-merged prefix with the remainder is a
+    # regrouping of the same sum, e.g. (a + b) + (c + d) == a + b + c + d.
+    split = len(per_shard) // 2
+    left = merge_shard_supports(per_shard[:split], candidates)
+    right = merge_shard_supports(per_shard[split:], candidates)
+    assert merge_shard_supports([left, right], candidates) == reference
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=database_and_candidates(), n_shards=st.integers(1, 6))
+def test_merged_counters_equal_serial_totals(data, n_shards):
+    transactions, candidates, k = data
+    if not candidates:
+        return
+    serial_counters = OpCounters()
+    count_candidates(transactions, candidates, k, serial_counters, "S")
+    shard_counters = [
+        count_shard(shard, candidates, k, "S")[1]
+        for shard in shard_transactions(transactions, n_shards)
+    ]
+    merged = merge_shard_counters(shard_counters)
+    assert merged.subset_tests == serial_counters.subset_tests
+    assert merged.support_counted == serial_counters.support_counted
+    assert merged.total_counted == serial_counters.total_counted
+    # A naive sum would overstate the ledger by the shard fan-out.
+    if n_shards > 1 and serial_counters.total_counted:
+        naive = sum(c.total_counted for c in shard_counters)
+        assert naive == n_shards * serial_counters.total_counted
+        assert merged.total_counted < naive
+
+
+def test_merge_shard_counters_rejects_mismatched_ledgers():
+    a, b = OpCounters(), OpCounters()
+    a.record_counted("S", 2, 10)
+    b.record_counted("S", 2, 7)
+    try:
+        merge_shard_counters([a, b])
+    except ValueError:
+        pass
+    else:  # pragma: no cover - defends the merge precondition
+        raise AssertionError("mismatched shard ledgers must be rejected")
+
+
+def test_merge_shard_counters_empty():
+    merged = merge_shard_counters([])
+    assert merged.subset_tests == 0
+    assert merged.support_counted == {}

@@ -1,6 +1,14 @@
 """Unit tests for the ccc operation counters."""
 
-from repro.db.stats import CostWeights, OpCounters, ScanStats
+import pytest
+
+from repro.db.stats import (
+    CostWeights,
+    OpCounters,
+    ParallelStats,
+    ScanStats,
+    merge_shard_counters,
+)
 
 
 def test_record_counted_accumulates():
@@ -69,3 +77,39 @@ def test_scan_stats_merged():
     merged = ScanStats(1, 10).merged(ScanStats(2, 5))
     assert merged.scans == 3
     assert merged.tuples_read == 15
+
+
+def _shard_counters(work: int) -> OpCounters:
+    counters = OpCounters()
+    counters.record_counted("S", 2, 10)
+    counters.subset_tests = work
+    return counters
+
+
+def test_merge_shard_counters_sums_work_once_ledger():
+    merged = merge_shard_counters([_shard_counters(7), _shard_counters(5)])
+    assert merged.subset_tests == 12
+    # The candidate ledger is NOT summed: both shards counted the same sets.
+    assert merged.support_counted == {("S", 2): 10}
+
+
+def test_merge_shard_counters_rejects_disagreeing_ledgers():
+    other = OpCounters()
+    other.record_counted("S", 2, 3)
+    with pytest.raises(ValueError):
+        merge_shard_counters([_shard_counters(1), other])
+
+
+def test_parallel_stats_accumulates():
+    stats = ParallelStats()
+    stats.record_level([10, 10], [0.2, 0.4], 0.05, in_process=False)
+    stats.record_level([20], [0.1], 0.0, in_process=True)
+    assert stats.total_shard_seconds == pytest.approx(0.7)
+    assert stats.total_merge_seconds == pytest.approx(0.05)
+    # Critical path: slowest shard plus merge, per level.
+    assert stats.total_span_seconds == pytest.approx(0.45 + 0.1)
+    summary = stats.as_dict()
+    assert summary["levels"] == 2
+    assert summary["max_shards"] == 2
+    assert summary["pooled_levels"] == 1
+    assert "sharded levels" in stats.summary()
