@@ -35,7 +35,12 @@ from repro.core.classify import classify_twovar
 from repro.core.optimizer import CFQOptimizer
 from repro.datagen.workloads import quickstart_workload
 from repro.errors import ExecutionError, ReproError
-from repro.mining.backends import BACKENDS, ParallelBackend, make_backend
+from repro.mining.backends import (
+    BACKENDS,
+    ParallelBackend,
+    backend_scope,
+    make_backend,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,8 +64,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the execution plan and operation counts")
     query.add_argument("--baseline", action="store_true",
                        help="also run Apriori+ and report the speedup")
-    query.add_argument("--backend", choices=sorted(BACKENDS), default="hybrid",
-                       help="support-counting backend (default: hybrid)")
+    query.add_argument("--backend", default="hybrid", metavar="BACKEND",
+                       help="support-counting backend: one of "
+                       f"{', '.join(sorted(BACKENDS))}, or 'parallel:<workers>' "
+                       "(default: hybrid)")
     query.add_argument("--workers", type=int, default=None,
                        help="worker processes for '--backend parallel' "
                        "(default: up to 4, bounded by the visible CPUs)")
@@ -82,15 +89,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _resolve_backend(name: str, workers: Optional[int]):
-    """Build the counting backend the query flags describe."""
-    if name == "parallel":
-        if workers is not None:
-            return ParallelBackend(workers=workers)
-        return ParallelBackend()
+    """Build the counting backend the query flags describe.
+
+    Malformed names and ``parallel:<workers>`` specs raise
+    :class:`~repro.errors.ExecutionError`, which ``main`` renders as a
+    clean ``error: ...`` / exit-code-2 instead of a traceback.
+    """
     if workers is not None:
-        raise ExecutionError(
-            f"--workers only applies to '--backend parallel', not {name!r}"
-        )
+        if name != "parallel":
+            raise ExecutionError(
+                f"--workers only applies to '--backend parallel', not {name!r}"
+            )
+        return ParallelBackend(workers=workers)
     return make_backend(name)
 
 
@@ -101,7 +111,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     cfq = parse_cfq(args.cfq, workload.domains, default_minsup=args.minsup)
     print(f"workload: {workload.db!r}")
     print(f"query:    {cfq}")
-    result = CFQOptimizer(cfq).execute(workload.db, backend=backend)
+    # Hold the backend's resources (the parallel worker pool) open across
+    # the whole command; the engine's nested scope then reuses them.
+    with backend_scope(backend):
+        result = CFQOptimizer(cfq).execute(workload.db, backend=backend)
     for var in cfq.variables:
         print(f"frequent valid {var}-sets: {len(result.frequent_valid(var))}")
     if len(cfq.variables) == 2:
@@ -116,9 +129,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         speedup = baseline.counters.cost() / result.counters.cost()
         print(f"op-cost speedup over Apriori+: {speedup:.2f}x")
     if args.explain:
+        # explain() includes pool lifecycle / failure / retry / fallback
+        # stats when a parallel backend ran (see ParallelStats.summary).
         print(result.explain())
-        if isinstance(backend, ParallelBackend) and backend.stats.levels:
-            print(f"parallel counting: {backend.stats.summary()}")
     return 0
 
 

@@ -45,6 +45,7 @@ class CFQResult:
     plan: ExecutionPlan
     counters: OpCounters
     raw: DovetailResult
+    backend: object = None
 
     # ------------------------------------------------------------------
     # Answers
@@ -110,6 +111,9 @@ class CFQResult:
         lines.append("  operation counts:")
         for name, value in self.counters.as_dict().items():
             lines.append(f"    {name}: {value}")
+        stats = getattr(self.backend, "stats", None)
+        if stats is not None and getattr(stats, "levels", None):
+            lines.append(f"  parallel counting: {stats.summary()}")
         return "\n".join(lines)
 
 
@@ -233,7 +237,13 @@ class CFQOptimizer:
             reduction_rounds=reduction_rounds,
         )
         raw = engine.run()
-        return CFQResult(cfq=self.cfq, plan=plan, counters=engine.counters, raw=raw)
+        return CFQResult(
+            cfq=self.cfq,
+            plan=plan,
+            counters=engine.counters,
+            raw=raw,
+            backend=engine.backend,
+        )
 
 
 def mine_cfq(

@@ -201,12 +201,21 @@ def merge_shard_counters(shards: Sequence[OpCounters]) -> OpCounters:
 
 @dataclass
 class ParallelLevelStats:
-    """Timing record for one sharded counting pass (one lattice level)."""
+    """Timing record for one sharded counting pass (one lattice level).
+
+    ``failures`` counts failed shard attempts (worker crashes, timeouts,
+    lost workers), ``retries`` counts pool resubmissions, and
+    ``fallback_shards`` counts shards that exhausted their retries and
+    were counted in-process instead.
+    """
 
     shard_sizes: Tuple[int, ...]
     shard_seconds: Tuple[float, ...]
     merge_seconds: float
     in_process: bool
+    failures: int = 0
+    retries: int = 0
+    fallback_shards: int = 0
 
     @property
     def span_seconds(self) -> float:
@@ -224,9 +233,18 @@ class ParallelStats:
     per lattice level), so speedup and shard balance are measurable after
     the fact: compare ``sum(shard_seconds)`` (serial work) against
     ``span_seconds`` (parallel critical path).
+
+    The fault-tolerance side of the backend is recorded here too:
+    ``pool_forks`` counts actual pool creations (one per mining run under
+    the persistent-pool lifecycle), ``failure_log`` keeps one line per
+    failed shard attempt, and ``pool_broken`` flags a pool that was torn
+    down mid-run (all remaining work degrades to in-process counting).
     """
 
     levels: List[ParallelLevelStats] = field(default_factory=list)
+    pool_forks: int = 0
+    pool_broken: bool = False
+    failure_log: List[str] = field(default_factory=list)
 
     def record_level(
         self,
@@ -234,6 +252,9 @@ class ParallelStats:
         shard_seconds: Sequence[float],
         merge_seconds: float,
         in_process: bool,
+        failures: int = 0,
+        retries: int = 0,
+        fallback_shards: int = 0,
     ) -> None:
         self.levels.append(
             ParallelLevelStats(
@@ -241,8 +262,24 @@ class ParallelStats:
                 shard_seconds=tuple(shard_seconds),
                 merge_seconds=merge_seconds,
                 in_process=in_process,
+                failures=failures,
+                retries=retries,
+                fallback_shards=fallback_shards,
             )
         )
+
+    def record_fork(self) -> None:
+        """Record one worker-pool creation."""
+        self.pool_forks += 1
+
+    def record_failure(self, message: str) -> None:
+        """Record one failed shard attempt (crash, timeout, lost worker)."""
+        self.failure_log.append(message)
+
+    def mark_broken(self, reason: str) -> None:
+        """Record that the pool was abandoned mid-run."""
+        self.pool_broken = True
+        self.failure_log.append(f"pool broken: {reason}")
 
     @property
     def total_shard_seconds(self) -> float:
@@ -258,6 +295,21 @@ class ParallelStats:
         """Summed critical paths — what a perfectly parallel run pays."""
         return sum(level.span_seconds for level in self.levels)
 
+    @property
+    def total_failures(self) -> int:
+        """Failed shard attempts across all levels."""
+        return sum(level.failures for level in self.levels)
+
+    @property
+    def total_retries(self) -> int:
+        """Shard resubmissions across all levels."""
+        return sum(level.retries for level in self.levels)
+
+    @property
+    def total_fallback_shards(self) -> int:
+        """Shards that degraded to in-process serial counting."""
+        return sum(level.fallback_shards for level in self.levels)
+
     def as_dict(self) -> Dict[str, float]:
         """Flat summary suitable for reports."""
         return {
@@ -269,19 +321,34 @@ class ParallelStats:
             "total_shard_seconds": self.total_shard_seconds,
             "total_merge_seconds": self.total_merge_seconds,
             "total_span_seconds": self.total_span_seconds,
+            "pool_forks": self.pool_forks,
+            "pool_broken": self.pool_broken,
+            "failures": self.total_failures,
+            "retries": self.total_retries,
+            "fallback_shards": self.total_fallback_shards,
         }
 
     def summary(self) -> str:
         """One-line rendering for CLI ``--explain`` output."""
         d = self.as_dict()
-        return (
+        text = (
             f"{d['levels']} sharded levels "
             f"({d['pooled_levels']} via worker pool, "
-            f"max {d['max_shards']} shards); "
+            f"max {d['max_shards']} shards, "
+            f"{d['pool_forks']} pool fork(s)); "
             f"shard work {d['total_shard_seconds']:.3f}s, "
             f"critical path {d['total_span_seconds']:.3f}s, "
             f"merge {d['total_merge_seconds']:.3f}s"
         )
+        if d["failures"] or d["retries"] or d["fallback_shards"]:
+            text += (
+                f"; {d['failures']} shard failure(s), "
+                f"{d['retries']} retry(ies), "
+                f"{d['fallback_shards']} serial fallback(s)"
+            )
+        if d["pool_broken"]:
+            text += "; pool broken — degraded to in-process counting"
+        return text
 
 
 @dataclass(frozen=True)

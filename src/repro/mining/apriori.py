@@ -11,6 +11,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
+from repro.mining.backends import backend_scope
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
 
 
@@ -53,8 +54,11 @@ def mine_frequent(
         max_level=max_level,
         backend=backend,
     )
-    while lattice.count_and_absorb():
-        pass
+    # One backend scope per mining run: a parallel backend forks its
+    # worker pool once and reuses it across every level.
+    with backend_scope(lattice.backend):
+        while lattice.count_and_absorb():
+            pass
     return lattice.result()
 
 

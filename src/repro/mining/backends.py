@@ -27,14 +27,28 @@ Four are provided (and compared in the backend ablation benchmark):
 All backends meter their work into ``counters.subset_tests`` using
 comparable units (elementary probes), so the operation-count cost model
 remains meaningful across backends.
+
+Lifecycle
+---------
+Backends that hold expensive resources (the worker pool of
+:class:`ParallelBackend`) expose ``open()``/``close()`` and the context
+manager protocol.  Every driver (:func:`repro.mining.apriori.mine_frequent`,
+:func:`repro.mining.cap.cap_mine`,
+:class:`repro.mining.dovetail.DovetailEngine`) wraps its level loop in
+:func:`backend_scope`, so the pool is forked **once per mining run** and
+reused across all dovetailed levels, instead of once per level.  Scopes
+nest (re-entrant refcount), so an outer caller — the CLI, a benchmark —
+can hold the pool across several runs.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.db.stats import OpCounters, ParallelStats, merge_shard_counters
 from repro.errors import ExecutionError
@@ -87,15 +101,22 @@ class VerticalBackend:
     """Counting through TID-list intersections.
 
     TID-lists are cached per transaction-list object, so repeated levels
-    over the same (untrimmed) list pay the build once.
+    over the same (untrimmed) list pay the build once.  The cache holds
+    several lists (bounded FIFO) because one backend instance may now be
+    shared by both lattices of a dovetailed run, which alternate between
+    two transaction lists every level; the cached list object is kept
+    alive so its ``id`` cannot be recycled under the cache.
     """
 
     name = "vertical"
 
-    def __init__(self):
-        self._cache_key: Optional[int] = None
-        self._cache_len: int = -1
-        self._tidlists: Dict[int, frozenset] = {}
+    def __init__(self, max_cached_lists: int = 8):
+        if max_cached_lists < 1:
+            raise ExecutionError(
+                f"max_cached_lists must be >= 1, got {max_cached_lists}"
+            )
+        self.max_cached_lists = max_cached_lists
+        self._cache: Dict[int, Tuple[object, Dict[int, frozenset]]] = {}
 
     def count(
         self,
@@ -108,13 +129,15 @@ class VerticalBackend:
         if not candidates:
             return {}
         key = id(transactions)
-        if key != self._cache_key or len(transactions) != self._cache_len:
-            self._tidlists = build_tidlists(transactions)
-            self._cache_key = key
-            self._cache_len = len(transactions)
-        return count_with_tidlists(
-            self._tidlists, candidates, counters, var, k=k
-        )
+        entry = self._cache.get(key)
+        if entry is None:
+            tidlists = build_tidlists(transactions)
+            if len(self._cache) >= self.max_cached_lists:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = (transactions, tidlists)
+        else:
+            tidlists = entry[1]
+        return count_with_tidlists(tidlists, candidates, counters, var, k=k)
 
 
 # ----------------------------------------------------------------------
@@ -180,8 +203,58 @@ def count_shard(
     return support, counters, time.perf_counter() - start
 
 
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic fault injection for pooled shard tasks (testing).
+
+    Every task the pool runs carries a monotonically increasing sequence
+    number (retries get fresh numbers); when a task's number is in
+    ``seqs`` the injector fires *inside the worker process* before any
+    counting happens:
+
+    * ``"crash"`` — raise ``RuntimeError`` (the parent sees the exception
+      through ``ApplyResult.get``);
+    * ``"hang"`` — sleep ``hang_seconds`` (longer than the backend's
+      ``shard_timeout``, so the parent times the shard out);
+    * ``"kill"`` — hard-exit the worker via ``os._exit`` (the pool
+      repopulates; the task's result never arrives, surfacing as a
+      timeout in the parent).
+
+    The injector only applies to pooled tasks — the in-process and
+    serial-fallback paths are the recovery mechanism and run clean.
+    """
+
+    mode: str
+    seqs: FrozenSet[int]
+    hang_seconds: float = 30.0
+
+    MODES = ("crash", "hang", "kill")
+
+    def __post_init__(self):
+        if self.mode not in self.MODES:
+            raise ExecutionError(
+                f"unknown fault mode {self.mode!r}; choose from {self.MODES}"
+            )
+        object.__setattr__(self, "seqs", frozenset(self.seqs))
+
+    def fire(self, seq: int) -> None:
+        """Inject the configured fault if ``seq`` is a target."""
+        if seq not in self.seqs:
+            return
+        if self.mode == "crash":
+            raise RuntimeError(f"injected worker crash (task {seq})")
+        if self.mode == "hang":
+            time.sleep(self.hang_seconds)
+        elif self.mode == "kill":  # pragma: no cover - exits the worker
+            os._exit(3)
+
+
 def _count_shard_task(args) -> Tuple[Dict[Itemset, int], OpCounters, float]:
-    return count_shard(*args)
+    """Pool task wrapper: optional fault injection, then the shard count."""
+    shard, candidates, k, var, seq, injector = args
+    if injector is not None:
+        injector.fire(seq)
+    return count_shard(shard, candidates, k, var)
 
 
 def default_workers() -> int:
@@ -190,7 +263,7 @@ def default_workers() -> int:
 
 
 class ParallelBackend:
-    """Transaction-sharded parallel counting with a serial fallback.
+    """Transaction-sharded parallel counting as a long-lived service.
 
     Parameters
     ----------
@@ -200,14 +273,45 @@ class ParallelBackend:
     shard_threshold:
         Inputs with fewer transactions than this are counted in-process
         (still sharded and merged, so the code path and metering are
-        identical) — forking a pool for a tiny list costs more than the
-        count itself.  Set to 0 to force the pool whenever ``workers > 1``.
+        identical) — dispatching a tiny list to the pool costs more than
+        the count itself.  Set to 0 to force the pool whenever
+        ``workers > 1``.
+    shard_timeout:
+        Seconds to wait for one shard's result before treating it as
+        failed (``None`` disables the timeout — then a killed worker's
+        lost task would block forever, so the default keeps one).
+    max_retries:
+        How many times a failed shard is resubmitted to the pool before
+        it degrades to in-process serial counting.
+    fault_injector:
+        Optional :class:`FaultInjector` applied to pooled tasks (test
+        hook; ``None`` in production).
+
+    Lifecycle
+    ---------
+    The worker pool is forked lazily on first pooled count and then
+    **reused across levels** until :meth:`close` (or the end of the
+    enclosing :func:`backend_scope` / ``with`` block).  ``open()`` and
+    ``close()`` nest; the pool dies when the outermost scope closes.
+    ``stats.pool_forks`` counts actual forks, so one mining run must show
+    exactly one.
+
+    Fault tolerance
+    ---------------
+    A shard that crashes, times out, or loses its worker is retried up
+    to ``max_retries`` times (fresh task, fresh sequence number); a shard
+    that exhausts its retries is counted in-process — the run always
+    completes with results bit-identical to :class:`HybridBackend`.  If
+    the pool itself stops accepting work (or an entire level falls back)
+    it is marked broken, torn down, and all remaining levels run
+    in-process.  Every failure, retry, and fallback is recorded on
+    :attr:`stats` (:class:`~repro.db.stats.ParallelStats`) and surfaced
+    in ``--explain`` output.
 
     Results are bit-identical to :class:`HybridBackend`: supports are
     per-transaction sums, so they distribute over any partition of the
     transaction list, and the hybrid kernel's probe metering is likewise
-    a per-transaction sum (see :mod:`repro.mining.counting`).  Shard
-    timings accumulate on :attr:`stats` (:class:`~repro.db.stats.ParallelStats`).
+    a per-transaction sum (see :mod:`repro.mining.counting`).
     """
 
     name = "parallel"
@@ -216,6 +320,9 @@ class ParallelBackend:
         self,
         workers: Optional[int] = None,
         shard_threshold: int = 512,
+        shard_timeout: Optional[float] = 60.0,
+        max_retries: int = 2,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if workers is None:
             workers = default_workers()
@@ -227,10 +334,82 @@ class ParallelBackend:
             raise ExecutionError(
                 f"shard_threshold must be >= 0, got {shard_threshold}"
             )
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ExecutionError(
+                f"shard_timeout must be positive or None, got {shard_timeout}"
+            )
+        if max_retries < 0:
+            raise ExecutionError(f"max_retries must be >= 0, got {max_retries}")
         self.workers = workers
         self.shard_threshold = shard_threshold
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.fault_injector = fault_injector
         self.stats = ParallelStats()
+        self._pool = None
+        self._open_depth = 0
+        self._broken = False
+        self._task_seq = 0
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "ParallelBackend":
+        """Enter a (nestable) usage scope; the pool survives until the
+        outermost matching :meth:`close`."""
+        if self._open_depth == 0:
+            # A fresh run gets a fresh chance even if a previous run
+            # broke and tore down its pool.
+            self._broken = False
+        self._open_depth += 1
+        return self
+
+    def close(self) -> None:
+        """Leave a usage scope; tear the pool down at the outermost one."""
+        if self._open_depth > 0:
+            self._open_depth -= 1
+        if self._open_depth == 0:
+            self._shutdown_pool()
+
+    def __enter__(self) -> "ParallelBackend":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        self._shutdown_pool()
+
+    @property
+    def pool_open(self) -> bool:
+        """Whether a live worker pool currently exists."""
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(self.workers)
+            self.stats.record_fork()
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        # getattr: __del__ may run on an instance whose __init__ raised
+        # during parameter validation, before _pool was assigned.
+        pool = getattr(self, "_pool", None)
+        self._pool = None
+        if pool is not None:
+            # terminate(), not close(): a hung worker must not stall the
+            # shutdown (close() would wait for the sleeping task).
+            pool.terminate()
+            pool.join()
+
+    def _mark_broken(self, reason: str) -> None:
+        self._broken = True
+        self.stats.mark_broken(reason)
+        self._shutdown_pool()
+
+    # ------------------------------------------------------------------
+    # Counting
+    # ------------------------------------------------------------------
     def count(
         self,
         transactions: Sequence[Tuple[int, ...]],
@@ -241,21 +420,36 @@ class ParallelBackend:
     ) -> Dict[Itemset, int]:
         if not candidates:
             return {}
+        # One shared candidate tuple: every shard task references (and
+        # pickles) the same materialization instead of W private copies.
+        shared = tuple(candidates)
         shards = shard_transactions(transactions, self.workers)
-        tasks = [(shard, list(candidates), k, var) for shard in shards]
         in_process = (
-            self.workers == 1 or len(transactions) < self.shard_threshold
+            self.workers == 1
+            or len(transactions) < self.shard_threshold
+            or self._broken
         )
         if in_process:
-            outcomes = [_count_shard_task(task) for task in tasks]
+            outcomes = [count_shard(shard, shared, k, var) for shard in shards]
+            failures = retries = fallbacks = 0
         else:
-            with multiprocessing.Pool(self.workers) as pool:
-                outcomes = pool.map(_count_shard_task, tasks, chunksize=1)
+            outcomes, failures, retries, fallbacks = self._count_pooled(
+                shards, shared, k, var
+            )
         merge_start = time.perf_counter()
-        supports = merge_shard_supports([o[0] for o in outcomes], candidates)
+        supports = merge_shard_supports([o[0] for o in outcomes], shared)
         shard_total = merge_shard_counters([o[1] for o in outcomes])
         if counters is not None:
             counters.subset_tests += shard_total.subset_tests
+            counters.scans += shard_total.scans
+            counters.tuples_read += shard_total.tuples_read
+            counters.constraint_checks_singleton += (
+                shard_total.constraint_checks_singleton
+            )
+            counters.constraint_checks_larger += (
+                shard_total.constraint_checks_larger
+            )
+            counters.pair_checks += shard_total.pair_checks
             for (v, level), n_sets in shard_total.support_counted.items():
                 counters.record_counted(v, level, n_sets)
         merge_seconds = time.perf_counter() - merge_start
@@ -264,8 +458,92 @@ class ParallelBackend:
             shard_seconds=[o[2] for o in outcomes],
             merge_seconds=merge_seconds,
             in_process=in_process,
+            failures=failures,
+            retries=retries,
+            fallback_shards=fallbacks,
         )
         return supports
+
+    def _submit(self, pool, shard, candidates, k, var):
+        seq = self._task_seq
+        self._task_seq += 1
+        return pool.apply_async(
+            _count_shard_task,
+            ((shard, candidates, k, var, seq, self.fault_injector),),
+        )
+
+    def _count_pooled(
+        self,
+        shards: Sequence[Sequence[Tuple[int, ...]]],
+        candidates: Tuple[Itemset, ...],
+        k: int,
+        var: str,
+    ):
+        """Count all shards through the pool with retry and fallback."""
+        n = len(shards)
+        outcomes: List[Optional[tuple]] = [None] * n
+        pending: List[Optional[object]] = [None] * n
+        failures = retries = fallbacks = 0
+        pool = None
+        try:
+            pool = self._ensure_pool()
+            for i in range(n):
+                pending[i] = self._submit(pool, shards[i], candidates, k, var)
+        except Exception as exc:
+            self._mark_broken(f"pool submission failed: {exc!r}")
+        for i in range(n):
+            attempts = 0
+            result = pending[i]
+            while outcomes[i] is None:
+                if self._broken or result is None:
+                    outcomes[i] = count_shard(shards[i], candidates, k, var)
+                    fallbacks += 1
+                    break
+                try:
+                    outcomes[i] = result.get(self.shard_timeout)
+                except Exception as exc:
+                    failures += 1
+                    self.stats.record_failure(
+                        f"shard {i + 1}/{n}: {type(exc).__name__}: {exc}"
+                    )
+                    if attempts >= self.max_retries:
+                        outcomes[i] = count_shard(shards[i], candidates, k, var)
+                        fallbacks += 1
+                        break
+                    attempts += 1
+                    retries += 1
+                    try:
+                        result = self._submit(
+                            pool, shards[i], candidates, k, var
+                        )
+                    except Exception as exc2:
+                        self._mark_broken(f"pool resubmission failed: {exc2!r}")
+                        result = None
+        if n and fallbacks == n:
+            self._mark_broken(
+                "every shard of a level fell back to serial counting"
+            )
+        return outcomes, failures, retries, fallbacks
+
+
+@contextlib.contextmanager
+def backend_scope(backend):
+    """Hold a backend's resources open for the duration of a mining run.
+
+    Duck-typed: backends without an ``open``/``close`` lifecycle (and
+    ``None``) pass through untouched.  Scopes nest, so a driver inside an
+    outer scope neither re-forks nor prematurely tears down the pool.
+    """
+    opener = getattr(backend, "open", None)
+    closer = getattr(backend, "close", None)
+    if not (callable(opener) and callable(closer)):
+        yield backend
+        return
+    opener()
+    try:
+        yield backend
+    finally:
+        closer()
 
 
 BACKENDS = {
@@ -280,12 +558,14 @@ def make_backend(name_or_backend) -> object:
     """Resolve a backend name (or pass an instance through).
 
     ``"parallel"`` accepts an optional worker suffix: ``"parallel:4"``
-    builds a :class:`ParallelBackend` with four workers.
+    builds a :class:`ParallelBackend` with four workers.  Malformed
+    names and specs raise :class:`~repro.errors.ExecutionError`, so they
+    surface as clean CLI errors rather than tracebacks.
     """
     if isinstance(name_or_backend, str):
         name, sep, arg = name_or_backend.partition(":")
         if sep and name != "parallel":
-            raise ValueError(
+            raise ExecutionError(
                 f"backend {name!r} takes no {arg!r} argument; only "
                 f"'parallel:<workers>' is parameterized"
             )
@@ -293,14 +573,14 @@ def make_backend(name_or_backend) -> object:
             try:
                 workers = int(arg)
             except ValueError:
-                raise ValueError(
+                raise ExecutionError(
                     f"invalid worker count {arg!r} in {name_or_backend!r}"
                 ) from None
             return ParallelBackend(workers=workers)
         try:
             return BACKENDS[name]()
         except KeyError:
-            raise ValueError(
+            raise ExecutionError(
                 f"unknown counting backend {name_or_backend!r}; "
                 f"choose from {sorted(BACKENDS)}"
             ) from None

@@ -24,6 +24,7 @@ from repro.constraints.pruners import CompiledPruning, compile_onevar
 from repro.db.domain import Domain
 from repro.db.stats import OpCounters
 from repro.errors import ConstraintTypeError
+from repro.mining.backends import backend_scope
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
 
 
@@ -82,6 +83,9 @@ def cap_mine(
         max_level=max_level,
         backend=backend,
     )
-    while lattice.count_and_absorb():
-        pass
+    # One backend scope per mining run: a parallel backend forks its
+    # worker pool once and reuses it across every level.
+    with backend_scope(lattice.backend):
+        while lattice.count_and_absorb():
+            pass
     return lattice.result()

@@ -39,6 +39,7 @@ from repro.core.reduction import reduce_twovar
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
 from repro.errors import ExecutionError
+from repro.mining.backends import backend_scope, make_backend
 from repro.mining.cap import compile_constraints
 from repro.mining.counting import count_singletons
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
@@ -87,7 +88,10 @@ class DovetailEngine:
         self.use_jmax = use_jmax
         self.max_level = max_level
         self.keep_candidates = keep_candidates
-        self.backend = backend
+        # Resolve the backend ONCE and share the instance across both
+        # lattices: stateful backends (the parallel worker pool, the
+        # vertical TID-list cache) must be per-run, not per-lattice.
+        self.backend = make_backend(backend) if backend is not None else None
         self.reduction_rounds = reduction_rounds
         self._series: List[Tuple[JmaxPlan, BoundSeries]] = []
         self._bound_side_done: Dict[str, bool] = {}
@@ -96,7 +100,16 @@ class DovetailEngine:
     # Entry point
     # ------------------------------------------------------------------
     def run(self) -> DovetailResult:
-        """Execute the plan and return per-variable results."""
+        """Execute the plan and return per-variable results.
+
+        The whole run executes inside one :func:`backend_scope`, so a
+        resource-holding backend (the parallel worker pool) is acquired
+        once and reused across every dovetailed level of both lattices.
+        """
+        with backend_scope(self.backend):
+            return self._run()
+
+    def _run(self) -> DovetailResult:
         lattices, projected = self._build_lattices()
 
         self._run_level1(lattices, projected)

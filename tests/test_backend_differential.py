@@ -7,6 +7,12 @@ validated against the independent ``brute_frequent`` oracle.  The
 parallel configurations use ``shard_threshold=0`` so worker counts above
 one exercise the real ``multiprocessing.Pool`` path, not the in-process
 fallback.
+
+The fault-injection section proves the fault-tolerance contract: under
+injected worker crashes, hangs (timeouts), and hard kills, a run
+completes via bounded retry or serial fallback with supports and full
+:class:`OpCounters` bit-identical to :class:`HybridBackend`, and the
+persistent pool is forked exactly once per mining run.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.db.stats import OpCounters
 from repro.mining.apriori import mine_frequent
 from repro.mining.backends import (
     BACKENDS,
+    FaultInjector,
     HashTreeBackend,
     HybridBackend,
     ParallelBackend,
@@ -131,3 +138,247 @@ def test_mining_counters_identical_serial_vs_parallel(seed):
         backend=ParallelBackend(workers=2, shard_threshold=0),
     )
     assert parallel_counters.as_dict() == serial_counters.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Counter propagation (regression: the merge used to drop most fields)
+# ----------------------------------------------------------------------
+def test_count_propagates_every_merged_counter_field(monkeypatch):
+    """`ParallelBackend.count` must forward ALL merged shard counters —
+    scans, tuples_read, constraint checks, and pair_checks included —
+    not just subset_tests and the support ledger."""
+    import repro.mining.backends as backends_mod
+
+    def fake_count_shard(shard, candidates, k, var):
+        counters = OpCounters()
+        counters.record_counted(var, k, len(candidates))
+        counters.subset_tests = 11
+        counters.scans = 1
+        counters.tuples_read = 7
+        counters.constraint_checks_singleton = 3
+        counters.constraint_checks_larger = 2
+        counters.pair_checks = 5
+        return dict.fromkeys(candidates, 0), counters, 0.0
+
+    monkeypatch.setattr(backends_mod, "count_shard", fake_count_shard)
+    backend = ParallelBackend(workers=2, shard_threshold=10**9)  # in-process
+    counters = OpCounters()
+    backend.count([(1, 2)] * 4, [(1, 2), (1, 3)], 2, counters, "S")
+    # Work-style fields sum across the two shards; the ledger is
+    # recorded once (merge_shard_counters semantics).
+    assert counters.subset_tests == 22
+    assert counters.scans == 2
+    assert counters.tuples_read == 14
+    assert counters.constraint_checks_singleton == 6
+    assert counters.constraint_checks_larger == 4
+    assert counters.pair_checks == 10
+    assert counters.support_counted == {("S", 2): 2}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_vs_hybrid_full_counter_dict(seed):
+    """Direct `count` calls agree with hybrid on the *entire*
+    `OpCounters.as_dict()`, not just the two fields the old merge kept."""
+    transactions, universe, min_count = random_database(seed)
+    candidates = list(combinations(universe, 2))[:60]
+    if not candidates:
+        pytest.skip("degenerate empty database")
+    serial_counters = OpCounters()
+    HybridBackend().count(transactions, candidates, 2, serial_counters, "S")
+    parallel_counters = OpCounters()
+    ParallelBackend(workers=2, shard_threshold=0).count(
+        transactions, candidates, 2, parallel_counters, "S"
+    )
+    assert parallel_counters.as_dict() == serial_counters.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle: one fork per mining run
+# ----------------------------------------------------------------------
+def deep_database():
+    """A database whose lattice reaches level 5 (many pooled levels)."""
+    rng = random.Random(99)
+    core = tuple(range(1, 6))
+    noise = [
+        tuple(sorted(rng.sample(range(6, 16), 3))) for __ in range(12)
+    ]
+    transactions = [core] * 30 + noise
+    universe = sorted({i for t in transactions for i in t})
+    return transactions, universe, 10
+
+
+def test_one_pool_fork_per_mining_run(monkeypatch):
+    """The pool must be created once per run and reused across levels —
+    asserted by counting actual multiprocessing.Pool constructions."""
+    import repro.mining.backends as backends_mod
+
+    forks = []
+    real_pool = backends_mod.multiprocessing.Pool
+
+    def counting_pool(*args, **kwargs):
+        forks.append(args)
+        return real_pool(*args, **kwargs)
+
+    monkeypatch.setattr(backends_mod.multiprocessing, "Pool", counting_pool)
+    transactions, universe, min_count = deep_database()
+    backend = ParallelBackend(workers=2, shard_threshold=0)
+    result = mine_frequent(
+        transactions, universe, min_count, backend=backend
+    )
+    pooled_levels = sum(1 for lvl in backend.stats.levels if not lvl.in_process)
+    assert pooled_levels >= 2  # the reuse claim needs several levels
+    assert len(forks) == 1
+    assert backend.stats.pool_forks == 1
+    assert not backend.pool_open  # the run's scope tore the pool down
+    reference = mine_frequent(transactions, universe, min_count)
+    assert result.all_sets() == reference.all_sets()
+
+
+# ----------------------------------------------------------------------
+# Fault injection: crashes, timeouts, kills, fallbacks
+# ----------------------------------------------------------------------
+def faulty_backend(injector, **overrides):
+    options = dict(
+        workers=2, shard_threshold=0, shard_timeout=15.0, max_retries=2
+    )
+    options.update(overrides)
+    return ParallelBackend(fault_injector=injector, **options)
+
+
+def assert_identical_to_hybrid(backend, seed=1):
+    """Count one level with `backend` and with hybrid; everything —
+    supports, key order, full counters — must match."""
+    transactions, universe, __ = random_database(seed)
+    candidates = list(combinations(universe, 2))[:60]
+    serial_counters = OpCounters()
+    serial = HybridBackend().count(
+        transactions, candidates, 2, serial_counters, "S"
+    )
+    counters = OpCounters()
+    with backend:
+        supports = backend.count(transactions, candidates, 2, counters, "S")
+    assert supports == serial
+    assert list(supports) == list(serial)
+    assert counters.as_dict() == serial_counters.as_dict()
+
+
+def test_injected_crash_is_retried():
+    backend = faulty_backend(FaultInjector("crash", {0}))
+    assert_identical_to_hybrid(backend)
+    assert backend.stats.total_failures == 1
+    assert backend.stats.total_retries == 1
+    assert backend.stats.total_fallback_shards == 0
+    assert not backend.stats.pool_broken
+    assert any("RuntimeError" in line for line in backend.stats.failure_log)
+
+
+def test_injected_hang_times_out_and_retries():
+    backend = faulty_backend(
+        FaultInjector("hang", {0}, hang_seconds=20.0), shard_timeout=0.75
+    )
+    assert_identical_to_hybrid(backend)
+    assert backend.stats.total_failures == 1
+    assert backend.stats.total_retries == 1
+    assert backend.stats.total_fallback_shards == 0
+
+
+def test_injected_worker_kill_is_recovered():
+    """A hard-killed worker loses its task; the timeout surfaces it and
+    the retry (on a repopulated pool) completes the shard."""
+    backend = faulty_backend(FaultInjector("kill", {0}), shard_timeout=1.5)
+    assert_identical_to_hybrid(backend)
+    assert backend.stats.total_failures >= 1
+    assert backend.stats.total_retries >= 1
+    assert backend.stats.total_fallback_shards == 0
+
+
+def test_exhausted_retries_fall_back_to_serial():
+    # Initial tasks take seqs 0 and 1; shard 0's single retry takes seq
+    # 2 — failing 0 and 2 exhausts its retries and forces the fallback.
+    backend = faulty_backend(
+        FaultInjector("crash", {0, 2}), max_retries=1
+    )
+    assert_identical_to_hybrid(backend)
+    assert backend.stats.total_failures == 2
+    assert backend.stats.total_retries == 1
+    assert backend.stats.total_fallback_shards == 1
+    assert not backend.stats.pool_broken  # one healthy shard remained
+
+
+def test_whole_level_fallback_marks_pool_broken():
+    """When every shard of a level degrades, the pool is torn down and
+    later levels run in-process — the run still completes correctly."""
+    transactions, universe, min_count = deep_database()
+    backend = ParallelBackend(
+        workers=2,
+        shard_threshold=0,
+        shard_timeout=15.0,
+        max_retries=0,
+        fault_injector=FaultInjector("crash", {0, 1}),
+    )
+    result = mine_frequent(transactions, universe, min_count, backend=backend)
+    reference = mine_frequent(transactions, universe, min_count)
+    assert result.all_sets() == reference.all_sets()
+    assert backend.stats.pool_broken
+    assert backend.stats.total_fallback_shards == 2
+    assert not backend.pool_open
+    # Every level after the broken one ran in-process.
+    levels = backend.stats.levels
+    broken_at = next(
+        i for i, lvl in enumerate(levels) if lvl.fallback_shards
+    )
+    assert all(lvl.in_process for lvl in levels[broken_at + 1:])
+
+
+@pytest.mark.parametrize(
+    "injector",
+    [
+        FaultInjector("crash", {0}),
+        FaultInjector("hang", {0}, hang_seconds=20.0),
+    ],
+    ids=["crash", "hang"],
+)
+def test_full_mining_run_survives_injected_fault(injector):
+    """End-to-end: a levelwise mine with a fault at the first pooled
+    level finishes with supports AND counters bit-identical to hybrid."""
+    transactions, universe, min_count = deep_database()
+    serial_counters = OpCounters()
+    reference = mine_frequent(
+        transactions, universe, min_count, counters=serial_counters
+    )
+    backend = ParallelBackend(
+        workers=2,
+        shard_threshold=0,
+        shard_timeout=0.75 if injector.mode == "hang" else 15.0,
+        max_retries=2,
+        fault_injector=injector,
+    )
+    counters = OpCounters()
+    result = mine_frequent(
+        transactions, universe, min_count, counters=counters, backend=backend
+    )
+    assert result.all_sets() == reference.all_sets()
+    assert counters.as_dict() == serial_counters.as_dict()
+    assert backend.stats.total_failures >= 1
+    assert backend.stats.pool_forks == 1
+
+
+def test_optimizer_run_forks_once_and_reports_stats():
+    """A dovetailed 2-variable CFQ shares ONE pool across both lattices
+    and all levels, and `explain()` surfaces the pool stats."""
+    from repro.core.cfq_parser import parse_cfq
+    from repro.core.optimizer import CFQOptimizer
+    from repro.datagen.workloads import quickstart_workload
+
+    workload = quickstart_workload(n_transactions=200, seed=3)
+    cfq = parse_cfq(
+        "{(S, T) | max(S.Price) <= min(T.Price)}",
+        workload.domains,
+        default_minsup=0.02,
+    )
+    backend = ParallelBackend(workers=2, shard_threshold=0)
+    result = CFQOptimizer(cfq).execute(workload.db, backend=backend)
+    assert result.backend is backend
+    assert backend.stats.pool_forks == 1
+    assert "parallel counting:" in result.explain()
+    assert "1 pool fork(s)" in result.explain()

@@ -8,11 +8,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.db.stats import OpCounters
+from repro.errors import ExecutionError
 from repro.mining.backends import (
     BACKENDS,
     HashTreeBackend,
     HybridBackend,
+    ParallelBackend,
     VerticalBackend,
+    backend_scope,
     make_backend,
 )
 from repro.mining.hashtree import HashTree, build_hash_tree
@@ -38,8 +41,26 @@ def test_backend_empty_candidates(market_db, name):
 def test_make_backend_passthrough_and_errors():
     backend = HybridBackend()
     assert make_backend(backend) is backend
-    with pytest.raises(ValueError):
+    # ExecutionError (a ReproError), so the CLI renders a clean error
+    # instead of a traceback.
+    with pytest.raises(ExecutionError):
         make_backend("quantum")
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["parallel:", "parallel:abc", "parallel:0", "parallel:-2",
+     "hybrid:4", "quantum", "quantum:3"],
+)
+def test_make_backend_malformed_specs_raise_execution_error(spec):
+    with pytest.raises(ExecutionError):
+        make_backend(spec)
+
+
+def test_make_backend_parallel_spec_builds_pinned_workers():
+    backend = make_backend("parallel:3")
+    assert isinstance(backend, ParallelBackend)
+    assert backend.workers == 3
 
 
 def test_hash_tree_structure_splits():
@@ -78,9 +99,33 @@ def test_tidlists():
 def test_vertical_backend_caches_per_list(market_db):
     backend = VerticalBackend()
     backend.count(market_db.transactions, [(1, 2)], 2)
-    first = backend._tidlists
+    first = backend._cache[id(market_db.transactions)][1]
     backend.count(market_db.transactions, [(4, 5)], 2)
-    assert backend._tidlists is first  # same list object -> cache hit
+    # Same list object -> cache hit.
+    assert backend._cache[id(market_db.transactions)][1] is first
+
+
+def test_vertical_backend_caches_multiple_lists(market_db):
+    """A shared backend instance (one per dovetailed run) must keep both
+    lattices' transaction lists cached at once."""
+    backend = VerticalBackend()
+    other = list(market_db.transactions[:3])
+    backend.count(market_db.transactions, [(1, 2)], 2)
+    backend.count(other, [(1, 2)], 2)
+    cached_a = backend._cache[id(market_db.transactions)][1]
+    cached_b = backend._cache[id(other)][1]
+    backend.count(market_db.transactions, [(2, 3)], 2)
+    backend.count(other, [(2, 3)], 2)
+    assert backend._cache[id(market_db.transactions)][1] is cached_a
+    assert backend._cache[id(other)][1] is cached_b
+
+
+def test_vertical_backend_cache_is_bounded():
+    backend = VerticalBackend(max_cached_lists=2)
+    lists = [[(1, 2)], [(1, 3)], [(2, 3)]]
+    for transactions in lists:
+        backend.count(transactions, [(1, 2)], 2)
+    assert len(backend._cache) == 2
 
 
 @settings(max_examples=40, deadline=None)
@@ -130,6 +175,49 @@ def test_optimizer_accepts_backend(market_catalog, market_db):
     for name in sorted(BACKENDS):
         run = CFQOptimizer(cfq).execute(market_db, backend=name)
         assert set(run.pairs()) == set(hybrid.pairs()), name
+
+
+def test_parallel_backend_lifecycle_nesting(market_db):
+    """open()/close() nest; the pool dies only at the outermost close."""
+    backend = ParallelBackend(workers=2, shard_threshold=0)
+    candidates = [(1, 2), (4, 5)]
+    with backend:
+        backend.count(market_db.transactions, candidates, 2)
+        assert backend.pool_open
+        with backend:  # nested scope must not tear down the pool
+            backend.count(market_db.transactions, candidates, 2)
+        assert backend.pool_open
+        assert backend.stats.pool_forks == 1
+    assert not backend.pool_open
+    assert backend.stats.pool_forks == 1
+
+
+def test_parallel_backend_reopens_after_close(market_db):
+    """A second run (new scope) forks a fresh pool."""
+    backend = ParallelBackend(workers=2, shard_threshold=0)
+    with backend:
+        backend.count(market_db.transactions, [(1, 2)], 2)
+    with backend:
+        backend.count(market_db.transactions, [(1, 2)], 2)
+    assert backend.stats.pool_forks == 2
+
+
+def test_backend_scope_is_duck_typed():
+    """Backends without a lifecycle (and None) pass through untouched."""
+    hybrid = HybridBackend()
+    with backend_scope(hybrid) as scoped:
+        assert scoped is hybrid
+    with backend_scope(None) as scoped:
+        assert scoped is None
+    with backend_scope("hybrid") as scoped:  # names are left unresolved
+        assert scoped == "hybrid"
+
+
+def test_parallel_backend_rejects_bad_parameters():
+    with pytest.raises(ExecutionError):
+        ParallelBackend(workers=2, shard_timeout=0)
+    with pytest.raises(ExecutionError):
+        ParallelBackend(workers=2, max_retries=-1)
 
 
 def test_backends_meter_work(market_db):

@@ -126,6 +126,47 @@ def test_query_workers_require_parallel_backend(capsys):
     assert "--backend parallel" in capsys.readouterr().err
 
 
-def test_query_unknown_backend_rejected_by_argparse():
-    with pytest.raises(SystemExit):
-        main(["query", QUERY, "--backend", "quantum"])
+def test_query_unknown_backend_clean_error(capsys):
+    """Unknown backends exit 2 with an 'error:' line, not a traceback."""
+    code = main(["query", QUERY, "--backend", "quantum"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "unknown counting backend" in err
+
+
+@pytest.mark.parametrize("spec", ["parallel:", "parallel:abc"])
+def test_query_malformed_parallel_spec_exit_code(capsys, spec):
+    code = main(["query", QUERY, "--backend", spec])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "invalid worker count" in err
+
+
+def test_query_parallel_spec_zero_workers_exit_code(capsys):
+    code = main(["query", QUERY, "--backend", "parallel:0"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "workers must be >= 1" in err
+
+
+def test_query_parallel_spec_runs(capsys):
+    code = main(
+        ["query", QUERY, "--transactions", "200", "--backend", "parallel:2"]
+    )
+    assert code == 0
+    assert "valid pairs" in capsys.readouterr().out
+
+
+def test_query_explain_reports_pool_lifecycle(capsys):
+    code = main(
+        [
+            "query", QUERY,
+            "--transactions", "200",
+            "--backend", "parallel",
+            "--workers", "2",
+            "--explain",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "pool fork(s)" in out

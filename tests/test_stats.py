@@ -113,3 +113,41 @@ def test_parallel_stats_accumulates():
     assert summary["max_shards"] == 2
     assert summary["pooled_levels"] == 1
     assert "sharded levels" in stats.summary()
+
+
+def test_parallel_stats_failure_accounting():
+    stats = ParallelStats()
+    stats.record_fork()
+    stats.record_level(
+        [10, 10], [0.2, 0.4], 0.05, in_process=False,
+        failures=2, retries=1, fallback_shards=1,
+    )
+    stats.record_failure("shard 1/2: RuntimeError: injected")
+    summary = stats.as_dict()
+    assert summary["pool_forks"] == 1
+    assert summary["failures"] == 2
+    assert summary["retries"] == 1
+    assert summary["fallback_shards"] == 1
+    assert summary["pool_broken"] is False
+    rendered = stats.summary()
+    assert "1 pool fork(s)" in rendered
+    assert "2 shard failure(s)" in rendered
+    assert "1 serial fallback(s)" in rendered
+
+
+def test_parallel_stats_broken_pool():
+    stats = ParallelStats()
+    stats.mark_broken("every shard of a level fell back")
+    assert stats.pool_broken
+    assert stats.as_dict()["pool_broken"] is True
+    assert any("pool broken" in line for line in stats.failure_log)
+    assert "pool broken" in stats.summary()
+
+
+def test_parallel_stats_clean_summary_has_no_failure_noise():
+    stats = ParallelStats()
+    stats.record_fork()
+    stats.record_level([10], [0.1], 0.0, in_process=False)
+    rendered = stats.summary()
+    assert "failure" not in rendered
+    assert "fallback" not in rendered
