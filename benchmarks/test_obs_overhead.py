@@ -1,0 +1,91 @@
+"""Overhead of the observability layer's disabled (no-op) path.
+
+The tracer's contract (see ``docs/observability.md``) is that an
+instrumented build with tracing *off* stays within 3% of an
+uninstrumented one.  Two measurements back that up on the
+backend-ablation workload:
+
+1. **Analytic bound** — a disabled call site costs one
+   ``NULL_TRACER.span()`` method call; measure that cost directly,
+   multiply by a 10x-padded count of the call sites one mining run
+   executes, and compare against the run's wall time.  Spans are opened
+   per *level*, never per candidate, so the product is orders of
+   magnitude below 3%.
+2. **Empirical sanity** — min-of-repeats wall time with the default
+   (disabled) tracer must not exceed a fully *enabled* tracer run by
+   more than measurement noise, and the enabled run itself bounds the
+   worst case.
+"""
+
+import time
+
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import fig8a_workload
+from repro.obs.trace import NULL_TRACER, Tracer
+
+REPEATS = 5
+OVERHEAD_BUDGET = 0.03
+CALL_SITE_PADDING = 10
+
+
+def _workload():
+    workload = fig8a_workload(50.0, n_items=200, n_transactions=800)
+    return workload, workload.cfq()
+
+
+def _min_wall(fn, repeats=REPEATS):
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_noop_tracer_overhead_under_3_percent():
+    workload, cfq = _workload()
+
+    def run_disabled():
+        CFQOptimizer(cfq).execute(workload.db)
+
+    run_disabled()  # warm-up
+    baseline = _min_wall(run_disabled)
+
+    # Count the instrumented call sites one run executes: every span an
+    # enabled run records, plus its events, is one disabled-path call.
+    tracer = Tracer()
+    CFQOptimizer(cfq).execute(workload.db, tracer=tracer)
+    spans = list(tracer.walk())
+    call_sites = len(spans) + sum(len(s.events) for s in spans)
+
+    # Cost of one disabled call site (span open + close + one set()).
+    n = 200_000
+    start = time.perf_counter()
+    for __ in range(n):
+        with NULL_TRACER.span("x", a=1) as span:
+            span.set(b=2)
+    per_call = (time.perf_counter() - start) / n
+
+    disabled_overhead = per_call * call_sites * CALL_SITE_PADDING
+    assert disabled_overhead < OVERHEAD_BUDGET * baseline, (
+        f"disabled-path cost {disabled_overhead * 1e6:.1f}us "
+        f"({call_sites} call sites x{CALL_SITE_PADDING} padding) exceeds "
+        f"{OVERHEAD_BUDGET:.0%} of the {baseline * 1e3:.1f}ms baseline"
+    )
+
+
+def test_disabled_not_slower_than_enabled():
+    """Sanity: the disabled path must never cost more than full tracing
+    (generous 15% noise allowance — these are sub-second runs)."""
+    workload, cfq = _workload()
+
+    def run(tracer):
+        CFQOptimizer(cfq).execute(workload.db, tracer=tracer)
+
+    run(None)  # warm-up
+    disabled = _min_wall(lambda: run(None))
+    enabled = _min_wall(lambda: run(Tracer()))
+    assert disabled <= enabled * 1.15, (
+        f"disabled tracing ({disabled:.3f}s) slower than enabled "
+        f"({enabled:.3f}s)"
+    )

@@ -22,6 +22,14 @@ Substrate::
 Analysis::
 
     from repro import classify_twovar, audit_ccc, parse_constraint
+
+Observability (tracing, metrics, run reports — see
+``docs/observability.md``)::
+
+    from repro import Tracer, RunReport, build_run_report
+    tracer = Tracer()
+    result = mine_cfq(db, cfq, tracer=tracer)
+    build_run_report(result).write("run.json")
 """
 
 from repro.constraints.parser import parse_constraint, parse_constraints
@@ -40,6 +48,14 @@ from repro.errors import ReproError
 from repro.mining.apriori import apriori
 from repro.mining.aprioriplus import apriori_plus
 from repro.mining.cap import cap_mine
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    build_run_report,
+    configure_logging,
+    get_logger,
+)
 
 __version__ = "1.0.0"
 
@@ -67,5 +83,11 @@ __all__ = [
     "apriori",
     "apriori_plus",
     "cap_mine",
+    "MetricsRegistry",
+    "RunReport",
+    "Tracer",
+    "build_run_report",
+    "configure_logging",
+    "get_logger",
     "__version__",
 ]

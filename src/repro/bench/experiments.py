@@ -14,9 +14,9 @@ databases for use inside the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.harness import run_strategy
+from repro.bench.harness import emit_report, run_strategy
 from repro.bench.report import render_table
 from repro.core.ccc import audit_ccc
 from repro.datagen.workloads import (
@@ -63,6 +63,27 @@ def _scale_kwargs(scale: str) -> Dict[str, int]:
         raise ValueError(f"unknown scale {scale!r}; use one of {sorted(_SCALES)}")
 
 
+def _strategy(
+    name: str,
+    db,
+    cfq,
+    *,
+    report_dir: Optional[str] = None,
+    experiment: Optional[str] = None,
+    **options,
+):
+    """:func:`run_strategy` plus optional run-report emission.
+
+    When ``report_dir`` is set, the run is traced and one
+    :class:`~repro.obs.report.RunReport` JSON is written per strategy run
+    (the same document the CLI's ``--trace-out`` produces).
+    """
+    run = run_strategy(name, db, cfq, trace=report_dir is not None, **options)
+    if report_dir:
+        emit_report(run, report_dir, experiment=experiment)
+    return run
+
+
 # ----------------------------------------------------------------------
 # Figure 8(a): quasi-succinctness, 2-var constraint only (Section 7.1)
 # ----------------------------------------------------------------------
@@ -70,15 +91,20 @@ FIG8A_OVERLAPS = (16.6, 33.3, 50.0, 66.7, 83.4)
 
 
 def fig8a_speedups(
-    overlaps: Sequence[float] = FIG8A_OVERLAPS, scale: str = "full"
+    overlaps: Sequence[float] = FIG8A_OVERLAPS,
+    scale: str = "full",
+    report_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Speedup of exploiting quasi-succinctness vs Apriori+, by overlap."""
     rows: List[List[object]] = []
     for overlap in overlaps:
         workload = fig8a_workload(overlap, **_scale_kwargs(scale))
         cfq = workload.cfq()
-        optimized = run_strategy("quasi-succinct", workload.db, cfq)
-        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+        tag = f"fig8a-{overlap:g}"
+        optimized = _strategy("quasi-succinct", workload.db, cfq,
+                              report_dir=report_dir, experiment=tag)
+        baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
+                             report_dir=report_dir, experiment=tag)
         rows.append(
             [
                 overlap,
@@ -96,13 +122,18 @@ def fig8a_speedups(
 
 
 def fig8a_level_table(
-    overlap: float = 16.6, scale: str = "full"
+    overlap: float = 16.6,
+    scale: str = "full",
+    report_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """The Section 7.1 per-level a/b table (valid/total frequent sets)."""
     workload = fig8a_workload(overlap, **_scale_kwargs(scale))
     cfq = workload.cfq()
-    optimized = run_strategy("quasi-succinct", workload.db, cfq)
-    baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+    tag = f"fig8a-levels-{overlap:g}"
+    optimized = _strategy("quasi-succinct", workload.db, cfq,
+                          report_dir=report_dir, experiment=tag)
+    baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
+                         report_dir=report_dir, experiment=tag)
     rows: List[List[object]] = []
     for var in cfq.variables:
         opt_levels = optimized.result.raw.result_for(var).frequent
@@ -130,6 +161,7 @@ def fig8a_range_table(
     overlap: float = 50.0,
     ranges: Sequence[Tuple[float, float]] = FIG8A_RANGES,
     scale: str = "full",
+    report_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Section 7.1's range table: speedup at 50% overlap for widening
     S.Price ranges."""
@@ -137,8 +169,11 @@ def fig8a_range_table(
     for s_range in ranges:
         workload = fig8a_workload(overlap, s_price_range=s_range, **_scale_kwargs(scale))
         cfq = workload.cfq()
-        optimized = run_strategy("quasi-succinct", workload.db, cfq)
-        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+        tag = f"fig8a-range-{s_range[0]:g}-{s_range[1]:g}"
+        optimized = _strategy("quasi-succinct", workload.db, cfq,
+                              report_dir=report_dir, experiment=tag)
+        baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
+                             report_dir=report_dir, experiment=tag)
         rows.append(
             [f"[{s_range[0]:g},{s_range[1]:g}]",
              round(optimized.speedup_over(baseline), 2)]
@@ -159,7 +194,9 @@ FIG8B_OVERLAPS = (20.0, 40.0, 60.0, 80.0)
 
 
 def fig8b_speedups(
-    overlaps: Sequence[float] = FIG8B_OVERLAPS, scale: str = "full"
+    overlaps: Sequence[float] = FIG8B_OVERLAPS,
+    scale: str = "full",
+    report_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Three strategies vs Type overlap: Apriori+, CAP (1-var only), and
     the full optimizer (1-var + quasi-succinct 2-var)."""
@@ -167,11 +204,15 @@ def fig8b_speedups(
     for overlap in overlaps:
         workload = fig8b_workload(overlap, **_scale_kwargs(scale))
         cfq = workload.cfq()
-        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
-        cap_only = run_strategy(
-            "cap-1var", workload.db, cfq, use_reduction=False, use_jmax=False
+        tag = f"fig8b-{overlap:g}"
+        baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
+                             report_dir=report_dir, experiment=tag)
+        cap_only = _strategy(
+            "cap-1var", workload.db, cfq, use_reduction=False, use_jmax=False,
+            report_dir=report_dir, experiment=tag,
         )
-        full = run_strategy("optimizer", workload.db, cfq)
+        full = _strategy("optimizer", workload.db, cfq,
+                         report_dir=report_dir, experiment=tag)
         rows.append(
             [
                 overlap,
@@ -200,6 +241,7 @@ def fig8b_range_table(
     overlap: float = 40.0,
     ranges: Sequence[Tuple[Tuple[float, float], Tuple[float, float]]] = FIG8B_RANGES,
     scale: str = "full",
+    report_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Section 7.2's range table: both speedups and their ratio as the
     1-var ranges widen."""
@@ -212,11 +254,15 @@ def fig8b_range_table(
             **_scale_kwargs(scale),
         )
         cfq = workload.cfq()
-        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
-        cap_only = run_strategy(
-            "cap-1var", workload.db, cfq, use_reduction=False, use_jmax=False
+        tag = f"fig8b-range-{s_range[0]:g}-{t_range[1]:g}"
+        baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
+                             report_dir=report_dir, experiment=tag)
+        cap_only = _strategy(
+            "cap-1var", workload.db, cfq, use_reduction=False, use_jmax=False,
+            report_dir=report_dir, experiment=tag,
         )
-        full = run_strategy("optimizer", workload.db, cfq)
+        full = _strategy("optimizer", workload.db, cfq,
+                         report_dir=report_dir, experiment=tag)
         speed_1 = cap_only.speedup_over(baseline)
         speed_2 = full.speedup_over(baseline)
         rows.append(
@@ -244,7 +290,9 @@ JMAX_MEANS = (400.0, 600.0, 800.0, 1000.0)
 
 
 def jmax_table(
-    means: Sequence[float] = JMAX_MEANS, scale: str = "full"
+    means: Sequence[float] = JMAX_MEANS,
+    scale: str = "full",
+    report_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Speedup of iterative Jmax pruning vs Apriori+ by mean T price."""
     rows: List[List[object]] = []
@@ -253,8 +301,11 @@ def jmax_table(
             mean, n_transactions=300, core_size=10
         )
         cfq = workload.cfq()
-        optimized = run_strategy("jmax", workload.db, cfq)
-        baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
+        tag = f"jmax-{mean:g}"
+        optimized = _strategy("jmax", workload.db, cfq,
+                              report_dir=report_dir, experiment=tag)
+        baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
+                             report_dir=report_dir, experiment=tag)
         histories = optimized.result.raw.bound_histories
         final_bound = (
             round(list(histories.values())[0][-1][1]) if histories else None
@@ -281,7 +332,9 @@ def jmax_table(
 # ----------------------------------------------------------------------
 # ccc audit and ablations
 # ----------------------------------------------------------------------
-def ccc_experiment(scale: str = "smoke") -> ExperimentResult:
+def ccc_experiment(
+    scale: str = "smoke", report_dir: Optional[str] = None
+) -> ExperimentResult:
     """Audit Theorem 4 / Corollary 2 on a quasi-succinct query, plus the
     FM and Apriori+ contrast."""
     from repro.datagen.workloads import quickstart_workload
@@ -308,16 +361,22 @@ def ccc_experiment(scale: str = "smoke") -> ExperimentResult:
     )
 
 
-def ablation_table(scale: str = "full") -> ExperimentResult:
+def ablation_table(
+    scale: str = "full", report_dir: Optional[str] = None
+) -> ExperimentResult:
     """Design-choice ablations: reduction, Jmax, dovetailing."""
     rows: List[List[object]] = []
 
     workload = fig8a_workload(33.3, **_scale_kwargs(scale))
     cfq = workload.cfq()
-    baseline = run_strategy("apriori+", workload.db, cfq, kind="apriori_plus")
-    with_reduction = run_strategy("reduction on", workload.db, cfq)
-    without_reduction = run_strategy(
-        "reduction off", workload.db, cfq, use_reduction=False
+    baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
+                         report_dir=report_dir, experiment="ablation-reduction")
+    with_reduction = _strategy("reduction on", workload.db, cfq,
+                               report_dir=report_dir,
+                               experiment="ablation-reduction")
+    without_reduction = _strategy(
+        "reduction off", workload.db, cfq, use_reduction=False,
+        report_dir=report_dir, experiment="ablation-reduction",
     )
     rows.append(
         [
@@ -330,9 +389,12 @@ def ablation_table(scale: str = "full") -> ExperimentResult:
 
     jmax_wl = jmax_workload(600.0)
     jmax_cfq = jmax_wl.cfq()
-    jmax_base = run_strategy("apriori+", jmax_wl.db, jmax_cfq, kind="apriori_plus")
-    jmax_on = run_strategy("jmax on", jmax_wl.db, jmax_cfq)
-    jmax_off = run_strategy("jmax off", jmax_wl.db, jmax_cfq, use_jmax=False)
+    jmax_base = _strategy("apriori+", jmax_wl.db, jmax_cfq, kind="apriori_plus",
+                          report_dir=report_dir, experiment="ablation-jmax")
+    jmax_on = _strategy("jmax on", jmax_wl.db, jmax_cfq,
+                        report_dir=report_dir, experiment="ablation-jmax")
+    jmax_off = _strategy("jmax off", jmax_wl.db, jmax_cfq, use_jmax=False,
+                         report_dir=report_dir, experiment="ablation-jmax")
     rows.append(
         [
             "jmax @mean 600",
@@ -342,8 +404,10 @@ def ablation_table(scale: str = "full") -> ExperimentResult:
         ]
     )
 
-    dovetailed = run_strategy("dovetail", jmax_wl.db, jmax_cfq)
-    sequential = run_strategy("sequential", jmax_wl.db, jmax_cfq, dovetail=False)
+    dovetailed = _strategy("dovetail", jmax_wl.db, jmax_cfq,
+                           report_dir=report_dir, experiment="ablation-dovetail")
+    sequential = _strategy("sequential", jmax_wl.db, jmax_cfq, dovetail=False,
+                           report_dir=report_dir, experiment="ablation-dovetail")
     rows.append(
         [
             "jmax @mean 600 (scans)",
@@ -357,14 +421,17 @@ def ablation_table(scale: str = "full") -> ExperimentResult:
         n_transactions=_scale_kwargs(scale)["n_transactions"]
     )
     cascade_cfq = cascade.cfq()
-    cascade_base = run_strategy(
-        "apriori+", cascade.db, cascade_cfq, kind="apriori_plus"
+    cascade_base = _strategy(
+        "apriori+", cascade.db, cascade_cfq, kind="apriori_plus",
+        report_dir=report_dir, experiment="ablation-cascade",
     )
-    one_round = run_strategy(
-        "1 round", cascade.db, cascade_cfq, reduction_rounds=1
+    one_round = _strategy(
+        "1 round", cascade.db, cascade_cfq, reduction_rounds=1,
+        report_dir=report_dir, experiment="ablation-cascade",
     )
-    fixpoint = run_strategy(
-        "fixpoint", cascade.db, cascade_cfq, reduction_rounds=4
+    fixpoint = _strategy(
+        "fixpoint", cascade.db, cascade_cfq, reduction_rounds=4,
+        report_dir=report_dir, experiment="ablation-cascade",
     )
     rows.append(
         [
@@ -386,7 +453,9 @@ def ablation_table(scale: str = "full") -> ExperimentResult:
 
 
 def backend_table(
-    scale: str = "full", parallel_workers: int = 4
+    scale: str = "full",
+    parallel_workers: int = 4,
+    report_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Counting-backend comparison on the Figure 8(a) quest-generator
     workload: the hybrid enumerate/scan default vs the original Apriori
@@ -417,7 +486,8 @@ def backend_table(
     hybrid_wall = None
     for name, backend in specs:
         with backend_scope(backend):
-            run = run_strategy(name, workload.db, cfq, backend=backend)
+            run = _strategy(name, workload.db, cfq, backend=backend,
+                            report_dir=report_dir, experiment="backends")
         sizes = dict(run.frequent_sizes)
         if reference is None:
             reference = sizes

@@ -3,20 +3,27 @@
 A :class:`StrategyRun` captures everything a comparison needs: the
 deterministic operation-count cost (the primary metric, mirroring the
 paper's CPU+I/O total — see DESIGN.md), wall-clock time, and the answer
-sizes (used to assert that all strategies agree).
+sizes (used to assert that all strategies agree).  With ``trace=True``
+a run also carries a full observability trace, and :func:`emit_report`
+exports it as the same versioned run-report JSON the CLI's
+``--trace-out`` writes, so benchmark rows are reproducible artifacts.
 """
 
 from __future__ import annotations
 
+import os
+import re
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.optimizer import CFQOptimizer
 from repro.core.query import CFQ
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
 from repro.mining.aprioriplus import apriori_plus
+from repro.obs.report import RunReport, build_run_report
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -29,6 +36,7 @@ class StrategyRun:
     counters: OpCounters
     frequent_sizes: Dict[str, int]
     result: object = field(repr=False, default=None)
+    tracer: object = field(repr=False, default=None)
 
     def speedup_over(self, baseline: "StrategyRun") -> float:
         """Baseline cost divided by this run's cost."""
@@ -41,21 +49,27 @@ def run_strategy(
     cfq: CFQ,
     *,
     kind: str = "optimizer",
+    trace: bool = False,
     **options,
 ) -> StrategyRun:
     """Run one strategy (``optimizer`` with options, or ``apriori_plus``).
 
     Only the mining phase is timed and costed — the paper's measurements
     cover step (i), finding the frequent valid sets; pair formation is
-    excluded for every strategy alike (Section 6.2).
+    excluded for every strategy alike (Section 6.2).  ``trace=True``
+    attaches a :class:`~repro.obs.trace.Tracer` to the run (supports and
+    counters are unaffected — see ``tests/test_obs_differential.py``).
     """
     counters = OpCounters()
+    tracer = Tracer() if trace else None
     start = time.perf_counter()
     if kind == "apriori_plus":
-        result = apriori_plus(db, cfq, counters=counters)
+        result = apriori_plus(db, cfq, counters=counters, tracer=tracer)
         frequent_sizes = {var: len(result.frequent(var)) for var in cfq.variables}
     elif kind == "optimizer":
-        result = CFQOptimizer(cfq).execute(db, counters=counters, **options)
+        result = CFQOptimizer(cfq).execute(
+            db, counters=counters, tracer=tracer, **options
+        )
         frequent_sizes = {
             var: len(result.frequent_valid(var)) for var in cfq.variables
         }
@@ -69,7 +83,53 @@ def run_strategy(
         counters=counters,
         frequent_sizes=frequent_sizes,
         result=result,
+        tracer=tracer,
     )
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "run"
+
+
+def emit_report(
+    run: StrategyRun,
+    report_dir: str,
+    experiment: Optional[str] = None,
+) -> str:
+    """Write one run-report JSON for a finished :class:`StrategyRun`.
+
+    The document matches the CLI's ``--trace-out`` schema
+    (:class:`~repro.obs.report.RunReport`); the filename combines the
+    experiment and strategy names.  Returns the written path.
+    """
+    result = run.result
+    meta = {
+        "strategy": run.name,
+        "cost": run.cost,
+        "wall_seconds": round(run.wall_seconds, 6),
+    }
+    if experiment:
+        meta["experiment"] = experiment
+    if hasattr(result, "raw"):
+        report = build_run_report(result, tracer=run.tracer, meta=meta)
+    else:
+        # Apriori+ has no dovetail result; emit counters + trace only.
+        tracer = run.tracer
+        report = RunReport(
+            meta=meta,
+            trace=tracer.to_dict() if tracer is not None else {"spans": []},
+            metrics=(
+                tracer.metrics.as_dict() if tracer is not None
+                else {"counters": {}, "gauges": {}, "histograms": {}}
+            ),
+            op_counters={"cost": run.counters.cost(),
+                         **{k: v for k, v in run.counters.as_dict().items()
+                            if not isinstance(v, dict)}},
+            answers={"frequent": dict(run.frequent_sizes)},
+        )
+    os.makedirs(report_dir, exist_ok=True)
+    stem = _slug(f"{experiment}-{run.name}" if experiment else run.name)
+    return report.write(os.path.join(report_dir, f"{stem}.json"))
 
 
 def compare_strategies(

@@ -41,6 +41,9 @@ from repro.mining.backends import (
     backend_scope,
     make_backend,
 )
+from repro.obs.logs import LEVELS, configure_logging
+from repro.obs.report import build_run_report
+from repro.obs.trace import Tracer
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=None,
                        help="worker processes for '--backend parallel' "
                        "(default: up to 4, bounded by the visible CPUs)")
+    query.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="trace the run and write the versioned JSON "
+                       "run report (spans, metrics, pruning table) to PATH")
+    query.add_argument("--profile", action="store_true",
+                       help="run under cProfile and embed the top hotspots "
+                       "in the run report (implies tracing)")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's Section 7 tables"
@@ -82,6 +91,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run a single experiment family",
     )
+    experiments.add_argument(
+        "--report-dir", metavar="DIR", default=None,
+        help="also write one run-report JSON per strategy run into DIR",
+    )
+
+    for command in (query, experiments):
+        command.add_argument(
+            "--log-level", choices=LEVELS, default=None,
+            help="enable repro.* logging on stderr at this level",
+        )
 
     classify = sub.add_parser("classify", help="classify a constraint")
     classify.add_argument("constraint", help="constraint text")
@@ -106,15 +125,48 @@ def _resolve_backend(name: str, workers: Optional[int]):
 
 def _cmd_query(args: argparse.Namespace) -> int:
     backend = _resolve_backend(args.backend, args.workers)
+    tracer = Tracer() if (args.trace_out or args.profile) else None
     workload = quickstart_workload(n_transactions=args.transactions,
                                    seed=args.seed)
     cfq = parse_cfq(args.cfq, workload.domains, default_minsup=args.minsup)
     print(f"workload: {workload.db!r}")
     print(f"query:    {cfq}")
+    profile = None
     # Hold the backend's resources (the parallel worker pool) open across
     # the whole command; the engine's nested scope then reuses them.
     with backend_scope(backend):
-        result = CFQOptimizer(cfq).execute(workload.db, backend=backend)
+        if args.profile:
+            import cProfile
+
+            profile = cProfile.Profile()
+            profile.enable()
+        try:
+            result = CFQOptimizer(cfq).execute(
+                workload.db, backend=backend, tracer=tracer
+            )
+        finally:
+            if profile is not None:
+                profile.disable()
+    if args.trace_out or args.profile:
+        report = build_run_report(
+            result,
+            tracer=tracer,
+            meta={
+                "command": "query",
+                "transactions": args.transactions,
+                "seed": args.seed,
+                "minsup": args.minsup,
+            },
+            profile=profile,
+        )
+        if args.trace_out:
+            report.write(args.trace_out)
+            print(f"run report written to {args.trace_out}")
+        if profile is not None and report.profile:
+            print("top hotspots (cumulative seconds):")
+            for entry in report.profile["hotspots"][:5]:
+                print(f"  {entry['cumulative_seconds']:>10.4f}  "
+                      f"{entry['function']} ({entry['file']}:{entry['line']})")
     for var in cfq.variables:
         print(f"frequent valid {var}-sets: {len(result.frequent_valid(var))}")
     if len(cfq.variables) == 2:
@@ -151,9 +203,17 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         if args.only
         else tuple(fn for group in families.values() for fn in group)
     )
+    kwargs = {}
+    if args.report_dir:
+        import os
+
+        os.makedirs(args.report_dir, exist_ok=True)
+        kwargs["report_dir"] = args.report_dir
     for experiment in selected:
-        print(experiment(scale=args.scale).render())
+        print(experiment(scale=args.scale, **kwargs).render())
         print()
+    if args.report_dir:
+        print(f"run reports written under {args.report_dir}")
     return 0
 
 
@@ -190,6 +250,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
     handlers = {
         "query": _cmd_query,
         "experiments": _cmd_experiments,

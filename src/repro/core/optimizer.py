@@ -34,6 +34,7 @@ from repro.core.query import CFQ
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
 from repro.mining.dovetail import DovetailEngine, DovetailResult
+from repro.obs.trace import resolve_tracer
 from repro.itemsets import Itemset
 
 
@@ -46,6 +47,7 @@ class CFQResult:
     counters: OpCounters
     raw: DovetailResult
     backend: object = None
+    trace: object = None
 
     # ------------------------------------------------------------------
     # Answers
@@ -101,13 +103,19 @@ class CFQResult:
     # Introspection
     # ------------------------------------------------------------------
     def explain(self) -> str:
-        """The executed plan, bound histories and operation counts."""
+        """The executed plan, bound histories, per-level pruning table
+        and operation counts."""
+        from repro.obs.report import pruning_summary, render_pruning_table
+
         lines = [self.plan.explain()]
         for key, history in self.raw.bound_histories.items():
             rendered = ", ".join(f"W^{k}={bound:.6g}" for k, bound in history)
             lines.append(f"  bound series {key}: {rendered}")
         for note in self.raw.disabled_jmax:
             lines.append(f"  note: {note}")
+        pruning = pruning_summary(self.raw)
+        if pruning:
+            lines.append(render_pruning_table(pruning))
         lines.append("  operation counts:")
         for name, value in self.counters.as_dict().items():
             lines.append(f"    {name}: {value}")
@@ -126,33 +134,44 @@ class CFQOptimizer:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def plan(self, db: TransactionDatabase) -> ExecutionPlan:
+    def plan(self, db: TransactionDatabase, tracer=None) -> ExecutionPlan:
         """Construct the Figure 7 strategy for this query."""
+        tracer = resolve_tracer(tracer)
         cfq = self.cfq
-        var_plans = {
-            var: VarPlan(
-                var=var,
-                domain=cfq.domains[var],
-                min_count=db.min_count(cfq.minsup_for(var)),
-                base_constraints=cfq.onevar_for(var),
-            )
-            for var in cfq.variables
-        }
-        plan = ExecutionPlan(var_plans=var_plans)
-        for constraint in cfq.twovar:
-            view = TwoVarView.of(constraint)
-            self._plan_twovar(view, plan)
+        with tracer.span("optimizer.plan", query=str(cfq)):
+            var_plans = {
+                var: VarPlan(
+                    var=var,
+                    domain=cfq.domains[var],
+                    min_count=db.min_count(cfq.minsup_for(var)),
+                    base_constraints=cfq.onevar_for(var),
+                )
+                for var in cfq.variables
+            }
+            plan = ExecutionPlan(var_plans=var_plans)
+            for constraint in cfq.twovar:
+                view = TwoVarView.of(constraint)
+                self._plan_twovar(view, plan, tracer)
+            for note in plan.notes:
+                tracer.event("plan.note", note=note)
         return plan
 
-    def _plan_twovar(self, view: TwoVarView, plan: ExecutionPlan) -> None:
-        properties = classify_twovar(view)
+    def _plan_twovar(self, view: TwoVarView, plan: ExecutionPlan, tracer=None) -> None:
+        tracer = resolve_tracer(tracer)
+        with tracer.span("plan.classify", constraint=str(view)) as classify_span:
+            properties = classify_twovar(view)
+            classify_span.set(
+                recognized=view.shape is not None,
+                quasi_succinct=bool(properties.quasi_succinct),
+            )
         if view.shape is None:
             plan.notes.append(
                 f"{view}: unrecognized 2-var form; verified at pair formation only"
             )
             return
         if properties.quasi_succinct:
-            plan.reductions.append(ReductionPlan(view))
+            with tracer.span("plan.reduce", constraint=str(view), induced=False):
+                plan.reductions.append(ReductionPlan(view))
             return
         shape = view.shape
         if not isinstance(shape, AggAggShape):
@@ -167,27 +186,41 @@ class CFQOptimizer:
                 f"at pair formation only"
             )
             return
-        induced = induce_weaker(view)
-        if induced.weaker is not None:
-            plan.reductions.append(
-                ReductionPlan(induced.weaker, induced_from=view.constraint)
+        with tracer.span("plan.induce", constraint=str(view)) as induce_span:
+            induced = induce_weaker(view)
+            induce_span.set(
+                weaker=str(induced.weaker) if induced.weaker is not None else None,
+                pruned_var=induced.pruned_var,
             )
+        if induced.weaker is not None:
+            with tracer.span("plan.reduce", constraint=str(induced.weaker),
+                             induced=True):
+                plan.reductions.append(
+                    ReductionPlan(induced.weaker, induced_from=view.constraint)
+                )
         oriented = shape if shape.op.is_le_like or shape.op.value in ("=",) else (
             shape.oriented(shape.right_var)
         )
         if induced.pruned_var is not None and oriented.right_func in ("sum", "avg"):
-            plan.jmax.append(
-                JmaxPlan(
-                    bound_var=oriented.right_var,
-                    bound_attr=oriented.right_attr,
-                    bound_kind=oriented.right_func,
-                    pruned_var=induced.pruned_var,
-                    pruned_func=induced.pruned_func,
-                    pruned_attr=induced.pruned_attr,
-                    strict=induced.strict,
-                    source=str(view),
+            with tracer.span(
+                "plan.jmax",
+                constraint=str(view),
+                bound_var=oriented.right_var,
+                bound_kind=oriented.right_func,
+                pruned_var=induced.pruned_var,
+            ):
+                plan.jmax.append(
+                    JmaxPlan(
+                        bound_var=oriented.right_var,
+                        bound_attr=oriented.right_attr,
+                        bound_kind=oriented.right_func,
+                        pruned_var=induced.pruned_var,
+                        pruned_func=induced.pruned_func,
+                        pruned_attr=induced.pruned_attr,
+                        strict=induced.strict,
+                        source=str(view),
+                    )
                 )
-            )
         if induced.weaker is None and induced.pruned_var is None:
             plan.notes.append(
                 f"{view}: nothing to induce (Figure 4 does not apply); "
@@ -221,28 +254,33 @@ class CFQOptimizer:
         keep_candidates: bool = False,
         backend=None,
         reduction_rounds: int = 1,
+        tracer=None,
     ) -> CFQResult:
         """Plan and run the query; the keyword flags drive the ablations."""
-        plan = self.plan(db)
-        engine = DovetailEngine(
-            db,
-            plan,
-            counters=counters,
-            dovetail=dovetail,
-            use_reduction=use_reduction,
-            use_jmax=use_jmax,
-            max_level=self.cfq.max_level,
-            keep_candidates=keep_candidates,
-            backend=backend,
-            reduction_rounds=reduction_rounds,
-        )
-        raw = engine.run()
+        tracer = resolve_tracer(tracer)
+        with tracer.span("optimizer.execute", query=str(self.cfq)):
+            plan = self.plan(db, tracer=tracer)
+            engine = DovetailEngine(
+                db,
+                plan,
+                counters=counters,
+                dovetail=dovetail,
+                use_reduction=use_reduction,
+                use_jmax=use_jmax,
+                max_level=self.cfq.max_level,
+                keep_candidates=keep_candidates,
+                backend=backend,
+                reduction_rounds=reduction_rounds,
+                tracer=tracer,
+            )
+            raw = engine.run()
         return CFQResult(
             cfq=self.cfq,
             plan=plan,
             counters=engine.counters,
             raw=raw,
             backend=engine.backend,
+            trace=tracer if tracer.enabled else None,
         )
 
 

@@ -18,8 +18,21 @@ deterministic, machine-independent cost.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
+
+
+def debug_checks_enabled() -> bool:
+    """Whether expensive internal consistency assertions are on.
+
+    Controlled by the ``REPRO_DEBUG`` environment variable (``1``/
+    ``true``/``yes``/``on``); read at check time so tests can toggle it
+    per-case.
+    """
+    return os.environ.get("REPRO_DEBUG", "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
 
 
 @dataclass
@@ -177,12 +190,20 @@ def merge_shard_counters(shards: Sequence[OpCounters]) -> OpCounters:
     from the first shard (all shards' ledgers are identical by
     construction) and sum the rest, which makes a sharded run's totals
     equal a serial run's.
+
+    Disagreeing ledgers are a merge-protocol bug.  A cheap total-count
+    comparison always runs; the full per-(var, level) ledger equality
+    check — O(ledger size) per shard — additionally runs when
+    ``REPRO_DEBUG=1`` (see :func:`debug_checks_enabled`).
     """
     if not shards:
         return OpCounters()
     first = shards[0]
+    deep = debug_checks_enabled()
     for other in shards[1:]:
-        if other.support_counted != first.support_counted:
+        if other.total_counted != first.total_counted or (
+            deep and other.support_counted != first.support_counted
+        ):
             raise ValueError(
                 "shard counters disagree on the counted candidate sets; "
                 "merge_shard_counters is only valid when every shard "
@@ -241,10 +262,15 @@ class ParallelStats:
     down mid-run (all remaining work degrades to in-process counting).
     """
 
+    #: Cap on retained failure-log entries: a pathological run (every
+    #: shard of every level timing out) must not grow memory unboundedly.
+    MAX_FAILURE_LOG = 50
+
     levels: List[ParallelLevelStats] = field(default_factory=list)
     pool_forks: int = 0
     pool_broken: bool = False
     failure_log: List[str] = field(default_factory=list)
+    failure_log_dropped: int = 0
 
     def record_level(
         self,
@@ -273,13 +299,21 @@ class ParallelStats:
         self.pool_forks += 1
 
     def record_failure(self, message: str) -> None:
-        """Record one failed shard attempt (crash, timeout, lost worker)."""
-        self.failure_log.append(message)
+        """Record one failed shard attempt (crash, timeout, lost worker).
+
+        At most :data:`MAX_FAILURE_LOG` entries are retained; further
+        failures only bump ``failure_log_dropped`` (the totals in
+        :meth:`as_dict` still count every failure via the level records).
+        """
+        if len(self.failure_log) < self.MAX_FAILURE_LOG:
+            self.failure_log.append(message)
+        else:
+            self.failure_log_dropped += 1
 
     def mark_broken(self, reason: str) -> None:
         """Record that the pool was abandoned mid-run."""
         self.pool_broken = True
-        self.failure_log.append(f"pool broken: {reason}")
+        self.record_failure(f"pool broken: {reason}")
 
     @property
     def total_shard_seconds(self) -> float:
@@ -326,6 +360,7 @@ class ParallelStats:
             "failures": self.total_failures,
             "retries": self.total_retries,
             "fallback_shards": self.total_fallback_shards,
+            "failure_log_dropped": self.failure_log_dropped,
         }
 
     def summary(self) -> str:
@@ -345,6 +380,11 @@ class ParallelStats:
                 f"; {d['failures']} shard failure(s), "
                 f"{d['retries']} retry(ies), "
                 f"{d['fallback_shards']} serial fallback(s)"
+            )
+        if d["failure_log_dropped"]:
+            text += (
+                f"; {d['failure_log_dropped']} failure-log entry(ies) "
+                f"dropped beyond the {self.MAX_FAILURE_LOG}-entry cap"
             )
         if d["pool_broken"]:
             text += "; pool broken — degraded to in-process counting"

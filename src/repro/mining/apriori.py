@@ -13,6 +13,7 @@ from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
 from repro.mining.backends import backend_scope
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
+from repro.obs.trace import resolve_tracer
 
 
 def mine_frequent(
@@ -23,6 +24,7 @@ def mine_frequent(
     var: str = "S",
     max_level: Optional[int] = None,
     backend=None,
+    tracer=None,
 ) -> LatticeResult:
     """Mine all frequent itemsets from pre-projected transactions.
 
@@ -44,7 +46,11 @@ def mine_frequent(
     backend:
         Counting backend name or instance (see
         :mod:`repro.mining.backends`); defaults to the hybrid strategy.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; records one ``level``
+        span per mining level.
     """
+    tracer = resolve_tracer(tracer)
     lattice = ConstrainedLattice(
         var=var,
         elements=tuple(elements),
@@ -56,9 +62,20 @@ def mine_frequent(
     )
     # One backend scope per mining run: a parallel backend forks its
     # worker pool once and reuses it across every level.
-    with backend_scope(lattice.backend):
-        while lattice.count_and_absorb():
-            pass
+    with tracer.span("apriori.run", var=var, min_count=min_count):
+        with backend_scope(lattice.backend):
+            while True:
+                level = lattice.level + 1
+                with tracer.span("level", var=var, level=level) as span:
+                    progressed = lattice.count_and_absorb()
+                    if tracer.enabled:
+                        span.set(
+                            candidates_in=lattice.counted_per_level.get(level, 0),
+                            frequent_out=len(lattice.frequent.get(level, {})),
+                            pruned=dict(lattice.prune_counts.get(level, {})),
+                        )
+                if not progressed:
+                    break
     return lattice.result()
 
 
@@ -69,6 +86,7 @@ def apriori(
     counters: Optional[OpCounters] = None,
     max_level: Optional[int] = None,
     backend=None,
+    tracer=None,
 ) -> LatticeResult:
     """Classic Apriori over a transaction database.
 
@@ -85,4 +103,5 @@ def apriori(
         counters=counters,
         max_level=max_level,
         backend=backend,
+        tracer=tracer,
     )

@@ -17,6 +17,7 @@ from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
 from repro.mining.itemsets import Itemset
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
+from repro.obs.trace import resolve_tracer
 
 
 @dataclass
@@ -70,27 +71,40 @@ def apriori_plus(
     cfq: CFQ,
     counters: Optional[OpCounters] = None,
     max_level: Optional[int] = None,
+    tracer=None,
 ) -> AprioriPlusResult:
     """Run the Apriori+ baseline for a CFQ.
 
     The mining phase ignores every constraint; each variable's lattice
     runs over its full domain, paying one scan per level.
     """
+    tracer = resolve_tracer(tracer)
     counters = counters if counters is not None else OpCounters()
     lattices: Dict[str, LatticeResult] = {}
     cap = max_level if max_level is not None else cfq.max_level
-    for var in cfq.variables:
-        domain = cfq.domains[var]
-        projected = [domain.project(t) for t in db.transactions]
-        lattice = ConstrainedLattice(
-            var=var,
-            elements=domain.elements,
-            transactions=projected,
-            min_count=db.min_count(cfq.minsup_for(var)),
-            counters=counters,
-            max_level=cap,
-        )
-        while lattice.count_and_absorb():
-            pass
-        lattices[var] = lattice.result()
+    with tracer.span("aprioriplus.run", query=str(cfq)):
+        for var in cfq.variables:
+            domain = cfq.domains[var]
+            projected = [domain.project(t) for t in db.transactions]
+            lattice = ConstrainedLattice(
+                var=var,
+                elements=domain.elements,
+                transactions=projected,
+                min_count=db.min_count(cfq.minsup_for(var)),
+                counters=counters,
+                max_level=cap,
+            )
+            while True:
+                level = lattice.level + 1
+                with tracer.span("level", var=var, level=level) as span:
+                    progressed = lattice.count_and_absorb()
+                    if tracer.enabled:
+                        span.set(
+                            candidates_in=lattice.counted_per_level.get(level, 0),
+                            frequent_out=len(lattice.frequent.get(level, {})),
+                            pruned=dict(lattice.prune_counts.get(level, {})),
+                        )
+                if not progressed:
+                    break
+            lattices[var] = lattice.result()
     return AprioriPlusResult(cfq=cfq, counters=counters, lattices=lattices)

@@ -56,6 +56,9 @@ from repro.itemsets import Itemset
 from repro.mining.counting import count_candidates
 from repro.mining.hashtree import build_hash_tree
 from repro.mining.vertical import build_tidlists, count_with_tidlists
+from repro.obs.logs import get_logger
+
+logger = get_logger(__name__)
 
 
 class HybridBackend:
@@ -387,6 +390,7 @@ class ParallelBackend:
 
     def _ensure_pool(self):
         if self._pool is None:
+            logger.info("forking worker pool with %d workers", self.workers)
             self._pool = multiprocessing.Pool(self.workers)
             self.stats.record_fork()
         return self._pool
@@ -403,6 +407,10 @@ class ParallelBackend:
             pool.join()
 
     def _mark_broken(self, reason: str) -> None:
+        logger.error(
+            "parallel pool marked broken (%s); remaining levels run in-process",
+            reason,
+        )
         self._broken = True
         self.stats.mark_broken(reason)
         self._shutdown_pool()
@@ -503,10 +511,19 @@ class ParallelBackend:
                     outcomes[i] = result.get(self.shard_timeout)
                 except Exception as exc:
                     failures += 1
+                    logger.warning(
+                        "shard %d/%d failed (%s: %s); attempt %d of %d",
+                        i + 1, n, type(exc).__name__, exc,
+                        attempts + 1, self.max_retries + 1,
+                    )
                     self.stats.record_failure(
                         f"shard {i + 1}/{n}: {type(exc).__name__}: {exc}"
                     )
                     if attempts >= self.max_retries:
+                        logger.warning(
+                            "shard %d/%d exhausted retries; "
+                            "falling back to in-process counting", i + 1, n,
+                        )
                         outcomes[i] = count_shard(shards[i], candidates, k, var)
                         fallbacks += 1
                         break

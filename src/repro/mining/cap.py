@@ -26,6 +26,7 @@ from repro.db.stats import OpCounters
 from repro.errors import ConstraintTypeError
 from repro.mining.backends import backend_scope
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
+from repro.obs.trace import resolve_tracer
 
 
 def compile_constraints(
@@ -53,6 +54,7 @@ def cap_mine(
     counters: Optional[OpCounters] = None,
     max_level: Optional[int] = None,
     backend=None,
+    tracer=None,
 ) -> LatticeResult:
     """Run CAP for one variable.
 
@@ -71,7 +73,11 @@ def cap_mine(
     backend:
         Counting backend name or instance (see
         :mod:`repro.mining.backends`); defaults to the hybrid strategy.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; records one ``level``
+        span per mining level with candidate/pruning attributes.
     """
+    tracer = resolve_tracer(tracer)
     pruning = compile_constraints(constraints, var, domain)
     lattice = ConstrainedLattice(
         var=var,
@@ -85,7 +91,24 @@ def cap_mine(
     )
     # One backend scope per mining run: a parallel backend forks its
     # worker pool once and reuses it across every level.
-    with backend_scope(lattice.backend):
-        while lattice.count_and_absorb():
-            pass
+    with tracer.span(
+        "cap.run",
+        var=var,
+        min_count=min_count,
+        constraints=[str(c) for c in constraints] if tracer.enabled else None,
+        backend=getattr(lattice.backend, "name", None) or "hybrid",
+    ):
+        with backend_scope(lattice.backend):
+            while True:
+                level = lattice.level + 1
+                with tracer.span("level", var=var, level=level) as span:
+                    progressed = lattice.count_and_absorb()
+                    if tracer.enabled:
+                        span.set(
+                            candidates_in=lattice.counted_per_level.get(level, 0),
+                            frequent_out=len(lattice.frequent.get(level, {})),
+                            pruned=dict(lattice.prune_counts.get(level, {})),
+                        )
+                if not progressed:
+                    break
     return lattice.result()

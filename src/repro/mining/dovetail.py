@@ -43,6 +43,10 @@ from repro.mining.backends import backend_scope, make_backend
 from repro.mining.cap import compile_constraints
 from repro.mining.counting import count_singletons
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
+from repro.obs.logs import get_logger
+from repro.obs.trace import resolve_tracer
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -77,6 +81,7 @@ class DovetailEngine:
         keep_candidates: bool = False,
         backend=None,
         reduction_rounds: int = 1,
+        tracer=None,
     ):
         if reduction_rounds < 1:
             raise ExecutionError("reduction_rounds must be >= 1")
@@ -93,6 +98,7 @@ class DovetailEngine:
         # vertical TID-list cache) must be per-run, not per-lattice.
         self.backend = make_backend(backend) if backend is not None else None
         self.reduction_rounds = reduction_rounds
+        self.tracer = resolve_tracer(tracer)
         self._series: List[Tuple[JmaxPlan, BoundSeries]] = []
         self._bound_side_done: Dict[str, bool] = {}
 
@@ -106,10 +112,23 @@ class DovetailEngine:
         resource-holding backend (the parallel worker pool) is acquired
         once and reused across every dovetailed level of both lattices.
         """
-        with backend_scope(self.backend):
-            return self._run()
+        with self.tracer.span(
+            "dovetail.run",
+            dovetail=self.dovetail,
+            use_reduction=self.use_reduction,
+            use_jmax=self.use_jmax,
+            backend=getattr(self.backend, "name", None) or "hybrid",
+            variables=sorted(self.plan.var_plans),
+        ):
+            with backend_scope(self.backend):
+                return self._run()
 
     def _run(self) -> DovetailResult:
+        logger.debug(
+            "dovetail run: %d variable(s), dovetail=%s, reduction=%s, jmax=%s",
+            len(self.plan.var_plans), self.dovetail, self.use_reduction,
+            self.use_jmax,
+        )
         lattices, projected = self._build_lattices()
 
         self._run_level1(lattices, projected)
@@ -118,6 +137,8 @@ class DovetailEngine:
         disabled = self._setup_jmax(lattices) if self.use_jmax else [
             f"{p.pruned_var}: jmax disabled by engine option" for p in self.plan.jmax
         ]
+        for note in disabled:
+            logger.info("jmax series disabled: %s", note)
 
         del projected  # lattices own (and trim) their transaction lists
         if self.dovetail:
@@ -171,10 +192,44 @@ class DovetailEngine:
                 # (its constrained L1 is empty, which the reduction step
                 # will propagate to the other side).
                 continue
-            supports = count_singletons(
-                lattice.transactions, (c[0] for c in candidates), self.counters, var
+            with self.tracer.span(
+                "level", var=var, level=1, candidates_in=len(candidates)
+            ) as span:
+                supports = count_singletons(
+                    lattice.transactions, (c[0] for c in candidates),
+                    self.counters, var,
+                )
+                lattice.absorb({(e,): n for e, n in supports.items()})
+                self._finish_level_span(span, lattice, 1, len(candidates))
+
+    def _finish_level_span(
+        self, span, lattice, level: int, candidates_in: int,
+        attach_shards: bool = False,
+    ) -> None:
+        """Close out one per-(variable, level) span: frequent-out and
+        pruning attribution, plus the sharded backend's per-shard
+        timings for this pass (joined from ``ParallelStats``)."""
+        if not self.tracer.enabled:
+            return
+        frequent_out = len(lattice.frequent.get(level, {}))
+        span.set(
+            frequent_out=frequent_out,
+            pruned=dict(lattice.prune_counts.get(level, {})),
+        )
+        metrics = self.tracer.metrics
+        metrics.inc("candidates_counted", candidates_in, var=lattice.var)
+        metrics.inc("frequent_sets", frequent_out, var=lattice.var)
+        stats = getattr(lattice.backend, "stats", None)
+        if attach_shards and stats is not None and getattr(stats, "levels", None):
+            last = stats.levels[-1]
+            span.set(
+                shard_sizes=list(last.shard_sizes),
+                shard_seconds=[round(s, 6) for s in last.shard_seconds],
+                shard_merge_seconds=round(last.merge_seconds, 6),
+                pooled=not last.in_process,
             )
-            lattice.absorb({(e,): n for e, n in supports.items()})
+            for seconds in last.shard_seconds:
+                metrics.observe("shard_seconds", seconds, var=lattice.var)
 
     def _apply_reductions(self, lattices) -> None:
         """Install the Figure 2/3 reductions; optionally iterate.
@@ -189,6 +244,8 @@ class DovetailEngine:
         after the first install only the (monotonically shrinking) item
         filters, never duplicate buckets or checks.
         """
+        if not self.plan.reductions:
+            return
         domains = {var: plan.domain for var, plan in self.plan.var_plans.items()}
         for round_index in range(self.reduction_rounds):
             l1 = {
@@ -196,25 +253,45 @@ class DovetailEngine:
                 for var, lattice in lattices.items()
             }
             changed = False
-            for reduction in self.plan.reductions:
-                if not reduction.view.variables <= set(lattices):
-                    raise ExecutionError(
-                        f"reduction {reduction.view} mentions variables outside "
-                        f"the plan"
-                    )
-                reduced = reduce_twovar(reduction.view, domains, l1)
-                for var, constraints in reduced.items():
-                    if not constraints:
-                        continue
-                    bundle = compile_constraints(constraints, var, domains[var])
-                    if round_index > 0:
-                        bundle = CompiledPruning(filters=bundle.filters)
-                        if not bundle.filters:
-                            continue
-                    before = len(lattices[var].level1_supports)
-                    lattices[var].install_pruning(bundle)
-                    if len(lattices[var].level1_supports) != before:
-                        changed = True
+            with self.tracer.span(
+                "reduction.round", round=round_index + 1
+            ) as round_span:
+                for reduction in self.plan.reductions:
+                    if not reduction.view.variables <= set(lattices):
+                        raise ExecutionError(
+                            f"reduction {reduction.view} mentions variables outside "
+                            f"the plan"
+                        )
+                    with self.tracer.span(
+                        "reduction.apply", constraint=str(reduction.view)
+                    ) as span:
+                        reduced = reduce_twovar(reduction.view, domains, l1)
+                        for var, constraints in reduced.items():
+                            if not constraints:
+                                continue
+                            bundle = compile_constraints(
+                                constraints, var, domains[var]
+                            )
+                            if round_index > 0:
+                                bundle = CompiledPruning(filters=bundle.filters)
+                                if not bundle.filters:
+                                    continue
+                            before = len(lattices[var].level1_supports)
+                            lattices[var].install_pruning(bundle)
+                            after = len(lattices[var].level1_supports)
+                            span.set(
+                                **{
+                                    f"l1_before_{var}": before,
+                                    f"l1_after_{var}": after,
+                                }
+                            )
+                            if after != before:
+                                changed = True
+                                logger.debug(
+                                    "reduction %s shrank %s L1: %d -> %d",
+                                    reduction.view, var, before, after,
+                                )
+                round_span.set(changed=changed)
             if round_index > 0 and not changed:
                 break
 
@@ -231,10 +308,18 @@ class DovetailEngine:
                     f"non-filter pruning; series disabled"
                 )
                 continue
-            domain = self.plan.var_plans[jplan.bound_var].domain
-            values = element_value_map(domain, jplan.bound_attr)
-            series = BoundSeries(values=values, kind=jplan.bound_kind)
-            series.start(tuple(bound_lattice.level1_supports))
+            with self.tracer.span(
+                "jmax.start",
+                source=jplan.source,
+                bound_var=jplan.bound_var,
+                bound_kind=jplan.bound_kind,
+                pruned_var=jplan.pruned_var,
+            ) as span:
+                domain = self.plan.var_plans[jplan.bound_var].domain
+                values = element_value_map(domain, jplan.bound_attr)
+                series = BoundSeries(values=values, kind=jplan.bound_kind)
+                start_bound = series.start(tuple(bound_lattice.level1_supports))
+                span.set(start_bound=start_bound)
             self._install_dynamic_check(lattices[jplan.pruned_var], jplan, series)
             self._series.append((jplan, series))
             self._bound_side_done[jplan.bound_var] = False
@@ -311,11 +396,21 @@ class DovetailEngine:
                 break
             self._record_level_scan(n_active=1)
             for lattice, candidates in pending:
-                support = lattice.backend.count(
-                    lattice.transactions, candidates, len(candidates[0]),
-                    self.counters, lattice.var,
-                )
-                lattice.absorb(support)
+                level = len(candidates[0])
+                with self.tracer.span(
+                    "level",
+                    var=lattice.var,
+                    level=level,
+                    candidates_in=len(candidates),
+                ) as span:
+                    support = lattice.backend.count(
+                        lattice.transactions, candidates, level,
+                        self.counters, lattice.var,
+                    )
+                    lattice.absorb(support)
+                    self._finish_level_span(
+                        span, lattice, level, len(candidates), attach_shards=True
+                    )
             self._update_series(lattices)
 
     def _run_sequential(self, lattices) -> None:
@@ -331,11 +426,21 @@ class DovetailEngine:
                 if not candidates:
                     break
                 self._record_level_scan(n_active=1)
-                support = lattice.backend.count(
-                    lattice.transactions, candidates, len(candidates[0]),
-                    self.counters, lattice.var,
-                )
-                lattice.absorb(support)
+                level = len(candidates[0])
+                with self.tracer.span(
+                    "level",
+                    var=lattice.var,
+                    level=level,
+                    candidates_in=len(candidates),
+                ) as span:
+                    support = lattice.backend.count(
+                        lattice.transactions, candidates, level,
+                        self.counters, lattice.var,
+                    )
+                    lattice.absorb(support)
+                    self._finish_level_span(
+                        span, lattice, level, len(candidates), attach_shards=True
+                    )
                 self._update_series(lattices, only_var=var)
 
     def _update_series(self, lattices, only_var: Optional[str] = None) -> None:
@@ -348,12 +453,37 @@ class DovetailEngine:
             if level >= 2 and level in lattice.frequent:
                 already = [k for k, __ in series.history]
                 if level not in already:
-                    series.update(level, lattice.frequent[level].keys())
+                    bound = series.update(level, lattice.frequent[level].keys())
+                    self._record_bound_update(jplan, level, bound, lattices)
             if not lattice.active and not self._bound_side_done.get(var, True):
                 # No frequent sets beyond the last level: the bound
                 # collapses to the maximum over the enumerated sets.
-                series.update(max(lattice.level, 2) + 1, [])
+                final_level = max(lattice.level, 2) + 1
+                bound = series.update(final_level, [])
+                self._record_bound_update(jplan, final_level, bound, lattices)
                 self._bound_side_done[var] = True
+
+    def _record_bound_update(self, jplan, level, bound, lattices) -> None:
+        """Trace one ``W^k`` tightening and how much pruning the dynamic
+        check installed from it has achieved so far on the lesser side."""
+        if not self.tracer.enabled:
+            return
+        pruned_lattice = lattices[jplan.pruned_var]
+        kills = sum(
+            counts.get(f"am:{jplan.source}", 0)
+            for counts in pruned_lattice.prune_counts.values()
+        )
+        self.tracer.event(
+            "jmax.bound",
+            source=jplan.source,
+            bound_var=jplan.bound_var,
+            level=level,
+            bound=bound,
+            candidates_killed_so_far=kills,
+        )
+        self.tracer.metrics.set_gauge(
+            "jmax_bound", bound, source=jplan.source, level=level
+        )
 
     def _record_level_scan(self, n_active: int) -> None:
         # Dovetailing shares one physical pass across all lattices of the

@@ -33,7 +33,7 @@ anti-monotone checks, which do not interact with the ordering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.constraints.pruners import CompiledPruning
@@ -64,12 +64,20 @@ class LatticeResult:
         reduction.
     counted_per_level:
         Number of candidate sets whose support was counted, per level.
+    prune_counts:
+        Per-level pruning attribution: how many sets each installed
+        pruner removed before counting (keys like ``"filter:<source>"``,
+        ``"bucket:<source>"``, ``"am:<source>"``), plus ``"infrequent"``
+        (counted but below threshold) and ``"final_verification"``
+        (dropped by the post-filter re-check in :meth:`result`).  This
+        is the raw material of the run report's pruning table.
     """
 
     var: str
     frequent: Dict[int, Dict[Itemset, int]]
     level1_supports: Dict[int, int]
     counted_per_level: Dict[int, int]
+    prune_counts: Dict[int, Dict[str, int]] = field(default_factory=dict)
 
     def all_sets(self) -> Dict[Itemset, int]:
         """All frequent valid itemsets across levels."""
@@ -140,14 +148,22 @@ class ConstrainedLattice:
         self.keep_candidates = keep_candidates
         self.candidate_log: Dict[int, List[Itemset]] = {}
         self.backend = make_backend(backend if backend is not None else "hybrid")
+        # Pruning attribution (level -> reason -> count): plain integer
+        # bookkeeping, always on — the observability layer's trace spans
+        # and run-report pruning table read it after the fact, so a
+        # tracing-off run pays only these increments (on pruned branches).
+        self.prune_counts: Dict[int, Dict[str, int]] = {}
 
         self._universe: Tuple[int, ...] = self.pruning.filtered_universe(self.elements)
+        if len(self._universe) < len(self.elements):
+            self._attribute_filtered(self.elements, self.pruning.filters, level=1)
         self._record_level1_checks(len(self.elements))
         self._frozen = False
         self._rank: Dict[int, int] = {}
         self._order: List[int] = []
         self._has_buckets = False
         self._primary_bucket_size = 0
+        self._primary_bucket_source: Optional[str] = None
         self._prev_ranked: Set[RankTuple] = set()
         self._pending: Optional[List[Itemset]] = None  # canonical candidates awaiting counts
         self._pending_level = 0
@@ -194,6 +210,8 @@ class ConstrainedLattice:
         if self.keep_candidates:
             self.candidate_log.setdefault(k, []).extend(self._pending)
         freq = frequent_only(dict(support), self.min_count)
+        if len(freq) < len(self._pending):
+            self._note_pruned(k, "infrequent", len(self._pending) - len(freq))
         self._pending = None
         self.level = k
         if k == 1:
@@ -249,7 +267,13 @@ class ConstrainedLattice:
             )
         self.pruning.extend(extra)
         if extra.filters:
+            before = self._universe
             self._universe = self.pruning.filtered_universe(self._universe)
+            if len(self._universe) < len(before):
+                # Attribute the newly excluded elements (e.g. reduced
+                # quasi-succinct constraints arriving after level 1) to
+                # the filters just installed.
+                self._attribute_filtered(before, extra.filters, level=1)
             if self.level >= 1:
                 keep = set(self._universe)
                 self.level1_supports = {
@@ -276,6 +300,9 @@ class ConstrainedLattice:
             self.pruning.post_filters or self.pruning.buckets or self.pruning.am_checks
         )
         filtered: Dict[int, Dict[Itemset, int]] = {}
+        # Copy, never mutate, the lattice's attribution: result() must be
+        # re-runnable without double-counting the final verification.
+        prune_counts = {k: dict(v) for k, v in self.prune_counts.items()}
         for k, sets in self.frequent.items():
             if not needs_final:
                 filtered[k] = dict(sets)
@@ -293,16 +320,36 @@ class ConstrainedLattice:
                 ):
                     kept[itemset] = n
             filtered[k] = kept
+            dropped = len(sets) - len(kept)
+            if dropped:
+                counts = prune_counts.setdefault(k, {})
+                counts["final_verification"] = (
+                    counts.get("final_verification", 0) + dropped
+                )
         return LatticeResult(
             var=self.var,
             frequent=filtered,
             level1_supports=dict(self.level1_supports),
             counted_per_level=dict(self.counted_per_level),
+            prune_counts=prune_counts,
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _note_pruned(self, level: int, reason: str, n: int = 1) -> None:
+        counts = self.prune_counts.setdefault(level, {})
+        counts[reason] = counts.get(reason, 0) + n
+
+    def _attribute_filtered(self, elements, filters, level: int) -> None:
+        """Attribute each filter-rejected element to the first rejecting
+        item filter (runs once per filter installation, not per level)."""
+        for element in elements:
+            for item_filter in filters:
+                if not item_filter.admits(element):
+                    self._note_pruned(level, f"filter:{item_filter.source}")
+                    break
+
     def _record_level1_checks(self, n_elements: int) -> None:
         # Constructing the filtered universe evaluates each element against
         # the installed succinct constraints — the level-1 constraint
@@ -324,11 +371,16 @@ class ConstrainedLattice:
         # they are applied as final validity filters only (see DESIGN.md).
         # The smallest bucket is chosen as the structural one, maximizing
         # pruning.
-        buckets = [b.bucket & set(self.level1_supports) for b in self.pruning.buckets]
+        live = set(self.level1_supports)
+        buckets = [b.bucket & live for b in self.pruning.buckets]
         self._has_buckets = bool(buckets)
-        primary: FrozenSet[int] = (
-            frozenset(min(buckets, key=len)) if buckets else frozenset()
-        )
+        if buckets:
+            smallest = min(range(len(buckets)), key=lambda i: len(buckets[i]))
+            primary: FrozenSet[int] = frozenset(buckets[smallest])
+            self._primary_bucket_source = self.pruning.buckets[smallest].source
+        else:
+            primary = frozenset()
+            self._primary_bucket_source = None
         front = sorted(primary)
         back = sorted(e for e in self.level1_supports if e not in primary)
         self._order = front + back
@@ -349,11 +401,16 @@ class ConstrainedLattice:
         return not (self._has_buckets and ranked[0] >= self._primary_bucket_size)
 
     def _passes_am_checks(self, ranked: RankTuple) -> bool:
-        if not self.pruning.am_checks:
+        checks = self.pruning.am_checks
+        if not checks:
             return True
         elements = self._to_canonical(ranked)
-        self.counters.record_check(len(elements), len(self.pruning.am_checks))
-        return self.pruning.am_checks_pass(elements)
+        self.counters.record_check(len(elements), len(checks))
+        for check in checks:
+            if not check.holds(elements):
+                self._note_pruned(self.level + 1, f"am:{check.source}")
+                return False
+        return True
 
     def _level2_candidates(self) -> List[Itemset]:
         self._freeze_order()
@@ -368,6 +425,16 @@ class ConstrainedLattice:
             return self._passes_am_checks((a, b))
 
         pairs = generate_pairs(level1_ranks, admissible)
+        # Bucket-pruned pairs need no per-pair bookkeeping: ranks are
+        # sorted, so a pair misses the structural bucket iff its lower
+        # rank does, i.e. both elements lie outside it — C(outside, 2).
+        outside = len(level1_ranks) - limit
+        if limit and outside >= 2:
+            self._note_pruned(
+                2,
+                f"bucket:{self._primary_bucket_source}",
+                outside * (outside - 1) // 2,
+            )
         return [self._to_canonical(p) for p in pairs]
 
     def _deeper_candidates(self, k: int) -> List[Itemset]:

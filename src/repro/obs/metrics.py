@@ -1,0 +1,148 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry complements the span tracer (:mod:`repro.obs.trace`): spans
+answer *where time went*, metrics answer *how much of each thing
+happened* — candidates generated, sets pruned per constraint, shards
+dispatched, bounds tightened.  Instruments are named and optionally
+**labeled** (sorted key=value pairs appended to the name), in the style
+of Prometheus clients but with no export machinery: the registry
+serializes into the run report via :meth:`MetricsRegistry.as_dict`.
+
+A :data:`NULL_METRICS` singleton mirrors the null tracer so disabled
+runs pay one no-op call per recording site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import inf
+from typing import Any, Dict, Optional
+
+
+def _key(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical instrument key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+@dataclass
+class Histogram:
+    """Summary statistics of an observed distribution (no buckets:
+    count/sum/min/max is what the run report and tests consume)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = inf
+    max: float = -inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Named, labeled counters, gauges and histograms for one run."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    enabled = True
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` to a (monotone) counter."""
+        key = _key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge to its latest value."""
+        self.gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Feed one observation into a histogram."""
+        key = _key(name, labels)
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(_key(name, labels), 0)
+
+    def gauge(self, name: str, **labels: Any) -> Optional[float]:
+        """Current value of a gauge (None if never set)."""
+        return self.gauges.get(_key(name, labels))
+
+    def histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
+        """The histogram for a name/label set (None if never observed)."""
+        return self.histograms.get(_key(name, labels))
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Serializable form (the run report's ``metrics`` section)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                k: h.as_dict() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class _NullMetrics:
+    """Inert registry handed out by the null tracer."""
+
+    enabled = False
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        return None
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        return None
+
+    def counter(self, name: str, **labels: Any) -> float:
+        return 0
+
+    def gauge(self, name: str, **labels: Any) -> None:
+        return None
+
+    def histogram(self, name: str, **labels: Any) -> None:
+        return None
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = _NullMetrics()

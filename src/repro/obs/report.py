@@ -1,0 +1,309 @@
+"""Versioned, machine-readable run reports for CFQ mining runs.
+
+A :class:`RunReport` is the export format of the observability layer:
+one JSON document per run bundling
+
+* the **trace tree** (:class:`repro.obs.trace.Tracer` spans: wall/CPU
+  time and structured attributes per pipeline stage),
+* the **metrics registry** snapshot,
+* the ccc **operation counters** (:class:`repro.db.stats.OpCounters`),
+* the parallel-backend statistics when a sharded backend ran
+  (:class:`repro.db.stats.ParallelStats`, per-shard timings included),
+* the **per-level pruning table** (candidates counted, frequent
+  survivors, and sets pruned per constraint, per variable per level —
+  the quantities behind the paper's Figures 8–9 arguments),
+* the ``J^k_max`` **bound histories** (each ``W^k`` with its level),
+* optional **cProfile hotspots** (the CLI's ``--profile`` flag).
+
+The document is versioned (``schema``/``version`` header) and
+round-trips: ``RunReport.from_json(report.to_json())`` validates the
+header and returns an equal report.  The CLI's ``--trace-out`` writes
+one, and the benchmark harness emits the same document per strategy
+run, so the Figure 8a/8b ablation rows are reproducible artifacts.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import math
+import platform
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+RUN_REPORT_SCHEMA = "repro.run_report"
+RUN_REPORT_VERSION = 1
+
+#: Hotspot count embedded by ``--profile``.
+PROFILE_TOP_N = 20
+
+
+class ReportSchemaError(ValueError):
+    """A document failed run-report schema validation."""
+
+
+def _sanitize(value: Any) -> Any:
+    """Replace non-finite floats (``J^k_max`` bound histories legitimately
+    start at ±inf) with string markers so the JSON stays standard —
+    ``json.dumps`` would otherwise emit the non-interoperable
+    ``Infinity``/``NaN`` literals."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # 'inf', '-inf', 'nan'
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
+def _counters_section(counters) -> Dict[str, Any]:
+    """Serialize :class:`~repro.db.stats.OpCounters` with the per-level
+    ledger expanded (its keys are tuples, which JSON cannot carry)."""
+    section = dict(counters.as_dict())
+    section["support_counted"] = [
+        {"var": var, "level": level, "sets": n}
+        for (var, level), n in sorted(counters.support_counted.items())
+    ]
+    return section
+
+
+def pruning_summary(raw) -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Per-variable, per-level pruning table from a
+    :class:`~repro.mining.dovetail.DovetailResult`.
+
+    For every level: how many candidate sets were counted, how many came
+    out frequent (and valid), and how many candidates each installed
+    constraint pruned before counting (keyed by pruner kind and source).
+    JSON object keys must be strings, so levels are stringified.
+    """
+    table: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for var, lattice_result in raw.lattices.items():
+        levels: Dict[str, Dict[str, int]] = {}
+        all_levels = sorted(
+            set(lattice_result.counted_per_level)
+            | set(lattice_result.frequent)
+            | set(getattr(lattice_result, "prune_counts", {}))
+        )
+        for level in all_levels:
+            entry: Dict[str, int] = {
+                "counted": lattice_result.counted_per_level.get(level, 0),
+                "frequent": len(lattice_result.frequent.get(level, {})),
+            }
+            for reason, n in sorted(
+                getattr(lattice_result, "prune_counts", {}).get(level, {}).items()
+            ):
+                entry[reason] = n
+            levels[str(level)] = entry
+        table[var] = levels
+    return table
+
+
+def render_pruning_table(pruning: Dict[str, Dict[str, Dict[str, int]]]) -> str:
+    """Human-readable rendering of :func:`pruning_summary` (the table
+    ``CFQResult.explain()`` prints)."""
+    lines = ["  per-level pruning:"]
+    for var in sorted(pruning):
+        for level_key in sorted(pruning[var], key=int):
+            entry = dict(pruning[var][level_key])
+            counted = entry.pop("counted", 0)
+            frequent = entry.pop("frequent", 0)
+            infrequent = entry.pop("infrequent", None)
+            detail = "; ".join(f"{reason}={n}" for reason, n in sorted(entry.items()))
+            line = (
+                f"    {var} L{level_key}: counted {counted}, "
+                f"frequent+valid {frequent}"
+            )
+            if infrequent is not None:
+                line += f", infrequent {infrequent}"
+            if detail:
+                line += f" | pruned: {detail}"
+            lines.append(line)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# cProfile integration (the CLI's --profile flag)
+# ----------------------------------------------------------------------
+def profile_hotspots(
+    profile: cProfile.Profile, top_n: int = PROFILE_TOP_N
+) -> Dict[str, Any]:
+    """The ``top_n`` hottest functions (by cumulative time) of a
+    collected profile, in serializable form."""
+    stats = pstats.Stats(profile, stream=io.StringIO())
+    entries: List[Dict[str, Any]] = []
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        entries.append(
+            {
+                "function": func,
+                "file": filename,
+                "line": line,
+                "calls": nc,
+                "primitive_calls": cc,
+                "total_seconds": round(tt, 6),
+                "cumulative_seconds": round(ct, 6),
+            }
+        )
+    entries.sort(key=lambda e: e["cumulative_seconds"], reverse=True)
+    return {"engine": "cProfile", "ordered_by": "cumulative_seconds",
+            "hotspots": entries[:top_n]}
+
+
+# ----------------------------------------------------------------------
+# The report document
+# ----------------------------------------------------------------------
+@dataclass
+class RunReport:
+    """One run's observability export (see module docstring)."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    trace: Dict[str, Any] = field(default_factory=lambda: {"spans": []})
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    op_counters: Dict[str, Any] = field(default_factory=dict)
+    parallel_stats: Optional[Dict[str, Any]] = None
+    pruning: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
+    bound_histories: Dict[str, List[List[float]]] = field(default_factory=dict)
+    answers: Dict[str, Any] = field(default_factory=dict)
+    profile: Optional[Dict[str, Any]] = None
+
+    REQUIRED_KEYS = (
+        "schema",
+        "version",
+        "generated_at_unix",
+        "meta",
+        "trace",
+        "metrics",
+        "op_counters",
+        "pruning",
+        "answers",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sanitize({
+            "schema": RUN_REPORT_SCHEMA,
+            "version": RUN_REPORT_VERSION,
+            "generated_at_unix": time.time(),
+            "generator": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+            "meta": self.meta,
+            "trace": self.trace,
+            "metrics": self.metrics,
+            "op_counters": self.op_counters,
+            "parallel_stats": self.parallel_stats,
+            "pruning": self.pruning,
+            "bound_histories": self.bound_histories,
+            "answers": self.answers,
+            "profile": self.profile,
+        })
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: str) -> str:
+        """Serialize to ``path``; returns the path for chaining."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # Parsing / validation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def validate(document: Dict[str, Any]) -> Dict[str, Any]:
+        """Check the schema header and required sections; returns the
+        document on success, raises :class:`ReportSchemaError` otherwise."""
+        if not isinstance(document, dict):
+            raise ReportSchemaError("run report must be a JSON object")
+        missing = [k for k in RunReport.REQUIRED_KEYS if k not in document]
+        if missing:
+            raise ReportSchemaError(f"run report missing keys: {missing}")
+        if document["schema"] != RUN_REPORT_SCHEMA:
+            raise ReportSchemaError(
+                f"unexpected schema {document['schema']!r}; "
+                f"expected {RUN_REPORT_SCHEMA!r}"
+            )
+        if document["version"] != RUN_REPORT_VERSION:
+            raise ReportSchemaError(
+                f"unsupported run-report version {document['version']!r}; "
+                f"this reader understands version {RUN_REPORT_VERSION}"
+            )
+        if not isinstance(document["trace"], dict) or "spans" not in document["trace"]:
+            raise ReportSchemaError("trace section must contain 'spans'")
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "RunReport":
+        cls.validate(document)
+        return cls(
+            meta=document["meta"],
+            trace=document["trace"],
+            metrics=document["metrics"],
+            op_counters=document["op_counters"],
+            parallel_stats=document.get("parallel_stats"),
+            pruning=document["pruning"],
+            bound_histories=document.get("bound_histories", {}),
+            answers=document["answers"],
+            profile=document.get("profile"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+
+def build_run_report(
+    result,
+    tracer=None,
+    meta: Optional[Dict[str, Any]] = None,
+    profile: Optional[cProfile.Profile] = None,
+) -> RunReport:
+    """Assemble a :class:`RunReport` from a finished
+    :class:`~repro.core.optimizer.CFQResult` (or any object exposing
+    ``counters``, ``raw`` and optionally ``backend``/``cfq``).
+
+    ``tracer`` defaults to the trace attached to the result (if any);
+    ``profile`` is an optional collected :class:`cProfile.Profile`.
+    """
+    tracer = tracer if tracer is not None else getattr(result, "trace", None)
+    raw = result.raw
+    stats = getattr(getattr(result, "backend", None), "stats", None)
+    doc_meta: Dict[str, Any] = {}
+    cfq = getattr(result, "cfq", None)
+    if cfq is not None:
+        doc_meta["query"] = str(cfq)
+    backend = getattr(result, "backend", None)
+    if backend is not None:
+        doc_meta["backend"] = getattr(backend, "name", type(backend).__name__)
+    if meta:
+        doc_meta.update(meta)
+    answers: Dict[str, Any] = {}
+    if cfq is not None:
+        answers["frequent_valid"] = {
+            var: len(raw.result_for(var).all_sets()) for var in cfq.variables
+        }
+    return RunReport(
+        meta=doc_meta,
+        trace=tracer.to_dict() if tracer is not None else {"spans": []},
+        metrics=(
+            tracer.metrics.as_dict()
+            if tracer is not None and getattr(tracer, "metrics", None) is not None
+            else {"counters": {}, "gauges": {}, "histograms": {}}
+        ),
+        op_counters=_counters_section(result.counters),
+        parallel_stats=(
+            stats.as_dict() if stats is not None and getattr(stats, "levels", None)
+            else None
+        ),
+        pruning=pruning_summary(raw),
+        bound_histories={
+            key: [[k, bound] for k, bound in history]
+            for key, history in raw.bound_histories.items()
+        },
+        answers=answers,
+        profile=profile_hotspots(profile) if profile is not None else None,
+    )

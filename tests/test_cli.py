@@ -170,3 +170,105 @@ def test_query_explain_reports_pool_lifecycle(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "pool fork(s)" in out
+
+
+def test_query_trace_out_writes_valid_report(capsys, tmp_path):
+    import json
+
+    from repro.obs.report import RunReport
+
+    path = tmp_path / "run.json"
+    code = main(
+        [
+            "query", "{(S, T) | S.Type = T.Type}",
+            "--transactions", "200",
+            "--trace-out", str(path),
+            "--explain",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "run report written to" in out
+    assert "per-level pruning:" in out
+    document = json.loads(path.read_text())
+    RunReport.validate(document)
+    # At least one span per mining level per variable.
+    def spans(node):
+        yield node
+        for child in node.get("children", []):
+            yield from spans(child)
+    all_spans = [s for root in document["trace"]["spans"] for s in spans(root)]
+    level_spans = [s for s in all_spans if s["name"] == "level"]
+    assert len(level_spans) >= 2
+    assert {"candidates_in", "frequent_out", "pruned"} <= set(
+        level_spans[0]["attributes"]
+    )
+    assert document["pruning"]["S"]["1"]["counted"] > 0
+    assert document["op_counters"]["sets_counted"] > 0
+
+
+def test_query_profile_embeds_hotspots(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "run.json"
+    code = main(
+        [
+            "query", QUERY,
+            "--transactions", "200",
+            "--profile",
+            "--trace-out", str(path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "top hotspots" in out
+    document = json.loads(path.read_text())
+    assert document["profile"]["engine"] == "cProfile"
+    assert len(document["profile"]["hotspots"]) > 0
+
+
+def test_query_log_level_flag(capsys):
+    import logging
+
+    from repro.obs import logs as obs_logs
+
+    try:
+        code = main(
+            [
+                "query", QUERY,
+                "--transactions", "200",
+                "--log-level", "debug",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # Logging is wired to stderr; the dovetail engine logs its run config.
+        assert "repro.mining.dovetail" in captured.err
+    finally:
+        # Detach the handler (it holds this test's captured stderr) so
+        # later tests don't log into a torn-down stream.
+        root = logging.getLogger(obs_logs.ROOT_LOGGER_NAME)
+        if obs_logs._configured_handler is not None:
+            root.removeHandler(obs_logs._configured_handler)
+            obs_logs._configured_handler = None
+        root.setLevel(logging.NOTSET)
+
+
+def test_experiments_report_dir(capsys, tmp_path):
+    import json
+
+    from repro.obs.report import RunReport
+
+    report_dir = tmp_path / "reports"
+    code = main(
+        [
+            "experiments", "--scale", "smoke", "--only", "jmax",
+            "--report-dir", str(report_dir),
+        ]
+    )
+    assert code == 0
+    assert "run reports written under" in capsys.readouterr().out
+    written = sorted(report_dir.glob("*.json"))
+    assert written
+    for path in written:
+        RunReport.validate(json.loads(path.read_text()))

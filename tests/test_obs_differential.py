@@ -1,0 +1,133 @@
+"""Tracing must observe, never perturb: differential and overhead tests.
+
+The observability layer's contract is that attaching a tracer changes
+*nothing* about a run's answers or its deterministic op-count metering —
+supports, frequent sets, counters, and bound histories are bit-identical
+with tracing on and off.  A fast smoke check also bounds the no-op
+tracer's overhead (the strict <3% assertion lives in
+``benchmarks/test_obs_overhead.py``, outside tier-1).
+"""
+
+import time
+
+import pytest
+
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import (
+    fig8b_workload,
+    jmax_workload,
+    quickstart_workload,
+)
+from repro.db.stats import OpCounters
+from repro.mining.apriori import mine_frequent
+from repro.mining.cap import cap_mine
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+def _snapshot(result, counters):
+    raw = result.raw
+    return {
+        "frequent": {
+            var: {
+                level: dict(sets)
+                for level, sets in raw.result_for(var).frequent.items()
+            }
+            for var in result.cfq.variables
+        },
+        "counters": (
+            dict(counters.support_counted),
+            counters.constraint_checks_singleton,
+            counters.constraint_checks_larger,
+            counters.subset_tests,
+            counters.scans,
+            counters.tuples_read,
+        ),
+        "bounds": dict(raw.bound_histories),
+        "prune_counts": {
+            var: {
+                level: dict(reasons)
+                for level, reasons in raw.result_for(var).prune_counts.items()
+            }
+            for var in result.cfq.variables
+        },
+    }
+
+
+@pytest.mark.parametrize(
+    "workload_fn,kwargs",
+    [
+        (quickstart_workload, {"n_transactions": 200}),
+        (fig8b_workload, {"type_overlap_pct": 40.0, "n_transactions": 200,
+                          "n_items": 100}),
+        (jmax_workload, {"t_price_mean": 600.0, "n_transactions": 200,
+                         "core_size": 10}),
+    ],
+    ids=["quickstart", "fig8b", "jmax"],
+)
+def test_tracing_does_not_change_results(workload_fn, kwargs):
+    workload = workload_fn(**kwargs)
+    cfq = workload.cfq()
+
+    counters_off = OpCounters()
+    off = CFQOptimizer(cfq).execute(workload.db, counters=counters_off)
+    counters_on = OpCounters()
+    on = CFQOptimizer(cfq).execute(
+        workload.db, counters=counters_on, tracer=Tracer()
+    )
+
+    assert _snapshot(on, counters_on) == _snapshot(off, counters_off)
+
+
+def test_tracing_does_not_change_cap_mine():
+    workload = quickstart_workload(n_transactions=200)
+    cfq = workload.cfq()
+    var = cfq.variables[0]
+    domain = cfq.domains[var]
+    projected = [domain.project(t) for t in workload.db.transactions]
+    min_count = workload.db.min_count(cfq.minsup_for(var))
+    constraints = cfq.onevar_for(var)
+
+    off = cap_mine(var, domain, projected, min_count, constraints)
+    on = cap_mine(var, domain, projected, min_count, constraints,
+                  tracer=Tracer())
+    assert on.frequent == off.frequent
+    assert on.counted_per_level == off.counted_per_level
+    assert on.prune_counts == off.prune_counts
+
+
+def test_tracing_does_not_change_mine_frequent():
+    workload = quickstart_workload(n_transactions=150)
+    transactions = workload.db.transactions
+    elements = sorted(workload.db.item_universe())
+
+    off = mine_frequent(transactions, elements, min_count=5)
+    on = mine_frequent(transactions, elements, min_count=5, tracer=Tracer())
+    assert on.frequent == off.frequent
+    assert on.counted_per_level == off.counted_per_level
+
+
+def test_null_tracer_overhead_smoke():
+    """The default (disabled) tracer must be close to free.  This smoke
+    check uses a generous 25% bound so it never flakes under CI load;
+    the strict <3% assertion runs in benchmarks/test_obs_overhead.py."""
+    workload = quickstart_workload(n_transactions=300)
+    cfq = workload.cfq()
+
+    def run_once(tracer):
+        CFQOptimizer(cfq).execute(workload.db, tracer=tracer)
+
+    # Warm caches, then min-of-repeats both ways.
+    run_once(None)
+    baseline = min(
+        _timed(run_once, None) for __ in range(3)
+    )
+    with_null = min(
+        _timed(run_once, NULL_TRACER) for __ in range(3)
+    )
+    assert with_null <= baseline * 1.25
+
+
+def _timed(fn, arg):
+    start = time.perf_counter()
+    fn(arg)
+    return time.perf_counter() - start

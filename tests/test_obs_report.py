@@ -1,0 +1,134 @@
+"""The versioned run-report document (repro.obs.report)."""
+
+import cProfile
+import json
+
+import pytest
+
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import jmax_workload, quickstart_workload
+from repro.obs.report import (
+    RUN_REPORT_SCHEMA,
+    RUN_REPORT_VERSION,
+    ReportSchemaError,
+    RunReport,
+    build_run_report,
+    profile_hotspots,
+    pruning_summary,
+    render_pruning_table,
+)
+from repro.obs.trace import Tracer
+
+
+def _run(n_transactions=200, trace=True, workload_fn=quickstart_workload,
+         **workload_kwargs):
+    workload = workload_fn(n_transactions=n_transactions, **workload_kwargs)
+    cfq = workload.cfq()
+    tracer = Tracer() if trace else None
+    result = CFQOptimizer(cfq).execute(workload.db, tracer=tracer)
+    return result, tracer
+
+
+def test_report_round_trip():
+    result, tracer = _run()
+    report = build_run_report(result, tracer=tracer)
+    text = report.to_json()
+    parsed = RunReport.from_json(text)
+    assert parsed.meta == report.meta
+    assert parsed.trace == report.trace
+    assert parsed.pruning == report.pruning
+    assert parsed.answers == report.answers
+    document = json.loads(text)
+    assert document["schema"] == RUN_REPORT_SCHEMA
+    assert document["version"] == RUN_REPORT_VERSION
+    assert "generated_at_unix" in document
+
+
+def test_report_sections_populated():
+    result, tracer = _run()
+    report = build_run_report(result, tracer=tracer)
+    assert report.meta["query"] == str(result.cfq)
+    assert report.trace["spans"], "trace tree must not be empty"
+    assert report.op_counters["sets_counted"] > 0
+    # The expanded per-level ledger carries (var, level, sets) rows.
+    rows = report.op_counters["support_counted"]
+    assert all({"var", "level", "sets"} <= set(r) for r in rows)
+    for var in result.cfq.variables:
+        assert report.pruning[var]["1"]["counted"] > 0
+        assert report.answers["frequent_valid"][var] == len(
+            result.frequent_valid(var)
+        )
+
+
+def test_report_defaults_to_result_trace():
+    result, tracer = _run()
+    assert result.trace is tracer
+    report = build_run_report(result)
+    assert report.trace == tracer.to_dict()
+
+
+def test_validate_rejects_missing_keys():
+    with pytest.raises(ReportSchemaError, match="missing keys"):
+        RunReport.validate({"schema": RUN_REPORT_SCHEMA})
+
+
+def test_validate_rejects_wrong_schema_and_version():
+    result, tracer = _run()
+    document = build_run_report(result, tracer=tracer).to_dict()
+    bad_schema = dict(document, schema="something.else")
+    with pytest.raises(ReportSchemaError, match="unexpected schema"):
+        RunReport.validate(bad_schema)
+    bad_version = dict(document, version=RUN_REPORT_VERSION + 1)
+    with pytest.raises(ReportSchemaError, match="version"):
+        RunReport.validate(bad_version)
+    no_spans = dict(document, trace={})
+    with pytest.raises(ReportSchemaError, match="spans"):
+        RunReport.validate(no_spans)
+
+
+def test_report_write_and_read_back(tmp_path):
+    result, tracer = _run()
+    path = str(tmp_path / "report.json")
+    build_run_report(result, tracer=tracer).write(path)
+    with open(path, encoding="utf-8") as handle:
+        RunReport.from_dict(json.load(handle))
+
+
+def test_bound_histories_json_safe():
+    """J^k_max bound series legitimately start at +/-inf; the document
+    must still be standard JSON (no bare Infinity literals)."""
+    workload = jmax_workload(600.0, n_transactions=200, core_size=10)
+    cfq = workload.cfq()
+    tracer = Tracer()
+    result = CFQOptimizer(cfq).execute(workload.db, tracer=tracer)
+    report = build_run_report(result, tracer=tracer)
+    text = report.to_json()
+    assert "Infinity" not in text
+    json.loads(text)
+    assert report.bound_histories, "jmax workload must produce bound series"
+
+
+def test_pruning_summary_and_render():
+    result, __ = _run(trace=False)
+    pruning = pruning_summary(result.raw)
+    for var in result.cfq.variables:
+        for level, sets in result.raw.result_for(var).frequent.items():
+            assert pruning[var][str(level)]["frequent"] == len(sets)
+    rendered = render_pruning_table(pruning)
+    assert rendered.startswith("  per-level pruning:")
+    assert "L1: counted" in rendered
+    # explain() embeds the same table.
+    assert rendered in result.explain()
+
+
+def test_profile_hotspots_shape():
+    profile = cProfile.Profile()
+    profile.enable()
+    sorted([(-i) % 7 for i in range(5000)])
+    profile.disable()
+    section = profile_hotspots(profile, top_n=5)
+    assert section["engine"] == "cProfile"
+    assert 0 < len(section["hotspots"]) <= 5
+    cumulative = [h["cumulative_seconds"] for h in section["hotspots"]]
+    assert cumulative == sorted(cumulative, reverse=True)
+    json.dumps(section)

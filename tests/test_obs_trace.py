@@ -1,0 +1,155 @@
+"""The span tracer and metrics registry (repro.obs.trace / .metrics)."""
+
+import json
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Tracer, resolve_tracer
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import quickstart_workload
+
+
+def test_span_nesting_and_attributes():
+    tracer = Tracer()
+    with tracer.span("outer", kind="test"):
+        with tracer.span("inner", n=1) as inner:
+            inner.set(m=2)
+            tracer.event("tick", at=3)
+    assert len(tracer.roots) == 1
+    outer = tracer.roots[0]
+    assert outer.name == "outer"
+    assert outer.attributes == {"kind": "test"}
+    assert [c.name for c in outer.children] == ["inner"]
+    inner = outer.children[0]
+    assert inner.attributes == {"n": 1, "m": 2}
+    assert inner.events == [{"name": "tick", "at": 3}]
+
+
+def test_span_timing_monotone():
+    tracer = Tracer()
+    with tracer.span("work"):
+        sum(range(10000))
+    span = tracer.roots[0]
+    assert span.wall_seconds >= 0.0
+    assert span.cpu_seconds >= 0.0
+    assert span.end_wall >= span.start_wall
+
+
+def test_sibling_spans_share_parent():
+    tracer = Tracer()
+    with tracer.span("parent"):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    assert [c.name for c in tracer.roots[0].children] == ["a", "b"]
+
+
+def test_walk_and_find():
+    tracer = Tracer()
+    with tracer.span("run"):
+        for level in (1, 2, 3):
+            with tracer.span("level", level=level):
+                pass
+    assert [s.name for s in tracer.walk()] == ["run", "level", "level", "level"]
+    assert len(tracer.find("level")) == 3
+    assert len(tracer.find("level", lambda s: s.attributes["level"] > 1)) == 2
+
+
+def test_to_dict_is_json_serializable():
+    tracer = Tracer()
+    with tracer.span("run", flag=True):
+        tracer.annotate(note="hello")
+        with tracer.span("child"):
+            tracer.event("evt", x=1)
+    document = tracer.to_dict()
+    text = json.dumps(document)
+    parsed = json.loads(text)
+    root = parsed["spans"][0]
+    assert root["name"] == "run"
+    assert root["attributes"] == {"flag": True, "note": "hello"}
+    assert root["children"][0]["events"] == [{"name": "evt", "x": 1}]
+
+
+def test_null_tracer_is_inert_and_reusable():
+    handle = NULL_TRACER.span("anything", big=list(range(10)))
+    with handle as span:
+        assert span is NULL_SPAN
+        span.set(ignored=1)
+        span.add_event("ignored")
+    # Attributes never accumulate on the shared null span.
+    assert NULL_SPAN.attributes == {}
+    assert NULL_SPAN.events == []
+    assert NULL_TRACER.to_dict() == {"spans": []}
+    assert NULL_TRACER.find("anything") == []
+    assert not NULL_TRACER.enabled
+    assert NULL_TRACER.metrics is NULL_METRICS
+
+
+def test_resolve_tracer():
+    tracer = Tracer()
+    assert resolve_tracer(None) is NULL_TRACER
+    assert resolve_tracer(tracer) is tracer
+
+
+def test_metrics_registry_counters_gauges_histograms():
+    metrics = MetricsRegistry()
+    metrics.inc("candidates", 5, var="S")
+    metrics.inc("candidates", 3, var="S")
+    metrics.inc("candidates", 2, var="T")
+    metrics.set_gauge("bound", 12.5, source="c1")
+    metrics.observe("shard_seconds", 0.25)
+    metrics.observe("shard_seconds", 0.75)
+    assert metrics.counter("candidates", var="S") == 8
+    assert metrics.counter("candidates", var="T") == 2
+    assert metrics.gauge("bound", source="c1") == 12.5
+    hist = metrics.histogram("shard_seconds")
+    assert hist.count == 2
+    assert hist.mean == 0.5
+    assert hist.min == 0.25 and hist.max == 0.75
+    document = metrics.as_dict()
+    assert document["counters"]["candidates{var=S}"] == 8
+    assert json.dumps(document)  # serializable
+
+
+def test_null_metrics_inert():
+    NULL_METRICS.inc("x", 5)
+    NULL_METRICS.set_gauge("y", 1.0)
+    NULL_METRICS.observe("z", 2.0)
+    assert NULL_METRICS.as_dict() == {
+        "counters": {}, "gauges": {}, "histograms": {}
+    }
+
+
+def test_optimizer_trace_tree_shape():
+    """An end-to-end run produces the documented span hierarchy: one
+    optimizer.execute root containing the plan and the dovetail run,
+    with level spans in ascending level order per variable."""
+    workload = quickstart_workload(n_transactions=200)
+    cfq = workload.cfq()
+    tracer = Tracer()
+    CFQOptimizer(cfq).execute(workload.db, tracer=tracer)
+    assert [r.name for r in tracer.roots] == ["optimizer.execute"]
+    root = tracer.roots[0]
+    child_names = [c.name for c in root.children]
+    assert child_names[0] == "optimizer.plan"
+    assert "dovetail.run" in child_names
+    levels = tracer.find("level")
+    assert levels, "mining must record level spans"
+    per_var = {}
+    for span in levels:
+        attrs = span.attributes
+        assert {"var", "level", "candidates_in", "frequent_out",
+                "pruned"} <= set(attrs)
+        per_var.setdefault(attrs["var"], []).append(attrs["level"])
+    for var, level_seq in per_var.items():
+        assert level_seq == sorted(level_seq), (
+            f"levels of {var} out of order: {level_seq}"
+        )
+        assert level_seq[0] == 1
+    # The metrics registry saw the same candidate totals.
+    for var, level_seq in per_var.items():
+        counted = sum(
+            s.attributes["candidates_in"]
+            for s in levels if s.attributes["var"] == var
+        )
+        assert tracer.metrics.counter("candidates_counted", var=var) == counted

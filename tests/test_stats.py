@@ -151,3 +151,63 @@ def test_parallel_stats_clean_summary_has_no_failure_noise():
     rendered = stats.summary()
     assert "failure" not in rendered
     assert "fallback" not in rendered
+
+
+def test_merge_shard_counters_same_total_mismatch_needs_debug(monkeypatch):
+    """Ledgers with equal totals but different (var, level) keys pass the
+    cheap always-on check; the full equality check is gated behind
+    REPRO_DEBUG=1."""
+    a = OpCounters()
+    a.record_counted("S", 2, 10)
+    b = OpCounters()
+    b.record_counted("T", 3, 10)  # same total_counted, different key
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    merged = merge_shard_counters([a, b])
+    assert merged.total_counted == 10
+    monkeypatch.setenv("REPRO_DEBUG", "1")
+    with pytest.raises(ValueError):
+        merge_shard_counters([a, b])
+
+
+def test_merge_shard_counters_total_mismatch_always_raises(monkeypatch):
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    other = OpCounters()
+    other.record_counted("S", 2, 3)
+    with pytest.raises(ValueError):
+        merge_shard_counters([_shard_counters(1), other])
+
+
+def test_failure_log_truncation_cap():
+    stats = ParallelStats()
+    for i in range(ParallelStats.MAX_FAILURE_LOG + 25):
+        stats.record_failure(f"shard failure {i}")
+    assert len(stats.failure_log) == ParallelStats.MAX_FAILURE_LOG
+    assert stats.failure_log_dropped == 25
+    assert stats.as_dict()["failure_log_dropped"] == 25
+    assert "dropped" in stats.summary()
+
+
+def test_mark_broken_respects_failure_log_cap():
+    stats = ParallelStats()
+    for i in range(ParallelStats.MAX_FAILURE_LOG):
+        stats.record_failure(f"shard failure {i}")
+    stats.mark_broken("pool died late")
+    assert stats.pool_broken
+    assert len(stats.failure_log) == ParallelStats.MAX_FAILURE_LOG
+    assert stats.failure_log_dropped == 1
+
+
+def test_parallel_stats_summary_as_dict_round_trip():
+    """Every quantity summary() renders comes from as_dict(), so the two
+    views can never drift apart."""
+    stats = ParallelStats()
+    stats.record_fork()
+    stats.record_level(
+        [10, 10], [0.2, 0.4], 0.05, in_process=False,
+        failures=2, retries=1, fallback_shards=1,
+    )
+    d = stats.as_dict()
+    rendered = stats.summary()
+    for key in ("levels", "pooled_levels", "max_shards", "pool_forks",
+                "failures", "retries", "fallback_shards"):
+        assert str(d[key]) in rendered
