@@ -30,6 +30,17 @@ Observability (tracing, metrics, run reports — see
     tracer = Tracer()
     result = mine_cfq(db, cfq, tracer=tracer)
     build_run_report(result).write("run.json")
+
+Run guardrails (budgets, cancellation, checkpoint/resume — see
+``docs/run-lifecycle.md``)::
+
+    from repro import RunGuard, RunInterrupted
+    guard = RunGuard(deadline_seconds=30.0)
+    with guard.signals():
+        result = CFQOptimizer(cfq).execute(db, guard=guard,
+                                           checkpoint_dir="ckpt")
+    if result.is_partial:
+        print(result.interruption.summary())
 """
 
 from repro.constraints.parser import parse_constraint, parse_constraints
@@ -44,7 +55,7 @@ from repro.db.catalog import ItemCatalog
 from repro.db.domain import Domain, derived_type_domain
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
-from repro.errors import ReproError
+from repro.errors import ReproError, RunInterrupted
 from repro.mining.apriori import apriori
 from repro.mining.aprioriplus import apriori_plus
 from repro.mining.cap import cap_mine
@@ -55,6 +66,13 @@ from repro.obs import (
     build_run_report,
     configure_logging,
     get_logger,
+)
+from repro.runtime import (
+    Checkpoint,
+    CheckpointManager,
+    GuardTrip,
+    RunGuard,
+    run_fingerprint,
 )
 
 __version__ = "1.0.0"
@@ -83,6 +101,12 @@ __all__ = [
     "apriori",
     "apriori_plus",
     "cap_mine",
+    "RunGuard",
+    "GuardTrip",
+    "RunInterrupted",
+    "Checkpoint",
+    "CheckpointManager",
+    "run_fingerprint",
     "MetricsRegistry",
     "RunReport",
     "Tracer",

@@ -70,15 +70,25 @@ def _strategy(
     *,
     report_dir: Optional[str] = None,
     experiment: Optional[str] = None,
+    deadline: Optional[float] = None,
+    notes: Optional[List[str]] = None,
     **options,
 ):
     """:func:`run_strategy` plus optional run-report emission.
 
     When ``report_dir`` is set, the run is traced and one
     :class:`~repro.obs.report.RunReport` JSON is written per strategy run
-    (the same document the CLI's ``--trace-out`` produces).
+    (the same document the CLI's ``--trace-out`` produces).  When a
+    ``deadline`` trips the run guard, the partial run is recorded in
+    ``notes`` (rendered under the table) instead of aborting the table.
     """
-    run = run_strategy(name, db, cfq, trace=report_dir is not None, **options)
+    run = run_strategy(name, db, cfq, trace=report_dir is not None,
+                       deadline=deadline, **options)
+    if run.is_partial and notes is not None:
+        trip = run.trip
+        detail = trip.summary() if trip is not None else "interrupted"
+        notes.append(f"{name}{f' [{experiment}]' if experiment else ''}: "
+                     f"PARTIAL — {detail}")
     if report_dir:
         emit_report(run, report_dir, experiment=experiment)
     return run
@@ -94,17 +104,21 @@ def fig8a_speedups(
     overlaps: Sequence[float] = FIG8A_OVERLAPS,
     scale: str = "full",
     report_dir: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ExperimentResult:
     """Speedup of exploiting quasi-succinctness vs Apriori+, by overlap."""
     rows: List[List[object]] = []
+    notes: List[str] = []
     for overlap in overlaps:
         workload = fig8a_workload(overlap, **_scale_kwargs(scale))
         cfq = workload.cfq()
         tag = f"fig8a-{overlap:g}"
         optimized = _strategy("quasi-succinct", workload.db, cfq,
-                              report_dir=report_dir, experiment=tag)
+                              report_dir=report_dir, experiment=tag,
+                              deadline=deadline, notes=notes)
         baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
-                             report_dir=report_dir, experiment=tag)
+                             report_dir=report_dir, experiment=tag,
+                             deadline=deadline, notes=notes)
         rows.append(
             [
                 overlap,
@@ -118,6 +132,7 @@ def fig8a_speedups(
         headers=["overlap_pct", "speedup", "sets_counted_opt", "sets_counted_base"],
         rows=rows,
         paper="~4x at 16.6% overlap, decreasing to >1.5x at 83.4%",
+        notes=notes,
     )
 
 
@@ -125,15 +140,19 @@ def fig8a_level_table(
     overlap: float = 16.6,
     scale: str = "full",
     report_dir: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ExperimentResult:
     """The Section 7.1 per-level a/b table (valid/total frequent sets)."""
     workload = fig8a_workload(overlap, **_scale_kwargs(scale))
     cfq = workload.cfq()
     tag = f"fig8a-levels-{overlap:g}"
+    notes: List[str] = []
     optimized = _strategy("quasi-succinct", workload.db, cfq,
-                          report_dir=report_dir, experiment=tag)
+                          report_dir=report_dir, experiment=tag,
+                          deadline=deadline, notes=notes)
     baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
-                         report_dir=report_dir, experiment=tag)
+                         report_dir=report_dir, experiment=tag,
+                         deadline=deadline, notes=notes)
     rows: List[List[object]] = []
     for var in cfq.variables:
         opt_levels = optimized.result.raw.result_for(var).frequent
@@ -151,6 +170,7 @@ def fig8a_level_table(
         rows=rows,
         paper="S: 425/425 153/372 54/179 21/122 6/48 1/8; "
         "T: 402/402 112/414 8/181 0/123 0/48 0/8",
+        notes=notes,
     )
 
 
@@ -162,18 +182,22 @@ def fig8a_range_table(
     ranges: Sequence[Tuple[float, float]] = FIG8A_RANGES,
     scale: str = "full",
     report_dir: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ExperimentResult:
     """Section 7.1's range table: speedup at 50% overlap for widening
     S.Price ranges."""
     rows: List[List[object]] = []
+    notes: List[str] = []
     for s_range in ranges:
         workload = fig8a_workload(overlap, s_price_range=s_range, **_scale_kwargs(scale))
         cfq = workload.cfq()
         tag = f"fig8a-range-{s_range[0]:g}-{s_range[1]:g}"
         optimized = _strategy("quasi-succinct", workload.db, cfq,
-                              report_dir=report_dir, experiment=tag)
+                              report_dir=report_dir, experiment=tag,
+                              deadline=deadline, notes=notes)
         baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
-                             report_dir=report_dir, experiment=tag)
+                             report_dir=report_dir, experiment=tag,
+                             deadline=deadline, notes=notes)
         rows.append(
             [f"[{s_range[0]:g},{s_range[1]:g}]",
              round(optimized.speedup_over(baseline), 2)]
@@ -184,6 +208,7 @@ def fig8a_range_table(
         rows=rows,
         paper="[300,1000]: 1.52x, [400,1000]: 1.84x, [500,1000]: 2.07x "
         "(wider range => less selective => smaller speedup)",
+        notes=notes,
     )
 
 
@@ -197,22 +222,27 @@ def fig8b_speedups(
     overlaps: Sequence[float] = FIG8B_OVERLAPS,
     scale: str = "full",
     report_dir: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ExperimentResult:
     """Three strategies vs Type overlap: Apriori+, CAP (1-var only), and
     the full optimizer (1-var + quasi-succinct 2-var)."""
     rows: List[List[object]] = []
+    notes: List[str] = []
     for overlap in overlaps:
         workload = fig8b_workload(overlap, **_scale_kwargs(scale))
         cfq = workload.cfq()
         tag = f"fig8b-{overlap:g}"
         baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
-                             report_dir=report_dir, experiment=tag)
+                             report_dir=report_dir, experiment=tag,
+                             deadline=deadline, notes=notes)
         cap_only = _strategy(
             "cap-1var", workload.db, cfq, use_reduction=False, use_jmax=False,
             report_dir=report_dir, experiment=tag,
+            deadline=deadline, notes=notes,
         )
         full = _strategy("optimizer", workload.db, cfq,
-                         report_dir=report_dir, experiment=tag)
+                         report_dir=report_dir, experiment=tag,
+                         deadline=deadline, notes=notes)
         rows.append(
             [
                 overlap,
@@ -227,6 +257,7 @@ def fig8b_speedups(
         rows=rows,
         paper="1-var only: flat ~1.5x; 1-var + 2-var: ~20x at 20% overlap, "
         "~6x at 40%, decreasing with overlap",
+        notes=notes,
     )
 
 
@@ -242,10 +273,12 @@ def fig8b_range_table(
     ranges: Sequence[Tuple[Tuple[float, float], Tuple[float, float]]] = FIG8B_RANGES,
     scale: str = "full",
     report_dir: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ExperimentResult:
     """Section 7.2's range table: both speedups and their ratio as the
     1-var ranges widen."""
     rows: List[List[object]] = []
+    notes: List[str] = []
     for (s_range, t_range) in ranges:
         workload = fig8b_workload(
             overlap,
@@ -256,13 +289,16 @@ def fig8b_range_table(
         cfq = workload.cfq()
         tag = f"fig8b-range-{s_range[0]:g}-{t_range[1]:g}"
         baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
-                             report_dir=report_dir, experiment=tag)
+                             report_dir=report_dir, experiment=tag,
+                             deadline=deadline, notes=notes)
         cap_only = _strategy(
             "cap-1var", workload.db, cfq, use_reduction=False, use_jmax=False,
             report_dir=report_dir, experiment=tag,
+            deadline=deadline, notes=notes,
         )
         full = _strategy("optimizer", workload.db, cfq,
-                         report_dir=report_dir, experiment=tag)
+                         report_dir=report_dir, experiment=tag,
+                         deadline=deadline, notes=notes)
         speed_1 = cap_only.speedup_over(baseline)
         speed_2 = full.speedup_over(baseline)
         rows.append(
@@ -280,6 +316,7 @@ def fig8b_range_table(
         rows=rows,
         paper="[100,1000]/[0,900]: 1.2x vs 5x (4.17); [400,1000]/[0,600]: "
         "1.5x vs 6x (4.0); [800,1000]/[0,200]: 20x vs 37.5x (1.875)",
+        notes=notes,
     )
 
 
@@ -293,9 +330,11 @@ def jmax_table(
     means: Sequence[float] = JMAX_MEANS,
     scale: str = "full",
     report_dir: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ExperimentResult:
     """Speedup of iterative Jmax pruning vs Apriori+ by mean T price."""
     rows: List[List[object]] = []
+    notes: List[str] = []
     for mean in means:
         workload = jmax_workload(mean) if scale == "full" else jmax_workload(
             mean, n_transactions=300, core_size=10
@@ -303,9 +342,11 @@ def jmax_table(
         cfq = workload.cfq()
         tag = f"jmax-{mean:g}"
         optimized = _strategy("jmax", workload.db, cfq,
-                              report_dir=report_dir, experiment=tag)
+                              report_dir=report_dir, experiment=tag,
+                              deadline=deadline, notes=notes)
         baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
-                             report_dir=report_dir, experiment=tag)
+                             report_dir=report_dir, experiment=tag,
+                             deadline=deadline, notes=notes)
         histories = optimized.result.raw.bound_histories
         final_bound = (
             round(list(histories.values())[0][-1][1]) if histories else None
@@ -326,6 +367,7 @@ def jmax_table(
         rows=rows,
         paper="mean 400: 3.14x, 600: 1.91x, 800: 1.36x, 1000: 1.11x "
         "(less selective => smaller speedup)",
+        notes=notes,
     )
 
 
@@ -333,10 +375,16 @@ def jmax_table(
 # ccc audit and ablations
 # ----------------------------------------------------------------------
 def ccc_experiment(
-    scale: str = "smoke", report_dir: Optional[str] = None
+    scale: str = "smoke",
+    report_dir: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ExperimentResult:
     """Audit Theorem 4 / Corollary 2 on a quasi-succinct query, plus the
-    FM and Apriori+ contrast."""
+    FM and Apriori+ contrast.
+
+    ``deadline`` is accepted for CLI uniformity but unused: the audit is
+    a single small fixed-size run.
+    """
     from repro.datagen.workloads import quickstart_workload
 
     workload = quickstart_workload(n_transactions=400)
@@ -362,21 +410,27 @@ def ccc_experiment(
 
 
 def ablation_table(
-    scale: str = "full", report_dir: Optional[str] = None
+    scale: str = "full",
+    report_dir: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ExperimentResult:
     """Design-choice ablations: reduction, Jmax, dovetailing."""
     rows: List[List[object]] = []
+    notes: List[str] = []
 
     workload = fig8a_workload(33.3, **_scale_kwargs(scale))
     cfq = workload.cfq()
     baseline = _strategy("apriori+", workload.db, cfq, kind="apriori_plus",
-                         report_dir=report_dir, experiment="ablation-reduction")
+                         report_dir=report_dir, experiment="ablation-reduction",
+                         deadline=deadline, notes=notes)
     with_reduction = _strategy("reduction on", workload.db, cfq,
                                report_dir=report_dir,
-                               experiment="ablation-reduction")
+                               experiment="ablation-reduction",
+                               deadline=deadline, notes=notes)
     without_reduction = _strategy(
         "reduction off", workload.db, cfq, use_reduction=False,
         report_dir=report_dir, experiment="ablation-reduction",
+        deadline=deadline, notes=notes,
     )
     rows.append(
         [
@@ -390,11 +444,14 @@ def ablation_table(
     jmax_wl = jmax_workload(600.0)
     jmax_cfq = jmax_wl.cfq()
     jmax_base = _strategy("apriori+", jmax_wl.db, jmax_cfq, kind="apriori_plus",
-                          report_dir=report_dir, experiment="ablation-jmax")
+                          report_dir=report_dir, experiment="ablation-jmax",
+                          deadline=deadline, notes=notes)
     jmax_on = _strategy("jmax on", jmax_wl.db, jmax_cfq,
-                        report_dir=report_dir, experiment="ablation-jmax")
+                        report_dir=report_dir, experiment="ablation-jmax",
+                        deadline=deadline, notes=notes)
     jmax_off = _strategy("jmax off", jmax_wl.db, jmax_cfq, use_jmax=False,
-                         report_dir=report_dir, experiment="ablation-jmax")
+                         report_dir=report_dir, experiment="ablation-jmax",
+                         deadline=deadline, notes=notes)
     rows.append(
         [
             "jmax @mean 600",
@@ -405,9 +462,11 @@ def ablation_table(
     )
 
     dovetailed = _strategy("dovetail", jmax_wl.db, jmax_cfq,
-                           report_dir=report_dir, experiment="ablation-dovetail")
+                           report_dir=report_dir, experiment="ablation-dovetail",
+                           deadline=deadline, notes=notes)
     sequential = _strategy("sequential", jmax_wl.db, jmax_cfq, dovetail=False,
-                           report_dir=report_dir, experiment="ablation-dovetail")
+                           report_dir=report_dir, experiment="ablation-dovetail",
+                           deadline=deadline, notes=notes)
     rows.append(
         [
             "jmax @mean 600 (scans)",
@@ -424,14 +483,17 @@ def ablation_table(
     cascade_base = _strategy(
         "apriori+", cascade.db, cascade_cfq, kind="apriori_plus",
         report_dir=report_dir, experiment="ablation-cascade",
+        deadline=deadline, notes=notes,
     )
     one_round = _strategy(
         "1 round", cascade.db, cascade_cfq, reduction_rounds=1,
         report_dir=report_dir, experiment="ablation-cascade",
+        deadline=deadline, notes=notes,
     )
     fixpoint = _strategy(
         "fixpoint", cascade.db, cascade_cfq, reduction_rounds=4,
         report_dir=report_dir, experiment="ablation-cascade",
+        deadline=deadline, notes=notes,
     )
     rows.append(
         [
@@ -449,6 +511,7 @@ def ablation_table(
         paper="Section 5.2 argues dovetailing shares scans; Sections 4-5 "
         "attribute the speedups to reduction and iterative pruning; "
         "iterated reduction is this reproduction's extension",
+        notes=notes,
     )
 
 
@@ -456,6 +519,7 @@ def backend_table(
     scale: str = "full",
     parallel_workers: int = 4,
     report_dir: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> ExperimentResult:
     """Counting-backend comparison on the Figure 8(a) quest-generator
     workload: the hybrid enumerate/scan default vs the original Apriori
@@ -487,12 +551,14 @@ def backend_table(
     for name, backend in specs:
         with backend_scope(backend):
             run = _strategy(name, workload.db, cfq, backend=backend,
-                            report_dir=report_dir, experiment="backends")
+                            report_dir=report_dir, experiment="backends",
+                            deadline=deadline, notes=notes)
         sizes = dict(run.frequent_sizes)
         if reference is None:
             reference = sizes
             hybrid_wall = run.wall_seconds
-        assert sizes == reference, "backends must agree on the answer"
+        if not run.is_partial:
+            assert sizes == reference, "backends must agree on the answer"
         speedup = hybrid_wall / run.wall_seconds if run.wall_seconds else 0.0
         rows.append(
             [

@@ -21,9 +21,11 @@ from repro.core.optimizer import CFQOptimizer
 from repro.core.query import CFQ
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
-from repro.mining.aprioriplus import apriori_plus
+from repro.errors import RunInterrupted
+from repro.mining.aprioriplus import AprioriPlusResult, apriori_plus
 from repro.obs.report import RunReport, build_run_report
 from repro.obs.trace import Tracer
+from repro.runtime.guard import RunGuard
 
 
 @dataclass
@@ -37,6 +39,14 @@ class StrategyRun:
     frequent_sizes: Dict[str, int]
     result: object = field(repr=False, default=None)
     tracer: object = field(repr=False, default=None)
+    #: ``"complete"`` or ``"partial"`` (run guard tripped mid-mine).
+    status: str = "complete"
+    #: The :class:`~repro.runtime.guard.GuardTrip` for partial runs.
+    trip: object = field(repr=False, default=None)
+
+    @property
+    def is_partial(self) -> bool:
+        return self.status == "partial"
 
     def speedup_over(self, baseline: "StrategyRun") -> float:
         """Baseline cost divided by this run's cost."""
@@ -50,6 +60,8 @@ def run_strategy(
     *,
     kind: str = "optimizer",
     trace: bool = False,
+    deadline: Optional[float] = None,
+    guard: Optional[RunGuard] = None,
     **options,
 ) -> StrategyRun:
     """Run one strategy (``optimizer`` with options, or ``apriori_plus``).
@@ -59,17 +71,35 @@ def run_strategy(
     excluded for every strategy alike (Section 6.2).  ``trace=True``
     attaches a :class:`~repro.obs.trace.Tracer` to the run (supports and
     counters are unaffected — see ``tests/test_obs_differential.py``).
+
+    ``deadline`` (seconds) builds a fresh :class:`RunGuard` for this run;
+    alternatively pass an explicit ``guard``.  A tripped guard yields a
+    ``status="partial"`` run instead of raising, so benchmark tables can
+    include interrupted rows uniformly.
     """
+    if guard is None and deadline is not None:
+        guard = RunGuard(deadline_seconds=deadline)
     counters = OpCounters()
     tracer = Tracer() if trace else None
+    status, trip = "complete", None
     start = time.perf_counter()
     if kind == "apriori_plus":
-        result = apriori_plus(db, cfq, counters=counters, tracer=tracer)
+        try:
+            result = apriori_plus(
+                db, cfq, counters=counters, tracer=tracer, guard=guard
+            )
+        except RunInterrupted as exc:
+            result = AprioriPlusResult(
+                cfq=cfq, counters=counters, lattices=exc.partial or {}
+            )
+            status, trip = "partial", exc.trip
         frequent_sizes = {var: len(result.frequent(var)) for var in cfq.variables}
     elif kind == "optimizer":
         result = CFQOptimizer(cfq).execute(
-            db, counters=counters, tracer=tracer, **options
+            db, counters=counters, tracer=tracer, guard=guard, **options
         )
+        status = getattr(result, "status", "complete")
+        trip = getattr(result, "interruption", None)
         frequent_sizes = {
             var: len(result.frequent_valid(var)) for var in cfq.variables
         }
@@ -84,6 +114,8 @@ def run_strategy(
         frequent_sizes=frequent_sizes,
         result=result,
         tracer=tracer,
+        status=status,
+        trip=trip,
     )
 
 
@@ -107,6 +139,7 @@ def emit_report(
         "strategy": run.name,
         "cost": run.cost,
         "wall_seconds": round(run.wall_seconds, 6),
+        "status": run.status,
     }
     if experiment:
         meta["experiment"] = experiment
@@ -125,7 +158,9 @@ def emit_report(
             op_counters={"cost": run.counters.cost(),
                          **{k: v for k, v in run.counters.as_dict().items()
                             if not isinstance(v, dict)}},
-            answers={"frequent": dict(run.frequent_sizes)},
+            answers={"frequent": dict(run.frequent_sizes),
+                     "status": run.status},
+            interruption=run.trip.as_dict() if run.trip is not None else None,
         )
     os.makedirs(report_dir, exist_ok=True)
     stem = _slug(f"{experiment}-{run.name}" if experiment else run.name)

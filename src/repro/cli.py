@@ -44,6 +44,12 @@ from repro.mining.backends import (
 from repro.obs.logs import LEVELS, configure_logging
 from repro.obs.report import build_run_report
 from repro.obs.trace import Tracer
+from repro.runtime.guard import RunGuard
+
+#: Exit code for a run cut short by a guard budget or SIGINT/SIGTERM —
+#: distinct from 0 (complete) and 2 (error) so schedulers can tell a
+#: well-labeled partial result from a failure.
+EXIT_INTERRUPTED = 3
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -80,6 +86,22 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--profile", action="store_true",
                        help="run under cProfile and embed the top hotspots "
                        "in the run report (implies tracing)")
+    query.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock budget; a run that exceeds it stops "
+                       "cooperatively and reports a partial result "
+                       f"(exit code {EXIT_INTERRUPTED})")
+    query.add_argument("--max-memory-mb", type=float, default=None, metavar="MB",
+                       help="RSS watermark sampled between candidate batches; "
+                       "exceeding it interrupts the run with a partial result")
+    query.add_argument("--max-candidates", type=int, default=None, metavar="N",
+                       help="per-level candidate budget; a level generating "
+                       "more candidates interrupts the run")
+    query.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="write a crash-safe checkpoint after each completed "
+                       "level into DIR")
+    query.add_argument("--resume", action="store_true",
+                       help="resume from the checkpoint in --checkpoint-dir "
+                       "(validated against the query and dataset)")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's Section 7 tables"
@@ -94,6 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--report-dir", metavar="DIR", default=None,
         help="also write one run-report JSON per strategy run into DIR",
+    )
+    experiments.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-strategy-run wall-clock budget; tripped runs appear as "
+        "PARTIAL notes under the tables instead of aborting them",
     )
 
     for command in (query, experiments):
@@ -124,6 +151,8 @@ def _resolve_backend(name: str, workers: Optional[int]):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        raise ExecutionError("--resume requires --checkpoint-dir")
     backend = _resolve_backend(args.backend, args.workers)
     tracer = Tracer() if (args.trace_out or args.profile) else None
     workload = quickstart_workload(n_transactions=args.transactions,
@@ -131,10 +160,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
     cfq = parse_cfq(args.cfq, workload.domains, default_minsup=args.minsup)
     print(f"workload: {workload.db!r}")
     print(f"query:    {cfq}")
+    # The guard is always live for interactive runs so Ctrl-C / SIGTERM
+    # unwind into a labeled partial result instead of a traceback; the
+    # budget fields stay None unless the flags set them.
+    guard = RunGuard(
+        deadline_seconds=args.deadline,
+        max_memory_mb=args.max_memory_mb,
+        max_candidates=args.max_candidates,
+    )
     profile = None
     # Hold the backend's resources (the parallel worker pool) open across
     # the whole command; the engine's nested scope then reuses them.
-    with backend_scope(backend):
+    with backend_scope(backend), guard.signals():
         if args.profile:
             import cProfile
 
@@ -142,11 +179,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
             profile.enable()
         try:
             result = CFQOptimizer(cfq).execute(
-                workload.db, backend=backend, tracer=tracer
+                workload.db,
+                backend=backend,
+                tracer=tracer,
+                guard=guard,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
             )
         finally:
             if profile is not None:
                 profile.disable()
+    if result.is_partial:
+        trip = result.interruption
+        print(f"run interrupted: {trip.summary() if trip else 'unknown reason'}")
+        print("reporting partial results "
+              "(frequent sets verified so far; see --explain)")
     if args.trace_out or args.profile:
         report = build_run_report(
             result,
@@ -156,6 +203,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "transactions": args.transactions,
                 "seed": args.seed,
                 "minsup": args.minsup,
+                "deadline": args.deadline,
+                "max_memory_mb": args.max_memory_mb,
+                "max_candidates": args.max_candidates,
+                "resumed": bool(args.resume),
             },
             profile=profile,
         )
@@ -175,16 +226,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for s0, t0 in pairs:
             print(f"  S={s0}  T={t0}")
     if args.baseline:
-        from repro.mining.aprioriplus import apriori_plus
+        if result.is_partial:
+            print("baseline comparison skipped: partial runs have no "
+                  "meaningful op-cost speedup")
+        else:
+            from repro.mining.aprioriplus import apriori_plus
 
-        baseline = apriori_plus(workload.db, cfq)
-        speedup = baseline.counters.cost() / result.counters.cost()
-        print(f"op-cost speedup over Apriori+: {speedup:.2f}x")
+            baseline = apriori_plus(workload.db, cfq)
+            speedup = baseline.counters.cost() / result.counters.cost()
+            print(f"op-cost speedup over Apriori+: {speedup:.2f}x")
     if args.explain:
         # explain() includes pool lifecycle / failure / retry / fallback
         # stats when a parallel backend ran (see ParallelStats.summary).
         print(result.explain())
-    return 0
+    return EXIT_INTERRUPTED if result.is_partial else 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -209,6 +264,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
         os.makedirs(args.report_dir, exist_ok=True)
         kwargs["report_dir"] = args.report_dir
+    if args.deadline is not None:
+        kwargs["deadline"] = args.deadline
     for experiment in selected:
         print(experiment(scale=args.scale, **kwargs).render())
         print()

@@ -33,14 +33,27 @@ from repro.core.plan import ExecutionPlan, JmaxPlan, ReductionPlan, VarPlan
 from repro.core.query import CFQ
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
+from repro.errors import RunInterrupted
 from repro.mining.dovetail import DovetailEngine, DovetailResult
 from repro.obs.trace import resolve_tracer
+from repro.runtime.checkpoint import CheckpointManager, run_fingerprint
+from repro.runtime.guard import resolve_guard
 from repro.itemsets import Itemset
 
 
 @dataclass
 class CFQResult:
-    """The answer to a CFQ plus full instrumentation."""
+    """The answer to a CFQ plus full instrumentation.
+
+    ``status`` is ``"complete"`` for a run that finished, ``"partial"``
+    for one cut short by a :class:`~repro.runtime.guard.RunGuard` budget
+    or a signal — then ``interruption`` carries the
+    :class:`~repro.runtime.guard.GuardTrip` and the per-variable results
+    cover only the levels completed before the trip (see
+    ``docs/run-lifecycle.md`` for the exact partial-result contract).
+    ``guard`` is the guard the run carried, if any; its telemetry feeds
+    :meth:`explain` and the run report's ``budget`` block.
+    """
 
     cfq: CFQ
     plan: ExecutionPlan
@@ -48,6 +61,13 @@ class CFQResult:
     raw: DovetailResult
     backend: object = None
     trace: object = None
+    status: str = "complete"
+    interruption: object = None
+    guard: object = None
+
+    @property
+    def is_partial(self) -> bool:
+        return self.status == "partial"
 
     # ------------------------------------------------------------------
     # Answers
@@ -108,6 +128,17 @@ class CFQResult:
         from repro.obs.report import pruning_summary, render_pruning_table
 
         lines = [self.plan.explain()]
+        if self.is_partial:
+            trip = self.interruption
+            lines.append(
+                f"  status: PARTIAL — interrupted by {trip.summary()}"
+                if trip is not None
+                else "  status: PARTIAL"
+            )
+            lines.append(
+                "  partial results cover completed levels only; deeper "
+                "sets were never counted"
+            )
         for key, history in self.raw.bound_histories.items():
             rendered = ", ".join(f"W^{k}={bound:.6g}" for k, bound in history)
             lines.append(f"  bound series {key}: {rendered}")
@@ -122,6 +153,30 @@ class CFQResult:
         stats = getattr(self.backend, "stats", None)
         if stats is not None and getattr(stats, "levels", None):
             lines.append(f"  parallel counting: {stats.summary()}")
+        if self.guard is not None and getattr(self.guard, "enabled", False):
+            telemetry = self.guard.telemetry()
+            budgets = {
+                name: value
+                for name, value in telemetry["budgets"].items()
+                if value is not None
+            }
+            consumed = telemetry["consumed"]
+            lines.append("  run budgets:")
+            if budgets:
+                for name, value in budgets.items():
+                    lines.append(f"    {name}: {value}")
+            else:
+                lines.append("    (none configured; guard active for "
+                             "cancellation only)")
+            lines.append(
+                f"    consumed: {consumed['elapsed_seconds']:.3f}s elapsed"
+                + (
+                    f", peak rss {consumed['peak_rss_mb']:.0f}MB"
+                    if consumed["peak_rss_mb"] is not None
+                    else ""
+                )
+                + f", {consumed['checks']} cooperative checks"
+            )
         return "\n".join(lines)
 
 
@@ -255,9 +310,40 @@ class CFQOptimizer:
         backend=None,
         reduction_rounds: int = 1,
         tracer=None,
+        guard=None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ) -> CFQResult:
-        """Plan and run the query; the keyword flags drive the ablations."""
+        """Plan and run the query; the keyword flags drive the ablations.
+
+        ``guard`` is an optional :class:`~repro.runtime.guard.RunGuard`:
+        when one of its budgets trips (or cancellation was requested) the
+        run unwinds and a ``status="partial"`` result is returned instead
+        of raising — the completed levels, the trip, and the guard
+        telemetry are all on the result.  ``checkpoint_dir`` enables
+        crash-safe checkpointing after every completed level;
+        ``resume=True`` additionally replays a stored checkpoint (the
+        fingerprint must match this query, database, and option set).
+        """
         tracer = resolve_tracer(tracer)
+        guard = resolve_guard(guard)
+        checkpointer = None
+        if checkpoint_dir is not None:
+            fingerprint = run_fingerprint(
+                str(self.cfq), db,
+                {
+                    "dovetail": dovetail,
+                    "use_reduction": use_reduction,
+                    "use_jmax": use_jmax,
+                    "reduction_rounds": reduction_rounds,
+                    "max_level": self.cfq.max_level,
+                },
+            )
+            checkpointer = CheckpointManager(checkpoint_dir, fingerprint)
+        elif resume:
+            raise ValueError("resume=True requires a checkpoint_dir")
+        status = "complete"
+        interruption = None
         with tracer.span("optimizer.execute", query=str(self.cfq)):
             plan = self.plan(db, tracer=tracer)
             engine = DovetailEngine(
@@ -272,8 +358,23 @@ class CFQOptimizer:
                 backend=backend,
                 reduction_rounds=reduction_rounds,
                 tracer=tracer,
+                guard=guard,
+                checkpointer=checkpointer,
+                resume=resume,
             )
-            raw = engine.run()
+            try:
+                raw = engine.run()
+            except RunInterrupted as exc:
+                # Graceful degradation: package whatever completed as a
+                # well-labeled partial result instead of re-raising.
+                status = "partial"
+                interruption = exc.trip
+                raw = engine.partial_result()
+                tracer.event(
+                    "run.interrupted",
+                    reason=getattr(exc.trip, "reason", None),
+                    detail=str(exc),
+                )
         return CFQResult(
             cfq=self.cfq,
             plan=plan,
@@ -281,6 +382,9 @@ class CFQOptimizer:
             raw=raw,
             backend=engine.backend,
             trace=tracer if tracer.enabled else None,
+            status=status,
+            interruption=interruption,
+            guard=guard if guard.enabled else None,
         )
 
 

@@ -176,6 +176,54 @@ class OpCounters:
             "cost": self.cost(),
         }
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpointing)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Lossless JSON-serializable copy of every counter.
+
+        Unlike :meth:`as_dict` (a reporting summary), this preserves the
+        full per-``(var, level)`` ledger — including its insertion order,
+        which :meth:`restore` reproduces — so a checkpointed run's
+        counters can be reconstructed bit-identically on resume.
+        """
+        return {
+            "support_counted": [
+                [var, level, n] for (var, level), n in self.support_counted.items()
+            ],
+            "constraint_checks_singleton": self.constraint_checks_singleton,
+            "constraint_checks_larger": self.constraint_checks_larger,
+            "subset_tests": self.subset_tests,
+            "scans": self.scans,
+            "tuples_read": self.tuples_read,
+            "pair_checks": self.pair_checks,
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Overwrite every counter in place from a :meth:`snapshot`.
+
+        In-place so the instance already threaded through lattices and
+        backends snaps to the checkpointed state without re-wiring.
+        """
+        self.support_counted.clear()
+        for var, level, n in snapshot["support_counted"]:
+            self.support_counted[(var, int(level))] = int(n)
+        self.constraint_checks_singleton = int(
+            snapshot["constraint_checks_singleton"]
+        )
+        self.constraint_checks_larger = int(snapshot["constraint_checks_larger"])
+        self.subset_tests = int(snapshot["subset_tests"])
+        self.scans = int(snapshot["scans"])
+        self.tuples_read = int(snapshot["tuples_read"])
+        self.pair_checks = int(snapshot["pair_checks"])
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "OpCounters":
+        """A fresh instance equal to the snapshotted one."""
+        counters = cls()
+        counters.restore(snapshot)
+        return counters
+
 
 def merge_shard_counters(shards: Sequence[OpCounters]) -> OpCounters:
     """Merge per-shard counters from one sharded count of ONE candidate set.
@@ -271,6 +319,10 @@ class ParallelStats:
     pool_broken: bool = False
     failure_log: List[str] = field(default_factory=list)
     failure_log_dropped: int = 0
+    #: Counting passes cancelled by a run guard trip: the pool was torn
+    #: down to cancel outstanding shard tasks, but (unlike a broken
+    #: pool) it may be re-forked by a later run.
+    cancelled_levels: int = 0
 
     def record_level(
         self,
@@ -314,6 +366,11 @@ class ParallelStats:
         """Record that the pool was abandoned mid-run."""
         self.pool_broken = True
         self.record_failure(f"pool broken: {reason}")
+
+    def record_cancellation(self, reason: str) -> None:
+        """Record one counting pass abandoned by a guard trip."""
+        self.cancelled_levels += 1
+        self.record_failure(f"cancelled: {reason}")
 
     @property
     def total_shard_seconds(self) -> float:
@@ -361,6 +418,7 @@ class ParallelStats:
             "retries": self.total_retries,
             "fallback_shards": self.total_fallback_shards,
             "failure_log_dropped": self.failure_log_dropped,
+            "cancelled_levels": self.cancelled_levels,
         }
 
     def summary(self) -> str:
@@ -385,6 +443,11 @@ class ParallelStats:
             text += (
                 f"; {d['failure_log_dropped']} failure-log entry(ies) "
                 f"dropped beyond the {self.MAX_FAILURE_LOG}-entry cap"
+            )
+        if d["cancelled_levels"]:
+            text += (
+                f"; {d['cancelled_levels']} counting pass(es) cancelled by "
+                "run guard"
             )
         if d["pool_broken"]:
             text += "; pool broken — degraded to in-process counting"

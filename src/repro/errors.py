@@ -50,5 +50,31 @@ class ExecutionError(ReproError):
     """A mining strategy failed at run time (bad parameters, etc.)."""
 
 
+class RunInterrupted(ReproError):
+    """A mining run was cut short by a resource guard or a signal.
+
+    Raised cooperatively by :class:`repro.runtime.RunGuard` at its check
+    points when a budget (wall-clock deadline, memory watermark,
+    per-level candidate count) trips or a SIGINT/SIGTERM cancellation was
+    requested.  The exception unwinds the engines cleanly; drivers that
+    can package partial results attach them before re-raising:
+
+    ``trip``
+        The :class:`repro.runtime.GuardTrip` describing what tripped,
+        where, and the telemetry at that moment.
+    ``partial``
+        Engine-dependent partial-result payload (``None`` when nothing
+        completed): a ``LatticeResult`` for the single-lattice miners, a
+        ``{var: LatticeResult}`` dict for ``apriori_plus``.  The
+        optimizer catches this exception itself and returns a
+        ``CFQResult`` with ``status="partial"`` instead.
+    """
+
+    def __init__(self, message: str, trip=None, partial=None):
+        super().__init__(message)
+        self.trip = trip
+        self.partial = partial
+
+
 class DataError(ReproError):
     """The transaction database or item catalog is malformed."""

@@ -11,9 +11,11 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
+from repro.errors import RunInterrupted
 from repro.mining.backends import backend_scope
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
 from repro.obs.trace import resolve_tracer
+from repro.runtime.guard import resolve_guard
 
 
 def mine_frequent(
@@ -25,6 +27,7 @@ def mine_frequent(
     max_level: Optional[int] = None,
     backend=None,
     tracer=None,
+    guard=None,
 ) -> LatticeResult:
     """Mine all frequent itemsets from pre-projected transactions.
 
@@ -49,8 +52,14 @@ def mine_frequent(
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`; records one ``level``
         span per mining level.
+    guard:
+        Optional :class:`~repro.runtime.guard.RunGuard`; when a budget
+        trips, the raised :class:`~repro.errors.RunInterrupted` carries
+        the completed levels as its ``partial`` payload (a
+        :class:`LatticeResult`).
     """
     tracer = resolve_tracer(tracer)
+    guard = resolve_guard(guard).start()
     lattice = ConstrainedLattice(
         var=var,
         elements=tuple(elements),
@@ -59,23 +68,28 @@ def mine_frequent(
         counters=counters,
         max_level=max_level,
         backend=backend,
+        guard=guard,
     )
     # One backend scope per mining run: a parallel backend forks its
     # worker pool once and reuses it across every level.
     with tracer.span("apriori.run", var=var, min_count=min_count):
         with backend_scope(lattice.backend):
-            while True:
-                level = lattice.level + 1
-                with tracer.span("level", var=var, level=level) as span:
-                    progressed = lattice.count_and_absorb()
-                    if tracer.enabled:
-                        span.set(
-                            candidates_in=lattice.counted_per_level.get(level, 0),
-                            frequent_out=len(lattice.frequent.get(level, {})),
-                            pruned=dict(lattice.prune_counts.get(level, {})),
-                        )
-                if not progressed:
-                    break
+            try:
+                while True:
+                    level = lattice.level + 1
+                    with tracer.span("level", var=var, level=level) as span:
+                        progressed = lattice.count_and_absorb()
+                        if tracer.enabled:
+                            span.set(
+                                candidates_in=lattice.counted_per_level.get(level, 0),
+                                frequent_out=len(lattice.frequent.get(level, {})),
+                                pruned=dict(lattice.prune_counts.get(level, {})),
+                            )
+                    if not progressed:
+                        break
+            except RunInterrupted as exc:
+                exc.partial = lattice.result()
+                raise
     return lattice.result()
 
 
@@ -87,6 +101,7 @@ def apriori(
     max_level: Optional[int] = None,
     backend=None,
     tracer=None,
+    guard=None,
 ) -> LatticeResult:
     """Classic Apriori over a transaction database.
 
@@ -104,4 +119,5 @@ def apriori(
         max_level=max_level,
         backend=backend,
         tracer=tracer,
+        guard=guard,
     )

@@ -15,9 +15,11 @@ from repro.core.pairs import form_valid_pairs, valid_sets_existential
 from repro.core.query import CFQ
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
+from repro.errors import RunInterrupted
 from repro.mining.itemsets import Itemset
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
 from repro.obs.trace import resolve_tracer
+from repro.runtime.guard import resolve_guard
 
 
 @dataclass
@@ -72,13 +74,18 @@ def apriori_plus(
     counters: Optional[OpCounters] = None,
     max_level: Optional[int] = None,
     tracer=None,
+    guard=None,
 ) -> AprioriPlusResult:
     """Run the Apriori+ baseline for a CFQ.
 
     The mining phase ignores every constraint; each variable's lattice
-    runs over its full domain, paying one scan per level.
+    runs over its full domain, paying one scan per level.  A tripped
+    ``guard`` raises :class:`~repro.errors.RunInterrupted` whose
+    ``partial`` payload maps each variable to the levels it completed
+    (variables not yet started map to empty results).
     """
     tracer = resolve_tracer(tracer)
+    guard = resolve_guard(guard).start()
     counters = counters if counters is not None else OpCounters()
     lattices: Dict[str, LatticeResult] = {}
     cap = max_level if max_level is not None else cfq.max_level
@@ -93,18 +100,31 @@ def apriori_plus(
                 min_count=db.min_count(cfq.minsup_for(var)),
                 counters=counters,
                 max_level=cap,
+                guard=guard,
             )
-            while True:
-                level = lattice.level + 1
-                with tracer.span("level", var=var, level=level) as span:
-                    progressed = lattice.count_and_absorb()
-                    if tracer.enabled:
-                        span.set(
-                            candidates_in=lattice.counted_per_level.get(level, 0),
-                            frequent_out=len(lattice.frequent.get(level, {})),
-                            pruned=dict(lattice.prune_counts.get(level, {})),
+            try:
+                while True:
+                    level = lattice.level + 1
+                    with tracer.span("level", var=var, level=level) as span:
+                        progressed = lattice.count_and_absorb()
+                        if tracer.enabled:
+                            span.set(
+                                candidates_in=lattice.counted_per_level.get(level, 0),
+                                frequent_out=len(lattice.frequent.get(level, {})),
+                                pruned=dict(lattice.prune_counts.get(level, {})),
+                            )
+                    if not progressed:
+                        break
+            except RunInterrupted as exc:
+                partial = dict(lattices)
+                partial[var] = lattice.result()
+                for missing in cfq.variables:
+                    if missing not in partial:
+                        partial[missing] = LatticeResult(
+                            var=missing, frequent={}, level1_supports={},
+                            counted_per_level={},
                         )
-                if not progressed:
-                    break
+                exc.partial = partial
+                raise
             lattices[var] = lattice.result()
     return AprioriPlusResult(cfq=cfq, counters=counters, lattices=lattices)

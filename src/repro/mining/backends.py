@@ -46,12 +46,13 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.db.stats import OpCounters, ParallelStats, merge_shard_counters
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, RunInterrupted
 from repro.itemsets import Itemset
 from repro.mining.counting import count_candidates
 from repro.mining.hashtree import build_hash_tree
@@ -73,8 +74,10 @@ class HybridBackend:
         k: int,
         counters: Optional[OpCounters] = None,
         var: str = "S",
+        guard=None,
     ) -> Dict[Itemset, int]:
-        return count_candidates(transactions, candidates, k, counters, var)
+        return count_candidates(transactions, candidates, k, counters, var,
+                                guard=guard)
 
 
 class HashTreeBackend:
@@ -93,9 +96,14 @@ class HashTreeBackend:
         k: int,
         counters: Optional[OpCounters] = None,
         var: str = "S",
+        guard=None,
     ) -> Dict[Itemset, int]:
         if not candidates:
             return {}
+        # The tree kernel is not guard-instrumented; one full check per
+        # pass still bounds a run to level granularity.
+        if guard is not None and guard.enabled:
+            guard.check("counting")
         tree = build_hash_tree(candidates, k, self.leaf_size, self.fanout)
         return tree.count(transactions, counters, var)
 
@@ -128,9 +136,14 @@ class VerticalBackend:
         k: int,
         counters: Optional[OpCounters] = None,
         var: str = "S",
+        guard=None,
     ) -> Dict[Itemset, int]:
         if not candidates:
             return {}
+        # TID-list intersections are not guard-instrumented; one full
+        # check per pass still bounds a run to level granularity.
+        if guard is not None and guard.enabled:
+            guard.check("counting")
         key = id(transactions)
         entry = self._cache.get(key)
         if entry is None:
@@ -194,15 +207,19 @@ def count_shard(
     candidates: Sequence[Itemset],
     k: int,
     var: str,
+    guard=None,
 ) -> Tuple[Dict[Itemset, int], OpCounters, float]:
     """Count one shard with the hybrid kernel (worker entry point).
 
     Returns the shard's support map, its private counter deltas, and its
     wall time.  Module-level so it pickles for ``multiprocessing.Pool``.
+    ``guard`` only ever arrives on the in-process path — cooperative
+    checks cannot cross process boundaries, so pooled shards are
+    cancelled from the parent instead (see ``ParallelBackend``).
     """
     counters = OpCounters()
     start = time.perf_counter()
-    support = count_candidates(shard, candidates, k, counters, var)
+    support = count_candidates(shard, candidates, k, counters, var, guard=guard)
     return support, counters, time.perf_counter() - start
 
 
@@ -257,6 +274,18 @@ def _count_shard_task(args) -> Tuple[Dict[Itemset, int], OpCounters, float]:
     shard, candidates, k, var, seq, injector = args
     if injector is not None:
         injector.fire(seq)
+    return count_shard(shard, candidates, k, var)
+
+
+def _count_shard_guarded(shard, candidates, k, var, guard):
+    """In-process shard count, forwarding ``guard`` only when live.
+
+    ``count_shard`` is monkeypatchable (tests substitute four-argument
+    fakes), so the keyword is only added when a run actually carries an
+    enabled guard.
+    """
+    if guard is not None:
+        return count_shard(shard, candidates, k, var, guard=guard)
     return count_shard(shard, candidates, k, var)
 
 
@@ -368,7 +397,14 @@ class ParallelBackend:
         return self
 
     def close(self) -> None:
-        """Leave a usage scope; tear the pool down at the outermost one."""
+        """Leave a usage scope; tear the pool down at the outermost one.
+
+        Idempotent and unconditionally safe: extra calls (or calls on an
+        already-broken or never-opened backend) are no-ops, and the
+        shutdown itself never hangs (see :meth:`_shutdown_pool`), so
+        ``close()`` can always run in ``finally`` blocks and
+        ``atexit``-style teardown.
+        """
         if self._open_depth > 0:
             self._open_depth -= 1
         if self._open_depth == 0:
@@ -395,16 +431,45 @@ class ParallelBackend:
             self.stats.record_fork()
         return self._pool
 
+    #: Seconds to wait for terminated workers to be reaped before the
+    #: shutdown gives up on them (``Pool.join`` itself has no timeout).
+    JOIN_TIMEOUT = 5.0
+
     def _shutdown_pool(self) -> None:
         # getattr: __del__ may run on an instance whose __init__ raised
         # during parameter validation, before _pool was assigned.
         pool = getattr(self, "_pool", None)
         self._pool = None
-        if pool is not None:
-            # terminate(), not close(): a hung worker must not stall the
-            # shutdown (close() would wait for the sleeping task).
+        if pool is None:
+            return
+        # terminate(), not close(): a hung worker must not stall the
+        # shutdown (close() would wait for the sleeping task).  Both
+        # calls are defended — a pool whose workers were hard-killed can
+        # raise from its own bookkeeping, and shutdown must never fail.
+        try:
             pool.terminate()
+        except Exception as exc:  # pragma: no cover - depends on pool state
+            logger.warning("pool terminate() raised %r; continuing", exc)
+        # Pool.join() blocks without a timeout and a wedged result
+        # handler would hang interpreter exit, so join on a daemon
+        # thread and abandon the pool if it fails to wind down in time.
+        joiner = threading.Thread(
+            target=self._join_quietly, args=(pool,), daemon=True
+        )
+        joiner.start()
+        joiner.join(self.JOIN_TIMEOUT)
+        if joiner.is_alive():  # pragma: no cover - requires a wedged pool
+            logger.warning(
+                "pool join did not finish within %.1fs; abandoning workers",
+                self.JOIN_TIMEOUT,
+            )
+
+    @staticmethod
+    def _join_quietly(pool) -> None:
+        try:
             pool.join()
+        except Exception:  # pragma: no cover - depends on pool state
+            pass
 
     def _mark_broken(self, reason: str) -> None:
         logger.error(
@@ -425,9 +490,12 @@ class ParallelBackend:
         k: int,
         counters: Optional[OpCounters] = None,
         var: str = "S",
+        guard=None,
     ) -> Dict[Itemset, int]:
         if not candidates:
             return {}
+        if guard is not None and not guard.enabled:
+            guard = None
         # One shared candidate tuple: every shard task references (and
         # pickles) the same materialization instead of W private copies.
         shared = tuple(candidates)
@@ -438,12 +506,28 @@ class ParallelBackend:
             or self._broken
         )
         if in_process:
-            outcomes = [count_shard(shard, shared, k, var) for shard in shards]
+            outcomes = [
+                _count_shard_guarded(shard, shared, k, var, guard)
+                for shard in shards
+            ]
             failures = retries = fallbacks = 0
         else:
-            outcomes, failures, retries, fallbacks = self._count_pooled(
-                shards, shared, k, var
-            )
+            try:
+                outcomes, failures, retries, fallbacks = self._count_pooled(
+                    shards, shared, k, var, guard
+                )
+            except RunInterrupted as exc:
+                # Cancel outstanding shard tasks: terminating the pool
+                # discards queued and running work.  The backend is NOT
+                # marked broken — a later (resumed) run may re-fork.
+                reason = getattr(getattr(exc, "trip", None), "reason", None)
+                self.stats.record_cancellation(reason or "run interrupted")
+                logger.info(
+                    "guard trip (%s): terminating worker pool to cancel "
+                    "outstanding shard tasks", reason or "interrupted",
+                )
+                self._shutdown_pool()
+                raise
         merge_start = time.perf_counter()
         supports = merge_shard_supports([o[0] for o in outcomes], shared)
         shard_total = merge_shard_counters([o[1] for o in outcomes])
@@ -480,12 +564,38 @@ class ParallelBackend:
             ((shard, candidates, k, var, seq, self.fault_injector),),
         )
 
+    def _await_result(self, result, guard):
+        """One shard result, with cooperative guard checks while waiting.
+
+        Without a guard this is a plain ``get`` with the shard timeout.
+        With one, the wait is sliced so deadline/memory/cancellation
+        trips surface within ~50ms instead of after ``shard_timeout``;
+        an elapsed timeout raises the same ``TimeoutError`` ``get``
+        would, feeding the normal retry/fallback machinery.
+        """
+        if guard is None:
+            return result.get(self.shard_timeout)
+        deadline = (
+            None if self.shard_timeout is None
+            else time.monotonic() + self.shard_timeout
+        )
+        while True:
+            guard.check("parallel wait")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise multiprocessing.TimeoutError(
+                    f"shard result not ready within {self.shard_timeout}s"
+                )
+            result.wait(0.05)
+            if result.ready():
+                return result.get(0)
+
     def _count_pooled(
         self,
         shards: Sequence[Sequence[Tuple[int, ...]]],
         candidates: Tuple[Itemset, ...],
         k: int,
         var: str,
+        guard=None,
     ):
         """Count all shards through the pool with retry and fallback."""
         n = len(shards)
@@ -504,11 +614,17 @@ class ParallelBackend:
             result = pending[i]
             while outcomes[i] is None:
                 if self._broken or result is None:
-                    outcomes[i] = count_shard(shards[i], candidates, k, var)
+                    outcomes[i] = _count_shard_guarded(
+                        shards[i], candidates, k, var, guard
+                    )
                     fallbacks += 1
                     break
                 try:
-                    outcomes[i] = result.get(self.shard_timeout)
+                    outcomes[i] = self._await_result(result, guard)
+                except RunInterrupted:
+                    # Never fold a guard trip into the shard retry
+                    # machinery — it must unwind the whole run.
+                    raise
                 except Exception as exc:
                     failures += 1
                     logger.warning(
@@ -524,7 +640,9 @@ class ParallelBackend:
                             "shard %d/%d exhausted retries; "
                             "falling back to in-process counting", i + 1, n,
                         )
-                        outcomes[i] = count_shard(shards[i], candidates, k, var)
+                        outcomes[i] = _count_shard_guarded(
+                            shards[i], candidates, k, var, guard
+                        )
                         fallbacks += 1
                         break
                     attempts += 1
@@ -541,6 +659,28 @@ class ParallelBackend:
                 "every shard of a level fell back to serial counting"
             )
         return outcomes, failures, retries, fallbacks
+
+
+def guarded_count(
+    backend,
+    transactions: Sequence[Tuple[int, ...]],
+    candidates: Sequence[Itemset],
+    k: int,
+    counters: Optional[OpCounters] = None,
+    var: str = "S",
+    guard=None,
+) -> Dict[Itemset, int]:
+    """Call ``backend.count``, forwarding the guard only when it is live.
+
+    Backends are duck-typed (tests and extensions supply their own), so
+    the ``guard`` keyword is only passed to backends when a run actually
+    carries an enabled guard — pre-guardrail backend implementations
+    keep working unchanged on unguarded runs.
+    """
+    if guard is not None and guard.enabled:
+        return backend.count(transactions, candidates, k, counters, var,
+                             guard=guard)
+    return backend.count(transactions, candidates, k, counters, var)
 
 
 @contextlib.contextmanager

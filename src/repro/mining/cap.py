@@ -23,10 +23,11 @@ from repro.constraints.onevar import OneVarView
 from repro.constraints.pruners import CompiledPruning, compile_onevar
 from repro.db.domain import Domain
 from repro.db.stats import OpCounters
-from repro.errors import ConstraintTypeError
+from repro.errors import ConstraintTypeError, RunInterrupted
 from repro.mining.backends import backend_scope
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
 from repro.obs.trace import resolve_tracer
+from repro.runtime.guard import resolve_guard
 
 
 def compile_constraints(
@@ -55,6 +56,7 @@ def cap_mine(
     max_level: Optional[int] = None,
     backend=None,
     tracer=None,
+    guard=None,
 ) -> LatticeResult:
     """Run CAP for one variable.
 
@@ -76,8 +78,14 @@ def cap_mine(
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`; records one ``level``
         span per mining level with candidate/pruning attributes.
+    guard:
+        Optional :class:`~repro.runtime.guard.RunGuard`; when a budget
+        trips, the raised :class:`~repro.errors.RunInterrupted` carries
+        the completed levels as its ``partial`` payload (a
+        :class:`LatticeResult`).
     """
     tracer = resolve_tracer(tracer)
+    guard = resolve_guard(guard).start()
     pruning = compile_constraints(constraints, var, domain)
     lattice = ConstrainedLattice(
         var=var,
@@ -88,6 +96,7 @@ def cap_mine(
         counters=counters,
         max_level=max_level,
         backend=backend,
+        guard=guard,
     )
     # One backend scope per mining run: a parallel backend forks its
     # worker pool once and reuses it across every level.
@@ -99,16 +108,20 @@ def cap_mine(
         backend=getattr(lattice.backend, "name", None) or "hybrid",
     ):
         with backend_scope(lattice.backend):
-            while True:
-                level = lattice.level + 1
-                with tracer.span("level", var=var, level=level) as span:
-                    progressed = lattice.count_and_absorb()
-                    if tracer.enabled:
-                        span.set(
-                            candidates_in=lattice.counted_per_level.get(level, 0),
-                            frequent_out=len(lattice.frequent.get(level, {})),
-                            pruned=dict(lattice.prune_counts.get(level, {})),
-                        )
-                if not progressed:
-                    break
+            try:
+                while True:
+                    level = lattice.level + 1
+                    with tracer.span("level", var=var, level=level) as span:
+                        progressed = lattice.count_and_absorb()
+                        if tracer.enabled:
+                            span.set(
+                                candidates_in=lattice.counted_per_level.get(level, 0),
+                                frequent_out=len(lattice.frequent.get(level, {})),
+                                pruned=dict(lattice.prune_counts.get(level, {})),
+                            )
+                    if not progressed:
+                        break
+            except RunInterrupted as exc:
+                exc.partial = lattice.result()
+                raise
     return lattice.result()

@@ -50,16 +50,23 @@ def count_singletons(
     elements: Iterable[int],
     counters: Optional[OpCounters] = None,
     var: str = "S",
+    guard=None,
 ) -> Dict[int, int]:
     """Count the support of each element in one pass.
 
     Returns ``{element: support}`` for every requested element (including
-    zero-support ones).
+    zero-support ones).  An enabled ``guard``
+    (:class:`~repro.runtime.guard.RunGuard`) is ticked per transaction so
+    deadline/memory trips interrupt even a single long pass; disabled
+    guards cost one ``None`` test per transaction.
     """
     wanted = set(elements)
     support = dict.fromkeys(wanted, 0)
+    tick = guard.tick if guard is not None and guard.enabled else None
     probes = 0
     for t in transactions:
+        if tick is not None:
+            tick(len(t))
         probes += len(t)
         for item in t:
             if item in wanted:
@@ -76,8 +83,15 @@ def count_candidates(
     k: int,
     counters: Optional[OpCounters] = None,
     var: str = "S",
+    guard=None,
 ) -> Dict[Itemset, int]:
-    """Count the support of canonical k-itemset candidates in one pass."""
+    """Count the support of canonical k-itemset candidates in one pass.
+
+    An enabled ``guard`` (:class:`~repro.runtime.guard.RunGuard`) is
+    ticked with each transaction's probe budget, giving the run's
+    cooperative deadline/memory checks sub-pass granularity; with the
+    guard disabled the loop pays one ``None`` test per transaction.
+    """
     support: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
     if not support:
         return support
@@ -87,8 +101,11 @@ def count_candidates(
     # sharded runs make identical per-transaction strategy choices and
     # their metered work sums to the serial total (see module docstring).
     scan_cost = len(candidate_list) * k
+    tick = guard.tick if guard is not None and guard.enabled else None
     work = 0
     for t in transactions:
+        if tick is not None:
+            tick(scan_cost)
         relevant = [i for i in t if i in candidate_items]
         m = len(relevant)
         if m < k:

@@ -23,6 +23,7 @@ plain dual Apriori; with only 1-var constraints it is CAP per variable.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -39,12 +40,14 @@ from repro.core.reduction import reduce_twovar
 from repro.db.stats import OpCounters
 from repro.db.transactions import TransactionDatabase
 from repro.errors import ExecutionError
-from repro.mining.backends import backend_scope, make_backend
+from repro.mining.backends import backend_scope, guarded_count, make_backend
 from repro.mining.cap import compile_constraints
 from repro.mining.counting import count_singletons
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
 from repro.obs.logs import get_logger
 from repro.obs.trace import resolve_tracer
+from repro.runtime.checkpoint import Checkpoint, CountEvent
+from repro.runtime.guard import resolve_guard
 
 logger = get_logger(__name__)
 
@@ -82,6 +85,9 @@ class DovetailEngine:
         backend=None,
         reduction_rounds: int = 1,
         tracer=None,
+        guard=None,
+        checkpointer=None,
+        resume: bool = False,
     ):
         if reduction_rounds < 1:
             raise ExecutionError("reduction_rounds must be >= 1")
@@ -99,8 +105,23 @@ class DovetailEngine:
         self.backend = make_backend(backend) if backend is not None else None
         self.reduction_rounds = reduction_rounds
         self.tracer = resolve_tracer(tracer)
+        self.guard = resolve_guard(guard)
+        #: Optional :class:`~repro.runtime.checkpoint.CheckpointManager`;
+        #: when set, a checkpoint is saved after every completed level
+        #: boundary, and ``resume=True`` replays its stored supports
+        #: (see ``docs/run-lifecycle.md``).
+        self.checkpointer = checkpointer
+        self.resume = resume
         self._series: List[Tuple[JmaxPlan, BoundSeries]] = []
         self._bound_side_done: Dict[str, bool] = {}
+        self._lattices: Dict[str, ConstrainedLattice] = {}
+        self._disabled_notes: List[str] = []
+        # Checkpoint/replay state: the ordered log of counting passes
+        # completed so far, the queue of stored passes still to replay,
+        # and the counters snapshot to restore once replay drains.
+        self._events: List[CountEvent] = []
+        self._replay: deque = deque()
+        self._replay_snapshot: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -129,7 +150,15 @@ class DovetailEngine:
             len(self.plan.var_plans), self.dovetail, self.use_reduction,
             self.use_jmax,
         )
+        self.guard.start()
+        self.guard.check("run start")
+        if self.checkpointer is not None and self.resume:
+            loaded = self.checkpointer.load_for_resume()
+            if loaded is not None:
+                self._replay = deque(loaded.events)
+                self._replay_snapshot = dict(loaded.counters)
         lattices, projected = self._build_lattices()
+        self._lattices = lattices
 
         self._run_level1(lattices, projected)
         if self.use_reduction:
@@ -137,15 +166,23 @@ class DovetailEngine:
         disabled = self._setup_jmax(lattices) if self.use_jmax else [
             f"{p.pruned_var}: jmax disabled by engine option" for p in self.plan.jmax
         ]
+        self._disabled_notes = disabled
         for note in disabled:
             logger.info("jmax series disabled: %s", note)
 
         del projected  # lattices own (and trim) their transaction lists
+        self._level_boundary(lattices)
         if self.dovetail:
             self._run_dovetailed(lattices)
         else:
             self._run_sequential(lattices)
 
+        if self._replay:
+            raise ExecutionError(
+                f"checkpoint replay did not converge: {len(self._replay)} "
+                "stored counting pass(es) were never consumed (the "
+                "checkpoint does not match this run)"
+            )
         histories = {
             f"{plan.bound_var}.{plan.bound_attr}": series.history
             for plan, series in self._series
@@ -157,6 +194,45 @@ class DovetailEngine:
             disabled_jmax=disabled,
             candidate_logs={
                 var: dict(lattice.candidate_log) for var, lattice in lattices.items()
+            },
+        )
+
+    def partial_result(self) -> DovetailResult:
+        """Whatever the run has fully absorbed so far, packaged exactly
+        like a completed :class:`DovetailResult`.
+
+        Called by the optimizer after a
+        :class:`~repro.errors.RunInterrupted` unwinds :meth:`run`.  Each
+        present lattice contributes its absorbed levels through the
+        normal final-verification path; variables whose lattice never
+        got built report empty results.  Note that for ``min``/``avg``
+        ``J^k_max`` constraints the final verification uses the bound as
+        tightened *so far*, so partial per-variable sets may be a
+        superset of what the finished run would keep — downstream pair
+        formation re-verifies the original constraints exactly (see
+        ``docs/run-lifecycle.md``).
+        """
+        lattices = {
+            var: lattice.result() for var, lattice in self._lattices.items()
+        }
+        for var in self.plan.var_plans:
+            if var not in lattices:
+                lattices[var] = LatticeResult(
+                    var=var, frequent={}, level1_supports={},
+                    counted_per_level={},
+                )
+        histories = {
+            f"{plan.bound_var}.{plan.bound_attr}": series.history
+            for plan, series in self._series
+        }
+        return DovetailResult(
+            lattices=lattices,
+            counters=self.counters,
+            bound_histories=histories,
+            disabled_jmax=list(self._disabled_notes),
+            candidate_logs={
+                var: dict(lattice.candidate_log)
+                for var, lattice in self._lattices.items()
             },
         )
 
@@ -180,6 +256,7 @@ class DovetailEngine:
                 max_level=self.max_level,
                 keep_candidates=self.keep_candidates,
                 backend=self.backend,
+                guard=self.guard,
             )
         return lattices, projected
 
@@ -195,12 +272,97 @@ class DovetailEngine:
             with self.tracer.span(
                 "level", var=var, level=1, candidates_in=len(candidates)
             ) as span:
-                supports = count_singletons(
-                    lattice.transactions, (c[0] for c in candidates),
-                    self.counters, var,
-                )
-                lattice.absorb({(e,): n for e, n in supports.items()})
+                support = self._count_level(lattice, candidates, 1)
+                lattice.absorb(support)
                 self._finish_level_span(span, lattice, 1, len(candidates))
+            self.guard.level_completed(var, 1)
+
+    # ------------------------------------------------------------------
+    # Counting with checkpoint replay
+    # ------------------------------------------------------------------
+    def _count_level(self, lattice, candidates, k: int):
+        """The supports of one ``(variable, level)`` pass.
+
+        On a fresh run this counts against the database (through the
+        lattice's backend, guard attached).  On a resumed run, stored
+        passes are replayed instead — supports come from the checkpoint,
+        no scan or counting happens — until the stored log drains.
+        Either way the pass is appended to the run's event log so later
+        checkpoints carry the complete history.
+        """
+        if self._replay:
+            event = self._replay.popleft()
+            if (
+                event.var != lattice.var
+                or event.level != k
+                or event.candidates_in != len(candidates)
+            ):
+                raise ExecutionError(
+                    f"checkpoint replay diverged: stored pass is "
+                    f"{event.var} L{event.level} ({event.candidates_in} "
+                    f"candidates) but the run needs {lattice.var} L{k} "
+                    f"({len(candidates)} candidates); the checkpoint does "
+                    "not match this run"
+                )
+            support = event.support_map()
+            if self.checkpointer is not None:
+                self._events.append(event)
+            return support
+        if k == 1:
+            raw = count_singletons(
+                lattice.transactions, (c[0] for c in candidates),
+                self.counters, lattice.var, guard=self.guard,
+            )
+            support = {(e,): n for e, n in raw.items()}
+        else:
+            support = guarded_count(
+                lattice.backend, lattice.transactions, candidates, k,
+                self.counters, lattice.var, guard=self.guard,
+            )
+        if self.checkpointer is not None:
+            self._events.append(
+                CountEvent(
+                    var=lattice.var, level=k, candidates_in=len(candidates),
+                    supports=tuple(support.items()),
+                )
+            )
+        return support
+
+    def _level_boundary(self, lattices) -> None:
+        """One completed level boundary: restore or persist.
+
+        Checkpoints are saved exactly at these boundaries, so on a
+        resumed run the stored event log drains exactly at the boundary
+        where its checkpoint was written — the moment to overwrite the
+        counters with the stored snapshot, making every counter
+        bit-identical to the uninterrupted run's value at that point.
+        Past replay (or without it), each boundary persists a new
+        checkpoint covering the full event log.
+        """
+        if self._replay:
+            return  # mid-replay: this boundary was already persisted
+        if self._replay_snapshot is not None:
+            self.counters.restore(self._replay_snapshot)
+            self._replay_snapshot = None
+            logger.info("checkpoint replay complete; counters restored")
+            if not (self.checkpointer is not None and self._events):
+                return
+            # The drain boundary doubles as a save boundary: re-persist
+            # so interrupt-before-first-new-boundary cannot lose it.
+        if self.checkpointer is None:
+            return
+        self.checkpointer.save(
+            Checkpoint(
+                fingerprint=self.checkpointer.fingerprint,
+                events=tuple(self._events),
+                counters=self.counters.snapshot(),
+                levels_completed={
+                    var: lattice.level
+                    for var, lattice in lattices.items()
+                    if lattice.level >= 1
+                },
+            )
+        )
 
     def _finish_level_span(
         self, span, lattice, level: int, candidates_in: int,
@@ -403,15 +565,14 @@ class DovetailEngine:
                     level=level,
                     candidates_in=len(candidates),
                 ) as span:
-                    support = lattice.backend.count(
-                        lattice.transactions, candidates, level,
-                        self.counters, lattice.var,
-                    )
+                    support = self._count_level(lattice, candidates, level)
                     lattice.absorb(support)
                     self._finish_level_span(
                         span, lattice, level, len(candidates), attach_shards=True
                     )
+                self.guard.level_completed(lattice.var, level)
             self._update_series(lattices)
+            self._level_boundary(lattices)
 
     def _run_sequential(self, lattices) -> None:
         # Bound-side variables first, so the pruned side sees the final
@@ -433,15 +594,14 @@ class DovetailEngine:
                     level=level,
                     candidates_in=len(candidates),
                 ) as span:
-                    support = lattice.backend.count(
-                        lattice.transactions, candidates, level,
-                        self.counters, lattice.var,
-                    )
+                    support = self._count_level(lattice, candidates, level)
                     lattice.absorb(support)
                     self._finish_level_span(
                         span, lattice, level, len(candidates), attach_shards=True
                     )
+                self.guard.level_completed(lattice.var, level)
                 self._update_series(lattices, only_var=var)
+                self._level_boundary(lattices)
 
     def _update_series(self, lattices, only_var: Optional[str] = None) -> None:
         for jplan, series in self._series:

@@ -39,10 +39,11 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 from repro.constraints.pruners import CompiledPruning
 from repro.db.stats import OpCounters
 from repro.errors import ExecutionError
-from repro.mining.backends import make_backend
+from repro.mining.backends import guarded_count, make_backend
 from repro.mining.candidates import generate_pairs, join_and_prune
 from repro.mining.counting import count_singletons, frequent_only
 from repro.mining.itemsets import Itemset, canonical
+from repro.runtime.guard import resolve_guard
 
 RankTuple = Tuple[int, ...]
 
@@ -129,9 +130,11 @@ class ConstrainedLattice:
         max_level: Optional[int] = None,
         keep_candidates: bool = False,
         backend=None,
+        guard=None,
     ):
         if min_count < 1:
             raise ExecutionError(f"min_count must be >= 1, got {min_count}")
+        self.guard = resolve_guard(guard)
         self.var = var
         self.elements: Tuple[int, ...] = tuple(elements)
         self.transactions: List[Tuple[int, ...]] = list(transactions)
@@ -197,6 +200,9 @@ class ConstrainedLattice:
         if not cands:
             self.active = False
             return []
+        # Budget enforcement happens the moment a level's candidates
+        # exist, before any counting work is spent on them.
+        self.guard.check_candidates(len(cands), self.var, k)
         self._pending = cands
         self._pending_level = k
         return cands
@@ -240,14 +246,16 @@ class ConstrainedLattice:
         self.counters.record_scan(len(self.transactions))
         if k == 1:
             supports = count_singletons(
-                self.transactions, (c[0] for c in cands), self.counters, self.var
+                self.transactions, (c[0] for c in cands), self.counters,
+                self.var, guard=self.guard,
             )
             self.absorb({(e,): n for e, n in supports.items()})
         else:
             self.absorb(
-                self.backend.count(self.transactions, cands, k, self.counters,
-                                   self.var)
+                guarded_count(self.backend, self.transactions, cands, k,
+                              self.counters, self.var, guard=self.guard)
             )
+        self.guard.level_completed(self.var, k)
         return self.active
 
     # ------------------------------------------------------------------

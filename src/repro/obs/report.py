@@ -35,7 +35,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 RUN_REPORT_SCHEMA = "repro.run_report"
-RUN_REPORT_VERSION = 1
+#: Version history:
+#:   1 — trace/metrics/op_counters/pruning/bounds/answers (+ profile)
+#:   2 — adds the optional ``budget`` (RunGuard telemetry) and
+#:       ``interruption`` (GuardTrip) blocks and ``answers.status``;
+#:       v1 documents remain readable (the new blocks default to absent)
+RUN_REPORT_VERSION = 2
+SUPPORTED_REPORT_VERSIONS = (1, 2)
 
 #: Hotspot count embedded by ``--profile``.
 PROFILE_TOP_N = 20
@@ -167,6 +173,12 @@ class RunReport:
     bound_histories: Dict[str, List[List[float]]] = field(default_factory=dict)
     answers: Dict[str, Any] = field(default_factory=dict)
     profile: Optional[Dict[str, Any]] = None
+    #: Schema v2: :meth:`RunGuard.telemetry` of a guarded run (budgets
+    #: configured, resources consumed); ``None`` for unguarded runs.
+    budget: Optional[Dict[str, Any]] = None
+    #: Schema v2: the ``GuardTrip.as_dict()`` of an interrupted run;
+    #: ``None`` when the run completed.
+    interruption: Optional[Dict[str, Any]] = None
 
     REQUIRED_KEYS = (
         "schema",
@@ -198,6 +210,8 @@ class RunReport:
             "bound_histories": self.bound_histories,
             "answers": self.answers,
             "profile": self.profile,
+            "budget": self.budget,
+            "interruption": self.interruption,
         })
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -227,10 +241,11 @@ class RunReport:
                 f"unexpected schema {document['schema']!r}; "
                 f"expected {RUN_REPORT_SCHEMA!r}"
             )
-        if document["version"] != RUN_REPORT_VERSION:
+        if document["version"] not in SUPPORTED_REPORT_VERSIONS:
             raise ReportSchemaError(
                 f"unsupported run-report version {document['version']!r}; "
-                f"this reader understands version {RUN_REPORT_VERSION}"
+                f"this reader understands versions "
+                f"{list(SUPPORTED_REPORT_VERSIONS)}"
             )
         if not isinstance(document["trace"], dict) or "spans" not in document["trace"]:
             raise ReportSchemaError("trace section must contain 'spans'")
@@ -249,6 +264,8 @@ class RunReport:
             bound_histories=document.get("bound_histories", {}),
             answers=document["answers"],
             profile=document.get("profile"),
+            budget=document.get("budget"),
+            interruption=document.get("interruption"),
         )
 
     @classmethod
@@ -286,6 +303,11 @@ def build_run_report(
         answers["frequent_valid"] = {
             var: len(raw.result_for(var).all_sets()) for var in cfq.variables
         }
+    status = getattr(result, "status", None)
+    if status is not None:
+        answers["status"] = status
+    guard = getattr(result, "guard", None)
+    trip = getattr(result, "interruption", None)
     return RunReport(
         meta=doc_meta,
         trace=tracer.to_dict() if tracer is not None else {"spans": []},
@@ -306,4 +328,10 @@ def build_run_report(
         },
         answers=answers,
         profile=profile_hotspots(profile) if profile is not None else None,
+        budget=(
+            guard.telemetry()
+            if guard is not None and getattr(guard, "enabled", False)
+            else None
+        ),
+        interruption=trip.as_dict() if trip is not None else None,
     )

@@ -1,0 +1,35 @@
+"""Run-lifecycle guardrails: budgets, cancellation, checkpoint/resume.
+
+See ``docs/run-lifecycle.md`` for the guard semantics, the
+partial-result contract, and the checkpoint format.
+"""
+
+from repro.runtime.checkpoint import (
+    CHECKPOINT_FILENAME,
+    Checkpoint,
+    CheckpointManager,
+    CountEvent,
+    dataset_digest,
+    run_fingerprint,
+)
+from repro.runtime.guard import (
+    NULL_GUARD,
+    GuardTrip,
+    NullGuard,
+    RunGuard,
+    resolve_guard,
+)
+
+__all__ = [
+    "CHECKPOINT_FILENAME",
+    "Checkpoint",
+    "CheckpointManager",
+    "CountEvent",
+    "GuardTrip",
+    "NULL_GUARD",
+    "NullGuard",
+    "RunGuard",
+    "dataset_digest",
+    "resolve_guard",
+    "run_fingerprint",
+]

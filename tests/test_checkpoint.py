@@ -1,0 +1,207 @@
+"""Checkpoint document and manager tests.
+
+The end-to-end resume guarantees (bit-identical answers) live in
+``test_resume_differential``; this file covers the persistence layer:
+serialization round-trips (property-based), fingerprint binding, schema
+validation, and atomic save.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.stats import OpCounters
+from repro.db.transactions import TransactionDatabase
+from repro.errors import ExecutionError
+from repro.runtime.checkpoint import (
+    CHECKPOINT_FILENAME,
+    Checkpoint,
+    CheckpointManager,
+    CountEvent,
+    dataset_digest,
+    run_fingerprint,
+)
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+itemsets = st.tuples(*[st.integers(min_value=0, max_value=500)] * 3).map(
+    lambda t: tuple(sorted(set(t)))
+)
+
+count_events = st.builds(
+    CountEvent,
+    var=st.sampled_from(["S", "T"]),
+    level=st.integers(min_value=1, max_value=8),
+    candidates_in=st.integers(min_value=0, max_value=1000),
+    supports=st.lists(
+        st.tuples(itemsets, st.integers(min_value=0, max_value=10_000)),
+        max_size=8,
+        unique_by=lambda pair: pair[0],
+    ).map(tuple),
+)
+
+checkpoints = st.builds(
+    Checkpoint,
+    fingerprint=st.text(
+        alphabet="0123456789abcdef", min_size=8, max_size=64
+    ),
+    events=st.lists(count_events, max_size=6).map(tuple),
+    counters=st.just(OpCounters().snapshot()),
+    levels_completed=st.dictionaries(
+        st.sampled_from(["S", "T"]), st.integers(min_value=1, max_value=8),
+        max_size=2,
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(event=count_events)
+def test_count_event_round_trip(event):
+    assert CountEvent.from_dict(event.as_dict()) == event
+    # ...including through actual JSON (tuples -> lists -> tuples).
+    assert CountEvent.from_dict(json.loads(json.dumps(event.as_dict()))) == event
+
+
+@settings(max_examples=60, deadline=None)
+@given(checkpoint=checkpoints)
+def test_checkpoint_round_trip(checkpoint):
+    restored = Checkpoint.from_json(checkpoint.to_json())
+    assert restored == checkpoint
+    # Support *order* is part of the contract: replay rebuilds dicts in
+    # stored order, so serialization must preserve it exactly.
+    for original, back in zip(checkpoint.events, restored.events):
+        assert original.supports == back.supports
+
+
+@settings(max_examples=30, deadline=None)
+@given(checkpoint=checkpoints)
+def test_checkpoint_save_load_round_trip(checkpoint, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("ckpt"))
+    manager = CheckpointManager(directory, checkpoint.fingerprint)
+    path = manager.save(checkpoint)
+    assert os.path.basename(path) == CHECKPOINT_FILENAME
+    assert manager.load_for_resume() == checkpoint
+
+
+def test_counters_snapshot_round_trips_through_checkpoint():
+    counters = OpCounters()
+    counters.record_counted("S", 2, 17)
+    counters.record_counted("T", 1, 5)
+    counters.scans += 3
+    counters.subset_tests += 1000
+    checkpoint = Checkpoint(
+        fingerprint="f" * 64, events=(), counters=counters.snapshot()
+    )
+    restored = Checkpoint.from_json(checkpoint.to_json()).counters_snapshot()
+    assert restored.as_dict() == counters.as_dict()
+    assert restored.cost() == counters.cost()
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+def test_rejects_non_checkpoint_documents():
+    with pytest.raises(ExecutionError, match="not a checkpoint"):
+        Checkpoint.from_dict({"schema": "something-else", "version": 1})
+    with pytest.raises(ExecutionError, match="JSON object"):
+        Checkpoint.from_dict([1, 2, 3])
+    with pytest.raises(ExecutionError, match="not valid JSON"):
+        Checkpoint.from_json("{truncated")
+
+
+def test_rejects_unknown_version():
+    document = Checkpoint(fingerprint="a", events=(),
+                          counters=OpCounters().snapshot()).to_dict()
+    document["version"] = 999
+    with pytest.raises(ExecutionError, match="version"):
+        Checkpoint.from_dict(document)
+
+
+def test_rejects_missing_keys():
+    document = Checkpoint(fingerprint="a", events=(),
+                          counters=OpCounters().snapshot()).to_dict()
+    del document["counters"]
+    with pytest.raises(ExecutionError, match="counters"):
+        Checkpoint.from_dict(document)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_dataset_digest_is_order_sensitive():
+    a = TransactionDatabase([(1, 2), (3,)])
+    b = TransactionDatabase([(3,), (1, 2)])
+    same = TransactionDatabase([(2, 1), (3,)])  # normalized identically
+    assert dataset_digest(a) != dataset_digest(b)
+    assert dataset_digest(a) == dataset_digest(same)
+
+
+def test_run_fingerprint_binds_query_data_and_options():
+    db = TransactionDatabase([(1, 2), (2, 3)])
+    base = run_fingerprint("q", db, {"dovetail": True})
+    assert run_fingerprint("q", db, {"dovetail": True}) == base
+    assert run_fingerprint("other", db, {"dovetail": True}) != base
+    assert run_fingerprint("q", db, {"dovetail": False}) != base
+    other_db = TransactionDatabase([(1, 2)])
+    assert run_fingerprint("q", other_db, {"dovetail": True}) != base
+
+
+def test_stale_fingerprint_rejected_with_clear_error(tmp_path):
+    directory = str(tmp_path)
+    stored = Checkpoint(fingerprint="a" * 64, events=(),
+                        counters=OpCounters().snapshot())
+    CheckpointManager(directory, "a" * 64).save(stored)
+    manager = CheckpointManager(directory, "b" * 64)
+    with pytest.raises(ExecutionError) as excinfo:
+        manager.load_for_resume()
+    message = str(excinfo.value)
+    assert "different run" in message
+    assert "Delete the checkpoint directory" in message
+
+
+def test_load_without_checkpoint_returns_none(tmp_path):
+    manager = CheckpointManager(str(tmp_path), "a" * 64)
+    assert manager.load_for_resume() is None
+
+
+# ----------------------------------------------------------------------
+# Atomic save
+# ----------------------------------------------------------------------
+def test_save_overwrites_atomically_and_leaves_no_temp_files(tmp_path):
+    directory = str(tmp_path)
+    manager = CheckpointManager(directory, "f" * 64)
+    first = Checkpoint(fingerprint="f" * 64, events=(),
+                       counters=OpCounters().snapshot(),
+                       levels_completed={"S": 1})
+    second = Checkpoint(fingerprint="f" * 64, events=(),
+                        counters=OpCounters().snapshot(),
+                        levels_completed={"S": 2})
+    manager.save(first)
+    manager.save(second)
+    assert manager.saves == 2
+    assert os.listdir(directory) == [CHECKPOINT_FILENAME]
+    assert manager.load_for_resume().levels_completed == {"S": 2}
+
+
+def test_failed_save_cleans_up_temp_file(tmp_path, monkeypatch):
+    directory = str(tmp_path)
+    manager = CheckpointManager(directory, "f" * 64)
+    checkpoint = Checkpoint(fingerprint="f" * 64, events=(),
+                            counters=OpCounters().snapshot())
+
+    def boom(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "replace", boom)
+    with pytest.raises(OSError):
+        manager.save(checkpoint)
+    monkeypatch.undo()
+    assert os.listdir(directory) == []  # temp file unlinked, no torn file
+    assert manager.saves == 0

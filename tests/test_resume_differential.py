@@ -1,0 +1,146 @@
+"""Differential proof of the checkpoint/resume contract.
+
+The claim (``docs/run-lifecycle.md``): interrupt a run at any completed
+level boundary, resume it from the checkpoint, and the resumed run is
+**bit-identical** to an uninterrupted one — same frequent sets, same
+supports, same answers, same operation counters.  This file proves it on
+three workload families (quickstart, Figure 8(b), and the Section 7.3
+Jmax query) at several interruption points, including chained
+interrupt-resume-interrupt-resume sequences.
+"""
+
+import pytest
+
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import (
+    fig8b_workload,
+    jmax_workload,
+    quickstart_workload,
+)
+from repro.errors import ExecutionError
+from repro.runtime.guard import RunGuard
+
+WORKLOADS = {
+    "quickstart": lambda: quickstart_workload(n_transactions=300),
+    "fig8b": lambda: fig8b_workload(40.0, n_items=120, n_transactions=300),
+    "jmax": lambda: jmax_workload(600.0, n_transactions=200, core_size=8),
+}
+
+
+class TripAfterLevels(RunGuard):
+    """Deterministic interruption: cancel after N completed levels."""
+
+    def __init__(self, n_levels: int):
+        super().__init__()
+        self.remaining = n_levels
+
+    def level_completed(self, var, level):
+        super().level_completed(var, level)
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.request_cancel("cancelled", "test interruption")
+            self.check("level")
+
+
+def _execute(workload, **kwargs):
+    return CFQOptimizer(workload.cfq()).execute(workload.db, **kwargs)
+
+
+def _assert_identical(resumed, baseline, cfq_vars):
+    """Bit-identical contract: sets, supports, answers, counters."""
+    for var in cfq_vars:
+        base_levels = baseline.raw.result_for(var).frequent
+        res_levels = resumed.raw.result_for(var).frequent
+        # Dict equality covers itemsets AND their exact supports; compare
+        # list-ified items to also pin the (deterministic) ordering.
+        assert res_levels == base_levels
+        for level in base_levels:
+            assert (list(res_levels[level].items())
+                    == list(base_levels[level].items()))
+        assert resumed.frequent_valid(var) == baseline.frequent_valid(var)
+    assert resumed.pairs() == baseline.pairs()
+    assert resumed.counters.as_dict() == baseline.counters.as_dict()
+    assert resumed.raw.bound_histories == baseline.raw.bound_histories
+    assert resumed.status == "complete"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("trip_after", [1, 3, 5])
+def test_resumed_run_is_bit_identical(name, trip_after, tmp_path):
+    workload = WORKLOADS[name]()
+    baseline = _execute(workload)
+
+    interrupted = _execute(
+        workload,
+        guard=TripAfterLevels(trip_after),
+        checkpoint_dir=str(tmp_path),
+    )
+    assert interrupted.is_partial, "workload finished before the trip point"
+    assert interrupted.interruption is not None
+
+    resumed = _execute(workload, checkpoint_dir=str(tmp_path), resume=True)
+    _assert_identical(resumed, baseline, workload.cfq().variables)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_chained_interruptions_still_converge(name, tmp_path):
+    """Interrupt, resume-and-interrupt-again, then resume to completion."""
+    workload = WORKLOADS[name]()
+    baseline = _execute(workload)
+
+    first = _execute(workload, guard=TripAfterLevels(1),
+                     checkpoint_dir=str(tmp_path))
+    assert first.is_partial
+    second = _execute(workload, guard=TripAfterLevels(2),
+                      checkpoint_dir=str(tmp_path), resume=True)
+    assert second.is_partial
+    final = _execute(workload, checkpoint_dir=str(tmp_path), resume=True)
+    _assert_identical(final, baseline, workload.cfq().variables)
+
+
+def test_resume_without_checkpoint_starts_fresh(tmp_path):
+    workload = WORKLOADS["quickstart"]()
+    baseline = _execute(workload)
+    resumed = _execute(workload, checkpoint_dir=str(tmp_path), resume=True)
+    _assert_identical(resumed, baseline, workload.cfq().variables)
+
+
+def test_resume_after_complete_run_replays_fully(tmp_path):
+    """A checkpoint written by a run that finished replays to the same
+    answer without re-counting (no new scans during replay)."""
+    workload = WORKLOADS["quickstart"]()
+    baseline = _execute(workload, checkpoint_dir=str(tmp_path))
+    assert not baseline.is_partial
+    resumed = _execute(workload, checkpoint_dir=str(tmp_path), resume=True)
+    _assert_identical(resumed, baseline, workload.cfq().variables)
+
+
+def _interrupt_past_first_boundary(workload, tmp_path):
+    """Interrupt late enough that at least one checkpoint was written."""
+    interrupted = _execute(workload, guard=TripAfterLevels(5),
+                           checkpoint_dir=str(tmp_path))
+    assert interrupted.is_partial
+    assert (tmp_path / "checkpoint.json").exists()
+    return interrupted
+
+
+def test_resume_refuses_mismatched_dataset(tmp_path):
+    workload = WORKLOADS["quickstart"]()
+    _interrupt_past_first_boundary(workload, tmp_path)
+    other = quickstart_workload(n_transactions=301)
+    with pytest.raises(ExecutionError, match="different run"):
+        _execute(other, checkpoint_dir=str(tmp_path), resume=True)
+
+
+def test_resume_refuses_mismatched_options(tmp_path):
+    workload = WORKLOADS["quickstart"]()
+    _interrupt_past_first_boundary(workload, tmp_path)
+    with pytest.raises(ExecutionError, match="different run"):
+        _execute(workload, checkpoint_dir=str(tmp_path), resume=True,
+                 dovetail=False)
+
+
+def test_resume_requires_checkpoint_dir():
+    workload = WORKLOADS["quickstart"]()
+    with pytest.raises(ValueError, match="checkpoint_dir"):
+        _execute(workload, resume=True)
