@@ -1,0 +1,155 @@
+"""Serving-layer performance acceptance: warm speedup and disabled cost.
+
+Two promises back the serving layer (``docs/serving.md``):
+
+1. **Warm speedup** — answering a repeated query from the fingerprinted
+   result cache is at least 5x faster than mining it cold (in practice
+   orders of magnitude: a warm hit is a JSON parse plus plan rebuild).
+2. **Disabled overhead** — a run that does not opt into serving pays at
+   most 3% over the pre-serving engine.  The integration added exactly
+   two kinds of call sites to the uncached path: the optimizer's
+   ``cacheable`` gate (one ``cache is not None`` conjunction per run)
+   and the engine's ``support_oracle is not None`` branch (one per
+   (variable, level) counting pass).  Both are measured directly,
+   multiplied by 10x-padded per-run counts, and compared against the
+   cold run's wall time — mirroring the observability-overhead
+   methodology next door.
+"""
+
+import time
+
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import quickstart_workload
+from repro.serve import QueryService
+
+REPEATS = 5
+OVERHEAD_BUDGET = 0.03
+WARM_SPEEDUP_FLOOR = 5.0
+CALL_SITE_PADDING = 10
+
+
+def _workload():
+    workload = quickstart_workload(n_transactions=1500)
+    return workload, workload.cfq()
+
+
+def _min_wall(fn, repeats=REPEATS):
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_repeated_query_warm_speedup_at_least_5x():
+    workload, cfq = _workload()
+    service = QueryService()
+
+    start = time.perf_counter()
+    cold = service.execute(workload.db, cfq)
+    cold_wall = time.perf_counter() - start
+    assert cold.cache_info["source"] == "cold"
+
+    def warm_run():
+        warm = service.execute(workload.db, cfq)
+        assert warm.cache_info["source"] == "result-cache"
+
+    warm_wall = _min_wall(warm_run)
+    speedup = cold_wall / warm_wall
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm serving only {speedup:.1f}x faster than cold "
+        f"({warm_wall * 1e3:.1f}ms vs {cold_wall * 1e3:.1f}ms)"
+    )
+
+
+def test_batch_session_beats_per_step_cold_mining():
+    """The shared-scan batch (skeleton build included) must beat mining
+    every refinement step cold — the headline serving-workload claim.
+
+    The skeleton is mined *unconstrained* at the weakest threshold, so
+    a very short session can lose to constraint-pruned cold runs; the
+    shared scan amortizes from a handful of steps on (an 8-step session
+    wins by ~1.4x at this scale, and the margin grows with both session
+    length and database size)."""
+    from repro.datagen.workloads import refinement_queries
+
+    workload, __ = _workload()
+    session = refinement_queries(workload, steps=8)
+
+    start = time.perf_counter()
+    for cfq in session:
+        CFQOptimizer(cfq).execute(workload.db)
+    cold_total = time.perf_counter() - start
+
+    service = QueryService()
+    start = time.perf_counter()
+    report = service.execute_batch(workload.db, session)
+    batch_total = time.perf_counter() - start
+
+    assert all(item.source == "skeleton" for item in report.items)
+    assert batch_total < cold_total, (
+        f"batch ({batch_total:.3f}s incl. skeleton build "
+        f"{report.skeleton_build_seconds:.3f}s) not faster than "
+        f"per-step cold mining ({cold_total:.3f}s)"
+    )
+
+
+def test_disabled_serving_overhead_under_3_percent():
+    """Analytic bound on what the serving integration costs a run that
+    never opts in (no ``cache``, no ``support_oracle``)."""
+    workload, cfq = _workload()
+
+    def run_disabled():
+        return CFQOptimizer(cfq).execute(workload.db)
+
+    run_disabled()  # warm-up
+    baseline = _min_wall(run_disabled)
+    result = run_disabled()
+
+    # Call sites per run: the cacheable gate fires once; the oracle
+    # branch fires once per (var, level) counting pass.
+    counting_passes = len(result.counters.support_counted)
+    call_sites = 1 + counting_passes
+
+    # Cost of one such site: an `x is not None` test plus a short-circuit
+    # conjunction, measured on the real shapes.
+    cache = None
+    oracle = None
+    n = 1_000_000
+    start = time.perf_counter()
+    for __ in range(n):
+        if cache is not None and oracle is None:  # pragma: no cover
+            raise AssertionError
+        if oracle is not None:  # pragma: no cover
+            raise AssertionError
+    per_site = (time.perf_counter() - start) / n
+
+    overhead = per_site * call_sites * CALL_SITE_PADDING
+    assert overhead < OVERHEAD_BUDGET * baseline, (
+        f"disabled serving cost {overhead * 1e6:.2f}us "
+        f"({call_sites} sites x{CALL_SITE_PADDING} padding) exceeds "
+        f"{OVERHEAD_BUDGET:.0%} of the {baseline * 1e3:.1f}ms baseline"
+    )
+
+
+def test_disabled_not_slower_than_cache_enabled_cold_run():
+    """Empirical sanity: an uncached run must not exceed a cache-enabled
+    cold run (which does strictly more: fingerprint, serialize, store) by
+    more than measurement noise (generous 15% for sub-second runs)."""
+    workload, cfq = _workload()
+
+    def run_disabled():
+        CFQOptimizer(cfq).execute(workload.db)
+
+    def run_enabled_cold():
+        service = QueryService()  # fresh service: always a cold miss
+        service.execute(workload.db, cfq)
+
+    run_disabled()  # warm-up
+    disabled = _min_wall(run_disabled)
+    enabled = _min_wall(run_enabled_cold)
+    assert disabled <= enabled * 1.15, (
+        f"uncached run ({disabled:.3f}s) slower than cache-enabled cold "
+        f"run ({enabled:.3f}s)"
+    )

@@ -62,6 +62,7 @@ def run_strategy(
     trace: bool = False,
     deadline: Optional[float] = None,
     guard: Optional[RunGuard] = None,
+    service=None,
     **options,
 ) -> StrategyRun:
     """Run one strategy (``optimizer`` with options, or ``apriori_plus``).
@@ -76,6 +77,11 @@ def run_strategy(
     alternatively pass an explicit ``guard``.  A tripped guard yields a
     ``status="partial"`` run instead of raising, so benchmark tables can
     include interrupted rows uniformly.
+
+    ``service`` routes an ``optimizer`` run through a
+    :class:`~repro.serve.QueryService` (result cache, then skeleton
+    oracle, then cold) — the serving-workload benchmarks use this to
+    measure cold-vs-warm wall time under identical instrumentation.
     """
     if guard is None and deadline is not None:
         guard = RunGuard(deadline_seconds=deadline)
@@ -95,9 +101,15 @@ def run_strategy(
             status, trip = "partial", exc.trip
         frequent_sizes = {var: len(result.frequent(var)) for var in cfq.variables}
     elif kind == "optimizer":
-        result = CFQOptimizer(cfq).execute(
-            db, counters=counters, tracer=tracer, guard=guard, **options
-        )
+        if service is not None:
+            result = service.execute(
+                db, cfq, counters=counters, tracer=tracer, guard=guard,
+                **options,
+            )
+        else:
+            result = CFQOptimizer(cfq).execute(
+                db, counters=counters, tracer=tracer, guard=guard, **options
+            )
         status = getattr(result, "status", "complete")
         trip = getattr(result, "interruption", None)
         frequent_sizes = {

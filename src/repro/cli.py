@@ -5,6 +5,11 @@ Three subcommands:
 ``query``
     Run a CFQ (in the paper's ``{(S, T) | ...}`` notation) against a
     generated market-basket workload and print the answer and plan.
+    ``--cache-dir`` serves it through the fingerprinted result cache,
+    persisted on disk so a repeated identical invocation is warm.
+``batch``
+    Run several CFQs over one workload through the serving layer's
+    shared-scan batch executor and print a per-query source/timing table.
 ``experiments``
     Regenerate the paper's Section 7 tables (same code as the benchmark
     suite), optionally at smoke scale.
@@ -15,6 +20,8 @@ Examples::
 
     python -m repro query '{(S, T) | max(S.Price) <= min(T.Price)}'
     python -m repro query '{(S, T) | freq(S, 0.03) & S.Type = {snacks}}' --pairs 5
+    python -m repro batch '{(S, T) | S.Type = T.Type}' \
+        '{(S, T) | max(S.Price) <= min(T.Price)}'
     python -m repro experiments --scale smoke --only fig8a
     python -m repro classify 'sum(S.Price) <= sum(T.Price)'
 """
@@ -102,6 +109,32 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--resume", action="store_true",
                        help="resume from the checkpoint in --checkpoint-dir "
                        "(validated against the query and dataset)")
+    query.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="serve through the fingerprinted result cache, "
+                       "persisting artifacts in DIR: a repeated identical "
+                       "invocation is answered from cache (incompatible "
+                       "with --checkpoint-dir/--resume)")
+
+    batch = sub.add_parser(
+        "batch",
+        help="run several CFQs over one workload with shared scans",
+    )
+    batch.add_argument("cfqs", nargs="+", metavar="CFQ",
+                       help="query texts, e.g. '{(S, T) | S.Type = T.Type}'")
+    batch.add_argument("--minsup", type=float, default=0.02,
+                       help="default relative support threshold")
+    batch.add_argument("--transactions", type=int, default=1500,
+                       help="size of the generated market-basket database")
+    batch.add_argument("--seed", type=int, default=7)
+    batch.add_argument("--pairs", type=int, default=3,
+                       help="how many valid pairs to print per query")
+    batch.add_argument("--backend", default="hybrid", metavar="BACKEND",
+                       help="support-counting backend (as in 'query')")
+    batch.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="also persist full result artifacts in DIR")
+    batch.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget for the whole batch")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's Section 7 tables"
@@ -109,7 +142,8 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--scale", choices=("full", "smoke"), default="smoke")
     experiments.add_argument(
         "--only",
-        choices=("fig8a", "fig8b", "jmax", "ccc", "ablations", "backends"),
+        choices=("fig8a", "fig8b", "jmax", "ccc", "ablations", "backends",
+                 "serving"),
         default=None,
         help="run a single experiment family",
     )
@@ -123,7 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "PARTIAL notes under the tables instead of aborting them",
     )
 
-    for command in (query, experiments):
+    for command in (query, batch, experiments):
         command.add_argument(
             "--log-level", choices=LEVELS, default=None,
             help="enable repro.* logging on stderr at this level",
@@ -153,6 +187,11 @@ def _resolve_backend(name: str, workers: Optional[int]):
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         raise ExecutionError("--resume requires --checkpoint-dir")
+    if args.cache_dir and (args.checkpoint_dir or args.resume):
+        raise ExecutionError(
+            "--cache-dir cannot be combined with --checkpoint-dir/--resume: "
+            "checkpointed runs bypass the result cache by design"
+        )
     backend = _resolve_backend(args.backend, args.workers)
     tracer = Tracer() if (args.trace_out or args.profile) else None
     workload = quickstart_workload(n_transactions=args.transactions,
@@ -178,17 +217,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
             profile = cProfile.Profile()
             profile.enable()
         try:
-            result = CFQOptimizer(cfq).execute(
-                workload.db,
-                backend=backend,
-                tracer=tracer,
-                guard=guard,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=args.resume,
-            )
+            if args.cache_dir:
+                from repro.serve import QueryService
+
+                service = QueryService(cache_dir=args.cache_dir)
+                result = service.execute(
+                    workload.db, cfq,
+                    backend=backend, tracer=tracer, guard=guard,
+                )
+            else:
+                result = CFQOptimizer(cfq).execute(
+                    workload.db,
+                    backend=backend,
+                    tracer=tracer,
+                    guard=guard,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=args.resume,
+                )
         finally:
             if profile is not None:
                 profile.disable()
+    if args.cache_dir and result.cache_info is not None:
+        source = result.cache_info.get("source")
+        if source == "result-cache":
+            print("cache: hit (result-cache)")
+        elif source == "skeleton":
+            print("cache: hit (skeleton oracle)")
+        else:
+            print("cache: miss (cold run stored)")
     if result.is_partial:
         trip = result.interruption
         print(f"run interrupted: {trip.summary() if trip else 'unknown reason'}")
@@ -242,6 +298,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return EXIT_INTERRUPTED if result.is_partial else 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.serve import QueryService
+
+    backend = _resolve_backend(args.backend, None)
+    workload = quickstart_workload(n_transactions=args.transactions,
+                                   seed=args.seed)
+    cfqs = [
+        parse_cfq(text, workload.domains, default_minsup=args.minsup)
+        for text in args.cfqs
+    ]
+    print(f"workload: {workload.db!r}")
+    guard = RunGuard(deadline_seconds=args.deadline)
+    service = QueryService(cache_dir=args.cache_dir)
+    with backend_scope(backend), guard.signals():
+        report = service.execute_batch(
+            workload.db, cfqs, backend=backend, guard=guard
+        )
+    print(f"batch of {len(report.items)} queries "
+          f"(skeleton build {report.skeleton_build_seconds:.3f}s, "
+          f"{service.stats.skeleton_builds} skeleton(s) mined)")
+    any_partial = False
+    for index, item in enumerate(report.items, start=1):
+        result = item.result
+        status = "" if not result.is_partial else " [PARTIAL]"
+        any_partial = any_partial or result.is_partial
+        print(f"  [{index}] {item.cfq}")
+        print(f"      source {item.source}, "
+              f"{item.wall_seconds:.4f}s{status}")
+        for var in item.cfq.variables:
+            print(f"      frequent valid {var}-sets: "
+                  f"{len(result.frequent_valid(var))}")
+        if len(item.cfq.variables) == 2 and not result.is_partial:
+            pairs = result.pairs(limit=args.pairs)
+            for s0, t0 in pairs:
+                print(f"      S={s0}  T={t0}")
+    print(f"cache stats: {service.stats.summary()}")
+    return EXIT_INTERRUPTED if any_partial else 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench import experiments as exp
 
@@ -252,6 +347,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         "ccc": (exp.ccc_experiment,),
         "ablations": (exp.ablation_table,),
         "backends": (exp.backend_table,),
+        "serving": (exp.serving_repeated_table, exp.serving_refinement_table),
     }
     selected = (
         families[args.only]
@@ -311,6 +407,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         configure_logging(args.log_level)
     handlers = {
         "query": _cmd_query,
+        "batch": _cmd_batch,
         "experiments": _cmd_experiments,
         "classify": _cmd_classify,
     }

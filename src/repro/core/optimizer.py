@@ -22,6 +22,7 @@ concrete runs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -64,6 +65,11 @@ class CFQResult:
     status: str = "complete"
     interruption: object = None
     guard: object = None
+    #: How the serving layer answered this query, when a cache was in
+    #: play: ``{"source": "result-cache" | "skeleton" | "cold", ...}``
+    #: plus fingerprints, timings, and a cache-stats snapshot.  ``None``
+    #: for plain uncached runs.
+    cache_info: Optional[Dict] = None
 
     @property
     def is_partial(self) -> bool:
@@ -153,6 +159,29 @@ class CFQResult:
         stats = getattr(self.backend, "stats", None)
         if stats is not None and getattr(stats, "levels", None):
             lines.append(f"  parallel counting: {stats.summary()}")
+        if self.cache_info:
+            info = self.cache_info
+            lines.append(f"  cache: source {info.get('source', 'unknown')}")
+            for label, key in (
+                ("dataset", "dataset_fingerprint"),
+                ("query", "query_fingerprint"),
+            ):
+                if info.get(key):
+                    lines.append(f"    {label} fingerprint: {info[key][:16]}...")
+            if info.get("cold_wall_seconds") is not None:
+                lines.append(
+                    f"    cold wall seconds: {info['cold_wall_seconds']:.6f}"
+                )
+            if info.get("warm_wall_seconds") is not None:
+                lines.append(
+                    f"    warm wall seconds: {info['warm_wall_seconds']:.6f}"
+                )
+            stats_block = info.get("stats")
+            if stats_block:
+                rendered = ", ".join(
+                    f"{name}={value}" for name, value in stats_block.items()
+                )
+                lines.append(f"    stats: {rendered}")
         if self.guard is not None and getattr(self.guard, "enabled", False):
             telemetry = self.guard.telemetry()
             budgets = {
@@ -313,6 +342,8 @@ class CFQOptimizer:
         guard=None,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        cache=None,
+        support_oracle=None,
     ) -> CFQResult:
         """Plan and run the query; the keyword flags drive the ablations.
 
@@ -324,9 +355,55 @@ class CFQOptimizer:
         crash-safe checkpointing after every completed level;
         ``resume=True`` additionally replays a stored checkpoint (the
         fingerprint must match this query, database, and option set).
+
+        ``cache`` is a duck-typed result-cache hook (the serving layer's
+        :class:`~repro.serve.QueryService` supplies one): an object with
+        ``lookup(db, cfq, options)`` returning ``None`` or a hit carrying
+        ``raw``/``counters_snapshot``/``info``, and ``store(db, cfq,
+        options, result, elapsed_seconds)``.  A hit skips mining entirely
+        (the caller's ``counters`` are overwritten with the cold run's
+        snapshot, exactly as checkpoint resume does); a miss stores the
+        completed result.  Runs that checkpoint, resume, or keep
+        candidate logs bypass the cache, and partial (guard-tripped)
+        results are never stored.  ``support_oracle`` substitutes cached
+        skeleton supports for database passes (see
+        :class:`~repro.mining.dovetail.DovetailEngine`).
         """
         tracer = resolve_tracer(tracer)
         guard = resolve_guard(guard)
+        cache_options = {
+            "dovetail": dovetail,
+            "use_reduction": use_reduction,
+            "use_jmax": use_jmax,
+            "reduction_rounds": reduction_rounds,
+        }
+        cacheable = (
+            cache is not None
+            and checkpoint_dir is None
+            and not resume
+            and not keep_candidates
+            and support_oracle is None
+        )
+        if cacheable:
+            hit = cache.lookup(db, self.cfq, cache_options)
+            if hit is not None:
+                plan = self.plan(db, tracer=tracer)
+                if counters is None:
+                    counters = OpCounters()
+                counters.restore(hit.counters_snapshot)
+                raw = hit.raw
+                raw.counters = counters
+                tracer.event("cache.hit", query=str(self.cfq))
+                return CFQResult(
+                    cfq=self.cfq,
+                    plan=plan,
+                    counters=counters,
+                    raw=raw,
+                    backend=None,
+                    trace=tracer if tracer.enabled else None,
+                    status="complete",
+                    cache_info=dict(getattr(hit, "info", None) or {}),
+                )
         checkpointer = None
         if checkpoint_dir is not None:
             fingerprint = run_fingerprint(
@@ -361,7 +438,9 @@ class CFQOptimizer:
                 guard=guard,
                 checkpointer=checkpointer,
                 resume=resume,
+                support_oracle=support_oracle,
             )
+            start = time.perf_counter()
             try:
                 raw = engine.run()
             except RunInterrupted as exc:
@@ -375,7 +454,8 @@ class CFQOptimizer:
                     reason=getattr(exc.trip, "reason", None),
                     detail=str(exc),
                 )
-        return CFQResult(
+            elapsed = time.perf_counter() - start
+        result = CFQResult(
             cfq=self.cfq,
             plan=plan,
             counters=engine.counters,
@@ -386,6 +466,11 @@ class CFQOptimizer:
             interruption=interruption,
             guard=guard if guard.enabled else None,
         )
+        if cacheable and status == "complete":
+            result.cache_info = cache.store(
+                db, self.cfq, cache_options, result, elapsed
+            )
+        return result
 
 
 def mine_cfq(

@@ -68,6 +68,49 @@ class ExecutionPlan:
     jmax: List[JmaxPlan] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
 
+    def signature(self) -> Dict[str, object]:
+        """A stable, JSON-serializable structural description of the plan.
+
+        The serving layer stamps this into cached result artifacts so an
+        entry records *which strategy* produced it (variables with their
+        thresholds and pushed constraints, scheduled reductions, jmax
+        series, planner notes) — planning is deterministic, so a warm
+        hit's recomputed plan must match the stored signature, and the
+        differential suite asserts it does.
+        """
+        return {
+            "variables": {
+                var: {
+                    "domain": plan.domain.name,
+                    "elements": len(plan.domain),
+                    "min_count": plan.min_count,
+                    "constraints": [str(c) for c in plan.base_constraints],
+                }
+                for var, plan in sorted(self.var_plans.items())
+            },
+            "reductions": [
+                {
+                    "constraint": str(reduction.view),
+                    "induced_from": (
+                        str(reduction.induced_from)
+                        if reduction.induced_from is not None
+                        else None
+                    ),
+                }
+                for reduction in self.reductions
+            ],
+            "jmax": [
+                {
+                    "bound": f"{j.bound_kind}({j.bound_var}.{j.bound_attr})",
+                    "pruned": f"{j.pruned_func}({j.pruned_var}.{j.pruned_attr})",
+                    "strict": j.strict,
+                    "source": j.source,
+                }
+                for j in self.jmax
+            ],
+            "notes": list(self.notes),
+        }
+
     def explain(self) -> str:
         """Render the plan in the layout of the paper's Figure 7."""
         lines: List[str] = ["CFQ execution plan"]

@@ -371,3 +371,48 @@ def quickstart_workload(
         ],
         description="Cheap snacks leading to expensive beers (Section 2)",
     )
+
+
+# ----------------------------------------------------------------------
+# Serving workloads: interactive refinement sessions
+# ----------------------------------------------------------------------
+def refinement_queries(
+    workload: Workload,
+    steps: int = 4,
+    relax: float = 0.5,
+) -> List[CFQ]:
+    """An interactive-refinement session over one workload's dataset.
+
+    Models an analyst converging on the workload's query: the session
+    opens with a broad scan (support threshold relaxed by ``relax``, only
+    the first constraint applied) and tightens step by step — raising
+    minsup back toward the workload's own and layering the remaining
+    constraints in — until the final step *is* ``workload.cfq()``.
+
+    Every query shares the dataset and the first query has the weakest
+    threshold, so the serving layer's batch executor answers the whole
+    session from one frequency skeleton mined for step one (the
+    union-of-thresholds rule); this is the "interactive refinement"
+    benchmark workload.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    base = workload.minsup
+    scale_minsup = (
+        (lambda fraction: {var: s * fraction for var, s in base.items()})
+        if isinstance(base, dict)
+        else (lambda fraction: base * fraction)
+    )
+    queries: List[CFQ] = []
+    n_constraints = len(workload.constraints)
+    for step in range(steps):
+        progress = step / max(steps - 1, 1)  # 0.0 -> 1.0 across the session
+        fraction = relax + (1.0 - relax) * progress
+        n_applied = max(1, round(n_constraints * (step + 1) / steps))
+        queries.append(
+            workload.cfq(
+                constraints=workload.constraints[:n_applied],
+                minsup=scale_minsup(fraction),
+            )
+        )
+    return queries

@@ -454,6 +454,95 @@ class ParallelStats:
         return text
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for the serving layer's fingerprinted caches.
+
+    One instance is shared by a :class:`~repro.serve.QueryService`'s
+    result cache and skeleton cache, so a single snapshot describes the
+    whole service: how often full results were served from cache
+    (``hits``/``misses``), how entries left (``evictions`` by LRU
+    pressure, ``expirations`` by TTL, ``invalidations`` explicitly), how
+    the frequency-skeleton tier fared, and how many payload bytes the
+    caches currently hold.  ``as_dict`` feeds the run report's ``cache``
+    block and ``--explain`` output.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    skeleton_hits: int = 0
+    skeleton_misses: int = 0
+    skeleton_builds: int = 0
+    bytes_held: int = 0
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    def record_store(self, nbytes: int) -> None:
+        self.stores += 1
+        self.bytes_held += nbytes
+
+    def record_eviction(self, nbytes: int, expired: bool = False) -> None:
+        if expired:
+            self.expirations += 1
+        else:
+            self.evictions += 1
+        self.bytes_held -= nbytes
+
+    def record_invalidation(self, nbytes: int) -> None:
+        self.invalidations += 1
+        self.bytes_held -= nbytes
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of result lookups served from cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary suitable for reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "skeleton_hits": self.skeleton_hits,
+            "skeleton_misses": self.skeleton_misses,
+            "skeleton_builds": self.skeleton_builds,
+            "bytes_held": self.bytes_held,
+        }
+
+    def summary(self) -> str:
+        """One-line rendering for CLI ``--explain`` output."""
+        d = self.as_dict()
+        text = (
+            f"{d['hits']} hit(s), {d['misses']} miss(es) "
+            f"(rate {d['hit_rate']:.0%}), {d['stores']} store(s), "
+            f"{d['bytes_held']} bytes held"
+        )
+        if d["evictions"] or d["expirations"] or d["invalidations"]:
+            text += (
+                f"; {d['evictions']} evicted, {d['expirations']} expired, "
+                f"{d['invalidations']} invalidated"
+            )
+        if d["skeleton_builds"] or d["skeleton_hits"] or d["skeleton_misses"]:
+            text += (
+                f"; skeleton: {d['skeleton_builds']} build(s), "
+                f"{d['skeleton_hits']} hit(s), {d['skeleton_misses']} miss(es)"
+            )
+        return text
+
+
 @dataclass(frozen=True)
 class CostWeights:
     """Weights for collapsing :class:`OpCounters` into a scalar cost."""

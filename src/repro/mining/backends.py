@@ -111,12 +111,17 @@ class HashTreeBackend:
 class VerticalBackend:
     """Counting through TID-list intersections.
 
-    TID-lists are cached per transaction-list object, so repeated levels
-    over the same (untrimmed) list pay the build once.  The cache holds
-    several lists (bounded FIFO) because one backend instance may now be
-    shared by both lattices of a dovetailed run, which alternate between
-    two transaction lists every level; the cached list object is kept
-    alive so its ``id`` cannot be recycled under the cache.
+    TID-lists are cached **by transaction-list content fingerprint**
+    (:func:`repro.runtime.checkpoint.transactions_digest`), so two loads
+    of the same dataset file — distinct list objects with equal content —
+    share one TID-list build.  Keying on ``id()`` alone would miss that
+    sharing (and could alias recycled ids); content keying makes the
+    cache safe across independently loaded copies.  An ``id``-keyed memo
+    in front avoids re-digesting the *same* list object on every level
+    (the common case: a lattice reuses its trimmed list across levels);
+    the memo keeps the list object alive so its id cannot be recycled
+    under the memo.  ``builds`` counts actual TID-list constructions, so
+    tests can assert the sharing.
     """
 
     name = "vertical"
@@ -127,7 +132,25 @@ class VerticalBackend:
                 f"max_cached_lists must be >= 1, got {max_cached_lists}"
             )
         self.max_cached_lists = max_cached_lists
-        self._cache: Dict[int, Tuple[object, Dict[int, frozenset]]] = {}
+        #: content digest -> TID-lists (bounded FIFO)
+        self._cache: Dict[str, Dict[int, frozenset]] = {}
+        #: id(list) -> (list object, content digest) memo (bounded FIFO)
+        self._digests: Dict[int, Tuple[object, str]] = {}
+        #: TID-list builds performed (cache misses); equal-content lists
+        #: must not bump this twice.
+        self.builds = 0
+
+    def _fingerprint(self, transactions) -> str:
+        memo = self._digests.get(id(transactions))
+        if memo is not None and memo[0] is transactions:
+            return memo[1]
+        from repro.runtime.checkpoint import transactions_digest
+
+        digest = transactions_digest(transactions)
+        if len(self._digests) >= self.max_cached_lists:
+            self._digests.pop(next(iter(self._digests)))
+        self._digests[id(transactions)] = (transactions, digest)
+        return digest
 
     def count(
         self,
@@ -144,15 +167,14 @@ class VerticalBackend:
         # check per pass still bounds a run to level granularity.
         if guard is not None and guard.enabled:
             guard.check("counting")
-        key = id(transactions)
-        entry = self._cache.get(key)
-        if entry is None:
+        key = self._fingerprint(transactions)
+        tidlists = self._cache.get(key)
+        if tidlists is None:
             tidlists = build_tidlists(transactions)
+            self.builds += 1
             if len(self._cache) >= self.max_cached_lists:
                 self._cache.pop(next(iter(self._cache)))
-            self._cache[key] = (transactions, tidlists)
-        else:
-            tidlists = entry[1]
+            self._cache[key] = tidlists
         return count_with_tidlists(tidlists, candidates, counters, var, k=k)
 
 

@@ -88,6 +88,7 @@ class DovetailEngine:
         guard=None,
         checkpointer=None,
         resume: bool = False,
+        support_oracle=None,
     ):
         if reduction_rounds < 1:
             raise ExecutionError("reduction_rounds must be >= 1")
@@ -112,6 +113,14 @@ class DovetailEngine:
         #: (see ``docs/run-lifecycle.md``).
         self.checkpointer = checkpointer
         self.resume = resume
+        #: Optional support oracle (``lookup(var, candidates) -> {itemset:
+        #: support}``, e.g. :class:`repro.serve.skeleton.SupportOracle`):
+        #: when set, counting passes read supports from it instead of the
+        #: database — same mechanism as checkpoint replay, with a cached
+        #: frequency skeleton standing in for the stored count events.
+        #: The candidate-set ledger is still metered (the sets *are*
+        #: decided), but no scans or subset tests happen.
+        self.support_oracle = support_oracle
         self._series: List[Tuple[JmaxPlan, BoundSeries]] = []
         self._bound_side_done: Dict[str, bool] = {}
         self._lattices: Dict[str, ConstrainedLattice] = {}
@@ -307,6 +316,31 @@ class DovetailEngine:
             support = event.support_map()
             if self.checkpointer is not None:
                 self._events.append(event)
+            return support
+        if self.support_oracle is not None:
+            # Oracle-served pass: supports come from the cached frequency
+            # skeleton, keyed in the exact dict order a counted pass
+            # produces — candidate order for k >= 2 (count_candidates
+            # keys on the candidate list) but *set* iteration order for
+            # k == 1 (count_singletons keys on set(elements)), which is
+            # answer-bearing: pair formation iterates these dicts.  The
+            # ledger is recorded exactly as the counting kernels would;
+            # scans and subset tests genuinely did not happen, so they
+            # are not.
+            if k == 1:
+                ordered = [(e,) for e in set(c[0] for c in candidates)]
+            else:
+                ordered = candidates
+            support = self.support_oracle.lookup(lattice.var, ordered)
+            self.counters.record_counted(lattice.var, k, len(candidates))
+            if self.checkpointer is not None:
+                self._events.append(
+                    CountEvent(
+                        var=lattice.var, level=k,
+                        candidates_in=len(candidates),
+                        supports=tuple(support.items()),
+                    )
+                )
             return support
         if k == 1:
             raw = count_singletons(
@@ -646,6 +680,10 @@ class DovetailEngine:
         )
 
     def _record_level_scan(self, n_active: int) -> None:
+        # Oracle-served passes touch no transactions: supports come from
+        # the cached skeleton, so there is no physical pass to record.
+        if self.support_oracle is not None:
+            return
         # Dovetailing shares one physical pass across all lattices of the
         # level; sequential execution pays one pass per lattice per level.
         passes = 1 if self.dovetail else n_active

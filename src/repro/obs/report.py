@@ -40,8 +40,12 @@ RUN_REPORT_SCHEMA = "repro.run_report"
 #:   2 — adds the optional ``budget`` (RunGuard telemetry) and
 #:       ``interruption`` (GuardTrip) blocks and ``answers.status``;
 #:       v1 documents remain readable (the new blocks default to absent)
-RUN_REPORT_VERSION = 2
-SUPPORTED_REPORT_VERSIONS = (1, 2)
+#:   3 — adds the optional ``cache`` block (the serving layer's
+#:       ``CFQResult.cache_info``: answer source, dataset/query
+#:       fingerprints, cold/warm wall seconds, CacheStats snapshot);
+#:       v1/v2 documents remain readable
+RUN_REPORT_VERSION = 3
+SUPPORTED_REPORT_VERSIONS = (1, 2, 3)
 
 #: Hotspot count embedded by ``--profile``.
 PROFILE_TOP_N = 20
@@ -179,6 +183,10 @@ class RunReport:
     #: Schema v2: the ``GuardTrip.as_dict()`` of an interrupted run;
     #: ``None`` when the run completed.
     interruption: Optional[Dict[str, Any]] = None
+    #: Schema v3: how the serving layer answered this run (the
+    #: ``CFQResult.cache_info`` dict — source, fingerprints, timings,
+    #: cache-stats snapshot); ``None`` for uncached runs.
+    cache: Optional[Dict[str, Any]] = None
 
     REQUIRED_KEYS = (
         "schema",
@@ -212,6 +220,7 @@ class RunReport:
             "profile": self.profile,
             "budget": self.budget,
             "interruption": self.interruption,
+            "cache": self.cache,
         })
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -266,6 +275,7 @@ class RunReport:
             profile=document.get("profile"),
             budget=document.get("budget"),
             interruption=document.get("interruption"),
+            cache=document.get("cache"),
         )
 
     @classmethod
@@ -334,4 +344,5 @@ def build_run_report(
             else None
         ),
         interruption=trip.as_dict() if trip is not None else None,
+        cache=getattr(result, "cache_info", None) or None,
     )

@@ -1,0 +1,63 @@
+"""Multi-query serving: fingerprinted caches and shared-scan batches.
+
+See :mod:`repro.serve.service` for the architecture overview and
+``docs/serving.md`` for the operational contract (cache keys,
+invalidation, batch semantics, cold-run fallback triggers).
+"""
+
+from repro.serve.artifacts import (
+    ARTIFACT_SCHEMA,
+    ARTIFACT_VERSION,
+    parse_artifact,
+    rebuild_counters,
+    rebuild_result,
+    serialize_result,
+    validate_artifact,
+)
+from repro.serve.cache import CacheEntry, LRUCache
+from repro.serve.fingerprint import (
+    RESULT_OPTIONS,
+    dataset_fingerprint,
+    domain_fingerprint,
+    options_fingerprint,
+    query_fingerprint,
+    result_key,
+)
+from repro.serve.service import (
+    BatchItem,
+    BatchReport,
+    CacheHit,
+    QueryService,
+)
+from repro.serve.skeleton import (
+    Skeleton,
+    SupportOracle,
+    build_skeleton,
+    skeleton_key,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ARTIFACT_VERSION",
+    "BatchItem",
+    "BatchReport",
+    "CacheEntry",
+    "CacheHit",
+    "LRUCache",
+    "QueryService",
+    "RESULT_OPTIONS",
+    "Skeleton",
+    "SupportOracle",
+    "build_skeleton",
+    "dataset_fingerprint",
+    "domain_fingerprint",
+    "options_fingerprint",
+    "parse_artifact",
+    "query_fingerprint",
+    "rebuild_counters",
+    "rebuild_result",
+    "result_key",
+    "serialize_result",
+    "skeleton_key",
+    "validate_artifact",
+]

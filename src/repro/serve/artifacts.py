@@ -1,0 +1,159 @@
+"""Serialization of mining artifacts for the result cache.
+
+A cached answer must reproduce a cold run **bit-identically**: the same
+frequent sets with the same supports *in the same dict insertion order*
+(pair formation iterates those dicts, so order is answer-bearing), the
+same per-level bookkeeping, the same ``J^k_max`` bound histories, and
+the same operation counters.  The document format here therefore stores
+every mapping as an ordered list of pairs and rebuilds dicts in stored
+order; the round-trip property ``rebuild(serialize(x)) == x`` is pinned
+by the differential suite.
+
+The same document is what the disk tier writes (the CLI's
+``--cache-dir``), so its header is versioned and validated like the
+checkpoint and run-report formats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.db.stats import OpCounters
+from repro.errors import ExecutionError
+from repro.mining.dovetail import DovetailResult
+from repro.mining.lattice import LatticeResult
+
+ARTIFACT_SCHEMA = "repro.serve.result"
+ARTIFACT_VERSION = 1
+
+Itemset = tuple
+
+
+def _lattice_document(result: LatticeResult) -> Dict[str, Any]:
+    return {
+        "var": result.var,
+        "frequent": [
+            [level, [[list(itemset), n] for itemset, n in sets.items()]]
+            for level, sets in result.frequent.items()
+        ],
+        "level1_supports": [
+            [element, n] for element, n in result.level1_supports.items()
+        ],
+        "counted_per_level": [
+            [level, n] for level, n in result.counted_per_level.items()
+        ],
+        "prune_counts": [
+            [level, [[reason, n] for reason, n in counts.items()]]
+            for level, counts in result.prune_counts.items()
+        ],
+    }
+
+
+def _lattice_from_document(document: Dict[str, Any]) -> LatticeResult:
+    return LatticeResult(
+        var=document["var"],
+        frequent={
+            int(level): {
+                tuple(int(i) for i in itemset): int(n) for itemset, n in sets
+            }
+            for level, sets in document["frequent"]
+        },
+        level1_supports={
+            int(element): int(n) for element, n in document["level1_supports"]
+        },
+        counted_per_level={
+            int(level): int(n) for level, n in document["counted_per_level"]
+        },
+        prune_counts={
+            int(level): {str(reason): int(n) for reason, n in counts}
+            for level, counts in document["prune_counts"]
+        },
+    )
+
+
+def serialize_result(
+    raw: DovetailResult,
+    counters: OpCounters,
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """One completed run's artifacts as a JSON document (text).
+
+    ``counters`` must be the state at the end of ``execute()`` — before
+    any ``pairs()``/``valid_sets()`` calls, which meter additional
+    ``pair_checks``; a rebuilt result then accumulates those deltas
+    exactly like the cold run did.  Non-finite bound values (``inf`` in
+    a fresh ``J^k_max`` series) round-trip through Python's JSON
+    ``Infinity`` literals; this document is read back by this module
+    only, never by strict-JSON consumers.
+    """
+    document: Dict[str, Any] = {
+        "schema": ARTIFACT_SCHEMA,
+        "version": ARTIFACT_VERSION,
+        "lattices": [
+            [var, _lattice_document(result)] for var, result in raw.lattices.items()
+        ],
+        "bound_histories": [
+            [key, [[int(k), float(bound)] for k, bound in history]]
+            for key, history in raw.bound_histories.items()
+        ],
+        "disabled_jmax": list(raw.disabled_jmax),
+        "counters": counters.snapshot(),
+        "meta": dict(meta or {}),
+    }
+    return json.dumps(document)
+
+
+def validate_artifact(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Header + required-section validation; returns the document."""
+    if not isinstance(document, dict):
+        raise ExecutionError("result artifact must be a JSON object")
+    if document.get("schema") != ARTIFACT_SCHEMA:
+        raise ExecutionError(
+            f"not a result artifact (schema {document.get('schema')!r}, "
+            f"expected {ARTIFACT_SCHEMA!r})"
+        )
+    if document.get("version") != ARTIFACT_VERSION:
+        raise ExecutionError(
+            f"unsupported result-artifact version {document.get('version')!r}; "
+            f"this reader understands version {ARTIFACT_VERSION}"
+        )
+    for key in ("lattices", "bound_histories", "counters"):
+        if key not in document:
+            raise ExecutionError(f"result artifact missing required key {key!r}")
+    return document
+
+
+def parse_artifact(text: str) -> Dict[str, Any]:
+    """Parse and validate an artifact document from JSON text."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ExecutionError(f"result artifact is not valid JSON: {exc}") from exc
+    return validate_artifact(document)
+
+
+def rebuild_result(document: Dict[str, Any]) -> DovetailResult:
+    """Reconstruct the :class:`DovetailResult` a document captured.
+
+    ``candidate_logs`` is rebuilt empty: ``keep_candidates`` runs bypass
+    the cache entirely (the service never stores them).
+    """
+    return DovetailResult(
+        lattices={
+            var: _lattice_from_document(lattice)
+            for var, lattice in document["lattices"]
+        },
+        counters=OpCounters.from_snapshot(document["counters"]),
+        bound_histories={
+            key: [(int(k), float(bound)) for k, bound in history]
+            for key, history in document["bound_histories"]
+        },
+        disabled_jmax=list(document["disabled_jmax"]),
+        candidate_logs={},
+    )
+
+
+def rebuild_counters(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The stored :meth:`OpCounters.snapshot` of the cold run."""
+    return document["counters"]

@@ -1,0 +1,182 @@
+"""Bounded, TTL-aware, explicitly invalidatable caches for serving.
+
+:class:`LRUCache` is the single cache primitive both serving tiers are
+built on (full-result artifacts and frequency skeletons).  Policies:
+
+* **bounded LRU** — at most ``max_entries`` live entries; a ``get``
+  refreshes recency, a ``put`` past capacity evicts the least recently
+  used entry;
+* **TTL** — entries older than ``ttl_seconds`` are dropped at lookup
+  time (lazy expiry: an expired entry behaves exactly like a miss, which
+  is what the metamorphic suite's "TTL-expiry ≡ cold run" property
+  pins down);
+* **explicit invalidation** — by exact key, by predicate (the service
+  invalidates every entry of one dataset fingerprint), or wholesale.
+
+Every transition is metered on a shared
+:class:`~repro.db.stats.CacheStats` (hits, misses, stores, evictions,
+expirations, invalidations, bytes held), which the run report's
+``cache`` block and ``--explain`` render.
+
+Time is injected (``clock``) so tests drive TTL deterministically; the
+default is :func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+from repro.db.stats import CacheStats
+from repro.errors import ExecutionError
+
+
+@dataclass
+class CacheEntry:
+    """One cached value plus its accounting metadata."""
+
+    value: Any
+    nbytes: int
+    stored_at: float
+    #: Free-form grouping tag (the serving layer uses the dataset
+    #: fingerprint) so invalidation can target one dataset's entries.
+    tag: Optional[str] = None
+
+
+class LRUCache:
+    """Bounded LRU with TTL and explicit invalidation (see module doc).
+
+    ``record_result_stats=False`` routes hit/miss accounting to the
+    skeleton counters of the shared :class:`CacheStats` instead of the
+    result counters, so one stats object can describe both tiers.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 32,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        stats: Optional[CacheStats] = None,
+        record_result_stats: bool = True,
+    ):
+        if max_entries < 1:
+            raise ExecutionError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ExecutionError(
+                f"ttl_seconds must be positive or None, got {ttl_seconds}"
+            )
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self.clock = clock
+        self.stats = stats if stats is not None else CacheStats()
+        self._result_stats = record_result_stats
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _record_hit(self) -> None:
+        if self._result_stats:
+            self.stats.record_hit()
+        else:
+            self.stats.skeleton_hits += 1
+
+    def _record_miss(self) -> None:
+        if self._result_stats:
+            self.stats.record_miss()
+        else:
+            self.stats.skeleton_misses += 1
+
+    def _record_store(self, nbytes: int) -> None:
+        if self._result_stats:
+            self.stats.record_store(nbytes)
+        else:
+            # Skeleton stores are counted by ``skeleton_builds`` (the
+            # service meters them); only the held bytes are shared.
+            self.stats.bytes_held += nbytes
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._entries))
+
+    def _expired(self, entry: CacheEntry) -> bool:
+        return (
+            self.ttl_seconds is not None
+            and self.clock() - entry.stored_at > self.ttl_seconds
+        )
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or ``None`` on miss/expiry (metered)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._record_miss()
+            return None
+        if self._expired(entry):
+            del self._entries[key]
+            self.stats.record_eviction(entry.nbytes, expired=True)
+            self._record_miss()
+            return None
+        self._entries.move_to_end(key)
+        self._record_hit()
+        return entry.value
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """The live entry without touching recency or hit/miss stats."""
+        entry = self._entries.get(key)
+        if entry is None or self._expired(entry):
+            return None
+        return entry
+
+    def put(self, key: str, value: Any, nbytes: int, tag: Optional[str] = None) -> None:
+        """Store (or replace) an entry, evicting LRU past capacity."""
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.stats.record_eviction(old.nbytes)
+        self._entries[key] = CacheEntry(
+            value=value, nbytes=nbytes, stored_at=self.clock(), tag=tag
+        )
+        self._record_store(nbytes)
+        while len(self._entries) > self.max_entries:
+            __, evicted = self._entries.popitem(last=False)
+            self.stats.record_eviction(evicted.nbytes)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry by key; returns whether it existed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.stats.record_invalidation(entry.nbytes)
+        return True
+
+    def invalidate_tag(self, tag: str) -> int:
+        """Drop every entry stored under ``tag`` (a dataset fingerprint);
+        returns the number of entries removed."""
+        doomed = [k for k, e in self._entries.items() if e.tag == tag]
+        for key in doomed:
+            entry = self._entries.pop(key)
+            self.stats.record_invalidation(entry.nbytes)
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        n = len(self._entries)
+        for entry in self._entries.values():
+            self.stats.record_invalidation(entry.nbytes)
+        self._entries.clear()
+        return n
+
+    def items(self) -> Iterator[Tuple[str, CacheEntry]]:
+        return iter(list(self._entries.items()))

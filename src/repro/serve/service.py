@@ -1,0 +1,590 @@
+"""The multi-query serving layer: fingerprinted caches + batch execution.
+
+:class:`QueryService` answers CFQs over a dataset through three tiers,
+cheapest first:
+
+1. **result cache** — full artifacts of completed cold runs (frequent
+   sets with supports in insertion order, bound histories, operation
+   counters), keyed on content fingerprints of dataset × query ×
+   engine options (:mod:`repro.serve.fingerprint`).  A hit rebuilds a
+   bit-identical :class:`~repro.core.optimizer.CFQResult` without
+   touching the database.
+2. **frequency skeletons** — per (dataset, domain) unconstrained
+   frequent lattices (:mod:`repro.serve.skeleton`).  A query whose
+   thresholds every skeleton serves is re-executed through the *normal*
+   engine with a :class:`~repro.serve.skeleton.SupportOracle`
+   substituting dictionary lookups for database passes — same answers,
+   no scans.  Batches exploit this tier with **shared scans**: one
+   skeleton is mined per domain at the *weakest* threshold any query in
+   the batch needs, then every query is served from it.
+3. **cold run** — the plain optimizer; complete results are stored back
+   into the result cache (partial, guard-tripped ones never are).
+
+The service *is* the duck-typed ``cache=`` hook
+:meth:`repro.core.optimizer.CFQOptimizer.execute` accepts: it
+implements ``lookup``/``store`` directly, so single-query integration
+is ``optimizer.execute(db, cache=service)``.
+
+Both caches are bounded LRUs with optional TTL and explicit
+invalidation (:mod:`repro.serve.cache`), metered on one shared
+:class:`~repro.db.stats.CacheStats`.  An optional ``cache_dir`` adds a
+disk tier under the result cache: artifacts are written atomically as
+``<dataset-fp prefix>.<result key>.json`` and reloaded on memory
+misses, which is what makes the CLI's warm-vs-cold smoke test work
+across processes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.optimizer import CFQOptimizer, CFQResult
+from repro.core.query import CFQ
+from repro.db.stats import CacheStats, OpCounters
+from repro.db.transactions import TransactionDatabase
+from repro.errors import RunInterrupted
+from repro.obs.trace import resolve_tracer
+from repro.serve.artifacts import (
+    parse_artifact,
+    rebuild_counters,
+    rebuild_result,
+    serialize_result,
+)
+from repro.serve.cache import LRUCache
+from repro.serve.fingerprint import (
+    RESULT_OPTIONS,
+    dataset_fingerprint,
+    domain_fingerprint,
+    query_fingerprint,
+    result_key,
+)
+from repro.serve.skeleton import (
+    Skeleton,
+    SupportOracle,
+    build_skeleton,
+    skeleton_key,
+)
+
+#: ``execute()`` keywords that force a plain cold run outside every
+#: cache tier (mirrors the optimizer's own ``cacheable`` gate).
+_BYPASS_OPTIONS = ("checkpoint_dir", "resume", "keep_candidates")
+
+
+@dataclass
+class CacheHit:
+    """What the optimizer's cache hook consumes on a lookup hit.
+
+    ``raw`` is rebuilt fresh from the stored artifact on every hit, so
+    two warm servings never share mutable state; ``counters_snapshot``
+    is the cold run's full :meth:`~repro.db.stats.OpCounters.snapshot`.
+    """
+
+    raw: Any
+    counters_snapshot: Dict[str, Any]
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BatchItem:
+    """One query's outcome within :meth:`QueryService.execute_batch`.
+
+    ``source`` is ``"result-cache"``, ``"skeleton"``, or ``"cold"``;
+    ``wall_seconds`` is this query's serving time inside the batch
+    (skeleton mining is reported separately on the batch, since it is
+    shared across queries).
+    """
+
+    cfq: CFQ
+    result: CFQResult
+    source: str
+    wall_seconds: float
+    query_fingerprint: str
+
+
+@dataclass
+class BatchReport:
+    """A batch's results plus the shared-scan accounting."""
+
+    items: List[BatchItem]
+    dataset_fingerprint: str
+    #: Seconds spent mining skeletons for this batch (0.0 when every
+    #: needed skeleton was already cached).
+    skeleton_build_seconds: float
+    #: Domain fingerprints whose skeleton build was interrupted by a
+    #: guard; their queries fell back to cold runs.
+    failed_domains: List[str] = field(default_factory=list)
+
+    def results(self) -> List[CFQResult]:
+        return [item.result for item in self.items]
+
+
+class QueryService:
+    """Fingerprint-keyed serving of CFQs (see module docstring).
+
+    Parameters
+    ----------
+    max_entries / ttl_seconds:
+        Result-cache bound and optional time-to-live.
+    max_skeletons:
+        Bound on cached frequency skeletons (their TTL is shared with
+        the result cache).
+    cache_dir:
+        Optional directory for the persistent result tier.
+    clock:
+        Injectable monotonic clock driving TTL (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 32,
+        ttl_seconds: Optional[float] = None,
+        max_skeletons: int = 8,
+        cache_dir: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.stats = CacheStats()
+        self._results = LRUCache(
+            max_entries=max_entries,
+            ttl_seconds=ttl_seconds,
+            clock=clock,
+            stats=self.stats,
+        )
+        self._skeletons = LRUCache(
+            max_entries=max_skeletons,
+            ttl_seconds=ttl_seconds,
+            clock=clock,
+            stats=self.stats,
+            record_result_stats=False,
+        )
+        self.cache_dir = cache_dir
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # The optimizer's cache hook (duck-typed contract)
+    # ------------------------------------------------------------------
+    def lookup(
+        self, db: TransactionDatabase, cfq: CFQ, options: Dict[str, Any]
+    ) -> Optional[CacheHit]:
+        """Result-cache probe: memory first, then the disk tier.
+
+        A TTL-expired memory entry kills its disk copy too, so "expired
+        ≡ cold run" holds across tiers; a disk hit after an LRU
+        eviction (or in a fresh process) repopulates memory.
+        """
+        key = result_key(cfq, db, options)
+        if self._results.peek(key) is not None:
+            text = self._results.get(key)  # guaranteed hit: meters + recency
+            return self._hit_from_text(text, db, cfq)
+        expired = key in self._results  # present but past TTL
+        self._results.get(key)  # meters the miss (and evicts if expired)
+        if expired:
+            self._drop_disk(key, db)
+            return None
+        text = self._load_disk(key, db)
+        if text is None:
+            return None
+        self._results.put(key, text, len(text), tag=dataset_fingerprint(db))
+        self.stats.record_hit()
+        self.stats.misses -= 1  # the probe above was not a real miss
+        return self._hit_from_text(text, db, cfq)
+
+    def store(
+        self,
+        db: TransactionDatabase,
+        cfq: CFQ,
+        options: Dict[str, Any],
+        result: CFQResult,
+        elapsed_seconds: float,
+    ) -> Dict[str, Any]:
+        """Persist one completed cold run; returns its ``cache_info``.
+
+        The optimizer only calls this for ``status == "complete"``
+        results outside checkpoint/resume/keep-candidates runs, so
+        every stored artifact is a full, replayable answer.
+        """
+        dataset_fp = dataset_fingerprint(db)
+        query_fp = query_fingerprint(cfq, db)
+        key = result_key(cfq, db, options)
+        text = serialize_result(
+            result.raw,
+            result.counters,
+            meta={
+                "query": str(cfq),
+                "dataset_fingerprint": dataset_fp,
+                "query_fingerprint": query_fp,
+                "options": {name: options.get(name) for name in RESULT_OPTIONS},
+                "plan_signature": result.plan.signature(),
+                "cold_wall_seconds": elapsed_seconds,
+            },
+        )
+        self._results.put(key, text, len(text), tag=dataset_fp)
+        self._write_disk(key, db, text)
+        return self._info(
+            "cold",
+            dataset_fp,
+            query_fp,
+            cold_wall_seconds=elapsed_seconds,
+        )
+
+    def _hit_from_text(
+        self, text: str, db: TransactionDatabase, cfq: CFQ
+    ) -> CacheHit:
+        document = parse_artifact(text)
+        meta = document.get("meta", {})
+        return CacheHit(
+            raw=rebuild_result(document),
+            counters_snapshot=rebuild_counters(document),
+            info=self._info(
+                "result-cache",
+                meta.get("dataset_fingerprint") or dataset_fingerprint(db),
+                meta.get("query_fingerprint") or query_fingerprint(cfq, db),
+                cold_wall_seconds=meta.get("cold_wall_seconds"),
+            ),
+        )
+
+    def _info(
+        self,
+        source: str,
+        dataset_fp: str,
+        query_fp: str,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "source": source,
+            "dataset_fingerprint": dataset_fp,
+            "query_fingerprint": query_fp,
+            "stats": self.stats.as_dict(),
+        }
+        for name, value in extra.items():
+            if value is not None:
+                info[name] = value
+        return info
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str, db: TransactionDatabase) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        prefix = dataset_fingerprint(db)[:16]
+        return os.path.join(self.cache_dir, f"{prefix}.{key}.json")
+
+    def _write_disk(self, key: str, db: TransactionDatabase, text: str) -> None:
+        path = self._disk_path(key, db)
+        if path is None:
+            return
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+
+    def _load_disk(self, key: str, db: TransactionDatabase) -> Optional[str]:
+        path = self._disk_path(key, db)
+        if path is None or not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def _drop_disk(self, key: str, db: TransactionDatabase) -> None:
+        path = self._disk_path(key, db)
+        if path is not None and os.path.exists(path):
+            os.remove(path)
+
+    # ------------------------------------------------------------------
+    # Single-query serving
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        db: TransactionDatabase,
+        cfq: CFQ,
+        counters: Optional[OpCounters] = None,
+        backend=None,
+        tracer=None,
+        guard=None,
+        **options: Any,
+    ) -> CFQResult:
+        """Answer one CFQ: result cache → existing skeletons → cold.
+
+        The skeleton tier here consumes only *already cached* skeletons
+        (a single query never pays a skeleton build; that is the batch
+        executor's trade).  Checkpointing/resume/keep-candidates
+        requests bypass every tier, matching the optimizer's gate.
+        """
+        tracer = resolve_tracer(tracer)
+        optimizer = CFQOptimizer(cfq)
+        if any(options.get(name) for name in _BYPASS_OPTIONS):
+            return optimizer.execute(
+                db, counters=counters, backend=backend, tracer=tracer,
+                guard=guard, cache=self, **options,
+            )
+        cache_options = {name: options.get(name) for name in RESULT_OPTIONS}
+        start = time.perf_counter()
+        oracle = self._existing_oracle(db, cfq)
+        if oracle is None:
+            result = optimizer.execute(
+                db, counters=counters, backend=backend, tracer=tracer,
+                guard=guard, cache=self, **options,
+            )
+        else:
+            hit = self.lookup(db, cfq, self._defaulted(cache_options))
+            if hit is not None:
+                tracer.event("cache.hit", query=str(cfq))
+                result = self._materialize_hit(db, cfq, hit, counters, tracer)
+            else:
+                result = optimizer.execute(
+                    db, counters=counters, backend=backend, tracer=tracer,
+                    guard=guard, support_oracle=oracle, **options,
+                )
+                result.cache_info = self._info(
+                    "skeleton",
+                    dataset_fingerprint(db),
+                    query_fingerprint(cfq, db),
+                )
+        elapsed = time.perf_counter() - start
+        info = result.cache_info
+        if info is not None and info.get("source") in ("result-cache", "skeleton"):
+            info["warm_wall_seconds"] = elapsed
+        return result
+
+    def _defaulted(self, cache_options: Dict[str, Any]) -> Dict[str, Any]:
+        """Fill unspecified engine options with the optimizer defaults so
+        ``execute(db, cfq)`` and ``optimizer.execute(db)`` share keys."""
+        defaults = {
+            "dovetail": True,
+            "use_reduction": True,
+            "use_jmax": True,
+            "reduction_rounds": 1,
+        }
+        return {
+            name: (
+                cache_options[name]
+                if cache_options.get(name) is not None
+                else defaults[name]
+            )
+            for name in RESULT_OPTIONS
+        }
+
+    def _materialize_hit(
+        self,
+        db: TransactionDatabase,
+        cfq: CFQ,
+        hit: CacheHit,
+        counters: Optional[OpCounters],
+        tracer,
+    ) -> CFQResult:
+        """The optimizer's hit path, for servings the service routes
+        itself (when a skeleton oracle is also in play)."""
+        plan = CFQOptimizer(cfq).plan(db, tracer=tracer)
+        if counters is None:
+            counters = OpCounters()
+        counters.restore(hit.counters_snapshot)
+        raw = hit.raw
+        raw.counters = counters
+        return CFQResult(
+            cfq=cfq,
+            plan=plan,
+            counters=counters,
+            raw=raw,
+            backend=None,
+            trace=tracer if tracer.enabled else None,
+            status="complete",
+            cache_info=dict(hit.info),
+        )
+
+    def _existing_oracle(
+        self, db: TransactionDatabase, cfq: CFQ
+    ) -> Optional[SupportOracle]:
+        """An oracle from already-cached skeletons, or ``None``."""
+        dataset_fp = dataset_fingerprint(db)
+        skeletons: Dict[str, Optional[Skeleton]] = {}
+        for var in cfq.variables:
+            fp = domain_fingerprint(cfq.domains[var])
+            skeletons[var] = self._skeletons.get(skeleton_key(dataset_fp, fp))
+        return SupportOracle.for_query(cfq, db, skeletons)
+
+    # ------------------------------------------------------------------
+    # Batch serving (shared scans)
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        db: TransactionDatabase,
+        cfqs: Sequence[CFQ],
+        backend=None,
+        tracer=None,
+        guard=None,
+        **options: Any,
+    ) -> BatchReport:
+        """Answer a batch of CFQs over one dataset with shared scans.
+
+        The common frequency skeleton of each domain is computed once at
+        the **union of the batch's thresholds** (i.e. mined at the
+        weakest ``min_count`` any query needs — a superset of every
+        stronger lattice by anti-monotonicity) and each query is served
+        against it with per-query filtering done by its own engine run.
+        A query is answered from the result cache when possible; a
+        domain whose skeleton build is guard-interrupted sends its
+        queries down the cold path instead.
+        """
+        tracer = resolve_tracer(tracer)
+        if any(options.get(name) for name in _BYPASS_OPTIONS):
+            raise ValueError(
+                "execute_batch does not support checkpointing, resume, or "
+                "keep_candidates; run those queries individually"
+            )
+        cache_options = self._defaulted(
+            {name: options.get(name) for name in RESULT_OPTIONS}
+        )
+        dataset_fp = dataset_fingerprint(db)
+        skeletons, build_seconds, failed = self._prepare_skeletons(
+            db, cfqs, dataset_fp, backend=backend, tracer=tracer, guard=guard
+        )
+        items: List[BatchItem] = []
+        for cfq in cfqs:
+            start = time.perf_counter()
+            query_fp = query_fingerprint(cfq, db)
+            hit = self.lookup(db, cfq, cache_options)
+            if hit is not None:
+                tracer.event("cache.hit", query=str(cfq))
+                result = self._materialize_hit(db, cfq, hit, None, tracer)
+                source = "result-cache"
+            else:
+                per_var = {
+                    var: skeletons.get(domain_fingerprint(cfq.domains[var]))
+                    for var in cfq.variables
+                }
+                oracle = SupportOracle.for_query(cfq, db, per_var)
+                if oracle is not None:
+                    result = CFQOptimizer(cfq).execute(
+                        db, backend=backend, tracer=tracer, guard=guard,
+                        support_oracle=oracle, **options,
+                    )
+                    result.cache_info = self._info(
+                        "skeleton", dataset_fp, query_fp
+                    )
+                    source = "skeleton"
+                else:
+                    result = CFQOptimizer(cfq).execute(
+                        db, backend=backend, tracer=tracer, guard=guard,
+                        **options,
+                    )
+                    source = "cold"
+                    if result.status == "complete":
+                        result.cache_info = self.store(
+                            db, cfq, cache_options, result,
+                            time.perf_counter() - start,
+                        )
+            elapsed = time.perf_counter() - start
+            info = result.cache_info
+            if info is not None and info.get("source") in (
+                "result-cache", "skeleton"
+            ):
+                info["warm_wall_seconds"] = elapsed
+            items.append(
+                BatchItem(
+                    cfq=cfq,
+                    result=result,
+                    source=source,
+                    wall_seconds=elapsed,
+                    query_fingerprint=query_fp,
+                )
+            )
+        return BatchReport(
+            items=items,
+            dataset_fingerprint=dataset_fp,
+            skeleton_build_seconds=build_seconds,
+            failed_domains=failed,
+        )
+
+    def prepare(
+        self,
+        db: TransactionDatabase,
+        cfqs: Sequence[CFQ],
+        backend=None,
+        tracer=None,
+        guard=None,
+    ) -> int:
+        """Warm the skeleton tier for a prospective batch; returns the
+        number of skeletons now servable for it."""
+        dataset_fp = dataset_fingerprint(db)
+        skeletons, _, _ = self._prepare_skeletons(
+            db, cfqs, dataset_fp, backend=backend,
+            tracer=resolve_tracer(tracer), guard=guard,
+        )
+        return sum(1 for skeleton in skeletons.values() if skeleton is not None)
+
+    def _prepare_skeletons(
+        self,
+        db: TransactionDatabase,
+        cfqs: Sequence[CFQ],
+        dataset_fp: str,
+        backend=None,
+        tracer=None,
+        guard=None,
+    ):
+        """Build or reuse one skeleton per domain at the union threshold."""
+        needs: Dict[str, list] = {}  # domain_fp -> [domain, weakest min_count]
+        for cfq in cfqs:
+            for var in cfq.variables:
+                domain = cfq.domains[var]
+                fp = domain_fingerprint(domain)
+                min_count = db.min_count(cfq.minsup_for(var))
+                if fp not in needs or min_count < needs[fp][1]:
+                    needs[fp] = [domain, min_count]
+        skeletons: Dict[str, Optional[Skeleton]] = {}
+        failed: List[str] = []
+        build_seconds = 0.0
+        for fp, (domain, weakest) in needs.items():
+            key = skeleton_key(dataset_fp, fp)
+            cached = self._skeletons.get(key)
+            if cached is not None and cached.serves(weakest):
+                skeletons[fp] = cached
+                continue
+            start = time.perf_counter()
+            try:
+                with tracer.span(
+                    "skeleton.build",
+                    domain=domain.name,
+                    min_count=weakest,
+                    dataset=dataset_fp[:16],
+                ):
+                    skeleton = build_skeleton(
+                        db, domain, weakest,
+                        backend=backend, guard=guard, tracer=tracer,
+                    )
+            except RunInterrupted:
+                # A partial lattice must never serve as an oracle: leave
+                # the tier untouched and let the queries run cold.
+                build_seconds += time.perf_counter() - start
+                skeletons[fp] = None
+                failed.append(fp)
+                continue
+            build_seconds += time.perf_counter() - start
+            self.stats.skeleton_builds += 1
+            self._skeletons.put(key, skeleton, skeleton.nbytes, tag=dataset_fp)
+            skeletons[fp] = skeleton
+        return skeletons, build_seconds, failed
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, db: TransactionDatabase) -> int:
+        """Drop every cached artifact of one dataset, both tiers (and the
+        disk copies); returns the number of entries removed."""
+        dataset_fp = dataset_fingerprint(db)
+        removed = self._results.invalidate_tag(dataset_fp)
+        removed += self._skeletons.invalidate_tag(dataset_fp)
+        if self.cache_dir is not None:
+            prefix = f"{dataset_fp[:16]}."
+            for name in os.listdir(self.cache_dir):
+                if name.startswith(prefix) and name.endswith(".json"):
+                    os.remove(os.path.join(self.cache_dir, name))
+        return removed
+
+    def clear(self) -> int:
+        """Drop both in-memory tiers (disk artifacts are kept; use
+        :meth:`invalidate` for targeted disk removal)."""
+        return self._results.clear() + self._skeletons.clear()

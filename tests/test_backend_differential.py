@@ -34,6 +34,10 @@ from repro.mining.backends import (
 )
 from tests.conftest import brute_frequent
 
+# Long-running suite: excluded from the default fast run (see
+# pyproject's addopts); CI's full job selects it explicitly.
+pytestmark = pytest.mark.slow
+
 # name -> zero-argument factory; parallel variants pinned to explicit
 # worker counts with the pool forced on for workers > 1.
 BACKEND_FACTORIES = {

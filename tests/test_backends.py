@@ -99,10 +99,10 @@ def test_tidlists():
 def test_vertical_backend_caches_per_list(market_db):
     backend = VerticalBackend()
     backend.count(market_db.transactions, [(1, 2)], 2)
-    first = backend._cache[id(market_db.transactions)][1]
+    assert backend.builds == 1
     backend.count(market_db.transactions, [(4, 5)], 2)
-    # Same list object -> cache hit.
-    assert backend._cache[id(market_db.transactions)][1] is first
+    # Same list object -> cache hit, no rebuild.
+    assert backend.builds == 1
 
 
 def test_vertical_backend_caches_multiple_lists(market_db):
@@ -112,12 +112,42 @@ def test_vertical_backend_caches_multiple_lists(market_db):
     other = list(market_db.transactions[:3])
     backend.count(market_db.transactions, [(1, 2)], 2)
     backend.count(other, [(1, 2)], 2)
-    cached_a = backend._cache[id(market_db.transactions)][1]
-    cached_b = backend._cache[id(other)][1]
+    assert backend.builds == 2
     backend.count(market_db.transactions, [(2, 3)], 2)
     backend.count(other, [(2, 3)], 2)
-    assert backend._cache[id(market_db.transactions)][1] is cached_a
-    assert backend._cache[id(other)][1] is cached_b
+    assert backend.builds == 2
+
+
+def test_vertical_backend_keys_on_content_not_identity(market_db):
+    """Regression: the TID-list cache must key on transaction *content*,
+    not object identity — two equal-content loads of one dataset share a
+    single build, and a recycled ``id()`` can never alias a different
+    dataset's TID-lists."""
+    backend = VerticalBackend()
+    copy_a = list(market_db.transactions)
+    copy_b = [tuple(t) for t in market_db.transactions]
+    assert copy_a is not copy_b
+    result_a = backend.count(copy_a, [(1, 2)], 2)
+    assert backend.builds == 1
+    result_b = backend.count(copy_b, [(1, 2)], 2)
+    assert backend.builds == 1  # equal content -> shared TID-lists
+    assert result_a == result_b
+    # Different content must never be served from the shared entry.
+    different = [t for t in market_db.transactions if 1 not in t]
+    result_c = backend.count(different, [(1, 2)], 2)
+    assert backend.builds == 2
+    assert result_c[(1, 2)] == 0
+
+
+def test_vertical_backend_id_memo_pins_list_objects(market_db):
+    """The id-keyed digest memo must hold a reference to the list object:
+    if it did not, the id could be recycled by a new list and the memo
+    would return the *old* list's digest for it."""
+    backend = VerticalBackend()
+    backend.count(market_db.transactions, [(1, 2)], 2)
+    memo_object, digest = backend._digests[id(market_db.transactions)]
+    assert memo_object is market_db.transactions
+    assert digest in backend._cache
 
 
 def test_vertical_backend_cache_is_bounded():

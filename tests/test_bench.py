@@ -88,3 +88,38 @@ def test_smoke_scale_experiments_preserve_shape():
 def test_unknown_scale_rejected():
     with pytest.raises(ValueError):
         fig8a_speedups(scale="galactic")
+
+
+def test_run_strategy_routes_through_a_service():
+    from repro.serve import QueryService
+
+    workload = quickstart_workload(n_transactions=200)
+    cfq = workload.cfq()
+    service = QueryService()
+    cold = run_strategy("cold", workload.db, cfq, service=service)
+    warm = run_strategy("warm", workload.db, cfq, service=service)
+    assert (cold.result.cache_info or {}).get("source") == "cold"
+    assert (warm.result.cache_info or {}).get("source") == "result-cache"
+    # Warm runs restore the cold run's deterministic op-cost exactly.
+    assert warm.cost == cold.cost
+    assert warm.frequent_sizes == cold.frequent_sizes
+
+
+def test_serving_tables_smoke_shape():
+    from repro.bench.experiments import (
+        serving_refinement_table,
+        serving_repeated_table,
+    )
+
+    repeated = serving_repeated_table(scale="smoke")
+    assert repeated.headers == [
+        "query", "cold_seconds", "warm_seconds", "speedup", "source"
+    ]
+    assert all(source == "result-cache" for source in repeated.column("source"))
+    assert all(s > 1.0 for s in repeated.column("speedup"))
+
+    refinement = serving_refinement_table(scale="smoke")
+    sources = refinement.column("source")
+    assert sources, "refinement session must produce rows"
+    assert all(source == "skeleton" for source in sources)
+    assert any("skeleton build" in note for note in refinement.notes)

@@ -132,3 +132,103 @@ def test_profile_hotspots_shape():
     cumulative = [h["cumulative_seconds"] for h in section["hotspots"]]
     assert cumulative == sorted(cumulative, reverse=True)
     json.dumps(section)
+
+
+# ----------------------------------------------------------------------
+# v3: the serving layer's cache block
+# ----------------------------------------------------------------------
+def _served_run(tmp_cache=None):
+    from repro.serve import QueryService
+
+    workload = quickstart_workload(n_transactions=200)
+    cfq = workload.cfq()
+    service = QueryService(
+        **({"cache_dir": tmp_cache} if tmp_cache else {})
+    )
+    tracer = Tracer()
+    service.execute(workload.db, cfq, tracer=tracer)  # cold, stored
+    tracer = Tracer()
+    warm = service.execute(workload.db, cfq, tracer=tracer)
+    return warm, tracer
+
+
+def test_cache_block_round_trips_in_v3_reports():
+    warm, tracer = _served_run()
+    assert warm.cache_info["source"] == "result-cache"
+    report = build_run_report(warm, tracer=tracer)
+    assert report.cache == warm.cache_info
+    document = report.to_dict()
+    assert document["version"] == RUN_REPORT_VERSION
+    cache = document["cache"]
+    assert cache["source"] == "result-cache"
+    assert len(cache["dataset_fingerprint"]) == 64
+    assert len(cache["query_fingerprint"]) == 64
+    assert cache["cold_wall_seconds"] >= 0
+    assert cache["warm_wall_seconds"] >= 0
+    # Hit/miss/eviction counts and held bytes are all present.
+    stats = cache["stats"]
+    for key in ("hits", "misses", "stores", "evictions", "expirations",
+                "invalidations", "bytes_held"):
+        assert key in stats, key
+    assert stats["hits"] >= 1
+    parsed = RunReport.from_json(report.to_json())
+    assert parsed.cache == report.cache
+    RunReport.validate(json.loads(report.to_json()))
+
+
+def test_uncached_runs_omit_the_cache_block():
+    result, tracer = _run()
+    report = build_run_report(result, tracer=tracer)
+    assert report.cache is None
+    assert report.to_dict()["cache"] is None
+
+
+def test_older_report_versions_remain_readable():
+    """v1/v2 documents have no ``cache`` key; reading one must default
+    the block to absent instead of failing."""
+    result, tracer = _run()
+    document = build_run_report(result, tracer=tracer).to_dict()
+    for version in (1, 2):
+        old = dict(document, version=version)
+        old.pop("cache", None)
+        if version == 1:
+            old.pop("budget", None)
+            old.pop("interruption", None)
+        parsed = RunReport.from_dict(old)
+        assert parsed.cache is None
+
+
+def test_cache_block_survives_nonfinite_floats():
+    """A cache_info carrying a non-finite timing (a defensive case: the
+    sanitizer must treat the cache block like every other section) still
+    yields standard JSON."""
+    warm, tracer = _served_run()
+    warm.cache_info["warm_wall_seconds"] = float("inf")
+    report = build_run_report(warm, tracer=tracer)
+    text = report.to_json()
+    assert "Infinity" not in text
+    document = json.loads(text)
+    assert document["cache"]["warm_wall_seconds"] == "inf"
+
+
+def test_explain_renders_cache_block():
+    warm, __ = _served_run()
+    explained = warm.explain()
+    assert "cache: source result-cache" in explained
+    assert "dataset fingerprint:" in explained
+    assert "query fingerprint:" in explained
+    assert "cold wall seconds:" in explained
+    assert "warm wall seconds:" in explained
+    assert "stats: " in explained
+    assert "hits=" in explained
+
+
+def test_explain_renders_cold_store_info():
+    from repro.serve import QueryService
+
+    workload = quickstart_workload(n_transactions=200)
+    service = QueryService()
+    cold = service.execute(workload.db, workload.cfq())
+    explained = cold.explain()
+    assert "cache: source cold" in explained
+    assert "cold wall seconds:" in explained

@@ -20,6 +20,10 @@ from repro.datagen.workloads import (
 from repro.errors import ExecutionError
 from repro.runtime.guard import RunGuard
 
+# Long-running suite: excluded from the default fast run (see
+# pyproject's addopts); CI's full job selects it explicitly.
+pytestmark = pytest.mark.slow
+
 WORKLOADS = {
     "quickstart": lambda: quickstart_workload(n_transactions=300),
     "fig8b": lambda: fig8b_workload(40.0, n_items=120, n_transactions=300),

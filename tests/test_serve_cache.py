@@ -1,0 +1,225 @@
+"""Unit tests for the serving layer's cache primitive.
+
+:class:`~repro.serve.cache.LRUCache` backs both serving tiers (result
+artifacts and frequency skeletons); these tests pin its three policies —
+bounded LRU, lazy TTL expiry, explicit invalidation — and the shared
+:class:`~repro.db.stats.CacheStats` accounting, all driven by an
+injected fake clock so expiry is deterministic.
+"""
+
+import pytest
+
+from repro.db.stats import CacheStats
+from repro.errors import ExecutionError
+from repro.serve import CacheEntry, LRUCache
+
+
+class FakeClock:
+    """Monotonic clock the tests advance by hand."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def test_rejects_bad_parameters():
+    with pytest.raises(ExecutionError):
+        LRUCache(max_entries=0)
+    with pytest.raises(ExecutionError):
+        LRUCache(ttl_seconds=0)
+    with pytest.raises(ExecutionError):
+        LRUCache(ttl_seconds=-1.5)
+
+
+def test_ttl_none_never_expires():
+    clock = FakeClock()
+    cache = LRUCache(ttl_seconds=None, clock=clock)
+    cache.put("a", "x", 1)
+    clock.advance(1e9)
+    assert cache.get("a") == "x"
+
+
+# ----------------------------------------------------------------------
+# Bounded LRU
+# ----------------------------------------------------------------------
+def test_put_get_roundtrip_and_miss():
+    cache = LRUCache(max_entries=4)
+    assert cache.get("a") is None
+    cache.put("a", "alpha", 5)
+    assert cache.get("a") == "alpha"
+    assert len(cache) == 1
+    assert "a" in cache and "b" not in cache
+
+
+def test_capacity_evicts_least_recently_used():
+    cache = LRUCache(max_entries=2)
+    cache.put("a", 1, 1)
+    cache.put("b", 2, 1)
+    cache.put("c", 3, 1)  # evicts "a" (oldest)
+    assert cache.get("a") is None
+    assert cache.get("b") == 2
+    assert cache.get("c") == 3
+
+
+def test_get_refreshes_recency():
+    cache = LRUCache(max_entries=2)
+    cache.put("a", 1, 1)
+    cache.put("b", 2, 1)
+    assert cache.get("a") == 1  # "a" is now most recent
+    cache.put("c", 3, 1)  # so "b" is evicted instead
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+
+
+def test_put_replaces_in_place_without_growth():
+    stats = CacheStats()
+    cache = LRUCache(max_entries=2, stats=stats)
+    cache.put("a", "old", 10)
+    cache.put("a", "new", 4)
+    assert len(cache) == 1
+    assert cache.get("a") == "new"
+    # The replaced payload's bytes were released, the new ones held.
+    assert stats.bytes_held == 4
+    assert stats.evictions == 1  # the replacement is metered as one
+
+
+def test_eviction_releases_bytes():
+    stats = CacheStats()
+    cache = LRUCache(max_entries=1, stats=stats)
+    cache.put("a", 1, 100)
+    cache.put("b", 2, 40)
+    assert stats.bytes_held == 40
+    assert stats.evictions == 1
+
+
+# ----------------------------------------------------------------------
+# TTL (lazy expiry)
+# ----------------------------------------------------------------------
+def test_ttl_expiry_behaves_as_miss():
+    clock = FakeClock()
+    stats = CacheStats()
+    cache = LRUCache(ttl_seconds=10, clock=clock, stats=stats)
+    cache.put("a", "x", 7)
+    clock.advance(10)  # exactly the TTL: still live (strict >)
+    assert cache.get("a") == "x"
+    clock.advance(0.01)
+    assert cache.get("a") is None
+    assert stats.expirations == 1
+    assert stats.evictions == 0
+    assert stats.bytes_held == 0
+    # The expired entry is physically gone, not just hidden.
+    assert "a" not in cache
+
+
+def test_peek_sees_live_entries_only_and_stays_unmetered():
+    clock = FakeClock()
+    stats = CacheStats()
+    cache = LRUCache(max_entries=2, ttl_seconds=5, clock=clock, stats=stats)
+    cache.put("a", "x", 3)
+    entry = cache.peek("a")
+    assert isinstance(entry, CacheEntry)
+    assert entry.value == "x" and entry.nbytes == 3
+    assert stats.hits == 0 and stats.misses == 0  # peek never meters
+    clock.advance(6)
+    assert cache.peek("a") is None  # expired -> invisible
+    assert stats.misses == 0
+    # peek must not refresh recency either.
+    cache2 = LRUCache(max_entries=2)
+    cache2.put("a", 1, 1)
+    cache2.put("b", 2, 1)
+    cache2.peek("a")
+    cache2.put("c", 3, 1)
+    assert "a" not in cache2  # still the LRU victim despite the peek
+
+
+def test_refreshed_put_restarts_ttl():
+    clock = FakeClock()
+    cache = LRUCache(ttl_seconds=10, clock=clock)
+    cache.put("a", "x", 1)
+    clock.advance(8)
+    cache.put("a", "y", 1)  # re-store resets stored_at
+    clock.advance(8)
+    assert cache.get("a") == "y"
+
+
+# ----------------------------------------------------------------------
+# Explicit invalidation
+# ----------------------------------------------------------------------
+def test_invalidate_key():
+    stats = CacheStats()
+    cache = LRUCache(stats=stats)
+    cache.put("a", 1, 9)
+    assert cache.invalidate("a") is True
+    assert cache.invalidate("a") is False
+    assert cache.get("a") is None
+    assert stats.invalidations == 1
+    assert stats.bytes_held == 0
+
+
+def test_invalidate_tag_targets_one_group():
+    stats = CacheStats()
+    cache = LRUCache(stats=stats)
+    cache.put("a", 1, 1, tag="ds1")
+    cache.put("b", 2, 1, tag="ds1")
+    cache.put("c", 3, 1, tag="ds2")
+    assert cache.invalidate_tag("ds1") == 2
+    assert cache.get("c") == 3
+    assert stats.invalidations == 2
+    assert len(cache) == 1
+
+
+def test_clear_drops_everything():
+    stats = CacheStats()
+    cache = LRUCache(stats=stats)
+    cache.put("a", 1, 2)
+    cache.put("b", 2, 3)
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert stats.invalidations == 2
+    assert stats.bytes_held == 0
+
+
+# ----------------------------------------------------------------------
+# Stats routing (one CacheStats, two tiers)
+# ----------------------------------------------------------------------
+def test_result_tier_stats_accounting():
+    stats = CacheStats()
+    cache = LRUCache(stats=stats, record_result_stats=True)
+    cache.get("a")
+    cache.put("a", 1, 5)
+    cache.get("a")
+    assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+    assert stats.skeleton_hits == 0 and stats.skeleton_misses == 0
+    assert stats.hit_rate == 0.5
+
+
+def test_skeleton_tier_routes_to_skeleton_counters():
+    stats = CacheStats()
+    cache = LRUCache(stats=stats, record_result_stats=False)
+    cache.get("s")
+    cache.put("s", object(), 11)
+    cache.get("s")
+    assert (stats.skeleton_hits, stats.skeleton_misses) == (1, 1)
+    # Skeleton puts hold bytes but do not inflate the result-tier
+    # ``stores`` counter (builds are metered by the service).
+    assert (stats.hits, stats.misses, stats.stores) == (0, 0, 0)
+    assert stats.bytes_held == 11
+
+
+def test_shared_stats_across_tiers():
+    stats = CacheStats()
+    results = LRUCache(stats=stats, record_result_stats=True)
+    skeletons = LRUCache(stats=stats, record_result_stats=False)
+    results.put("r", "text", 100)
+    skeletons.put("s", object(), 50)
+    assert stats.bytes_held == 150
+    summary = stats.summary()
+    assert "store" in summary

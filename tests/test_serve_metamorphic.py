@@ -1,0 +1,191 @@
+"""Metamorphic properties of the serving layer.
+
+Each property relates *answers* of different servings without knowing
+the true answer — the relations hold for the paper's semantics, so any
+violation convicts the cache, not the workload:
+
+* lowering minsup only grows the answer set;
+* adding an anti-monotone 1-variable constraint never adds answers;
+* a batch of one query is equivalent to a single ``execute``;
+* an answer recomputed after LRU eviction or TTL expiry equals the
+  original cold answer (a cache entry leaving must look like it was
+  never there).
+
+The servings deliberately share one :class:`QueryService` across
+hypothesis examples, so the properties are exercised against every mix
+of cold runs, result-cache hits, and skeleton-served executions the
+sampling produces — a stale or mis-keyed entry anywhere breaks the
+relation for some later example.
+"""
+
+from functools import lru_cache
+
+from hypothesis import given, note, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import quickstart_workload
+from repro.serve import QueryService
+
+WORKLOAD = quickstart_workload(n_transactions=200)
+
+MINSUPS = (0.02, 0.03, 0.05, 0.08)
+#: Anti-monotone 1-variable constraints (count and max-bounded price are
+#: both AM: supersets can only violate them more).
+AM_CONSTRAINTS = (
+    "count(S) <= 2",
+    "count(S) <= 3",
+    "max(S.Price) <= 120",
+    "max(S.Price) <= 60",
+)
+CONSTRAINT_SETS = (
+    tuple(WORKLOAD.constraints),
+    tuple(WORKLOAD.constraints[:2]),
+    ("S.Type = {snacks, dairy}", "T.Type = {beers}",
+     "max(S.Price) <= min(T.Price)"),
+)
+
+
+def _cfq(minsup, constraints):
+    return WORKLOAD.cfq(constraints=list(constraints), minsup=minsup)
+
+
+def _answer(result):
+    """The comparable answer: frequent valid sets (with order), pairs."""
+    return {
+        "frequent_valid": {
+            var: list(result.frequent_valid(var).items())
+            for var in result.cfq.variables
+        },
+        "pairs": result.pairs(limit=None),
+    }
+
+
+@lru_cache(maxsize=None)
+def _cold_answer(minsup, constraints):
+    result = CFQOptimizer(_cfq(minsup, constraints)).execute(WORKLOAD.db)
+    frozen = _answer(result)
+    return frozen
+
+
+SHARED_SERVICE = QueryService(max_entries=8, max_skeletons=4)
+
+
+def _serve(minsup, constraints, batch):
+    cfq = _cfq(minsup, constraints)
+    if batch:
+        report = SHARED_SERVICE.execute_batch(WORKLOAD.db, [cfq])
+        (item,) = report.items
+        note(f"served source={item.source} minsup={minsup}")
+        return item.result
+    result = SHARED_SERVICE.execute(WORKLOAD.db, cfq)
+    info = result.cache_info or {}
+    note(f"served source={info.get('source', 'cold')} minsup={minsup}")
+    return result
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    low=st.sampled_from(MINSUPS),
+    high=st.sampled_from(MINSUPS),
+    constraints=st.sampled_from(CONSTRAINT_SETS),
+    batch=st.booleans(),
+)
+def test_lowering_minsup_only_grows_answers(low, high, constraints, batch):
+    if low > high:
+        low, high = high, low
+    loose = _serve(low, constraints, batch)
+    tight = _serve(high, constraints, batch)
+    for var in ("S", "T"):
+        loose_sets = set(loose.frequent_valid(var))
+        tight_sets = set(tight.frequent_valid(var))
+        note(f"{var}: {len(tight_sets)} sets at {high}, "
+             f"{len(loose_sets)} at {low}")
+        assert tight_sets <= loose_sets
+    assert set(tight.pairs(limit=None)) <= set(loose.pairs(limit=None))
+    # And every serving, whatever tier answered it, equals its cold run.
+    assert _answer(loose) == _cold_answer(low, constraints)
+    assert _answer(tight) == _cold_answer(high, constraints)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    minsup=st.sampled_from(MINSUPS[:2]),
+    extra=st.sampled_from(AM_CONSTRAINTS),
+    batch=st.booleans(),
+)
+def test_adding_anti_monotone_constraint_never_adds_answers(
+    minsup, extra, batch
+):
+    base = tuple(WORKLOAD.constraints)
+    constrained = base + (extra,)
+    unconstrained = _serve(minsup, base, batch)
+    restricted = _serve(minsup, constrained, batch)
+    note(f"extra constraint: {extra}")
+    assert set(restricted.pairs(limit=None)) <= set(
+        unconstrained.pairs(limit=None)
+    )
+    assert set(restricted.frequent_valid("S")) <= set(
+        unconstrained.frequent_valid("S")
+    )
+    assert _answer(restricted) == _cold_answer(minsup, constrained)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    minsup=st.sampled_from(MINSUPS),
+    constraints=st.sampled_from(CONSTRAINT_SETS),
+)
+def test_batch_of_one_equals_single_execute(minsup, constraints):
+    cfq_single = _cfq(minsup, constraints)
+    single_service = QueryService()
+    single = single_service.execute(WORKLOAD.db, cfq_single)
+
+    batch_service = QueryService()
+    report = batch_service.execute_batch(WORKLOAD.db, [_cfq(minsup, constraints)])
+    (item,) = report.items
+    note(f"single source={(single.cache_info or {}).get('source')}, "
+         f"batch source={item.source}")
+    assert _answer(single) == _answer(item.result)
+    assert _answer(single) == _cold_answer(minsup, constraints)
+    assert report.dataset_fingerprint
+    assert report.failed_domains == []
+
+
+def test_eviction_then_requery_equals_cold_run():
+    """An entry evicted by LRU pressure must leave no trace: requerying
+    gives exactly the original (cold) answer via a fresh cold run."""
+    service = QueryService(max_entries=1)
+    first = _cfq(0.02, tuple(WORKLOAD.constraints))
+    second = _cfq(0.05, tuple(WORKLOAD.constraints))
+    original = service.execute(WORKLOAD.db, first)
+    service.execute(WORKLOAD.db, second)  # evicts `first`
+    assert service.stats.evictions >= 1
+    requeried = service.execute(WORKLOAD.db, first)
+    assert (requeried.cache_info or {}).get("source") == "cold"
+    assert _answer(requeried) == _answer(original)
+    assert requeried.counters.as_dict() == original.counters.as_dict()
+
+
+def test_ttl_expiry_then_requery_equals_cold_run():
+    """TTL expiry ≡ cold run, driven by a fake clock."""
+
+    class FakeClock:
+        now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = FakeClock()
+    service = QueryService(ttl_seconds=30, clock=clock)
+    cfq = _cfq(0.02, tuple(WORKLOAD.constraints))
+    original = service.execute(WORKLOAD.db, cfq)
+    clock.now = 29.0
+    warm = service.execute(WORKLOAD.db, cfq)
+    assert (warm.cache_info or {}).get("source") == "result-cache"
+    clock.now = 31.0
+    expired = service.execute(WORKLOAD.db, cfq)
+    assert (expired.cache_info or {}).get("source") == "cold"
+    assert service.stats.expirations >= 1
+    assert _answer(expired) == _answer(original)
+    assert expired.counters.as_dict() == original.counters.as_dict()

@@ -1,0 +1,330 @@
+"""QueryService semantics: fingerprints, tiers, batches, fallbacks, CLI.
+
+The differential suite (``test_serve_differential.py``) proves warm
+answers bit-identical; this file pins the *mechanics* around them — what
+is keyed on what, which tier answers which request, when the service
+must fall back to a cold run, and how the CLI surfaces it all.
+"""
+
+import pytest
+
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import quickstart_workload
+from repro.db.catalog import ItemCatalog
+from repro.db.domain import Domain
+from repro.db.transactions import TransactionDatabase
+from repro.errors import RunInterrupted
+from repro.serve import (
+    QueryService,
+    dataset_fingerprint,
+    domain_fingerprint,
+    options_fingerprint,
+    query_fingerprint,
+    result_key,
+)
+import repro.serve.service as service_module
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return quickstart_workload(n_transactions=200)
+
+
+def _options(**overrides):
+    options = {"dovetail": True, "use_reduction": True, "use_jmax": True,
+               "reduction_rounds": 1}
+    options.update(overrides)
+    return options
+
+
+# ----------------------------------------------------------------------
+# Fingerprints: everything answer-affecting is in the key
+# ----------------------------------------------------------------------
+def test_dataset_fingerprint_is_content_and_order_sensitive(workload):
+    base = dataset_fingerprint(workload.db)
+    transactions = list(workload.db.transactions)
+    assert dataset_fingerprint(TransactionDatabase(transactions)) == base
+    assert dataset_fingerprint(
+        TransactionDatabase(transactions[1:])
+    ) != base
+    assert dataset_fingerprint(
+        TransactionDatabase(list(reversed(transactions)))
+    ) != base
+
+
+def test_query_fingerprint_sees_minsup(workload):
+    """``str(CFQ)`` omits support thresholds, so the fingerprint must add
+    them explicitly — two queries differing only in minsup share their
+    rendering but must never share a cache key."""
+    loose = workload.cfq(minsup=0.02)
+    tight = workload.cfq(minsup=0.05)
+    assert str(loose) == str(tight)
+    assert query_fingerprint(loose, workload.db) != query_fingerprint(
+        tight, workload.db
+    )
+
+
+def test_domain_fingerprint_sees_catalog_edits(workload):
+    """Editing one attribute value (a price) must change the domain
+    fingerprint: cached lattice *supports* would survive the edit, but
+    every constraint evaluated over the attribute would not."""
+    base = domain_fingerprint(workload.domains["S"])
+    types = dict(workload.catalog.column("Type"))
+    prices = dict(workload.catalog.column("Price"))
+    assert domain_fingerprint(
+        Domain.items(ItemCatalog({"Type": types, "Price": prices}))
+    ) == base
+    prices[0] += 1.0
+    edited = Domain.items(ItemCatalog({"Type": types, "Price": prices}))
+    assert domain_fingerprint(edited) != base
+
+
+def test_result_key_sees_engine_options(workload):
+    cfq = workload.cfq()
+    default = result_key(cfq, workload.db, _options())
+    assert result_key(cfq, workload.db, _options(use_jmax=False)) != default
+    assert result_key(cfq, workload.db, _options(reduction_rounds=2)) != default
+    # Non-answer-affecting keys are ignored entirely.
+    assert options_fingerprint(_options(backend="vertical")) == (
+        options_fingerprint(_options())
+    )
+
+
+def test_differently_optioned_runs_never_cross_hit(workload):
+    cfq = workload.cfq()
+    service = QueryService()
+    with_jmax = service.execute(workload.db, cfq)
+    without = service.execute(workload.db, cfq, use_jmax=False)
+    assert without.cache_info["source"] == "cold"  # distinct key
+    warm = service.execute(workload.db, cfq)
+    assert warm.cache_info["source"] == "result-cache"
+    assert service.stats.stores == 2
+    assert with_jmax.status == without.status == "complete"
+
+
+def test_service_as_optimizer_cache_hook_shares_keys(workload):
+    """``optimizer.execute(db, cache=service)`` and
+    ``service.execute(db, cfq)`` must agree on the cache key (the service
+    normalizes unspecified options to the optimizer defaults)."""
+    cfq = workload.cfq()
+    service = QueryService()
+    cold = CFQOptimizer(cfq).execute(workload.db, cache=service)
+    assert cold.cache_info["source"] == "cold"
+    warm = service.execute(workload.db, cfq)
+    assert warm.cache_info["source"] == "result-cache"
+
+
+# ----------------------------------------------------------------------
+# Tier selection
+# ----------------------------------------------------------------------
+def test_single_execute_never_builds_skeletons(workload):
+    service = QueryService()
+    service.execute(workload.db, workload.cfq())
+    service.execute(workload.db, workload.cfq(minsup=0.05))
+    assert service.stats.skeleton_builds == 0
+
+
+def test_batch_builds_one_skeleton_per_domain_at_union_threshold(workload):
+    """S and T share the item domain, so a mixed-threshold batch mines
+    exactly one skeleton — at the weakest threshold in the batch."""
+    service = QueryService()
+    loose = workload.cfq(minsup=0.02)
+    tight = workload.cfq(minsup=0.06)
+    report = service.execute_batch(workload.db, [tight, loose])
+    assert service.stats.skeleton_builds == 1
+    assert [item.source for item in report.items] == ["skeleton", "skeleton"]
+    (key,) = list(service._skeletons.keys())
+    skeleton = service._skeletons.peek(key).value
+    assert skeleton.min_count == workload.db.min_count(0.02)
+
+
+def test_batch_reuses_skeletons_and_prefers_result_cache(workload):
+    service = QueryService()
+    cfq = workload.cfq()
+    service.execute(workload.db, cfq)  # cold, stored in the result cache
+    report = service.execute_batch(
+        workload.db, [cfq, workload.cfq(minsup=0.05)]
+    )
+    assert [item.source for item in report.items] == [
+        "result-cache", "skeleton"
+    ]
+    again = service.execute_batch(workload.db, [workload.cfq(minsup=0.08)])
+    assert again.items[0].source == "skeleton"
+    assert service.stats.skeleton_builds == 1  # built once, reused twice
+
+
+def test_batch_rebuilds_when_a_weaker_threshold_arrives(workload):
+    service = QueryService()
+    service.execute_batch(workload.db, [workload.cfq(minsup=0.06)])
+    assert service.stats.skeleton_builds == 1
+    # A weaker threshold cannot be served by the tighter skeleton.
+    service.execute_batch(workload.db, [workload.cfq(minsup=0.02)])
+    assert service.stats.skeleton_builds == 2
+
+
+def test_prepare_warms_the_skeleton_tier_for_single_executes(workload):
+    service = QueryService()
+    cfq = workload.cfq()
+    assert service.prepare(workload.db, [cfq]) == 1
+    assert service.stats.skeleton_builds == 1
+    result = service.execute(workload.db, cfq)
+    assert result.cache_info["source"] == "skeleton"
+
+
+def test_single_execute_falls_back_cold_when_skeleton_too_tight(workload):
+    service = QueryService()
+    service.prepare(workload.db, [workload.cfq(minsup=0.06)])
+    result = service.execute(workload.db, workload.cfq(minsup=0.02))
+    assert result.cache_info["source"] == "cold"
+
+
+# ----------------------------------------------------------------------
+# Fallback-to-cold triggers
+# ----------------------------------------------------------------------
+def test_interrupted_skeleton_build_falls_back_to_cold(workload, monkeypatch):
+    """A guard trip during skeleton mining must not poison the tier: the
+    domain is reported failed, nothing is cached, and every query of the
+    batch completes via the cold path (and is stored normally)."""
+
+    def exploding_build(*args, **kwargs):
+        raise RunInterrupted("deadline tripped mid-skeleton")
+
+    monkeypatch.setattr(service_module, "build_skeleton", exploding_build)
+    service = QueryService()
+    report = service.execute_batch(workload.db, [workload.cfq()])
+    assert len(report.failed_domains) == 1
+    (item,) = report.items
+    assert item.source == "cold"
+    assert item.result.status == "complete"
+    assert service.stats.skeleton_builds == 0
+    assert service.stats.stores == 1  # the cold fallback was cached
+
+
+def test_bypass_options_skip_every_tier(workload, tmp_path):
+    service = QueryService()
+    cfq = workload.cfq()
+    checkpointed = service.execute(
+        workload.db, cfq, checkpoint_dir=str(tmp_path / "ckpt")
+    )
+    assert checkpointed.cache_info is None
+    assert service.stats.stores == 0 and service.stats.misses == 0
+    kept = service.execute(workload.db, cfq, keep_candidates=True)
+    assert kept.cache_info is None
+    assert service.stats.stores == 0
+
+
+def test_batch_rejects_bypass_options(workload):
+    service = QueryService()
+    with pytest.raises(ValueError):
+        service.execute_batch(workload.db, [workload.cfq()], resume=True)
+    with pytest.raises(ValueError):
+        service.execute_batch(
+            workload.db, [workload.cfq()], keep_candidates=True
+        )
+
+
+def test_partial_results_are_never_stored(workload):
+    from repro.runtime.guard import RunGuard
+
+    service = QueryService()
+    guard = RunGuard(max_candidates=1)
+    partial = service.execute(workload.db, workload.cfq(), guard=guard)
+    assert partial.status == "partial"
+    assert service.stats.stores == 0
+    # And the next un-guarded run is a plain cold run, not a hit.
+    complete = service.execute(workload.db, workload.cfq())
+    assert complete.cache_info["source"] == "cold"
+    assert complete.status == "complete"
+
+
+# ----------------------------------------------------------------------
+# Invalidation and the disk tier
+# ----------------------------------------------------------------------
+def test_invalidate_drops_both_tiers_and_disk(workload, tmp_path):
+    service = QueryService(cache_dir=str(tmp_path))
+    cfq = workload.cfq()
+    service.execute(workload.db, cfq)  # cold -> result tier + disk
+    service.execute_batch(workload.db, [workload.cfq(minsup=0.05)])  # skeleton
+    assert len(list(tmp_path.glob("*.json"))) >= 1
+    removed = service.invalidate(workload.db)
+    assert removed >= 2  # one result entry + one skeleton
+    assert list(tmp_path.glob("*.json")) == []
+    cold_again = service.execute(workload.db, cfq)
+    assert cold_again.cache_info["source"] == "cold"
+    assert service.stats.invalidations >= 1
+
+
+def test_clear_keeps_disk_artifacts(workload, tmp_path):
+    service = QueryService(cache_dir=str(tmp_path))
+    cfq = workload.cfq()
+    service.execute(workload.db, cfq)
+    service.clear()
+    warm = service.execute(workload.db, cfq)
+    assert warm.cache_info["source"] == "result-cache"  # reloaded from disk
+
+
+def test_invalidate_targets_one_dataset_only(workload):
+    other_db = TransactionDatabase(list(workload.db.transactions)[1:])
+    service = QueryService()
+    cfq = workload.cfq()
+    service.execute(workload.db, cfq)
+    service.execute(other_db, cfq)
+    service.invalidate(other_db)
+    still_warm = service.execute(workload.db, cfq)
+    assert still_warm.cache_info["source"] == "result-cache"
+    cold = service.execute(other_db, cfq)
+    assert cold.cache_info["source"] == "cold"
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_query_cache_dir_warm_vs_cold(tmp_path, capsys):
+    argv = [
+        "query",
+        "{(S, T) | S.Type = {snacks} & T.Type = {beers} "
+        "& max(S.Price) <= min(T.Price)}",
+        "--transactions", "200",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold_out = capsys.readouterr().out
+    assert "cache: miss (cold run stored)" in cold_out
+    assert main(argv) == 0
+    warm_out = capsys.readouterr().out
+    assert "cache: hit (result-cache)" in warm_out
+    # Identical answers modulo the cache line.
+    strip = lambda text: [
+        line for line in text.splitlines() if not line.startswith("cache:")
+    ]
+    assert strip(cold_out) == strip(warm_out)
+
+
+def test_cli_query_cache_dir_rejects_checkpointing(tmp_path, capsys):
+    code = main([
+        "query", "{(S, T) | S.Type = T.Type}",
+        "--transactions", "150",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--checkpoint-dir", str(tmp_path / "ckpt"),
+    ])
+    assert code == 2
+    assert "bypass the result cache" in capsys.readouterr().err
+
+
+def test_cli_batch_shares_one_skeleton(capsys):
+    code = main([
+        "batch",
+        "{(S, T) | S.Type = {snacks} & T.Type = {beers} "
+        "& max(S.Price) <= min(T.Price)}",
+        "{(S, T) | S.Type = {snacks} & T.Type = {beers}}",
+        "--transactions", "200",
+        "--minsup", "0.03",
+        "--pairs", "2",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "batch of 2 queries" in out
+    assert "1 skeleton(s) mined" in out
+    assert out.count("source skeleton") == 2
+    assert "cache stats:" in out

