@@ -1,18 +1,42 @@
 """Counting-backend ablation: hybrid vs hash tree vs vertical TID-lists
-vs transaction-sharded parallel counting.
+vs the vectorized bitmap kernel vs transaction-sharded parallel counting
+(hybrid and bitmap shard kernels).
 
 Not a paper experiment per se — the paper's C code used the hash tree of
 [2] — but the backend abstraction lets the reproduction show that the
-*relative* speedups of Section 7 are counting-backend-independent, and
-the parallel row measures the wall-clock win of sharding the dominant
-counting cost across worker processes.
+*relative* speedups of Section 7 are counting-backend-independent, the
+parallel rows measure the wall-clock effect of sharding the dominant
+counting cost across worker processes, and the bitmap rows measure the
+vectorized kernel.  ``count_speedup`` (counting-only wall time, measured
+through a transparent proxy around every ``backend.count`` call) is the
+honest kernel comparison — whole-run wall time is bounded below by the
+non-counting pipeline, which no kernel can touch.
+
+``test_bitmap_kernel_speedup`` is the tentpole guard: on a
+counting-bound Figure 8(a) batch (12k transactions, the full frequent
+level-2 candidate set, warm matrix) the bitmap kernel must count at
+least 5x faster than the serial hybrid — while returning bit-identical
+supports, asserted in the same breath.
 """
 
 import os
+import statistics
+from itertools import combinations
+from time import perf_counter
 
-from repro.bench.experiments import backend_table
+from repro.bench.experiments import ExperimentResult, backend_table
+from repro.datagen.workloads import fig8a_workload
+from repro.mining.backends import BitmapBackend, HybridBackend
 
 PARALLEL_WORKERS = 4
+
+#: The kernel guard's scale.  At 4k transactions the per-batch protocol
+#: costs (index build, result-dict fill) still eat into the kernel win;
+#: by 12k the batch is counting-bound and the measured advantage holds a
+#: comfortable margin over the 5x floor.
+KERNEL_GUARD_TRANSACTIONS = 12_000
+KERNEL_GUARD_REPS = 5
+KERNEL_MIN_SPEEDUP = 5.0
 
 
 def test_backend_ablation(benchmark, record):
@@ -23,17 +47,23 @@ def test_backend_ablation(benchmark, record):
         iterations=1,
     )
     record(result)
-    assert len(result.rows) == 4
+    assert len(result.rows) == 6
     probes = result.column("probe_count")
     assert all(p > 0 for p in probes)
     answers = result.column("frequent_valid_sets")
     assert len(set(answers)) == 1  # identical answers across backends
     backends = result.column("backend")
     assert f"parallel[{PARALLEL_WORKERS}]" in backends
-    # The parallel backend's probe metering must equal the serial hybrid's
-    # exactly — sharding changes wall time, never the measured work.
+    assert "bitmap" in backends
+    assert f"parallel[{PARALLEL_WORKERS}]+bitmap" in backends
+    # Sharding changes wall time, never the measured work: each parallel
+    # row's probe metering must equal its serial kernel's exactly (the
+    # bitmap meter is additive over transaction partitions by design).
     by_name = dict(zip(backends, probes))
     assert by_name[f"parallel[{PARALLEL_WORKERS}]"] == by_name["hybrid"]
+    assert by_name[f"parallel[{PARALLEL_WORKERS}]+bitmap"] == by_name["bitmap"]
+    count_seconds = result.column("count_seconds")
+    assert all(s > 0 for s in count_seconds)
     speedups = dict(zip(backends, result.column("speedup_vs_hybrid")))
     parallel_speedup = speedups[f"parallel[{PARALLEL_WORKERS}]"]
     assert parallel_speedup > 0
@@ -41,3 +71,70 @@ def test_backend_ablation(benchmark, record):
         # Only meaningful with real cores to shard across; single-CPU CI
         # boxes still record the (sub-unit) figure above.
         assert parallel_speedup > 1.3
+
+
+def _kernel_speedup_table():
+    """Median counting-only time of hybrid vs bitmap on one warm,
+    counting-bound level-2 batch of the Figure 8(a) workload."""
+    workload = fig8a_workload(
+        50.0, n_transactions=KERNEL_GUARD_TRANSACTIONS, n_items=600
+    )
+    db = workload.db
+    transactions = db.transactions
+    min_count = db.min_count(0.010)
+    universe = sorted({item for t in transactions for item in t})
+    hybrid = HybridBackend()
+    singles = hybrid.count(transactions, [(i,) for i in universe], 1)
+    frequent = [item for (item,), s in singles.items() if s >= min_count]
+    candidates = list(combinations(frequent, 2))
+    assert len(candidates) >= 1000, "guard batch must be counting-bound"
+
+    bitmap = BitmapBackend()
+    reference = None
+    rows = []
+    medians = {}
+    for name, backend in (("hybrid", hybrid), ("bitmap", bitmap)):
+        # One untimed warm-up rep per kernel: the bitmap side pays its
+        # one-time matrix pack and bit-expansion caches there, the
+        # hybrid side warms the interpreter — the timed reps then
+        # measure steady-state counting only.
+        backend.count(transactions, candidates, 2)
+        timings = []
+        support = None
+        for __ in range(KERNEL_GUARD_REPS):
+            start = perf_counter()
+            support = backend.count(transactions, candidates, 2)
+            timings.append(perf_counter() - start)
+        if reference is None:
+            reference = support
+        else:
+            assert support == reference  # bit-identical while faster
+        medians[name] = statistics.median(timings)
+        rows.append([name, round(medians[name], 4)])
+    for row in rows:
+        row.append(round(medians["hybrid"] / medians[row[0]], 2))
+    return ExperimentResult(
+        experiment=(
+            "Bitmap kernel speedup guard (Figure 8(a), 50% overlap, "
+            f"N={KERNEL_GUARD_TRANSACTIONS}, {len(candidates)} level-2 "
+            f"candidates, median of {KERNEL_GUARD_REPS})"
+        ),
+        headers=["kernel", "median_count_seconds", "speedup_vs_hybrid"],
+        rows=rows,
+        notes=[
+            "warm kernels: one untimed warm-up rep per backend pays the "
+            "bitmap's one-time matrix pack (cached by content digest)",
+            "supports asserted bit-identical between the kernels",
+        ],
+    )
+
+
+def test_bitmap_kernel_speedup(benchmark, record):
+    result = benchmark.pedantic(
+        _kernel_speedup_table, rounds=1, iterations=1
+    )
+    record(result)
+    speedups = dict(
+        zip(result.column("kernel"), result.column("speedup_vs_hybrid"))
+    )
+    assert speedups["bitmap"] >= KERNEL_MIN_SPEEDUP, speedups

@@ -82,8 +82,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also run Apriori+ and report the speedup")
     query.add_argument("--backend", default="hybrid", metavar="BACKEND",
                        help="support-counting backend: one of "
-                       f"{', '.join(sorted(BACKENDS))}, or 'parallel:<workers>' "
-                       "(default: hybrid)")
+                       f"{', '.join(sorted(BACKENDS))}, or "
+                       "'parallel:<workers>[:<kernel>]' — e.g. "
+                       "'parallel:4:bitmap' shards the vectorized bitmap "
+                       "kernel (default: hybrid)")
     query.add_argument("--workers", type=int, default=None,
                        help="worker processes for '--backend parallel' "
                        "(default: up to 4, bounded by the visible CPUs)")

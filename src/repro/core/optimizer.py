@@ -158,7 +158,8 @@ class CFQResult:
             lines.append(f"    {name}: {value}")
         stats = getattr(self.backend, "stats", None)
         if stats is not None and getattr(stats, "levels", None):
-            lines.append(f"  parallel counting: {stats.summary()}")
+            label = getattr(stats, "explain_label", "parallel counting")
+            lines.append(f"  {label}: {stats.summary()}")
         if self.cache_info:
             info = self.cache_info
             lines.append(f"  cache: source {info.get('source', 'unknown')}")

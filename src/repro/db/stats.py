@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import ClassVar, Dict, List, Sequence, Tuple
 
 
 def debug_checks_enabled() -> bool:
@@ -314,7 +314,14 @@ class ParallelStats:
     #: shard of every level timing out) must not grow memory unboundedly.
     MAX_FAILURE_LOG = 50
 
+    #: Label `CFQResult.explain()` renders this block under.
+    explain_label: ClassVar[str] = "parallel counting"
+
     levels: List[ParallelLevelStats] = field(default_factory=list)
+    #: Which per-shard counting kernel the backend ran ("hybrid" or
+    #: "bitmap"); purely descriptive — the shard/merge machinery is
+    #: kernel-agnostic.
+    kernel: str = "hybrid"
     pool_forks: int = 0
     pool_broken: bool = False
     failure_log: List[str] = field(default_factory=list)
@@ -405,6 +412,7 @@ class ParallelStats:
         """Flat summary suitable for reports."""
         return {
             "levels": len(self.levels),
+            "kernel": self.kernel,
             "max_shards": max(
                 (len(level.shard_sizes) for level in self.levels), default=0
             ),
@@ -426,7 +434,8 @@ class ParallelStats:
         d = self.as_dict()
         text = (
             f"{d['levels']} sharded levels "
-            f"({d['pooled_levels']} via worker pool, "
+            f"({d['kernel']} kernel, "
+            f"{d['pooled_levels']} via worker pool, "
             f"max {d['max_shards']} shards, "
             f"{d['pool_forks']} pool fork(s)); "
             f"shard work {d['total_shard_seconds']:.3f}s, "
@@ -452,6 +461,83 @@ class ParallelStats:
         if d["pool_broken"]:
             text += "; pool broken — degraded to in-process counting"
         return text
+
+
+@dataclass
+class BitmapLevelStats:
+    """One bitmap counting pass: candidates counted, uint64 words
+    touched by the AND/popcount kernel, and kernel wall time."""
+
+    candidates: int
+    words: int
+    seconds: float
+
+
+@dataclass
+class BitmapStats:
+    """Instrumentation of a :class:`~repro.mining.bitmap.BitmapBackend`.
+
+    One :class:`BitmapLevelStats` per counting pass, plus matrix-build
+    accounting: ``builds`` counts actual packings (content-digest cache
+    misses) and ``cache_hits`` counts passes served from a cached
+    matrix, so tests can assert that equal-content transaction lists
+    share one build.  Shaped like :class:`ParallelStats` (``levels`` +
+    ``as_dict`` + ``summary``) so ``--explain`` and the run report's
+    backend-stats block render it through the same generic hook.
+    """
+
+    #: Label `CFQResult.explain()` renders this block under.
+    explain_label: ClassVar[str] = "bitmap counting"
+
+    levels: List[BitmapLevelStats] = field(default_factory=list)
+    builds: int = 0
+    cache_hits: int = 0
+    #: Which representation the backend packs ("numpy" or "int").
+    kernel: str = "numpy"
+
+    def record_level(self, candidates: int, words: int, seconds: float) -> None:
+        self.levels.append(BitmapLevelStats(candidates, words, seconds))
+
+    def record_build(self) -> None:
+        self.builds += 1
+
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    @property
+    def total_candidates(self) -> int:
+        return sum(level.candidates for level in self.levels)
+
+    @property
+    def total_words(self) -> int:
+        return sum(level.words for level in self.levels)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(level.seconds for level in self.levels)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary suitable for reports."""
+        return {
+            "levels": len(self.levels),
+            "kernel": self.kernel,
+            "builds": self.builds,
+            "cache_hits": self.cache_hits,
+            "candidates_counted": self.total_candidates,
+            "words_touched": self.total_words,
+            "kernel_seconds": self.total_seconds,
+        }
+
+    def summary(self) -> str:
+        """One-line rendering for CLI ``--explain`` output."""
+        d = self.as_dict()
+        return (
+            f"{d['levels']} counting pass(es) ({d['kernel']} kernel); "
+            f"{d['builds']} matrix build(s), {d['cache_hits']} cache hit(s); "
+            f"{d['candidates_counted']} candidates over "
+            f"{d['words_touched']} uint64 words in "
+            f"{d['kernel_seconds']:.4f}s"
+        )
 
 
 @dataclass

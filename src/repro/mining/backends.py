@@ -5,7 +5,7 @@ signature::
 
     backend.count(transactions, candidates, k, counters, var) -> {itemset: support}
 
-Four are provided (and compared in the backend ablation benchmark):
+Five are provided (and compared in the backend ablation benchmark):
 
 ``HybridBackend``
     The default of :mod:`repro.mining.counting`: per transaction, pick
@@ -15,14 +15,24 @@ Four are provided (and compared in the backend ablation benchmark):
 ``VerticalBackend``
     TID-list intersections (vertical layout), rebuilt per level from the
     (possibly trimmed) transaction list.
+``BitmapBackend``
+    Vectorized vertical counting: per-item TID bitmaps packed as numpy
+    uint64 rows, candidate support = popcount of row-AND intersections,
+    whole candidate batches counted as matrix ops
+    (:mod:`repro.mining.bitmap`).
 ``ParallelBackend``
     Transaction-sharded counting: the transaction list is split into N
-    contiguous shards, each counted with the hybrid kernel in a worker
-    process, and the per-shard ``{itemset: support}`` maps and
+    contiguous shards, each counted with the hybrid or bitmap kernel
+    (``kernel=``) in a worker process, and the per-shard
+    ``{itemset: support}`` maps and
     :class:`~repro.db.stats.OpCounters` deltas are merged into results
-    identical to ``HybridBackend`` (supports sum across shards; the
+    identical to the serial backend (supports sum across shards; the
     candidate-set ledger is recorded once — see
-    :func:`repro.db.stats.merge_shard_counters`).
+    :func:`repro.db.stats.merge_shard_counters`).  Both shardable
+    kernels meter per-transaction-additive work, so merged counters are
+    bit-identical to a serial run's; the vertical TID-list kernel is
+    *not* shardable for exactly that reason (its intersection metering
+    depends on TID-list sizes — see :mod:`repro.mining.vertical`).
 
 All backends meter their work into ``counters.subset_tests`` using
 comparable units (elementary probes), so the operation-count cost model
@@ -46,6 +56,7 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -54,12 +65,32 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.db.stats import OpCounters, ParallelStats, merge_shard_counters
 from repro.errors import ExecutionError, RunInterrupted
 from repro.itemsets import Itemset
+from repro.mining.bitmap import BitmapBackend
 from repro.mining.counting import count_candidates
 from repro.mining.hashtree import build_hash_tree
 from repro.mining.vertical import build_tidlists, count_with_tidlists
 from repro.obs.logs import get_logger
 
 logger = get_logger(__name__)
+
+#: Kernels :class:`ParallelBackend` can shard over TID ranges.  Both
+#: meter per-transaction-additive work, so merged shard counters equal
+#: the serial backend's (the differential harness asserts it).
+SHARD_KERNELS = ("hybrid", "bitmap")
+
+#: Per-process bitmap backend for sharded bitmap counting: pool workers
+#: (and the in-process fallback path) reuse one instance so a shard's
+#: matrix — keyed by content digest — is packed once per worker and
+#: shared across all levels of a run, mirroring the serial backend's
+#: cross-level cache.
+_SHARD_BITMAP: Optional[BitmapBackend] = None
+
+
+def _shard_bitmap() -> BitmapBackend:
+    global _SHARD_BITMAP
+    if _SHARD_BITMAP is None:
+        _SHARD_BITMAP = BitmapBackend()
+    return _SHARD_BITMAP
 
 
 class HybridBackend:
@@ -230,18 +261,31 @@ def count_shard(
     k: int,
     var: str,
     guard=None,
+    kernel: str = "hybrid",
 ) -> Tuple[Dict[Itemset, int], OpCounters, float]:
-    """Count one shard with the hybrid kernel (worker entry point).
+    """Count one shard with the hybrid or bitmap kernel (worker entry).
 
     Returns the shard's support map, its private counter deltas, and its
     wall time.  Module-level so it pickles for ``multiprocessing.Pool``.
     ``guard`` only ever arrives on the in-process path — cooperative
     checks cannot cross process boundaries, so pooled shards are
-    cancelled from the parent instead (see ``ParallelBackend``).
+    cancelled from the parent instead (see ``ParallelBackend``).  The
+    bitmap kernel counts through the per-process
+    :class:`~repro.mining.bitmap.BitmapBackend`, whose content-digest
+    cache packs each shard's matrix once per worker and reuses it across
+    levels (shard slices are re-materialized per level, but their
+    content — and hence the digest — is stable once level-1 trimming is
+    done).
     """
     counters = OpCounters()
     start = time.perf_counter()
-    support = count_candidates(shard, candidates, k, counters, var, guard=guard)
+    if kernel == "bitmap":
+        support = _shard_bitmap().count(
+            shard, candidates, k, counters, var, guard=guard
+        )
+    else:
+        support = count_candidates(shard, candidates, k, counters, var,
+                                   guard=guard)
     return support, counters, time.perf_counter() - start
 
 
@@ -293,27 +337,50 @@ class FaultInjector:
 
 def _count_shard_task(args) -> Tuple[Dict[Itemset, int], OpCounters, float]:
     """Pool task wrapper: optional fault injection, then the shard count."""
-    shard, candidates, k, var, seq, injector = args
+    shard, candidates, k, var, seq, injector, kernel = args
     if injector is not None:
         injector.fire(seq)
-    return count_shard(shard, candidates, k, var)
+    if kernel == "hybrid":
+        return count_shard(shard, candidates, k, var)
+    return count_shard(shard, candidates, k, var, kernel=kernel)
 
 
-def _count_shard_guarded(shard, candidates, k, var, guard):
-    """In-process shard count, forwarding ``guard`` only when live.
+def _count_shard_guarded(shard, candidates, k, var, guard, kernel="hybrid"):
+    """In-process shard count, forwarding optional keywords only when set.
 
     ``count_shard`` is monkeypatchable (tests substitute four-argument
-    fakes), so the keyword is only added when a run actually carries an
-    enabled guard.
+    fakes), so ``guard`` is only added when a run actually carries an
+    enabled guard, and ``kernel`` only when it departs from the hybrid
+    default.
     """
+    kwargs = {}
     if guard is not None:
-        return count_shard(shard, candidates, k, var, guard=guard)
-    return count_shard(shard, candidates, k, var)
+        kwargs["guard"] = guard
+    if kernel != "hybrid":
+        kwargs["kernel"] = kernel
+    return count_shard(shard, candidates, k, var, **kwargs)
 
 
 def default_workers() -> int:
     """Default worker count: up to four, bounded by the visible CPUs."""
     return max(1, min(4, os.cpu_count() or 1))
+
+
+def _pool_worker_init() -> None:
+    """Reset inherited signal dispositions in a freshly forked worker.
+
+    The pool may be forked inside a ``RunGuard.signals()`` scope (the
+    CLI does exactly that), and forked children inherit the parent's
+    handlers.  The guard's handler only sets a cooperative-cancel flag,
+    so a worker inheriting it would *survive* the SIGTERM that
+    ``Pool.terminate()`` sends and wedge shutdown in its unbounded
+    worker joins.  Workers therefore take the default SIGTERM action
+    (die) and ignore SIGINT outright — a ctrl-C is the parent's to
+    orchestrate: the guard turns it into a labeled partial result and
+    then closes the pool deliberately.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 class ParallelBackend:
@@ -337,6 +404,14 @@ class ParallelBackend:
     max_retries:
         How many times a failed shard is resubmitted to the pool before
         it degrades to in-process serial counting.
+    kernel:
+        Per-shard counting kernel, one of :data:`SHARD_KERNELS`:
+        ``"hybrid"`` (the default pure-Python enumerate-or-scan) or
+        ``"bitmap"`` (the vectorized uint64 kernel of
+        :mod:`repro.mining.bitmap`).  Both kernels' supports *and*
+        probe metering are additive over a transaction partition, so
+        either choice yields merged results bit-identical to the
+        matching serial backend.
     fault_injector:
         Optional :class:`FaultInjector` applied to pooled tasks (test
         hook; ``None`` in production).
@@ -377,6 +452,7 @@ class ParallelBackend:
         shard_timeout: Optional[float] = 60.0,
         max_retries: int = 2,
         fault_injector: Optional[FaultInjector] = None,
+        kernel: str = "hybrid",
     ):
         if workers is None:
             workers = default_workers()
@@ -394,12 +470,17 @@ class ParallelBackend:
             )
         if max_retries < 0:
             raise ExecutionError(f"max_retries must be >= 0, got {max_retries}")
+        if kernel not in SHARD_KERNELS:
+            raise ExecutionError(
+                f"unknown shard kernel {kernel!r}; choose from {SHARD_KERNELS}"
+            )
         self.workers = workers
         self.shard_threshold = shard_threshold
         self.shard_timeout = shard_timeout
         self.max_retries = max_retries
         self.fault_injector = fault_injector
-        self.stats = ParallelStats()
+        self.kernel = kernel
+        self.stats = ParallelStats(kernel=kernel)
         self._pool = None
         self._open_depth = 0
         self._broken = False
@@ -449,12 +530,15 @@ class ParallelBackend:
     def _ensure_pool(self):
         if self._pool is None:
             logger.info("forking worker pool with %d workers", self.workers)
-            self._pool = multiprocessing.Pool(self.workers)
+            self._pool = multiprocessing.Pool(
+                self.workers, initializer=_pool_worker_init
+            )
             self.stats.record_fork()
         return self._pool
 
-    #: Seconds to wait for terminated workers to be reaped before the
-    #: shutdown gives up on them (``Pool.join`` itself has no timeout).
+    #: Seconds to wait for the pool to wind down before the shutdown
+    #: hard-kills the remaining workers and abandons it (both
+    #: ``Pool.terminate`` and ``Pool.join`` block without a timeout).
     JOIN_TIMEOUT = 5.0
 
     def _shutdown_pool(self) -> None:
@@ -465,29 +549,40 @@ class ParallelBackend:
         if pool is None:
             return
         # terminate(), not close(): a hung worker must not stall the
-        # shutdown (close() would wait for the sleeping task).  Both
-        # calls are defended — a pool whose workers were hard-killed can
-        # raise from its own bookkeeping, and shutdown must never fail.
-        try:
-            pool.terminate()
-        except Exception as exc:  # pragma: no cover - depends on pool state
-            logger.warning("pool terminate() raised %r; continuing", exc)
-        # Pool.join() blocks without a timeout and a wedged result
-        # handler would hang interpreter exit, so join on a daemon
-        # thread and abandon the pool if it fails to wind down in time.
-        joiner = threading.Thread(
-            target=self._join_quietly, args=(pool,), daemon=True
+        # shutdown (close() would wait for the sleeping task).  But
+        # terminate() itself is not trusted to return either — its
+        # internal worker joins are unbounded, so a worker that
+        # survived the SIGTERM it sends (e.g. one forked with an
+        # inherited do-nothing handler) would wedge it.  The whole
+        # teardown therefore runs on a daemon thread with a bounded
+        # wait; workers still alive afterwards are hard-killed before
+        # the pool is abandoned.
+        teardown = threading.Thread(
+            target=self._teardown_quietly, args=(pool,), daemon=True
         )
-        joiner.start()
-        joiner.join(self.JOIN_TIMEOUT)
-        if joiner.is_alive():  # pragma: no cover - requires a wedged pool
+        teardown.start()
+        teardown.join(self.JOIN_TIMEOUT)
+        if teardown.is_alive():
             logger.warning(
-                "pool join did not finish within %.1fs; abandoning workers",
+                "pool teardown did not finish within %.1fs; killing workers",
                 self.JOIN_TIMEOUT,
             )
+            for worker in list(getattr(pool, "_pool", None) or []):
+                try:
+                    worker.kill()
+                except Exception:  # pragma: no cover - worker already gone
+                    pass
+            teardown.join(self.JOIN_TIMEOUT)
 
     @staticmethod
-    def _join_quietly(pool) -> None:
+    def _teardown_quietly(pool) -> None:
+        # Both calls are defended — a pool whose workers were
+        # hard-killed can raise from its own bookkeeping, and shutdown
+        # must never fail.
+        try:
+            pool.terminate()
+        except Exception:  # pragma: no cover - depends on pool state
+            pass
         try:
             pool.join()
         except Exception:  # pragma: no cover - depends on pool state
@@ -529,7 +624,7 @@ class ParallelBackend:
         )
         if in_process:
             outcomes = [
-                _count_shard_guarded(shard, shared, k, var, guard)
+                _count_shard_guarded(shard, shared, k, var, guard, self.kernel)
                 for shard in shards
             ]
             failures = retries = fallbacks = 0
@@ -583,7 +678,8 @@ class ParallelBackend:
         self._task_seq += 1
         return pool.apply_async(
             _count_shard_task,
-            ((shard, candidates, k, var, seq, self.fault_injector),),
+            ((shard, candidates, k, var, seq, self.fault_injector,
+              self.kernel),),
         )
 
     def _await_result(self, result, guard):
@@ -637,7 +733,7 @@ class ParallelBackend:
             while outcomes[i] is None:
                 if self._broken or result is None:
                     outcomes[i] = _count_shard_guarded(
-                        shards[i], candidates, k, var, guard
+                        shards[i], candidates, k, var, guard, self.kernel
                     )
                     fallbacks += 1
                     break
@@ -663,7 +759,7 @@ class ParallelBackend:
                             "falling back to in-process counting", i + 1, n,
                         )
                         outcomes[i] = _count_shard_guarded(
-                            shards[i], candidates, k, var, guard
+                            shards[i], candidates, k, var, guard, self.kernel
                         )
                         fallbacks += 1
                         break
@@ -729,6 +825,7 @@ BACKENDS = {
     "hybrid": HybridBackend,
     "hashtree": HashTreeBackend,
     "vertical": VerticalBackend,
+    "bitmap": BitmapBackend,
     "parallel": ParallelBackend,
 }
 
@@ -736,26 +833,38 @@ BACKENDS = {
 def make_backend(name_or_backend) -> object:
     """Resolve a backend name (or pass an instance through).
 
-    ``"parallel"`` accepts an optional worker suffix: ``"parallel:4"``
-    builds a :class:`ParallelBackend` with four workers.  Malformed
-    names and specs raise :class:`~repro.errors.ExecutionError`, so they
-    surface as clean CLI errors rather than tracebacks.
+    ``"parallel"`` accepts an optional worker suffix and an optional
+    shard-kernel suffix: ``"parallel:4"`` builds a
+    :class:`ParallelBackend` with four workers over the hybrid kernel,
+    ``"parallel:4:bitmap"`` shards the vectorized bitmap kernel
+    instead.  Malformed names and specs raise
+    :class:`~repro.errors.ExecutionError`, so they surface as clean CLI
+    errors rather than tracebacks.
     """
     if isinstance(name_or_backend, str):
         name, sep, arg = name_or_backend.partition(":")
         if sep and name != "parallel":
             raise ExecutionError(
                 f"backend {name!r} takes no {arg!r} argument; only "
-                f"'parallel:<workers>' is parameterized"
+                f"'parallel:<workers>[:<kernel>]' is parameterized"
             )
         if sep:
+            workers_text, kernel_sep, kernel = arg.partition(":")
             try:
-                workers = int(arg)
+                workers = int(workers_text)
             except ValueError:
                 raise ExecutionError(
-                    f"invalid worker count {arg!r} in {name_or_backend!r}"
+                    f"invalid worker count {workers_text!r} in "
+                    f"{name_or_backend!r}"
                 ) from None
-            return ParallelBackend(workers=workers)
+            if not kernel_sep:
+                return ParallelBackend(workers=workers)
+            if kernel not in SHARD_KERNELS:
+                raise ExecutionError(
+                    f"unknown shard kernel {kernel!r} in "
+                    f"{name_or_backend!r}; choose from {SHARD_KERNELS}"
+                )
+            return ParallelBackend(workers=workers, kernel=kernel)
         try:
             return BACKENDS[name]()
         except KeyError:

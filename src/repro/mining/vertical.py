@@ -16,9 +16,14 @@ partition (each shard's TID-lists cover disjoint TIDs), but the probe
 metering here is per-candidate — intersection costs depend on TID-list
 sizes, which a split changes — so sharded vertical work would not sum to
 the serial figure.  The transaction-sharded
-:class:`~repro.mining.backends.ParallelBackend` therefore shards the
-horizontal hybrid kernel, whose metering is per-transaction additive
-(see :mod:`repro.mining.counting`).
+:class:`~repro.mining.backends.ParallelBackend` therefore never shards
+this kernel; it shards the horizontal hybrid kernel (per-transaction
+additive metering, see :mod:`repro.mining.counting`) or the bitmap
+kernel, whose ``sum(len(candidate)) * N`` bit-probe meter is *exactly*
+additive over any transaction partition (see
+:mod:`repro.mining.bitmap`).  The contrast is pinned executable in
+``tests/test_backend_differential.py::
+test_bitmap_shard_metering_is_additive_unlike_vertical``.
 """
 
 from __future__ import annotations

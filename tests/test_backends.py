@@ -258,3 +258,102 @@ def test_backends_meter_work(market_db):
         )
         assert counters.subset_tests > 0, name
         assert counters.support_counted[("S", 2)] == 2
+
+
+# ---------------------------------------------------------------------------
+# Pool teardown under inherited signal handlers
+# ---------------------------------------------------------------------------
+#
+# The CLI forks the worker pool inside a ``RunGuard.signals()`` scope, so
+# workers inherit whatever SIGTERM/SIGINT handlers are installed at fork
+# time.  The guard's handler only sets a cooperative-cancel flag — a worker
+# inheriting it would survive ``Pool.terminate()``'s SIGTERM and wedge the
+# shutdown in its unbounded worker joins.  ``_pool_worker_init`` resets the
+# dispositions in each worker, and ``_shutdown_pool`` bounds the teardown
+# and hard-kills anything that still refuses to die.
+
+
+def _pool_workers(backend):
+    return list(backend._pool._pool)
+
+
+def test_pool_workers_die_on_sigterm_despite_guard_handlers(market_db):
+    import os
+    import signal as _signal
+    import time as _time
+
+    from repro.runtime.guard import RunGuard
+
+    backend = ParallelBackend(workers=2, shard_threshold=0)
+    guard = RunGuard()
+    with guard.signals():
+        with backend:
+            backend.count(market_db.transactions, [(1, 2)], 2)
+            workers = _pool_workers(backend)
+            assert workers
+            victim = workers[0]
+            os.kill(victim.pid, _signal.SIGTERM)
+            deadline = _time.monotonic() + 10.0
+            while victim.exitcode is None and _time.monotonic() < deadline:
+                _time.sleep(0.05)
+            # SIG_DFL was restored in the worker, so the SIGTERM that
+            # Pool.terminate() relies on actually kills it.
+            assert victim.exitcode is not None
+    assert not backend.pool_open
+
+
+def test_pool_workers_ignore_sigint(market_db):
+    import os
+    import signal as _signal
+    import time as _time
+
+    backend = ParallelBackend(workers=2, shard_threshold=0)
+    with backend:
+        expected = backend.count(market_db.transactions, [(1, 2)], 2)
+        for worker in _pool_workers(backend):
+            os.kill(worker.pid, _signal.SIGINT)
+        _time.sleep(0.3)
+        # A ctrl-C hits the whole foreground process group; workers must
+        # leave it to the parent's guard and keep serving shards.
+        assert all(w.exitcode is None for w in _pool_workers(backend))
+        assert backend.count(market_db.transactions, [(1, 2)], 2) == expected
+    assert not backend.pool_open
+
+
+def test_shutdown_pool_bounds_a_wedged_terminate(monkeypatch):
+    """terminate() that never returns is abandoned after JOIN_TIMEOUT."""
+    import threading as _threading
+    import time as _time
+
+    class _Worker:
+        def __init__(self, release):
+            self._release = release
+            self.kill_calls = 0
+
+        def kill(self):
+            self.kill_calls += 1
+            self._release.set()
+
+    class _WedgedPool:
+        def __init__(self):
+            self._release = _threading.Event()
+            self._pool = [_Worker(self._release)]
+
+        def terminate(self):
+            # Blocks exactly like Pool._terminate_pool joining a worker
+            # that survived SIGTERM — until kill() frees it.
+            self._release.wait(30.0)
+
+        def join(self):
+            pass
+
+    monkeypatch.setattr(ParallelBackend, "JOIN_TIMEOUT", 0.2)
+    backend = ParallelBackend(workers=2)
+    wedged = _WedgedPool()
+    backend._pool = wedged
+    start = _time.monotonic()
+    backend._shutdown_pool()
+    elapsed = _time.monotonic() - start
+    assert backend._pool is None
+    assert wedged._pool[0].kill_calls == 1
+    assert elapsed < 5.0

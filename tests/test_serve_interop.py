@@ -1,0 +1,138 @@
+"""Serve-layer / backend interop: backend choice never leaks into caches.
+
+The fingerprint module documents (and this file proves) that the
+counting ``backend`` is *excluded* from every cache identity: all
+backends are bit-identical on answers — the backend differential suite
+is the evidence — so an answer mined by one backend may be served to a
+query requesting another.  Concretely:
+
+* ``options_fingerprint`` / ``result_key`` ignore a ``backend`` option;
+* a result cached by a cold hybrid run is a **result-cache hit** for a
+  request carrying the bitmap (or sharded-bitmap, or vertical) backend,
+  and vice versa, with answers and full counters bit-identical;
+* skeletons built by a bitmap-backed batch run replay through
+  :class:`~repro.serve.skeleton.SupportOracle` bit-identically to a
+  cold hybrid optimizer run — including for a sibling query served
+  warm from another backend's skeletons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import CFQOptimizer
+from repro.mining.backends import BitmapBackend, make_backend
+from repro.serve import QueryService
+from repro.serve.fingerprint import options_fingerprint, result_key
+from tests.test_serve_differential import (
+    ANSWER_COUNTERS,
+    WORKLOADS,
+    _answers,
+)
+
+#: Backend specs exercised against caches warmed by a different backend.
+CROSS_BACKENDS = ["bitmap", "parallel:2:bitmap", "vertical"]
+
+
+def test_fingerprints_ignore_backend_choice():
+    options_with = {"backend": "bitmap", "dovetail": True}
+    options_without = {"dovetail": True}
+    assert options_fingerprint(options_with) == options_fingerprint(
+        options_without
+    )
+    workload = WORKLOADS["quickstart"]()
+    cfq = workload.cfq()
+    assert result_key(cfq, workload.db, options_with) == result_key(
+        cfq, workload.db, options_without
+    )
+    # ... while a genuinely result-affecting option does move the key.
+    assert options_fingerprint({"dovetail": False}) != options_fingerprint(
+        options_without
+    )
+
+
+@pytest.mark.parametrize("spec", CROSS_BACKENDS)
+def test_result_cached_by_hybrid_serves_other_backends(spec):
+    """Cold hybrid run populates the cache; a request carrying any other
+    backend hits it and receives the bit-identical answer."""
+    workload = WORKLOADS["quickstart"]()
+    cfq = workload.cfq()
+    service = QueryService()
+    cold = service.execute(workload.db, cfq)
+    assert cold.cache_info["source"] == "cold"
+    warm = service.execute(workload.db, cfq, backend=make_backend(spec))
+    assert warm.cache_info["source"] == "result-cache", spec
+    assert _answers(warm) == _answers(cold), spec
+    assert warm.counters.as_dict() == cold.counters.as_dict(), spec
+
+
+def test_result_cached_by_bitmap_serves_hybrid():
+    """The reverse direction: a bitmap-backed cold run is a cache hit
+    for the default (hybrid) request."""
+    workload = WORKLOADS["fig8b"]()
+    cfq = workload.cfq()
+    baseline = CFQOptimizer(cfq).execute(workload.db)  # cold hybrid
+    service = QueryService()
+    cold = service.execute(workload.db, cfq, backend=BitmapBackend())
+    assert cold.cache_info["source"] == "cold"
+    warm = service.execute(workload.db, cfq)
+    assert warm.cache_info["source"] == "result-cache"
+    assert _answers(warm) == _answers(cold) == _answers(baseline)
+    # Warm answers replay the *bitmap* run's counters verbatim — the
+    # cache stores whatever the cold run metered; only the answer-bearing
+    # fields are backend-invariant.
+    assert warm.counters.as_dict() == cold.counters.as_dict()
+    warm_counts = warm.counters.as_dict()
+    hybrid_counts = baseline.counters.as_dict()
+    for fld in ANSWER_COUNTERS:
+        assert warm_counts[fld] == hybrid_counts[fld], fld
+
+
+@pytest.mark.parametrize("name", ["quickstart", "fig8b"])
+def test_bitmap_batch_skeleton_replay_matches_cold_hybrid(name):
+    """A bitmap-backed batch builds skeletons via the shared scan and
+    replays each query through ``SupportOracle`` — bit-identical on
+    answers and answer-bearing counters to a cold hybrid run."""
+    workload = WORKLOADS[name]()
+    cfq = workload.cfq()
+    baseline = CFQOptimizer(cfq).execute(workload.db)
+
+    service = QueryService()
+    report = service.execute_batch(
+        workload.db, [cfq], backend=BitmapBackend()
+    )
+    (item,) = report.items
+    assert item.source == "skeleton", name
+    served = item.result
+    assert _answers(served) == _answers(baseline), name
+    served_counts = served.counters.as_dict()
+    cold_counts = baseline.counters.as_dict()
+    for fld in ANSWER_COUNTERS:
+        assert served_counts[fld] == cold_counts[fld], (name, fld)
+    assert (
+        served.counters.snapshot()["support_counted"]
+        == baseline.counters.snapshot()["support_counted"]
+    ), name
+
+
+def test_skeletons_built_by_bitmap_serve_sibling_query_on_hybrid():
+    """Skeletons warmed by a bitmap batch serve a previously unseen
+    sibling query requested with the default backend — the skeleton
+    tier, like the result cache, is backend-agnostic."""
+    workload = WORKLOADS["quickstart"]()
+    cfq = workload.cfq()
+    scale = (
+        (lambda s: {v: x * 1.5 for v, x in s.items()})
+        if isinstance(workload.minsup, dict)
+        else (lambda s: s * 1.5)
+    )
+    sibling = workload.cfq(
+        constraints=workload.constraints[:1], minsup=scale(workload.minsup)
+    )
+    baseline = CFQOptimizer(sibling).execute(workload.db)
+
+    service = QueryService()
+    service.execute_batch(workload.db, [cfq], backend=BitmapBackend())
+    served = service.execute(workload.db, sibling)
+    assert served.cache_info["source"] == "skeleton"
+    assert _answers(served) == _answers(baseline)
