@@ -1,0 +1,73 @@
+"""Churn-maintenance performance acceptance: refresh beats re-mine.
+
+The tentpole promise of incremental maintenance (``docs/serving.md``):
+migrating a frequency skeleton across a small dataset delta (<= 5%
+churn) is at least **3x faster** than cold-mining the mutated dataset —
+because the delta pass touches only the delta's transactions and the
+levelwise completion probes only candidates the base skeleton never
+counted.  Correctness (bit-identity with the cold build) is proven in
+the fast lane (``tests/test_delta_differential.py``); this file prices
+it at benchmark scale.
+"""
+
+import random
+import time
+
+from repro.datagen.workloads import quickstart_workload
+from repro.serve import build_skeleton, refresh_skeleton
+
+REPEATS = 3
+REFRESH_SPEEDUP_FLOOR = 3.0
+N_TRANSACTIONS = 3000
+CHURN = 100  # appended + deleted transactions: ~5% of the base
+
+
+def _min_wall(fn, repeats=REPEATS):
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_refresh_at_most_5pct_churn_at_least_3x_faster_than_cold():
+    workload = quickstart_workload(n_transactions=N_TRANSACTIONS)
+    db = workload.db
+    domain = workload.domains["S"]
+    min_count = db.min_count(0.02)
+    skeleton = build_skeleton(db, domain, min_count)
+
+    rng = random.Random(42)
+    universe = sorted(db.item_universe())
+    lengths = [len(t) for t in db.transactions if t]
+    appended = [
+        tuple(sorted(rng.sample(universe,
+                                min(rng.choice(lengths), len(universe)))))
+        for _ in range(CHURN // 2)
+    ]
+    db2, delta_a = db.append(appended)
+    db3, delta_b = db2.delete(rng.sample(range(len(db2)), CHURN // 2))
+    assert delta_a.churn_fraction + delta_b.churn_fraction <= 0.05
+
+    def refresh():
+        mid, _ = refresh_skeleton(skeleton, db2, delta_a)
+        final, _ = refresh_skeleton(mid, db3, delta_b)
+        return final
+
+    refreshed = refresh()
+    cold = build_skeleton(db3, domain, refreshed.min_count)
+    assert refreshed.supports == cold.supports
+    assert refreshed.border == cold.border
+
+    refresh_wall = _min_wall(refresh)
+    cold_wall = _min_wall(
+        lambda: build_skeleton(db3, domain, refreshed.min_count)
+    )
+    speedup = cold_wall / refresh_wall
+    print(f"\nchurn maintenance: cold re-mine {cold_wall:.4f}s, "
+          f"two-delta refresh {refresh_wall:.4f}s -> {speedup:.1f}x")
+    assert speedup >= REFRESH_SPEEDUP_FLOOR, (
+        f"refresh only {speedup:.2f}x faster than cold "
+        f"(refresh {refresh_wall:.4f}s vs cold {cold_wall:.4f}s)"
+    )

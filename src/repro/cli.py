@@ -137,6 +137,21 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--deadline", type=float, default=None,
                        metavar="SECONDS",
                        help="wall-clock budget for the whole batch")
+    batch.add_argument("--churn", action="append", default=None,
+                       metavar="OP:N",
+                       help="after the batch, mutate the dataset and re-run "
+                       "it: 'append:N' adds N generated transactions, "
+                       "'delete:N' removes N random ones; repeatable — each "
+                       "flag is one churn step, served through incremental "
+                       "skeleton maintenance (delta recount, not a re-mine)")
+    batch.add_argument("--verify-cold", action="store_true",
+                       help="after every churn step, re-run each query cold "
+                       "on the mutated dataset and fail (exit 2) unless the "
+                       "incrementally served answers are identical")
+    batch.add_argument("--report-out", metavar="PATH", default=None,
+                       help="write a versioned JSON run report for the first "
+                       "query's final answer, including the churn "
+                       "maintenance 'delta' block")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's Section 7 tables"
@@ -300,26 +315,39 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return EXIT_INTERRUPTED if result.is_partial else 0
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.serve import QueryService
-
-    backend = _resolve_backend(args.backend, None)
-    workload = quickstart_workload(n_transactions=args.transactions,
-                                   seed=args.seed)
-    cfqs = [
-        parse_cfq(text, workload.domains, default_minsup=args.minsup)
-        for text in args.cfqs
-    ]
-    print(f"workload: {workload.db!r}")
-    guard = RunGuard(deadline_seconds=args.deadline)
-    service = QueryService(cache_dir=args.cache_dir)
-    with backend_scope(backend), guard.signals():
-        report = service.execute_batch(
-            workload.db, cfqs, backend=backend, guard=guard
+def _parse_churn(spec: str):
+    """``'append:N'`` / ``'delete:N'`` → ``(op, n)``; anything else is an
+    :class:`~repro.errors.ExecutionError` (clean exit 2, no traceback)."""
+    op, sep, count = spec.partition(":")
+    if not sep or op not in ("append", "delete"):
+        raise ExecutionError(
+            f"--churn expects 'append:N' or 'delete:N', got {spec!r}"
         )
-    print(f"batch of {len(report.items)} queries "
-          f"(skeleton build {report.skeleton_build_seconds:.3f}s, "
-          f"{service.stats.skeleton_builds} skeleton(s) mined)")
+    try:
+        n = int(count)
+    except ValueError:
+        n = 0
+    if n <= 0:
+        raise ExecutionError(f"--churn {spec!r}: N must be a positive integer")
+    return op, n
+
+
+def _churn_transactions(db, n: int, rng) -> List[tuple]:
+    """``n`` synthetic transactions drawn from the database's own item
+    universe and length distribution, so appended rows look like the
+    workload instead of shifting every support toward zero."""
+    universe = sorted({item for t in db.transactions for item in t})
+    lengths = [len(t) for t in db.transactions if t] or [1]
+    return [
+        tuple(sorted(rng.sample(universe, min(rng.choice(lengths),
+                                              len(universe)))))
+        for _ in range(n)
+    ]
+
+
+def _print_batch_items(report, pairs_limit: int) -> bool:
+    """Per-query source/timing/answer lines; returns True if any query
+    reported a partial result."""
     any_partial = False
     for index, item in enumerate(report.items, start=1):
         result = item.result
@@ -332,10 +360,107 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(f"      frequent valid {var}-sets: "
                   f"{len(result.frequent_valid(var))}")
         if len(item.cfq.variables) == 2 and not result.is_partial:
-            pairs = result.pairs(limit=args.pairs)
-            for s0, t0 in pairs:
+            for s0, t0 in result.pairs(limit=pairs_limit):
                 print(f"      S={s0}  T={t0}")
+    return any_partial
+
+
+def _answers_match(served, cold) -> bool:
+    """Order-sensitive answer comparison (the serving layer's bit-identity
+    contract: frequent sets with supports in insertion order, plus the
+    pair list)."""
+    if [
+        list(served.frequent_valid(var).items())
+        for var in served.cfq.variables
+    ] != [
+        list(cold.frequent_valid(var).items())
+        for var in cold.cfq.variables
+    ]:
+        return False
+    if len(served.cfq.variables) == 2:
+        return served.pairs() == cold.pairs()
+    return True
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.serve import QueryService
+
+    churn_ops = [_parse_churn(spec) for spec in (args.churn or [])]
+    backend = _resolve_backend(args.backend, None)
+    workload = quickstart_workload(n_transactions=args.transactions,
+                                   seed=args.seed)
+    db = workload.db
+    cfqs = [
+        parse_cfq(text, workload.domains, default_minsup=args.minsup)
+        for text in args.cfqs
+    ]
+    print(f"workload: {db!r}")
+    guard = RunGuard(deadline_seconds=args.deadline)
+    service = QueryService(cache_dir=args.cache_dir)
+    rng = random.Random(args.seed)
+    delta_reports = []
+    with backend_scope(backend), guard.signals():
+        report = service.execute_batch(db, cfqs, backend=backend, guard=guard)
+        print(f"batch of {len(report.items)} queries "
+              f"(skeleton build {report.skeleton_build_seconds:.3f}s, "
+              f"{service.stats.skeleton_builds} skeleton(s) mined)")
+        any_partial = _print_batch_items(report, args.pairs)
+
+        for step, (op, n) in enumerate(churn_ops, start=1):
+            if op == "append":
+                db, delta = db.append(_churn_transactions(db, n, rng))
+            else:
+                population = range(len(db))
+                tids = rng.sample(population, min(n, max(len(db) - 1, 0)))
+                db, delta = db.delete(tids)
+            maintenance = service.apply_delta(
+                db, delta, backend=backend, guard=guard
+            )
+            delta_reports.append(maintenance)
+            probed = sum(r.probed for r in maintenance.refreshes)
+            print(f"churn[{step}] {op}:{n} -> {len(db)} transactions "
+                  f"({delta.churn_fraction:.1%} churn); "
+                  f"{maintenance.skeletons_refreshed} skeleton(s) refreshed, "
+                  f"{maintenance.skeletons_dropped} dropped, "
+                  f"{probed} candidate(s) probed, "
+                  f"{maintenance.results_invalidated} result(s) invalidated "
+                  f"in {maintenance.wall_seconds:.4f}s")
+            report = service.execute_batch(
+                db, cfqs, backend=backend, guard=guard
+            )
+            any_partial = _print_batch_items(report, args.pairs) or any_partial
+            if args.verify_cold:
+                for item in report.items:
+                    cold = CFQOptimizer(item.cfq).execute(db)
+                    if not _answers_match(item.result, cold):
+                        raise ExecutionError(
+                            f"--verify-cold: churn step {step} served an "
+                            f"answer for {item.cfq} that differs from a "
+                            "cold run over the mutated dataset"
+                        )
+                print(f"churn[{step}] verify-cold: "
+                      f"{len(report.items)} answer(s) identical to cold runs")
     print(f"cache stats: {service.stats.summary()}")
+    if args.report_out:
+        doc = build_run_report(
+            report.items[0].result,
+            meta={
+                "command": "batch",
+                "queries": [str(c) for c in cfqs],
+                "transactions": args.transactions,
+                "seed": args.seed,
+                "minsup": args.minsup,
+                "churn": args.churn or [],
+            },
+            delta=(
+                {"steps": [m.as_dict() for m in delta_reports]}
+                if delta_reports else None
+            ),
+        )
+        doc.write(args.report_out)
+        print(f"run report written to {args.report_out}")
     return EXIT_INTERRUPTED if any_partial else 0
 
 

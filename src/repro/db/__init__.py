@@ -14,15 +14,20 @@ domain such as the set of Types) and :class:`~repro.db.stats.OpCounters`
 """
 
 from repro.db.catalog import ItemCatalog
+from repro.db.delta import DatasetDelta
+from repro.db.digest import dataset_digest, transactions_digest
 from repro.db.domain import Domain, derived_type_domain
 from repro.db.stats import OpCounters, ScanStats
 from repro.db.transactions import TransactionDatabase
 
 __all__ = [
     "ItemCatalog",
+    "DatasetDelta",
     "Domain",
+    "dataset_digest",
     "derived_type_domain",
     "OpCounters",
     "ScanStats",
     "TransactionDatabase",
+    "transactions_digest",
 ]

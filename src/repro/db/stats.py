@@ -563,6 +563,8 @@ class CacheStats:
     skeleton_hits: int = 0
     skeleton_misses: int = 0
     skeleton_builds: int = 0
+    #: skeletons migrated across a dataset delta instead of rebuilt
+    skeleton_refreshes: int = 0
     bytes_held: int = 0
 
     def record_hit(self) -> None:
@@ -605,6 +607,7 @@ class CacheStats:
             "skeleton_hits": self.skeleton_hits,
             "skeleton_misses": self.skeleton_misses,
             "skeleton_builds": self.skeleton_builds,
+            "skeleton_refreshes": self.skeleton_refreshes,
             "bytes_held": self.bytes_held,
         }
 
@@ -626,6 +629,8 @@ class CacheStats:
                 f"; skeleton: {d['skeleton_builds']} build(s), "
                 f"{d['skeleton_hits']} hit(s), {d['skeleton_misses']} miss(es)"
             )
+            if d["skeleton_refreshes"]:
+                text += f", {d['skeleton_refreshes']} refresh(es)"
         return text
 
 

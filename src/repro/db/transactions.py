@@ -8,8 +8,10 @@ strategies use it so the dovetailing experiments can report scan savings.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
+from repro.db.delta import DatasetDelta, make_delta
+from repro.db.digest import transactions_digest
 from repro.db.stats import ScanStats
 from repro.errors import DataError
 
@@ -34,10 +36,24 @@ class TransactionDatabase:
     """
 
     def __init__(self, transactions: Iterable[Sequence[int]]):
-        self._transactions: List[Tuple[int, ...]] = [
+        self._transactions: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(sorted(set(t))) for t in transactions
-        ]
+        )
         self.stats = ScanStats()
+        #: Monotonic churn counter: 0 for a freshly built database,
+        #: parent + 1 for databases produced by :meth:`append`/:meth:`delete`.
+        self.version = 0
+
+    @classmethod
+    def _from_normalized(
+        cls, transactions: Tuple[Tuple[int, ...], ...], version: int
+    ) -> "TransactionDatabase":
+        """Internal fast path for churn: transactions already normalized."""
+        db = cls.__new__(cls)
+        db._transactions = transactions
+        db.stats = ScanStats()
+        db.version = version
+        return db
 
     # ------------------------------------------------------------------
     # Basic access
@@ -53,8 +69,15 @@ class TransactionDatabase:
         return self._transactions[tid]
 
     @property
-    def transactions(self) -> List[Tuple[int, ...]]:
-        """The underlying transaction list (treat as read-only)."""
+    def transactions(self) -> Tuple[Tuple[int, ...], ...]:
+        """The transactions as an immutable tuple.
+
+        Always the *same* tuple object for the life of the database —
+        content-fingerprint memos and backend matrix caches pin digests
+        by object identity, so both the immutability and the identity
+        stability are load-bearing.  Mutation happens only through
+        :meth:`append` / :meth:`delete`, which return new databases.
+        """
         return self._transactions
 
     def item_universe(self) -> frozenset:
@@ -97,6 +120,64 @@ class TransactionDatabase:
     def projected(self, domain) -> "TransactionDatabase":
         """Project every transaction through a :class:`~repro.db.domain.Domain`."""
         return TransactionDatabase(domain.project(t) for t in self._transactions)
+
+    # ------------------------------------------------------------------
+    # Churn: appends and deletes as first-class deltas
+    # ------------------------------------------------------------------
+    def append(
+        self, transactions: Iterable[Sequence[int]]
+    ) -> Tuple["TransactionDatabase", DatasetDelta]:
+        """Append transactions, returning ``(new_db, delta)``.
+
+        The receiver is untouched (databases are immutable content); the
+        new database carries ``version + 1`` and the delta records the
+        appended transactions, their TIDs in the new database, and the
+        touched item set — everything incremental skeleton maintenance
+        (:mod:`repro.serve.delta`) needs.
+        """
+        added = tuple(tuple(sorted(set(t))) for t in transactions)
+        combined = self._transactions + added
+        new_db = TransactionDatabase._from_normalized(combined, self.version + 1)
+        delta = make_delta(
+            self._transactions,
+            combined,
+            base_digest=transactions_digest(self._transactions),
+            new_digest=transactions_digest(combined),
+            added_tids=tuple(range(len(self._transactions), len(combined))),
+        )
+        return new_db, delta
+
+    def delete(
+        self, tids: Iterable[int]
+    ) -> Tuple["TransactionDatabase", DatasetDelta]:
+        """Delete transactions by TID, returning ``(new_db, delta)``.
+
+        TIDs refer to positions in *this* database; the survivors keep
+        their relative order (so the new content digest is deterministic)
+        and are renumbered densely.  Unknown or duplicate TIDs raise
+        :class:`~repro.errors.DataError` — a delta must describe exactly
+        what happened.
+        """
+        removed_tids = tuple(sorted(set(tids)))
+        for tid in removed_tids:
+            if not 0 <= tid < len(self._transactions):
+                raise DataError(
+                    f"delete: TID {tid} out of range for database of "
+                    f"{len(self._transactions)} transactions"
+                )
+        drop = set(removed_tids)
+        survivors = tuple(
+            t for tid, t in enumerate(self._transactions) if tid not in drop
+        )
+        new_db = TransactionDatabase._from_normalized(survivors, self.version + 1)
+        delta = make_delta(
+            self._transactions,
+            survivors,
+            base_digest=transactions_digest(self._transactions),
+            new_digest=transactions_digest(survivors),
+            removed_tids=removed_tids,
+        )
+        return new_db, delta
 
     # ------------------------------------------------------------------
     # Direct support queries (reference implementations; miners count in

@@ -117,7 +117,8 @@ class BitmapMatrix:
     """
 
     __slots__ = ("kind", "n_transactions", "n_words", "item_index",
-                 "matrix", "masks", "row_lookup", "bits_f32")
+                 "matrix", "masks", "row_lookup", "bits_f32",
+                 "n_physical", "tid_phys")
 
     def __init__(self, kind, n_transactions, n_words,
                  item_index=None, matrix=None, masks=None):
@@ -131,6 +132,14 @@ class BitmapMatrix:
         self.row_lookup = None
         #: lazy float32 bit expansion of ``matrix`` for the Gram kernel
         self.bits_f32 = None
+        #: physical bit positions in use (>= n_transactions once deltas
+        #: have punched holes; fresh builds are dense)
+        self.n_physical = n_transactions
+        #: logical TID -> physical bit position (``None`` = identity).
+        #: Set by :func:`update_bitmap`, whose deletions zero a column
+        #: without compacting — later deltas must know where each
+        #: surviving logical transaction's bit lives.
+        self.tid_phys = None
 
 
 def build_bitmap(
@@ -175,6 +184,106 @@ def build_bitmap(
         _np.bitwise_or.at(matrix, (row_vec, word_vec), bit_vec)
     return BitmapMatrix("numpy", n, n_words, item_index=item_index,
                         matrix=matrix)
+
+
+def update_bitmap(
+    bitmap: BitmapMatrix,
+    added: Sequence[Tuple[int, ...]],
+    removed_tids: Sequence[int] = (),
+) -> BitmapMatrix:
+    """Derive the bitmap of ``base + added - removed`` without repacking.
+
+    Copy-on-write: the input matrix (possibly still cached under the old
+    content digest) is never mutated.  Deletions **zero the TID's bit
+    column without compacting** — a zeroed bit contributes nothing to any
+    row-AND popcount, so supports come out exactly as a fresh build of
+    the mutated list would produce them — and appends claim fresh
+    physical bit positions past ``n_physical``.  The logical-to-physical
+    TID map (:attr:`BitmapMatrix.tid_phys`) keeps chained deltas sound:
+    ``n_transactions`` stays the *logical* count, so probe metering
+    (``probes * n_transactions``) remains bit-identical to cold counting.
+
+    ``removed_tids`` are logical TIDs of the *base* list, matching
+    :class:`~repro.db.delta.DatasetDelta` semantics.
+    """
+    n_old = bitmap.n_transactions
+    removed = sorted(set(removed_tids))
+    for tid in removed:
+        if not 0 <= tid < n_old:
+            raise ExecutionError(
+                f"update_bitmap: TID {tid} out of range for bitmap of "
+                f"{n_old} transactions"
+            )
+    added = [tuple(t) for t in added]
+    phys = bitmap.tid_phys  # None = identity
+    removed_phys = [tid if phys is None else phys[tid] for tid in removed]
+    drop = set(removed)
+    if phys is None:
+        survivors_phys = [t for t in range(n_old) if t not in drop]
+    else:
+        survivors_phys = [phys[t] for t in range(n_old) if t not in drop]
+    n_physical = bitmap.n_physical + len(added)
+    new_tid_phys = survivors_phys + list(
+        range(bitmap.n_physical, n_physical)
+    )
+    n_words = (n_physical + 63) >> 6
+
+    if bitmap.kind == "int":
+        masks = dict(bitmap.masks)
+        if removed_phys:
+            clear = 0
+            for p in removed_phys:
+                clear |= 1 << p
+            keep = ~clear
+            masks = {item: mask & keep for item, mask in masks.items()}
+        for offset, transaction in enumerate(added):
+            bit = 1 << (bitmap.n_physical + offset)
+            for item in transaction:
+                masks[item] = masks.get(item, 0) | bit
+        out = BitmapMatrix("int", len(new_tid_phys), n_words, masks=masks)
+    else:
+        item_index = dict(bitmap.item_index)
+        new_items = sorted(
+            {i for t in added for i in t} - item_index.keys()
+        )
+        n_rows_old = bitmap.matrix.shape[0]
+        matrix = _np.zeros(
+            (n_rows_old + len(new_items), n_words), dtype=_np.uint64
+        )
+        matrix[:n_rows_old, :bitmap.n_words] = bitmap.matrix
+        for row, item in enumerate(new_items, start=n_rows_old):
+            item_index[item] = row
+        if removed_phys:
+            pos = _np.asarray(removed_phys, dtype=_np.uint64)
+            clear = _np.zeros(n_words, dtype=_np.uint64)
+            _np.bitwise_or.at(
+                clear,
+                (pos >> _np.uint64(6)).astype(_np.intp),
+                _np.uint64(1) << (pos & _np.uint64(63)),
+            )
+            # Row 0 (the reserved all-zero row) is unaffected by &= ~clear.
+            matrix &= ~clear
+        rows: List[int] = []
+        positions: List[int] = []
+        for offset, transaction in enumerate(added):
+            p = bitmap.n_physical + offset
+            for item in transaction:
+                rows.append(item_index[item])
+                positions.append(p)
+        if rows:
+            row_vec = _np.asarray(rows, dtype=_np.intp)
+            pos_vec = _np.asarray(positions, dtype=_np.uint64)
+            word_vec = (pos_vec >> _np.uint64(6)).astype(_np.intp)
+            bit_vec = _np.uint64(1) << (pos_vec & _np.uint64(63))
+            _np.bitwise_or.at(matrix, (row_vec, word_vec), bit_vec)
+        out = BitmapMatrix(
+            "numpy", len(new_tid_phys), n_words,
+            item_index=item_index, matrix=matrix,
+        )
+    out.n_physical = n_physical
+    if removed or phys is not None:
+        out.tid_phys = new_tid_phys
+    return out
 
 
 def bitmap_probe_cost(
@@ -471,6 +580,8 @@ class BitmapBackend:
         #: matrix packings performed (cache misses); equal-content lists
         #: must not bump this twice.
         self.builds = 0
+        #: matrices derived by :meth:`apply_delta` instead of repacking
+        self.delta_updates = 0
         self.stats = BitmapStats(kernel="numpy" if self.use_numpy else "int")
 
     def _fingerprint(self, transactions) -> str:
@@ -499,6 +610,29 @@ class BitmapBackend:
         else:
             self.stats.record_cache_hit()
         return bitmap
+
+    def apply_delta(self, new_transactions, delta) -> bool:
+        """Seed the matrix cache for ``new_transactions`` from the base.
+
+        The cache is keyed by content digest and the delta names its
+        base digest, so when the base matrix is still cached the new
+        list's matrix is derived with :func:`update_bitmap` (bit masking
+        + row appends) instead of repacked — subsequent ``count`` calls
+        over the new list hit it directly.  Returns whether a derivation
+        happened (``False`` when the base matrix was never built or has
+        been evicted; the next ``count`` then just packs cold, which is
+        always correct).
+        """
+        base = self._cache.get(delta.base_digest)
+        if base is None:
+            return False
+        updated = update_bitmap(base, delta.added, delta.removed_tids)
+        key = self._fingerprint(new_transactions)
+        if len(self._cache) >= self.max_cached_matrices:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = updated
+        self.delta_updates += 1
+        return True
 
     def count(
         self,

@@ -56,6 +56,7 @@ def mine_skeleton(
     backend=None,
     tracer=None,
     guard=None,
+    keep_border: bool = True,
 ) -> LatticeResult:
     """Plain unconstrained Apriori over one domain — the *frequency
     skeleton* the serving layer caches per (dataset, domain).
@@ -68,6 +69,11 @@ def mine_skeleton(
     ``cap.run`` span carries the skeleton's variable and threshold) and
     so the batch executor has a single audited code path to mine at the
     union (weakest) threshold of a query batch.
+
+    ``keep_border`` (default on) additionally retains the counted-but-
+    infrequent candidates per level — the negative border that turns
+    skeleton maintenance under churn into delta arithmetic
+    (:mod:`repro.serve.delta`).
     """
     return cap_mine(
         var=var,
@@ -80,6 +86,7 @@ def mine_skeleton(
         backend=backend,
         tracer=tracer,
         guard=guard,
+        keep_border=keep_border,
     )
 
 
@@ -94,6 +101,7 @@ def cap_mine(
     backend=None,
     tracer=None,
     guard=None,
+    keep_border: bool = False,
 ) -> LatticeResult:
     """Run CAP for one variable.
 
@@ -132,6 +140,7 @@ def cap_mine(
         pruning=pruning,
         counters=counters,
         max_level=max_level,
+        keep_border=keep_border,
         backend=backend,
         guard=guard,
     )

@@ -44,8 +44,11 @@ RUN_REPORT_SCHEMA = "repro.run_report"
 #:       ``CFQResult.cache_info``: answer source, dataset/query
 #:       fingerprints, cold/warm wall seconds, CacheStats snapshot);
 #:       v1/v2 documents remain readable
-RUN_REPORT_VERSION = 3
-SUPPORTED_REPORT_VERSIONS = (1, 2, 3)
+#:   4 — adds the optional ``delta`` block (dataset-churn maintenance:
+#:       the ``DeltaMaintenanceReport.as_dict()`` steps applied before
+#:       this run was served); v1–v3 documents remain readable
+RUN_REPORT_VERSION = 4
+SUPPORTED_REPORT_VERSIONS = (1, 2, 3, 4)
 
 #: Hotspot count embedded by ``--profile``.
 PROFILE_TOP_N = 20
@@ -187,6 +190,10 @@ class RunReport:
     #: ``CFQResult.cache_info`` dict — source, fingerprints, timings,
     #: cache-stats snapshot); ``None`` for uncached runs.
     cache: Optional[Dict[str, Any]] = None
+    #: Schema v4: dataset-churn maintenance applied before this run —
+    #: ``{"steps": [DeltaMaintenanceReport.as_dict(), ...]}``; ``None``
+    #: when the dataset never changed.
+    delta: Optional[Dict[str, Any]] = None
 
     REQUIRED_KEYS = (
         "schema",
@@ -221,6 +228,7 @@ class RunReport:
             "budget": self.budget,
             "interruption": self.interruption,
             "cache": self.cache,
+            "delta": self.delta,
         })
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -276,6 +284,7 @@ class RunReport:
             budget=document.get("budget"),
             interruption=document.get("interruption"),
             cache=document.get("cache"),
+            delta=document.get("delta"),
         )
 
     @classmethod
@@ -288,13 +297,16 @@ def build_run_report(
     tracer=None,
     meta: Optional[Dict[str, Any]] = None,
     profile: Optional[cProfile.Profile] = None,
+    delta: Optional[Dict[str, Any]] = None,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from a finished
     :class:`~repro.core.optimizer.CFQResult` (or any object exposing
     ``counters``, ``raw`` and optionally ``backend``/``cfq``).
 
     ``tracer`` defaults to the trace attached to the result (if any);
-    ``profile`` is an optional collected :class:`cProfile.Profile`.
+    ``profile`` is an optional collected :class:`cProfile.Profile`;
+    ``delta`` is the optional churn-maintenance block (see the schema
+    v4 note above).
     """
     tracer = tracer if tracer is not None else getattr(result, "trace", None)
     raw = result.raw
@@ -345,4 +357,5 @@ def build_run_report(
         ),
         interruption=trip.as_dict() if trip is not None else None,
         cache=getattr(result, "cache_info", None) or None,
+        delta=delta,
     )

@@ -60,27 +60,10 @@ Itemset = Tuple[int, ...]
 # ----------------------------------------------------------------------
 # Fingerprinting
 # ----------------------------------------------------------------------
-def transactions_digest(transactions) -> str:
-    """Order-sensitive SHA-256 digest of a transaction list.
-
-    Streams each transaction's ids through the hash without
-    materializing anything; two lists get the same digest iff they hold
-    the same transactions in the same order (order matters — it
-    determines counting dict order, which replay must reproduce).
-    Shared by the checkpoint fingerprint, the serving layer's dataset
-    fingerprints, and the vertical backend's content-keyed TID-list
-    cache.
-    """
-    digest = hashlib.sha256()
-    for t in transactions:
-        digest.update(",".join(map(str, t)).encode("ascii"))
-        digest.update(b";")
-    return digest.hexdigest()
-
-
-def dataset_digest(db) -> str:
-    """:func:`transactions_digest` of a whole transaction database."""
-    return transactions_digest(db.transactions)
+# The canonical transaction-content digest lives in :mod:`repro.db.digest`
+# (it is shared with the churn layer's DatasetDelta, which sits below the
+# runtime layer); re-exported here for the historical import path.
+from repro.db.digest import dataset_digest, transactions_digest  # noqa: E402,F401
 
 
 def run_fingerprint(query: str, db, options: Dict[str, Any]) -> str:

@@ -15,6 +15,12 @@ from repro.serve.artifacts import (
     validate_artifact,
 )
 from repro.serve.cache import CacheEntry, LRUCache
+from repro.serve.delta import (
+    DeltaMaintenanceReport,
+    SkeletonRefreshStats,
+    refresh_skeleton,
+    scaled_min_count,
+)
 from repro.serve.fingerprint import (
     RESULT_OPTIONS,
     dataset_fingerprint,
@@ -43,12 +49,16 @@ __all__ = [
     "BatchReport",
     "CacheEntry",
     "CacheHit",
+    "DeltaMaintenanceReport",
     "LRUCache",
     "QueryService",
     "RESULT_OPTIONS",
     "Skeleton",
+    "SkeletonRefreshStats",
     "SupportOracle",
     "build_skeleton",
+    "refresh_skeleton",
+    "scaled_min_count",
     "dataset_fingerprint",
     "domain_fingerprint",
     "options_fingerprint",

@@ -43,10 +43,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.optimizer import CFQOptimizer, CFQResult
 from repro.core.query import CFQ
+from repro.db.delta import DatasetDelta
 from repro.db.stats import CacheStats, OpCounters
 from repro.db.transactions import TransactionDatabase
-from repro.errors import RunInterrupted
+from repro.errors import ExecutionError, RunInterrupted
 from repro.obs.trace import resolve_tracer
+from repro.serve.delta import DeltaMaintenanceReport, refresh_skeleton
 from repro.serve.artifacts import (
     parse_artifact,
     rebuild_counters,
@@ -270,16 +272,26 @@ class QueryService:
     def _disk_path(self, key: str, db: TransactionDatabase) -> Optional[str]:
         if self.cache_dir is None:
             return None
-        prefix = dataset_fingerprint(db)[:16]
-        return os.path.join(self.cache_dir, f"{prefix}.{key}.json")
+        # The FULL dataset fingerprint is the filename prefix: sweeps
+        # match on it exactly, so artifacts of a different dataset can
+        # never be caught by a truncated-prefix collision.
+        return os.path.join(
+            self.cache_dir, f"{dataset_fingerprint(db)}.{key}.json"
+        )
 
     def _write_disk(self, key: str, db: TransactionDatabase, text: str) -> None:
         path = self._disk_path(key, db)
         if path is None:
             return
         tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except FileNotFoundError:
+            # cache_dir removed out-of-band: recreate and retry once.
+            os.makedirs(self.cache_dir, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
         os.replace(tmp, path)
 
     def _load_disk(self, key: str, db: TransactionDatabase) -> Optional[str]:
@@ -569,6 +581,96 @@ class QueryService:
         return skeletons, build_seconds, failed
 
     # ------------------------------------------------------------------
+    # Churn: delta application
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        new_db: TransactionDatabase,
+        delta: DatasetDelta,
+        backend=None,
+        tracer=None,
+        guard=None,
+    ) -> DeltaMaintenanceReport:
+        """Migrate the service across one dataset delta.
+
+        Result-cache entries of the base dataset are invalidated (both
+        tiers — their fingerprints can never match the new dataset, so
+        keeping them only wastes capacity), while frequency skeletons
+        are **migrated**: each base-dataset skeleton is incrementally
+        refreshed (:func:`~repro.serve.delta.refresh_skeleton`) at the
+        rescaled threshold and re-keyed under the new fingerprint, so
+        the very next query over ``new_db`` is served from the skeleton
+        tier with zero database scans in the common case.  A skeleton
+        whose refresh is guard-interrupted (or that cannot be refreshed)
+        is dropped — never served stale; its queries fall back to cold.
+
+        ``new_db``'s content must be the delta's ``new_digest`` — the
+        service refuses a delta that does not describe the database it
+        is handed, because a mis-described delta would poison every
+        fingerprinted tier at once.
+        """
+        tracer = resolve_tracer(tracer)
+        start = time.perf_counter()
+        new_fp = dataset_fingerprint(new_db)
+        if delta.new_digest != new_fp:
+            raise ExecutionError(
+                "apply_delta: the delta's new_digest "
+                f"{delta.new_digest[:16]}... does not match the database "
+                f"handed in ({new_fp[:16]}...)"
+            )
+        base_fp = delta.base_digest
+        report = DeltaMaintenanceReport(
+            base_fingerprint=base_fp,
+            new_fingerprint=new_fp,
+            delta=delta,
+        )
+        report.results_invalidated = self._results.invalidate_tag(base_fp)
+        report.disk_invalidated = self._sweep_disk(base_fp)
+        # A delta-capable counting backend (bitmap) can derive the new
+        # dataset's packed matrix from the cached base one, so later
+        # counting passes skip the repack.  Purely an optimization —
+        # a backend without the hook just packs cold on first use.
+        if backend is not None and hasattr(backend, "apply_delta"):
+            backend.apply_delta(new_db.transactions, delta)
+        for key, entry in self._skeletons.items():
+            if entry.tag != base_fp:
+                continue
+            skeleton = entry.value
+            with tracer.span(
+                "skeleton.refresh",
+                domain=skeleton.domain[:16],
+                dataset=new_fp[:16],
+            ):
+                try:
+                    refreshed, stats = refresh_skeleton(
+                        skeleton, new_db, delta, guard=guard,
+                    )
+                except (ExecutionError, RunInterrupted):
+                    # A partial or impossible refresh must never serve:
+                    # drop the skeleton and let queries rebuild cold.
+                    self._skeletons.invalidate(key)
+                    report.skeletons_dropped += 1
+                    continue
+            self._skeletons.invalidate(key)
+            self._skeletons.put(
+                skeleton_key(new_fp, refreshed.domain),
+                refreshed,
+                refreshed.nbytes,
+                tag=new_fp,
+            )
+            self.stats.skeleton_refreshes += 1
+            report.skeletons_refreshed += 1
+            report.refreshes.append(stats)
+        report.wall_seconds = time.perf_counter() - start
+        tracer.event(
+            "delta.applied",
+            added=len(delta.added),
+            removed=len(delta.removed),
+            skeletons_refreshed=report.skeletons_refreshed,
+        )
+        return report
+
+    # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
     def invalidate(self, db: TransactionDatabase) -> int:
@@ -577,11 +679,32 @@ class QueryService:
         dataset_fp = dataset_fingerprint(db)
         removed = self._results.invalidate_tag(dataset_fp)
         removed += self._skeletons.invalidate_tag(dataset_fp)
-        if self.cache_dir is not None:
-            prefix = f"{dataset_fp[:16]}."
-            for name in os.listdir(self.cache_dir):
-                if name.startswith(prefix) and name.endswith(".json"):
+        self._sweep_disk(dataset_fp)
+        return removed
+
+    def _sweep_disk(self, dataset_fp: str) -> int:
+        """Remove every disk artifact of one dataset fingerprint.
+
+        Matches on the **full** fingerprint (artifact filenames are
+        ``<dataset-fp>.<result key>.json``) and tolerates a cache
+        directory or artifact removed out-of-band — a sweep must never
+        raise over state it was asked to destroy anyway.
+        """
+        if self.cache_dir is None:
+            return 0
+        prefix = f"{dataset_fp}."
+        try:
+            names = os.listdir(self.cache_dir)
+        except FileNotFoundError:
+            return 0
+        removed = 0
+        for name in names:
+            if name.startswith(prefix) and name.endswith(".json"):
+                try:
                     os.remove(os.path.join(self.cache_dir, name))
+                    removed += 1
+                except FileNotFoundError:
+                    pass
         return removed
 
     def clear(self) -> int:

@@ -33,6 +33,7 @@ can never masquerade as a complete oracle.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -54,17 +55,35 @@ class Skeleton:
     singletons included) to its exact support; lookups for anything else
     default to 0, which is sound for queries whose threshold is at least
     ``min_count`` (see module docstring).
+
+    ``border`` holds the *negative border*: every candidate Apriori
+    generated and counted whose support fell below ``min_count``.  It
+    never participates in query serving (those lookups must return the
+    sound default 0) — it exists so incremental maintenance under churn
+    (:mod:`repro.serve.delta`) knows the exact support of **every**
+    generated candidate and can promote/demote by delta arithmetic
+    alone.  At level 1 ``supports`` ∪ ``border`` covers the whole domain
+    universe.
     """
 
     dataset: str
     domain: str
     min_count: int
     supports: Dict[Itemset, int]
+    #: Counted-but-infrequent candidates (exact supports); see above.
+    border: Dict[Itemset, int] = field(default_factory=dict)
+    #: Transaction count of the dataset the skeleton was mined over
+    #: (min_count rescaling under churn needs the old denominator).
+    n_transactions: int = 0
     #: Approximate retained size, for the cache's bytes-held accounting.
     nbytes: int = 0
     #: Operation counts the skeleton mining itself spent (reported
     #: separately from any query's counters).
     mining_counters: OpCounters = field(default_factory=OpCounters)
+    #: The live Domain object the skeleton was mined over.  Skeletons are
+    #: memory-tier only, so holding the (immutable) domain is safe; the
+    #: churn refresher needs it to project delta transactions.
+    domain_ref: object = None
 
     def serves(self, min_count: int) -> bool:
         """Whether this skeleton can answer a query at ``min_count``."""
@@ -73,6 +92,14 @@ class Skeleton:
     def lookup(self, candidate: Itemset) -> int:
         return self.supports.get(candidate, 0)
 
+    def known_support(self, candidate: Itemset):
+        """Exact support if the candidate was ever counted, else ``None``
+        (frequent and border entries both qualify; refresh-only helper)."""
+        found = self.supports.get(candidate)
+        if found is not None:
+            return found
+        return self.border.get(candidate)
+
 
 def skeleton_key(dataset_fp: str, domain_fp: str) -> str:
     """Cache key of one (dataset, domain) skeleton."""
@@ -80,8 +107,20 @@ def skeleton_key(dataset_fp: str, domain_fp: str) -> str:
 
 
 def _approx_bytes(supports: Dict[Itemset, int]) -> int:
-    """Cheap size estimate: tuple cells + dict overhead per entry."""
-    return sum(56 + 8 * len(itemset) for itemset in supports) + 64
+    """Retained-size estimate for one support dict.
+
+    ``sys.getsizeof`` of the dict itself (which includes the hash-table
+    slots, growing with the entry count) plus each key tuple and each
+    value int — the parts the old tuple-cells-only formula undercounted,
+    which let the skeleton tier's ``max_bytes`` bound hold several times
+    its configured budget.  Shared small-int interning makes this an
+    upper bound for the values, which is the safe direction for a cache
+    bound.
+    """
+    total = sys.getsizeof(supports)
+    for itemset, count in supports.items():
+        total += sys.getsizeof(itemset) + sys.getsizeof(count)
+    return total
 
 
 def build_skeleton(
@@ -115,13 +154,19 @@ def build_skeleton(
     supports: Dict[Itemset, int] = {}
     for sets in result.frequent.values():
         supports.update(sets)
+    border: Dict[Itemset, int] = {}
+    for sets in result.border.values():
+        border.update(sets)
     return Skeleton(
         dataset=dataset_fingerprint(db),
         domain=domain_fingerprint(domain),
         min_count=min_count,
         supports=supports,
-        nbytes=_approx_bytes(supports),
+        border=border,
+        n_transactions=len(db),
+        nbytes=_approx_bytes(supports) + _approx_bytes(border),
         mining_counters=counters,
+        domain_ref=domain,
     )
 
 

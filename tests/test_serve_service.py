@@ -328,3 +328,112 @@ def test_cli_batch_shares_one_skeleton(capsys):
     assert "1 skeleton(s) mined" in out
     assert out.count("source skeleton") == 2
     assert "cache stats:" in out
+
+
+def test_cli_batch_churn_verifies_cold_and_writes_delta_report(
+    tmp_path, capsys
+):
+    report_path = tmp_path / "report.json"
+    code = main([
+        "batch", "{(S, T) | S.Type = T.Type}",
+        "--transactions", "200",
+        "--minsup", "0.05",
+        "--churn", "append:8",
+        "--churn", "delete:10",
+        "--verify-cold",
+        "--report-out", str(report_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "churn[1] append:8" in out
+    assert "churn[2] delete:10" in out
+    assert out.count("verify-cold:") == 2
+    assert "skeleton(s) refreshed" in out
+
+    import json
+
+    doc = json.loads(report_path.read_text())
+    assert doc["version"] == 4
+    steps = doc["delta"]["steps"]
+    assert len(steps) == 2
+    assert steps[0]["delta"]["added"] == 8
+    assert steps[1]["delta"]["removed"] == 10
+    assert steps[0]["skeletons_refreshed"] >= 1
+
+
+def test_cli_batch_rejects_malformed_churn(capsys):
+    for spec in ("append", "shuffle:3", "append:0", "delete:x"):
+        code = main([
+            "batch", "{(S, T) | S.Type = T.Type}",
+            "--transactions", "100", "--churn", spec,
+        ])
+        assert code == 2, spec
+        assert "--churn" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Disk sweeps: full-fingerprint matching and out-of-band removal
+# ----------------------------------------------------------------------
+def test_disk_sweep_never_matches_on_a_truncated_prefix(workload, tmp_path):
+    """Regression: sweeps used to match ``dataset_fp[:16]`` — a filename
+    sharing only those 16 characters belongs to a *different* dataset
+    and must survive an invalidation of this one."""
+    service = QueryService(cache_dir=str(tmp_path))
+    cfq = workload.cfq()
+    service.execute(workload.db, cfq)
+    (artifact,) = tmp_path.glob("*.json")
+
+    fp = dataset_fingerprint(workload.db)
+    impostor = tmp_path / f"{fp[:16]}{'0' * (len(fp) - 16)}.deadbeef.json"
+    impostor.write_text("{}")
+
+    service.invalidate(workload.db)
+    assert not artifact.exists()
+    assert impostor.exists()
+
+
+def test_invalidate_tolerates_cache_dir_removed_out_of_band(
+    workload, tmp_path
+):
+    import shutil
+
+    cache_dir = tmp_path / "cache"
+    service = QueryService(cache_dir=str(cache_dir))
+    cfq = workload.cfq()
+    service.execute(workload.db, cfq)
+    shutil.rmtree(cache_dir)
+    # Regression: this raised FileNotFoundError from os.listdir.
+    removed = service.invalidate(workload.db)
+    assert removed >= 1  # the memory tiers still swept
+    # And the next store recreates the directory instead of failing.
+    service.execute(workload.db, cfq)
+    assert len(list(cache_dir.glob("*.json"))) == 1
+
+
+# ----------------------------------------------------------------------
+# Skeleton byte accounting
+# ----------------------------------------------------------------------
+def test_skeleton_bytes_track_getsizeof_of_keys_values_and_slots(workload):
+    """Regression: ``nbytes`` ignored the value ints and the dict's own
+    hash-table slots, so the skeleton tier's ``max_bytes`` bound held
+    several times its configured budget."""
+    import sys
+
+    from repro.serve.skeleton import _approx_bytes, build_skeleton
+
+    domain = workload.domains["S"]
+    skeleton = build_skeleton(workload.db, domain, min_count=10)
+    assert skeleton.supports  # non-degenerate fixture
+
+    def pinned(mapping):
+        return sys.getsizeof(mapping) + sum(
+            sys.getsizeof(k) + sys.getsizeof(v) for k, v in mapping.items()
+        )
+
+    assert _approx_bytes(skeleton.supports) == pinned(skeleton.supports)
+    assert skeleton.nbytes == (
+        pinned(skeleton.supports) + pinned(skeleton.border)
+    )
+    # The old formula (tuple cells only) undercounted by at least the
+    # dict slots alone.
+    assert skeleton.nbytes > sys.getsizeof(skeleton.supports)

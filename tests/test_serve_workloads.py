@@ -5,13 +5,16 @@ sequences — queries interleaved across several *mutated variants* of a
 dataset (one dropped transaction, one duplicated, a reshuffled copy:
 similar content, distinct fingerprints — exactly the aliasing a
 mis-keyed cache would confuse), explicit invalidations, wholesale
-clears, and fake-clock jumps past the TTL.  After every query event the
-served answer is compared against an independently computed cold answer
-for that exact (dataset, query); any stale or cross-dataset serving
-fails the property.  Every event is ``note()``-d, so a shrunk failure
-reads as a minimal event log.
+clears, fake-clock jumps past the TTL, and **dataset churn**: a live
+database evolved through ``append``/``delete`` deltas whose caches the
+service migrates incrementally via ``apply_delta``.  After every query
+event the served answer is compared against an independently computed
+cold answer for that exact (dataset, query); any stale or cross-dataset
+serving fails the property.  Every event is ``note()``-d, so a shrunk
+failure reads as a minimal event log.
 """
 
+import random
 from functools import lru_cache
 
 from hypothesis import given, note, settings
@@ -42,9 +45,12 @@ CONSTRAINT_SETS = (
 
 
 @lru_cache(maxsize=None)
-def _cold_answer(db_index, minsup, constraints):
+def _cold_answer_content(transactions, minsup, constraints):
+    """Cold oracle keyed by dataset *content*, so churned databases
+    (whose identity is their transaction tuple) share the cache."""
     cfq = WORKLOAD.cfq(constraints=list(constraints), minsup=minsup)
-    result = CFQOptimizer(cfq).execute(DATASETS[db_index])
+    db = TransactionDatabase([list(t) for t in transactions])
+    result = CFQOptimizer(cfq).execute(db)
     return {
         "frequent_valid": {
             var: tuple(result.frequent_valid(var).items())
@@ -52,6 +58,12 @@ def _cold_answer(db_index, minsup, constraints):
         },
         "pairs": tuple(result.pairs(limit=None)),
     }
+
+
+def _cold_answer(db_index, minsup, constraints):
+    return _cold_answer_content(
+        DATASETS[db_index].transactions, minsup, constraints
+    )
 
 
 def _served_answer(result):
@@ -77,9 +89,38 @@ _other_events = st.one_of(
     st.tuples(st.just("clear")),
     st.tuples(st.just("advance"), st.sampled_from([5.0, 61.0])),
 )
-_events = st.lists(
-    st.one_of(_query_events, _other_events), min_size=1, max_size=8
+#: Churn a *live* database (append/delete + service.apply_delta) ...
+_churn_events = st.tuples(
+    st.just("churn"),
+    st.sampled_from(["append", "delete"]),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=3),  # rng seed for the payload
 )
+#: ... and query it; answers must match a cold run on its exact content.
+_live_query_events = st.tuples(
+    st.just("query-live"),
+    st.sampled_from(MINSUPS),
+    st.sampled_from(range(len(CONSTRAINT_SETS))),
+    st.sampled_from(["single", "batch"]),
+)
+_events = st.lists(
+    st.one_of(
+        _query_events, _other_events, _churn_events, _live_query_events
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _churn_payload(db, op, n, seed):
+    rng = random.Random((seed, n, len(db)).__hash__())
+    if op == "delete" and len(db) > n:
+        return db.delete(rng.sample(range(len(db)), n))
+    universe = sorted(db.item_universe() or {1})
+    return db.append([
+        tuple(sorted(rng.sample(universe, min(4, len(universe)))))
+        for _ in range(n)
+    ])
 
 
 @settings(max_examples=10, deadline=None)
@@ -97,9 +138,32 @@ def test_random_workload_never_serves_a_stale_answer(events):
     service = QueryService(
         max_entries=3, max_skeletons=2, ttl_seconds=60, clock=clock
     )
+    live_db = DATASETS[0]
     for event in events:
         kind = event[0]
-        if kind == "query":
+        if kind == "churn":
+            _, op, n, seed = event
+            live_db, delta = _churn_payload(live_db, op, n, seed)
+            report = service.apply_delta(live_db, delta)
+            note(f"churn {op} n={n} seed={seed} -> {len(live_db)} txns, "
+                 f"{report.skeletons_refreshed} refreshed, "
+                 f"{report.skeletons_dropped} dropped")
+        elif kind == "query-live":
+            _, minsup, c_index, mode = event
+            constraints = CONSTRAINT_SETS[c_index]
+            cfq = WORKLOAD.cfq(constraints=list(constraints), minsup=minsup)
+            if mode == "batch":
+                (item,) = service.execute_batch(live_db, [cfq]).items
+                result, source = item.result, item.source
+            else:
+                result = service.execute(live_db, cfq)
+                source = (result.cache_info or {}).get("source", "cold")
+            note(f"query-live ({len(live_db)} txns) minsup={minsup} "
+                 f"constraints={c_index} mode={mode} -> {source}")
+            assert _served_answer(result) == _cold_answer_content(
+                live_db.transactions, minsup, constraints
+            ), (minsup, c_index, mode, source)
+        elif kind == "query":
             _, db_index, minsup, c_index, mode = event
             constraints = CONSTRAINT_SETS[c_index]
             cfq = WORKLOAD.cfq(constraints=list(constraints), minsup=minsup)
