@@ -1,0 +1,171 @@
+"""Perf-trend record and regression gate.
+
+This benchmark measures the repo's headline serving and kernel figures
+— warm-hit latency quantiles (from the serving telemetry histograms,
+not a side stopwatch), replay throughput, the bitmap counting-kernel
+speedup, and the churn-refresh speedup — and commits them as a
+``BENCH_8.json`` trend record at the repo root
+(:mod:`repro.bench.trend`).
+
+The gate then compares the fresh record against the newest prior
+``BENCH_*.json``: any shared metric that moves the wrong way by more
+than 20% fails the run.  The first record of a line has no prior — the
+gate soft-passes, prints that it did, and the committed file becomes
+the baseline the *next* benchmark PR is judged against.
+"""
+
+import random
+import statistics
+import time
+from itertools import combinations
+from pathlib import Path
+
+from repro.bench.trend import TrendRecord, gate
+from repro.datagen.workloads import fig8a_workload, quickstart_workload
+from repro.mining.backends import BitmapBackend, HybridBackend
+from repro.serve import QueryService, build_skeleton, refresh_skeleton
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TREND_PATH = REPO_ROOT / "BENCH_8.json"
+TREND_LABEL = "PR8-serving-telemetry"
+
+REPLAY_QUERIES = 10_000
+REPLAY_TRANSACTIONS = 600
+KERNEL_TRANSACTIONS = 6_000
+KERNEL_REPS = 3
+CHURN_TRANSACTIONS = 3_000
+CHURN = 100
+CHURN_REPEATS = 3
+
+
+def _warm_replay_metrics():
+    """Warm-hit p50/p99 and qps on a 10k-query replay, read from the
+    service's own telemetry — the trend gates the instrumented figures
+    users actually see in ``repro stats``, not a parallel stopwatch."""
+    workload = quickstart_workload(n_transactions=REPLAY_TRANSACTIONS)
+    cfq = workload.cfq()
+    service = QueryService()
+    cold = service.execute(workload.db, cfq)
+    assert cold.cache_info["source"] == "cold"
+
+    start = time.perf_counter()
+    for __ in range(REPLAY_QUERIES):
+        warm = service.execute(workload.db, cfq)
+    wall = time.perf_counter() - start
+    assert warm.cache_info["source"] == "result-cache"
+
+    latency = service.telemetry.outcome_latencies()["warm-memory"]
+    assert latency["count"] == REPLAY_QUERIES
+    return {
+        "warm_hit_p50_seconds": latency["p50"],
+        "warm_hit_p99_seconds": latency["p99"],
+        "replay_qps": REPLAY_QUERIES / wall,
+    }
+
+
+def _bitmap_count_speedup():
+    """Median counting-only speedup of the bitmap kernel over the serial
+    hybrid on one warm, counting-bound level-2 batch (the
+    ``test_backend_ablation`` guard at trend scale)."""
+    workload = fig8a_workload(
+        50.0, n_transactions=KERNEL_TRANSACTIONS, n_items=600
+    )
+    transactions = workload.db.transactions
+    min_count = workload.db.min_count(0.010)
+    universe = sorted({item for t in transactions for item in t})
+    hybrid = HybridBackend()
+    singles = hybrid.count(transactions, [(i,) for i in universe], 1)
+    frequent = [item for (item,), s in singles.items() if s >= min_count]
+    candidates = list(combinations(frequent, 2))
+
+    medians = {}
+    reference = None
+    for name, backend in (("hybrid", hybrid), ("bitmap", BitmapBackend())):
+        backend.count(transactions, candidates, 2)  # warm-up / matrix pack
+        timings = []
+        for __ in range(KERNEL_REPS):
+            start = time.perf_counter()
+            support = backend.count(transactions, candidates, 2)
+            timings.append(time.perf_counter() - start)
+        if reference is None:
+            reference = support
+        else:
+            assert support == reference
+        medians[name] = statistics.median(timings)
+    return medians["hybrid"] / medians["bitmap"]
+
+
+def _churn_refresh_speedup():
+    """Two-delta skeleton refresh vs cold re-mine (the ``test_churn``
+    acceptance measurement, shared scale)."""
+    workload = quickstart_workload(n_transactions=CHURN_TRANSACTIONS)
+    db = workload.db
+    domain = workload.domains["S"]
+    skeleton = build_skeleton(db, domain, db.min_count(0.02))
+
+    rng = random.Random(42)
+    universe = sorted(db.item_universe())
+    lengths = [len(t) for t in db.transactions if t]
+    appended = [
+        tuple(sorted(rng.sample(universe,
+                                min(rng.choice(lengths), len(universe)))))
+        for _ in range(CHURN // 2)
+    ]
+    db2, delta_a = db.append(appended)
+    db3, delta_b = db2.delete(rng.sample(range(len(db2)), CHURN // 2))
+
+    def refresh():
+        mid, __ = refresh_skeleton(skeleton, db2, delta_a)
+        final, __ = refresh_skeleton(mid, db3, delta_b)
+        return final
+
+    refreshed = refresh()
+
+    def min_wall(fn):
+        best = float("inf")
+        for __ in range(CHURN_REPEATS):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    refresh_wall = min_wall(refresh)
+    cold_wall = min_wall(
+        lambda: build_skeleton(db3, domain, refreshed.min_count)
+    )
+    return cold_wall / refresh_wall
+
+
+def test_trend_record_and_gate():
+    record = TrendRecord(label=TREND_LABEL)
+    record.meta["replay_queries"] = REPLAY_QUERIES
+    record.meta["replay_transactions"] = REPLAY_TRANSACTIONS
+
+    replay = _warm_replay_metrics()
+    record.add("warm_hit_p50_seconds", replay["warm_hit_p50_seconds"],
+               unit="s", direction="lower")
+    record.add("warm_hit_p99_seconds", replay["warm_hit_p99_seconds"],
+               unit="s", direction="lower")
+    record.add("replay_qps", replay["replay_qps"],
+               unit="1/s", direction="higher")
+    record.add("bitmap_count_speedup", _bitmap_count_speedup(),
+               direction="higher")
+    record.add("churn_refresh_speedup", _churn_refresh_speedup(),
+               direction="higher")
+
+    record.write(str(TREND_PATH))
+    print(f"\ntrend record written to {TREND_PATH}:")
+    for name, metric in sorted(record.metrics.items()):
+        unit = f" {metric.unit}" if metric.unit else ""
+        print(f"  {name} = {metric.value:g}{unit} ({metric.direction} "
+              "is better)")
+
+    regressions, prior_path = gate(str(TREND_PATH))
+    if prior_path is None:
+        print("no prior BENCH_*.json — first record, gate soft-passes")
+        return
+    assert not regressions, "\n".join(
+        [f"regressed vs {prior_path}:"]
+        + [f"  {r.describe()}" for r in regressions]
+    )
+    print(f"gate vs {prior_path}: all shared metrics within 20%")

@@ -8,11 +8,27 @@ output.
 
 from repro.bench.harness import StrategyRun, compare_strategies, run_strategy
 from repro.bench.report import render_series, render_table
+from repro.bench.trend import (
+    DEFAULT_THRESHOLD,
+    Regression,
+    TrendMetric,
+    TrendRecord,
+    compare_records,
+    find_prior,
+    gate,
+)
 
 __all__ = [
+    "DEFAULT_THRESHOLD",
+    "Regression",
     "StrategyRun",
+    "TrendMetric",
+    "TrendRecord",
+    "compare_records",
     "compare_strategies",
-    "run_strategy",
+    "find_prior",
+    "gate",
     "render_series",
     "render_table",
+    "run_strategy",
 ]

@@ -1,0 +1,274 @@
+"""Performance-trend records and the regression gate.
+
+Benchmark PRs commit one ``BENCH_<n>.json`` at the repo root — a small
+record of the headline performance figures at that point in history
+(warm-hit latency, kernel and refresh speedups, replay throughput).
+:func:`compare_records` gates a new record against the newest prior
+one: any shared metric that moves the *wrong* way by more than the
+threshold (20% by default) is a regression, and the gate fails.
+
+Every metric carries its own direction (``"higher"`` is better for
+speedups and throughput, ``"lower"`` for latencies), so the gate never
+has to guess from the name.  The first record in a repository has
+nothing to compare against — the gate **soft-passes** and says so;
+CI's trend job mirrors this so a freshly seeded branch stays green.
+
+Usage, from the benchmark that produced the figures::
+
+    record = TrendRecord(label="PR8")
+    record.add("warm_hit_p50_seconds", p50, unit="s", direction="lower")
+    record.add("replay_qps", qps, unit="1/s", direction="higher")
+    record.write("BENCH_8.json")
+    regressions, prior = gate("BENCH_8.json")
+
+or as a command (the CI trend job)::
+
+    python -m repro.bench.trend BENCH_8.json --threshold 0.2
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+TREND_SCHEMA = "repro.bench.trend"
+TREND_VERSION = 1
+DEFAULT_THRESHOLD = 0.20
+DIRECTIONS = ("higher", "lower")
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class TrendMetric:
+    """One gated figure: a value plus which way 'better' points."""
+
+    name: str
+    value: float
+    unit: str = ""
+    direction: str = "higher"
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+        }
+
+
+@dataclass(frozen=True)
+class Regression:
+    """A metric that moved the wrong way past the threshold."""
+
+    name: str
+    current: float
+    prior: float
+    change: float  # fractional move in the *bad* direction
+    direction: str
+    unit: str = ""
+
+    def describe(self) -> str:
+        arrow = "dropped" if self.direction == "higher" else "rose"
+        unit = f" {self.unit}" if self.unit else ""
+        return (
+            f"{self.name} {arrow} {self.change:.1%}: "
+            f"{self.prior:g}{unit} -> {self.current:g}{unit}"
+        )
+
+
+@dataclass
+class TrendRecord:
+    """A labelled set of :class:`TrendMetric` values, serialized to JSON."""
+
+    label: str
+    metrics: Dict[str, TrendMetric] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def add(
+        self,
+        name: str,
+        value: float,
+        *,
+        unit: str = "",
+        direction: str = "higher",
+    ) -> None:
+        self.metrics[name] = TrendMetric(name, float(value), unit, direction)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": TREND_SCHEMA,
+            "version": TREND_VERSION,
+            "label": self.label,
+            "meta": dict(self.meta),
+            "metrics": {
+                name: metric.as_dict()
+                for name, metric in sorted(self.metrics.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "TrendRecord":
+        if document.get("schema") != TREND_SCHEMA:
+            raise ValueError(
+                f"not a trend record: schema={document.get('schema')!r}, "
+                f"expected {TREND_SCHEMA!r}"
+            )
+        record = cls(
+            label=str(document.get("label", "")),
+            meta=dict(document.get("meta", {})),
+        )
+        for name, body in document.get("metrics", {}).items():
+            record.add(
+                name,
+                float(body["value"]),
+                unit=str(body.get("unit", "")),
+                direction=str(body.get("direction", "higher")),
+            )
+        return record
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "TrendRecord":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def bench_index(path: str) -> Optional[int]:
+    """The ``<n>`` of a ``BENCH_<n>.json`` basename, or None."""
+    match = _BENCH_NAME.match(os.path.basename(path))
+    return int(match.group(1)) if match else None
+
+
+def find_prior(current_path: str, directory: Optional[str] = None) -> Optional[str]:
+    """The newest ``BENCH_*.json`` older than ``current_path``.
+
+    'Newest prior' means the largest numeric suffix strictly below the
+    current file's (``BENCH_10`` beats ``BENCH_9`` — lexicographic order
+    would get this wrong).  Returns None when the current record is the
+    first of its line.
+    """
+    directory = directory or (os.path.dirname(os.path.abspath(current_path)))
+    current = bench_index(current_path)
+    best_index, best_path = -1, None
+    for name in os.listdir(directory):
+        index = bench_index(name)
+        if index is None:
+            continue
+        if current is not None and index >= current:
+            continue
+        if current is None and os.path.abspath(
+            os.path.join(directory, name)
+        ) == os.path.abspath(current_path):
+            continue
+        if index > best_index:
+            best_index, best_path = index, os.path.join(directory, name)
+    return best_path
+
+
+def compare_records(
+    current: TrendRecord,
+    prior: TrendRecord,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Regression]:
+    """Direction-aware comparison of the metrics both records carry.
+
+    A higher-is-better metric regresses when it falls more than
+    ``threshold`` below the prior value; a lower-is-better metric when
+    it rises more than ``threshold`` above it.  Metrics present in only
+    one record are new (or retired) figures, not regressions — the gate
+    must not punish adding coverage.  Non-positive priors are skipped
+    (no meaningful ratio).
+    """
+    regressions: List[Regression] = []
+    for name in sorted(set(current.metrics) & set(prior.metrics)):
+        new, old = current.metrics[name], prior.metrics[name]
+        if old.value <= 0:
+            continue
+        if new.direction == "higher":
+            change = (old.value - new.value) / old.value
+        else:
+            change = (new.value - old.value) / old.value
+        if change > threshold:
+            regressions.append(
+                Regression(
+                    name=name,
+                    current=new.value,
+                    prior=old.value,
+                    change=change,
+                    direction=new.direction,
+                    unit=new.unit,
+                )
+            )
+    return regressions
+
+
+def gate(
+    current_path: str,
+    directory: Optional[str] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[Regression], Optional[str]]:
+    """Compare ``current_path`` against its newest prior record.
+
+    Returns ``(regressions, prior_path)``; ``prior_path`` is None when
+    no prior exists (first record — callers soft-pass).
+    """
+    prior_path = find_prior(current_path, directory)
+    if prior_path is None:
+        return [], None
+    current = TrendRecord.load(current_path)
+    prior = TrendRecord.load(prior_path)
+    return compare_records(current, prior, threshold), prior_path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.trend",
+        description="gate a BENCH_<n>.json trend record against the "
+        "newest prior record in the same directory",
+    )
+    parser.add_argument("record", help="the new BENCH_<n>.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional regression allowed per metric (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    regressions, prior_path = gate(args.record, threshold=args.threshold)
+    if prior_path is None:
+        print(
+            f"trend gate: {args.record} is the first record — "
+            "nothing to compare against (soft pass)"
+        )
+        return 0
+    if not regressions:
+        print(
+            f"trend gate: {args.record} vs {prior_path} — all shared "
+            f"metrics within {args.threshold:.0%}"
+        )
+        return 0
+    print(f"trend gate: {args.record} regressed vs {prior_path}:")
+    for regression in regressions:
+        print(f"  {regression.describe()}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

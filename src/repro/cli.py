@@ -15,6 +15,10 @@ Three subcommands:
     suite), optionally at smoke scale.
 ``classify``
     Classify one constraint: 1-var properties or the Figure 1 verdicts.
+``stats``
+    Render a telemetry snapshot (``--telemetry-out``) or a run report
+    (``--trace-out`` / ``--report-out``) as a human summary, Prometheus
+    text exposition, or Chrome trace-event JSON.
 
 Examples::
 
@@ -24,6 +28,7 @@ Examples::
         '{(S, T) | max(S.Price) <= min(T.Price)}'
     python -m repro experiments --scale smoke --only fig8a
     python -m repro classify 'sum(S.Price) <= sum(T.Price)'
+    python -m repro stats telemetry.json --format prometheus
 """
 
 from __future__ import annotations
@@ -116,6 +121,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        "persisting artifacts in DIR: a repeated identical "
                        "invocation is answered from cache (incompatible "
                        "with --checkpoint-dir/--resume)")
+    query.add_argument("--telemetry-out", metavar="PATH", default=None,
+                       help="write the serving telemetry snapshot (per-"
+                       "outcome latency histograms, cache gauges, event "
+                       "journal) to PATH; requires --cache-dir (telemetry "
+                       "lives on the serving layer)")
 
     batch = sub.add_parser(
         "batch",
@@ -152,6 +162,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write a versioned JSON run report for the first "
                        "query's final answer, including the churn "
                        "maintenance 'delta' block")
+    batch.add_argument("--telemetry-out", metavar="PATH", default=None,
+                       help="write the serving telemetry snapshot (per-"
+                       "outcome latency histograms, cache gauges, event "
+                       "journal) to PATH")
+    batch.add_argument("--journal-out", metavar="PATH", default=None,
+                       help="stream the serving event journal to PATH as "
+                       "rotating JSONL while the batch runs")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's Section 7 tables"
@@ -182,6 +199,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     classify = sub.add_parser("classify", help="classify a constraint")
     classify.add_argument("constraint", help="constraint text")
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a telemetry snapshot or run report",
+    )
+    stats.add_argument("file", help="a --telemetry-out snapshot or a "
+                       "--trace-out/--report-out run report (JSON)")
+    stats.add_argument("--format", choices=("text", "prometheus",
+                                            "chrome-trace"),
+                       default="text", dest="format_",
+                       help="text summary (default), Prometheus text "
+                       "exposition of the metrics, or Chrome trace-event "
+                       "JSON of the span tree (run reports only)")
+    stats.add_argument("--out", metavar="PATH", default=None,
+                       help="write the rendering to PATH instead of stdout")
     return parser
 
 
@@ -209,7 +241,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "--cache-dir cannot be combined with --checkpoint-dir/--resume: "
             "checkpointed runs bypass the result cache by design"
         )
+    if args.telemetry_out and not args.cache_dir:
+        raise ExecutionError(
+            "--telemetry-out requires --cache-dir: telemetry lives on the "
+            "serving layer, and only cached runs go through it"
+        )
     backend = _resolve_backend(args.backend, args.workers)
+    service = None
     tracer = Tracer() if (args.trace_out or args.profile) else None
     workload = quickstart_workload(n_transactions=args.transactions,
                                    seed=args.seed)
@@ -254,10 +292,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         finally:
             if profile is not None:
                 profile.disable()
+    if service is not None and tracer is not None:
+        service.telemetry.merge_run(tracer.metrics)
     if args.cache_dir and result.cache_info is not None:
         source = result.cache_info.get("source")
         if source == "result-cache":
-            print("cache: hit (result-cache)")
+            tier = result.cache_info.get("tier", "memory")
+            print(f"cache: hit (result-cache, {tier} tier)")
         elif source == "skeleton":
             print("cache: hit (skeleton oracle)")
         else:
@@ -282,6 +323,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "resumed": bool(args.resume),
             },
             profile=profile,
+            telemetry=(
+                service.telemetry.snapshot(service.stats)
+                if service is not None else None
+            ),
         )
         if args.trace_out:
             report.write(args.trace_out)
@@ -312,6 +357,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         # explain() includes pool lifecycle / failure / retry / fallback
         # stats when a parallel backend ran (see ParallelStats.summary).
         print(result.explain())
+    if args.telemetry_out and service is not None:
+        service.telemetry.write(args.telemetry_out, stats=service.stats)
+        print(f"telemetry snapshot written to {args.telemetry_out}")
     return EXIT_INTERRUPTED if result.is_partial else 0
 
 
@@ -398,7 +446,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ]
     print(f"workload: {db!r}")
     guard = RunGuard(deadline_seconds=args.deadline)
-    service = QueryService(cache_dir=args.cache_dir)
+    service = QueryService(
+        cache_dir=args.cache_dir, journal_path=args.journal_out
+    )
     rng = random.Random(args.seed)
     delta_reports = []
     with backend_scope(backend), guard.signals():
@@ -458,9 +508,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 {"steps": [m.as_dict() for m in delta_reports]}
                 if delta_reports else None
             ),
+            telemetry=service.telemetry.snapshot(service.stats),
         )
         doc.write(args.report_out)
         print(f"run report written to {args.report_out}")
+    if args.telemetry_out:
+        service.telemetry.write(args.telemetry_out, stats=service.stats)
+        print(f"telemetry snapshot written to {args.telemetry_out}")
+    if args.journal_out:
+        service.telemetry.journal.close()
+        print(f"event journal written to {args.journal_out}")
     return EXIT_INTERRUPTED if any_partial else 0
 
 
@@ -526,6 +583,112 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_telemetry_text(document) -> List[str]:
+    """Human summary of a ``repro.serve.telemetry`` snapshot."""
+    from repro.db.stats import CacheStats
+
+    lines = [
+        f"serving telemetry (uptime {document.get('uptime_seconds', 0):.1f}s, "
+        f"{document.get('runs_merged', 0)} run registr(ies) merged)"
+    ]
+    outcomes = document.get("outcomes", {})
+    if outcomes:
+        lines.append("per-outcome latency (seconds):")
+        lines.append(
+            f"  {'outcome':<15} {'count':>7} {'p50':>10} {'p95':>10} "
+            f"{'p99':>10} {'max':>10}"
+        )
+        for outcome, summary in sorted(outcomes.items()):
+            lines.append(
+                f"  {outcome:<15} {summary['count']:>7} "
+                f"{summary['p50']:>10.6f} {summary['p95']:>10.6f} "
+                f"{summary['p99']:>10.6f} {summary['max']:>10.6f}"
+            )
+    else:
+        lines.append("no servings recorded")
+    if document.get("cache"):
+        lines.append(
+            f"cache: {CacheStats.from_dict(document['cache']).summary()}"
+        )
+    journal = document.get("journal", {})
+    counts = journal.get("counts", {})
+    if counts:
+        rendered = ", ".join(f"{kind} {n}" for kind, n in counts.items())
+        lines.append(
+            f"journal: seq {journal.get('seq', 0)}, "
+            f"{journal.get('dropped', 0)} dropped from window; {rendered}"
+        )
+    return lines
+
+
+def _render_report_text(document) -> List[str]:
+    """Human summary of a ``repro.run_report`` document."""
+    lines = [
+        f"run report v{document['version']} "
+        f"(query: {document['meta'].get('query', '?')})"
+    ]
+    answers = document.get("answers", {})
+    if answers.get("frequent_valid"):
+        for var, n in sorted(answers["frequent_valid"].items()):
+            lines.append(f"  frequent valid {var}-sets: {n}")
+    if answers.get("status"):
+        lines.append(f"  status: {answers['status']}")
+    spans = document.get("trace", {}).get("spans", [])
+    if spans:
+        total = sum(s.get("wall_seconds", 0.0) for s in spans)
+        lines.append(f"  trace: {len(spans)} root span(s), {total:.4f}s wall")
+    if document.get("cache"):
+        lines.append(f"  served from: {document['cache'].get('source', '?')}")
+    if document.get("telemetry"):
+        lines.append("")
+        lines.extend(_render_telemetry_text(document["telemetry"]))
+    return lines
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import render_chrome_trace, render_prometheus
+    from repro.obs.report import RUN_REPORT_SCHEMA
+    from repro.serve.telemetry import TELEMETRY_SCHEMA
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExecutionError(f"cannot read {args.file}: {exc}")
+    schema = document.get("schema") if isinstance(document, dict) else None
+    if schema not in (TELEMETRY_SCHEMA, RUN_REPORT_SCHEMA):
+        raise ExecutionError(
+            f"{args.file}: unrecognized schema {schema!r}; expected a "
+            f"{TELEMETRY_SCHEMA!r} snapshot (--telemetry-out) or a "
+            f"{RUN_REPORT_SCHEMA!r} run report (--trace-out/--report-out)"
+        )
+    if args.format_ == "text":
+        if schema == TELEMETRY_SCHEMA:
+            output = "\n".join(_render_telemetry_text(document)) + "\n"
+        else:
+            output = "\n".join(_render_report_text(document)) + "\n"
+    elif args.format_ == "prometheus":
+        output = render_prometheus(document.get("metrics", {}))
+    else:  # chrome-trace
+        if schema == TELEMETRY_SCHEMA:
+            raise ExecutionError(
+                "--format chrome-trace needs a run report (telemetry "
+                "snapshots carry no span tree); pass a --trace-out file"
+            )
+        output = json.dumps(
+            render_chrome_trace(document.get("trace", {})), indent=2
+        ) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output)
+        print(f"written to {args.out}")
+    else:
+        sys.stdout.write(output)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -537,6 +700,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": _cmd_batch,
         "experiments": _cmd_experiments,
         "classify": _cmd_classify,
+        "stats": _cmd_stats,
     }
     try:
         return handlers[args.command](args)

@@ -162,7 +162,10 @@ class CFQResult:
             lines.append(f"  {label}: {stats.summary()}")
         if self.cache_info:
             info = self.cache_info
-            lines.append(f"  cache: source {info.get('source', 'unknown')}")
+            source = info.get("source", "unknown")
+            if info.get("tier"):
+                source = f"{source} ({info['tier']} tier)"
+            lines.append(f"  cache: source {source}")
             for label, key in (
                 ("dataset", "dataset_fingerprint"),
                 ("query", "query_fingerprint"),

@@ -611,6 +611,29 @@ class CacheStats:
             "bytes_held": self.bytes_held,
         }
 
+    @classmethod
+    def from_dict(cls, document: Dict[str, float]) -> "CacheStats":
+        """Rebuild from an :meth:`as_dict` snapshot (the derived
+        ``hit_rate`` key is ignored; unknown keys are too, so newer
+        snapshots stay readable)."""
+        stats = cls()
+        for name in (
+            "hits",
+            "misses",
+            "stores",
+            "evictions",
+            "expirations",
+            "invalidations",
+            "skeleton_hits",
+            "skeleton_misses",
+            "skeleton_builds",
+            "skeleton_refreshes",
+            "bytes_held",
+        ):
+            if name in document:
+                setattr(stats, name, int(document[name]))
+        return stats
+
     def summary(self) -> str:
         """One-line rendering for CLI ``--explain`` output."""
         d = self.as_dict()

@@ -45,6 +45,7 @@ from repro.mining.cap import compile_constraints
 from repro.mining.counting import count_singletons
 from repro.mining.lattice import ConstrainedLattice, LatticeResult
 from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import resolve_tracer
 from repro.runtime.checkpoint import Checkpoint, CountEvent
 from repro.runtime.guard import resolve_guard
@@ -424,8 +425,15 @@ class DovetailEngine:
                 shard_merge_seconds=round(last.merge_seconds, 6),
                 pooled=not last.in_process,
             )
-            for seconds in last.shard_seconds:
-                metrics.observe("shard_seconds", seconds, var=lattice.var)
+            # Shards run out-of-process and cannot write into the run
+            # registry directly: their observations are staged in a
+            # shard-local registry and folded in exactly (counters add,
+            # histograms merge bucket-for-bucket).
+            shard_metrics = MetricsRegistry()
+            for size, seconds in zip(last.shard_sizes, last.shard_seconds):
+                shard_metrics.observe("shard_seconds", seconds, var=lattice.var)
+                shard_metrics.inc("shard_tuples", size, var=lattice.var)
+            metrics.merge(shard_metrics)
 
     def _apply_reductions(self, lattices) -> None:
         """Install the Figure 2/3 reductions; optionally iterate.

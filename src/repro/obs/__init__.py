@@ -12,8 +12,16 @@ calls per mining level of an uninstrumented build.
 See ``docs/observability.md`` for the API guide and report schema.
 """
 
+from repro.obs.events import EVENT_KINDS, NULL_JOURNAL, EventJournal, read_journal
+from repro.obs.export import (
+    lint_prometheus,
+    render_chrome_trace,
+    render_prometheus,
+    validate_chrome_trace,
+)
+from repro.obs.hist import DEFAULT_RELATIVE_ERROR, QuantileHistogram, exact_quantile
 from repro.obs.logs import configure_logging, get_logger
-from repro.obs.metrics import NULL_METRICS, Histogram, MetricsRegistry
+from repro.obs.metrics import NULL_METRICS, Histogram, MetricsRegistry, parse_key
 from repro.obs.report import (
     RUN_REPORT_SCHEMA,
     RUN_REPORT_VERSION,
@@ -29,8 +37,20 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, resolve_trace
 __all__ = [
     "configure_logging",
     "get_logger",
+    "DEFAULT_RELATIVE_ERROR",
+    "QuantileHistogram",
+    "exact_quantile",
     "Histogram",
     "MetricsRegistry",
+    "parse_key",
+    "EVENT_KINDS",
+    "EventJournal",
+    "NULL_JOURNAL",
+    "read_journal",
+    "render_prometheus",
+    "lint_prometheus",
+    "render_chrome_trace",
+    "validate_chrome_trace",
     "NULL_METRICS",
     "NULL_TRACER",
     "NullTracer",

@@ -1,0 +1,351 @@
+"""Exporters: Prometheus text exposition and Chrome trace-event JSON.
+
+Two renderers turn the in-process observability objects into the
+formats the surrounding tooling already understands:
+
+* :func:`render_prometheus` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  (or its ``to_state()``/``as_dict()`` snapshot) as `Prometheus text
+  exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+  ``# TYPE`` headers, escaped label values, counters suffixed
+  ``_total``, histograms as quantile summaries with ``_sum``/``_count``
+  series.  A scrape endpoint (the future async server) can serve the
+  output verbatim; ``repro stats --format prometheus`` prints it.
+
+* :func:`render_chrome_trace` — a :class:`~repro.obs.trace.Tracer`
+  span tree (or a run report's serialized ``trace`` block) as Chrome
+  trace-event JSON (the ``{"traceEvents": [...]}`` object format),
+  loadable in Perfetto / ``about:tracing``.  Every span becomes one
+  ``ph: "X"`` complete event with microsecond ``ts``/``dur``; span
+  attributes ride in ``args``; nesting is expressed by time containment
+  on one thread track, which is exactly how the spans nested live.
+
+Both renderers are pure functions over serializable data — no sockets,
+no dependencies — matching the repo's zero-dependency observability
+rule.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, parse_key
+
+#: Quantiles rendered for each histogram in the Prometheus summary form.
+PROMETHEUS_QUANTILES = (0.5, 0.95, 0.99)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str, namespace: str) -> str:
+    """A legal Prometheus metric name: namespaced, [a-zA-Z0-9_:] only."""
+    safe = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return f"{namespace}_{safe}" if namespace else safe
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double-quote, and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{k}="{_prom_label_value(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
+
+
+def _prom_number(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    formatted = repr(float(value))
+    return formatted
+
+
+def render_prometheus(
+    registry: Union[MetricsRegistry, Mapping[str, Any]],
+    namespace: str = "repro",
+) -> str:
+    """Render a metrics registry in Prometheus text exposition format.
+
+    Accepts a live :class:`MetricsRegistry` or any mapping with
+    ``counters``/``gauges``/``histograms`` sections (``as_dict()`` or
+    ``to_state()`` output — histogram entries may be summary dicts or
+    lossless states; both carry the keys used here).  Counters get a
+    ``_total`` suffix; histograms render in the summary family shape:
+    ``name{quantile="0.5"}``, ``name_sum``, ``name_count``, plus
+    ``name_min``/``name_max`` gauges.
+    """
+    if isinstance(registry, MetricsRegistry):
+        document = registry.as_dict()
+    else:
+        document = {
+            "counters": dict(registry.get("counters", {})),
+            "gauges": dict(registry.get("gauges", {})),
+            "histograms": {
+                key: dict(value)
+                for key, value in registry.get("histograms", {}).items()
+            },
+        }
+
+    lines: List[str] = []
+    typed: set = set()
+
+    def emit_type(metric: str, kind: str) -> None:
+        if metric not in typed:
+            typed.add(metric)
+            lines.append(f"# TYPE {metric} {kind}")
+
+    for key, value in sorted(document["counters"].items()):
+        name, labels = parse_key(key)
+        metric = _prom_name(name, namespace) + "_total"
+        emit_type(metric, "counter")
+        lines.append(f"{metric}{_prom_labels(labels)} {_prom_number(value)}")
+
+    for key, value in sorted(document["gauges"].items()):
+        name, labels = parse_key(key)
+        metric = _prom_name(name, namespace)
+        emit_type(metric, "gauge")
+        lines.append(f"{metric}{_prom_labels(labels)} {_prom_number(value)}")
+
+    for key, summary in sorted(document["histograms"].items()):
+        name, labels = parse_key(key)
+        metric = _prom_name(name, namespace)
+        emit_type(metric, "summary")
+        for q in PROMETHEUS_QUANTILES:
+            q_key = f"p{int(q * 100)}"
+            if q_key not in summary:
+                continue
+            q_labels = dict(labels)
+            q_labels["quantile"] = f"{q:g}"
+            lines.append(
+                f"{metric}{_prom_labels(q_labels)} "
+                f"{_prom_number(summary[q_key])}"
+            )
+        label_text = _prom_labels(labels)
+        lines.append(
+            f"{metric}_sum{label_text} {_prom_number(summary.get('sum', 0.0))}"
+        )
+        lines.append(
+            f"{metric}_count{label_text} {_prom_number(summary.get('count', 0))}"
+        )
+        for bound in ("min", "max"):
+            if bound in summary and summary[bound] is not None:
+                bound_metric = f"{metric}_{bound}"
+                emit_type(bound_metric, "gauge")
+                lines.append(
+                    f"{bound_metric}{label_text} "
+                    f"{_prom_number(summary[bound])}"
+                )
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """A structural lint of exposition-format text; returns problems
+    (empty list = clean).  Checks the subset the exporter emits: every
+    sample line is ``name[{labels}] value``, every metric name matches
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``, label values are quoted, every sample
+    has a preceding ``# TYPE`` for its family, and values parse as
+    floats.  CI runs this over the exporter's output.
+    """
+    import re
+
+    problems: List[str] = []
+    name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+        r"(\{(?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\",?)*\})?"
+        r" (\S+)$"
+    )
+    typed: set = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "summary", "histogram", "untyped"
+            ):
+                problems.append(f"line {lineno}: malformed TYPE line")
+            elif not name_re.fullmatch(parts[2]):
+                problems.append(f"line {lineno}: bad metric name {parts[2]!r}")
+            else:
+                typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparsable sample {line!r}")
+            continue
+        metric = match.group(1)
+        family = metric
+        for suffix in ("_total", "_sum", "_count", "_min", "_max"):
+            if metric.endswith(suffix) and metric[: -len(suffix)] in typed:
+                family = metric[: -len(suffix)]
+                break
+        if family not in typed and metric not in typed:
+            problems.append(
+                f"line {lineno}: sample {metric!r} has no TYPE header"
+            )
+        value = match.group(3)
+        if value not in ("NaN", "+Inf", "-Inf"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: non-numeric value {value!r}"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def _span_nodes(tracer_or_trace: Any) -> List[Dict[str, Any]]:
+    """Normalize a Tracer / to_dict() trace / span list to node dicts."""
+    if hasattr(tracer_or_trace, "to_dict"):
+        document = tracer_or_trace.to_dict()
+    else:
+        document = tracer_or_trace
+    if isinstance(document, Mapping):
+        return list(document.get("spans", []))
+    return list(document)
+
+
+def _emit_span(
+    node: Mapping[str, Any],
+    events: List[Dict[str, Any]],
+    pid: int,
+    tid: int,
+    fallback_ts: float,
+) -> None:
+    start = float(node.get("start_seconds", fallback_ts))
+    wall = float(node.get("wall_seconds", 0.0))
+    event: Dict[str, Any] = {
+        "name": node.get("name", "span"),
+        "ph": "X",
+        "ts": round(start * 1e6, 3),
+        "dur": round(wall * 1e6, 3),
+        "pid": pid,
+        "tid": tid,
+        "cat": "repro",
+    }
+    args: Dict[str, Any] = {}
+    if node.get("attributes"):
+        args.update(node["attributes"])
+    if "cpu_seconds" in node:
+        args["cpu_seconds"] = node["cpu_seconds"]
+    if args:
+        event["args"] = args
+    events.append(event)
+    for instant in node.get("events", ()):
+        events.append(
+            {
+                "name": instant.get("name", "event"),
+                "ph": "i",
+                "ts": round((start + wall / 2.0) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "s": "t",
+                "cat": "repro",
+                "args": {k: v for k, v in instant.items() if k != "name"},
+            }
+        )
+    child_ts = start
+    for child in node.get("children", ()):
+        _emit_span(child, events, pid, tid, child_ts)
+        child_ts += float(child.get("wall_seconds", 0.0))
+
+
+def render_chrome_trace(
+    tracer_or_trace: Any,
+    pid: int = 1,
+    tid: int = 1,
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """Render a span tree as a Chrome trace-event document (dict).
+
+    Accepts a live :class:`~repro.obs.trace.Tracer`, a serialized
+    ``tracer.to_dict()`` / run-report ``trace`` block, or a bare list of
+    span nodes.  Spans become ``ph: "X"`` complete events (``ts`` and
+    ``dur`` in microseconds — span timestamps are ``perf_counter``
+    readings, so they order correctly within one process even though
+    the epoch is arbitrary); span events become ``ph: "i"`` instants.
+    Serialize with ``json.dumps`` and load in Perfetto or
+    ``about:tracing``.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": process_name},
+        }
+    ]
+    fallback_ts = 0.0
+    for node in _span_nodes(tracer_or_trace):
+        _emit_span(node, events, pid, tid, fallback_ts)
+        fallback_ts += float(node.get("wall_seconds", 0.0))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(document: Union[str, Mapping[str, Any]]) -> List[str]:
+    """Schema-check a Chrome trace document; returns problems (empty =
+    valid).  Checks the object-format envelope, required per-event keys
+    (``ph``/``pid``/``tid``/``name``), numeric non-negative ``ts`` and
+    ``dur`` on complete events, and JSON serializability.  CI runs this
+    over the exporter's output.
+    """
+    problems: List[str] = []
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    if not isinstance(document, Mapping):
+        return ["top level must be an object with 'traceEvents'"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            problems.append(f"event {index}: not an object")
+            continue
+        for required in ("ph", "pid", "tid", "name"):
+            if required not in event:
+                problems.append(f"event {index}: missing {required!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "M", "C"):
+            problems.append(f"event {index}: unknown phase {ph!r}")
+        if ph == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"event {index}: {field} must be a non-negative "
+                        f"number, got {value!r}"
+                    )
+    try:
+        json.dumps(document)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"not JSON-serializable: {exc}")
+    return problems

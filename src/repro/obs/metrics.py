@@ -5,8 +5,17 @@ answer *where time went*, metrics answer *how much of each thing
 happened* — candidates generated, sets pruned per constraint, shards
 dispatched, bounds tightened.  Instruments are named and optionally
 **labeled** (sorted key=value pairs appended to the name), in the style
-of Prometheus clients but with no export machinery: the registry
-serializes into the run report via :meth:`MetricsRegistry.as_dict`.
+of Prometheus clients; :mod:`repro.obs.export` renders a registry in
+Prometheus text exposition format, and the registry serializes into the
+run report via :meth:`MetricsRegistry.as_dict`.
+
+Histograms are :class:`~repro.obs.hist.QuantileHistogram` — log-bucketed
+with a bounded relative error, so ``histogram(...).p99`` answers the
+latency questions summary statistics cannot.  Registries **merge**
+(:meth:`MetricsRegistry.merge`): counters add, gauges take the incoming
+value (last write wins), histograms fold bucket-exactly — which is how
+parallel-shard registries and per-run registries roll up into a
+process-lifetime one.
 
 A :data:`NULL_METRICS` singleton mirrors the null tracer so disabled
 runs pay one no-op call per recording site.
@@ -15,48 +24,99 @@ runs pay one no-op call per recording site.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from math import inf
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.hist import QuantileHistogram
+
+#: Histograms are quantile histograms; the old summary-only class name
+#: remains importable because the ``observe()`` API is unchanged.
+Histogram = QuantileHistogram
+
+#: Characters that are structural in the flattened instrument key
+#: ``name{k1=v1,k2=v2}`` and must therefore be escaped inside label
+#: values (and keys): unescaped they make distinct label sets collide —
+#: ``inc("x", q="a=1,b")`` and ``inc("x", q="a", b="1")`` would both
+#: render as ``x{q=a=1,b}`` / ``x{b=1,q=a}``-style ambiguous keys.
+_STRUCTURAL = ("\\", ",", "{", "}", "=")
+_ESCAPE_TABLE = str.maketrans({c: f"\\{c}" for c in _STRUCTURAL})
+
+
+def _escape(text: str) -> str:
+    return text.translate(_ESCAPE_TABLE)
+
+
+def _unescape(text: str) -> str:
+    out = []
+    it = iter(text)
+    for ch in it:
+        if ch == "\\":
+            out.append(next(it, ""))
+        else:
+            out.append(ch)
+    return "".join(out)
 
 
 def _key(name: str, labels: Dict[str, Any]) -> str:
-    """Canonical instrument key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    """Canonical instrument key: ``name{k1=v1,k2=v2}`` with sorted labels.
+
+    Structural characters inside label keys/values are backslash-escaped,
+    so the rendering is injective: two different (name, labels) pairs can
+    never produce the same key, and :func:`parse_key` inverts it.
+    """
     if not labels:
         return name
-    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    rendered = ",".join(
+        f"{_escape(str(k))}={_escape(str(labels[k]))}" for k in sorted(labels)
+    )
     return f"{name}{{{rendered}}}"
 
 
-@dataclass
-class Histogram:
-    """Summary statistics of an observed distribution (no buckets:
-    count/sum/min/max is what the run report and tests consume)."""
+def parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`_key`: ``name{k=v,...}`` → ``(name, {k: v})``.
 
-    count: int = 0
-    total: float = 0.0
-    min: float = inf
-    max: float = -inf
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-            "mean": self.mean,
-        }
+    Label values come back as strings (the key format stringifies), with
+    escapes resolved.  Exporters use this to recover structured labels
+    from the registry's flattened keys.
+    """
+    if not key.endswith("}"):
+        return key, {}
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    name, body = key[:brace], key[brace + 1:-1]
+    labels: Dict[str, str] = {}
+    part: list = []
+    parts: list = []
+    escaped = False
+    for ch in body:
+        if escaped:
+            part.append("\\" + ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == ",":
+            parts.append("".join(part))
+            part = []
+        else:
+            part.append(ch)
+    parts.append("".join(part))
+    for item in parts:
+        if not item:
+            continue
+        # Split on the first unescaped '=': the key side never contains
+        # one un-escaped, by construction.
+        depth_escaped = False
+        for position, ch in enumerate(item):
+            if depth_escaped:
+                depth_escaped = False
+            elif ch == "\\":
+                depth_escaped = True
+            elif ch == "=":
+                labels[_unescape(item[:position])] = _unescape(
+                    item[position + 1:]
+                )
+                break
+    return name, labels
 
 
 @dataclass
@@ -65,7 +125,7 @@ class MetricsRegistry:
 
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
-    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    histograms: Dict[str, QuantileHistogram] = field(default_factory=dict)
 
     enabled = True
 
@@ -86,7 +146,7 @@ class MetricsRegistry:
         key = _key(name, labels)
         histogram = self.histograms.get(key)
         if histogram is None:
-            histogram = self.histograms[key] = Histogram()
+            histogram = self.histograms[key] = QuantileHistogram()
         histogram.observe(value)
 
     # ------------------------------------------------------------------
@@ -100,9 +160,41 @@ class MetricsRegistry:
         """Current value of a gauge (None if never set)."""
         return self.gauges.get(_key(name, labels))
 
-    def histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
+    def histogram(self, name: str, **labels: Any) -> Optional[QuantileHistogram]:
         """The histogram for a name/label set (None if never observed)."""
         return self.histograms.get(_key(name, labels))
+
+    # ------------------------------------------------------------------
+    # Merging (shard → run → process roll-ups)
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry in place (and return self).
+
+        Exact semantics per instrument kind:
+
+        * **counters** add — a count of events is additive over any
+          partition of the events;
+        * **gauges** take the incoming value (last write wins — a gauge
+          is "latest observed state", and ``other`` is the newer view);
+        * **histograms** merge bucket-exactly
+          (:meth:`QuantileHistogram.merge`), never aliasing ``other``'s
+          stores.
+
+        This is how parallel-shard registries fold into the run registry
+        and per-run registries into a :class:`ServiceTelemetry`'s
+        process-lifetime registry; before it existed, shard metrics
+        beyond ``ParallelStats`` were silently dropped.
+        """
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        self.gauges.update(other.gauges)
+        for key, histogram in other.histograms.items():
+            mine = self.histograms.get(key)
+            if mine is None:
+                self.histograms[key] = histogram.copy()
+            else:
+                mine.merge(histogram)
+        return self
 
     def as_dict(self) -> Dict[str, Dict[str, Any]]:
         """Serializable form (the run report's ``metrics`` section)."""
@@ -114,6 +206,29 @@ class MetricsRegistry:
             },
         }
 
+    def to_state(self) -> Dict[str, Dict[str, Any]]:
+        """Lossless serializable form: histograms keep their bucket
+        state, so :meth:`from_state` rebuilds a registry that continues
+        to observe and merge exactly (telemetry snapshots use this)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                k: h.to_state() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Dict[str, Any]]) -> "MetricsRegistry":
+        """Rebuild a registry saved by :meth:`to_state`."""
+        registry = cls(
+            counters=dict(state.get("counters", {})),
+            gauges=dict(state.get("gauges", {})),
+        )
+        for key, hist_state in state.get("histograms", {}).items():
+            registry.histograms[key] = QuantileHistogram.from_state(hist_state)
+        return registry
+
 
 class _NullMetrics:
     """Inert registry handed out by the null tracer."""
@@ -121,7 +236,7 @@ class _NullMetrics:
     enabled = False
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
-    histograms: Dict[str, Histogram] = {}
+    histograms: Dict[str, QuantileHistogram] = {}
 
     def inc(self, name: str, value: float = 1, **labels: Any) -> None:
         return None
@@ -141,7 +256,13 @@ class _NullMetrics:
     def histogram(self, name: str, **labels: Any) -> None:
         return None
 
+    def merge(self, other: "MetricsRegistry") -> "_NullMetrics":
+        return self
+
     def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_state(self) -> Dict[str, Dict[str, Any]]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
 

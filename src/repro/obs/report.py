@@ -47,8 +47,12 @@ RUN_REPORT_SCHEMA = "repro.run_report"
 #:   4 — adds the optional ``delta`` block (dataset-churn maintenance:
 #:       the ``DeltaMaintenanceReport.as_dict()`` steps applied before
 #:       this run was served); v1–v3 documents remain readable
-RUN_REPORT_VERSION = 4
-SUPPORTED_REPORT_VERSIONS = (1, 2, 3, 4)
+#:   5 — adds the optional ``telemetry`` block (the serving layer's
+#:       ``ServiceTelemetry.snapshot()``: process-lifetime per-outcome
+#:       latency histograms, hit-ratio/occupancy gauges, event-journal
+#:       summary); v1–v4 documents remain readable
+RUN_REPORT_VERSION = 5
+SUPPORTED_REPORT_VERSIONS = (1, 2, 3, 4, 5)
 
 #: Hotspot count embedded by ``--profile``.
 PROFILE_TOP_N = 20
@@ -194,6 +198,11 @@ class RunReport:
     #: ``{"steps": [DeltaMaintenanceReport.as_dict(), ...]}``; ``None``
     #: when the dataset never changed.
     delta: Optional[Dict[str, Any]] = None
+    #: Schema v5: the serving layer's process-lifetime telemetry
+    #: snapshot (``ServiceTelemetry.snapshot()`` — per-outcome latency
+    #: histograms, cache gauges, event-journal summary); ``None`` for
+    #: unserved runs.
+    telemetry: Optional[Dict[str, Any]] = None
 
     REQUIRED_KEYS = (
         "schema",
@@ -229,6 +238,7 @@ class RunReport:
             "interruption": self.interruption,
             "cache": self.cache,
             "delta": self.delta,
+            "telemetry": self.telemetry,
         })
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -285,6 +295,7 @@ class RunReport:
             interruption=document.get("interruption"),
             cache=document.get("cache"),
             delta=document.get("delta"),
+            telemetry=document.get("telemetry"),
         )
 
     @classmethod
@@ -298,6 +309,7 @@ def build_run_report(
     meta: Optional[Dict[str, Any]] = None,
     profile: Optional[cProfile.Profile] = None,
     delta: Optional[Dict[str, Any]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from a finished
     :class:`~repro.core.optimizer.CFQResult` (or any object exposing
@@ -305,8 +317,9 @@ def build_run_report(
 
     ``tracer`` defaults to the trace attached to the result (if any);
     ``profile`` is an optional collected :class:`cProfile.Profile`;
-    ``delta`` is the optional churn-maintenance block (see the schema
-    v4 note above).
+    ``delta`` is the optional churn-maintenance block (schema v4);
+    ``telemetry`` is the optional serving-telemetry snapshot (schema
+    v5).
     """
     tracer = tracer if tracer is not None else getattr(result, "trace", None)
     raw = result.raw
@@ -358,4 +371,5 @@ def build_run_report(
         interruption=trip.as_dict() if trip is not None else None,
         cache=getattr(result, "cache_info", None) or None,
         delta=delta,
+        telemetry=telemetry,
     )

@@ -100,6 +100,7 @@ class Span:
         """Serializable form (the run-report trace-tree node schema)."""
         node: Dict[str, Any] = {
             "name": self.name,
+            "start_seconds": round(self.start_wall, 9),
             "wall_seconds": round(self.wall_seconds, 9),
             "cpu_seconds": round(self.cpu_seconds, 9),
         }

@@ -41,6 +41,14 @@ from repro.serve.skeleton import (
     build_skeleton,
     skeleton_key,
 )
+from repro.serve.telemetry import (
+    NULL_TELEMETRY,
+    SERVE_OUTCOMES,
+    TELEMETRY_SCHEMA,
+    TELEMETRY_VERSION,
+    ServiceTelemetry,
+    resolve_telemetry,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -51,8 +59,14 @@ __all__ = [
     "CacheHit",
     "DeltaMaintenanceReport",
     "LRUCache",
+    "NULL_TELEMETRY",
     "QueryService",
     "RESULT_OPTIONS",
+    "SERVE_OUTCOMES",
+    "ServiceTelemetry",
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_VERSION",
+    "resolve_telemetry",
     "Skeleton",
     "SkeletonRefreshStats",
     "SupportOracle",

@@ -51,6 +51,13 @@ class LRUCache:
     ``record_result_stats=False`` routes hit/miss accounting to the
     skeleton counters of the shared :class:`CacheStats` instead of the
     result counters, so one stats object can describe both tiers.
+
+    ``on_event`` is an optional callback ``(event, key, entry)`` fired
+    on every *departure* transition — ``"evict"`` (LRU pressure),
+    ``"expire"`` (TTL), ``"replace"`` (a put over a live key), and
+    ``"invalidate"`` — with the departing :class:`CacheEntry`, so the
+    serving telemetry can journal which entry left and at what age.
+    Lookup/store hot paths never call it.
     """
 
     def __init__(
@@ -60,6 +67,7 @@ class LRUCache:
         clock: Callable[[], float] = time.monotonic,
         stats: Optional[CacheStats] = None,
         record_result_stats: bool = True,
+        on_event: Optional[Callable[[str, str, CacheEntry], None]] = None,
     ):
         if max_entries < 1:
             raise ExecutionError(f"max_entries must be >= 1, got {max_entries}")
@@ -72,6 +80,7 @@ class LRUCache:
         self.clock = clock
         self.stats = stats if stats is not None else CacheStats()
         self._result_stats = record_result_stats
+        self.on_event = on_event
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -96,6 +105,10 @@ class LRUCache:
             # Skeleton stores are counted by ``skeleton_builds`` (the
             # service meters them); only the held bytes are shared.
             self.stats.bytes_held += nbytes
+
+    def _emit(self, event: str, key: str, entry: CacheEntry) -> None:
+        if self.on_event is not None:
+            self.on_event(event, key, entry)
 
     # ------------------------------------------------------------------
     # Core operations
@@ -124,6 +137,7 @@ class LRUCache:
         if self._expired(entry):
             del self._entries[key]
             self.stats.record_eviction(entry.nbytes, expired=True)
+            self._emit("expire", key, entry)
             self._record_miss()
             return None
         self._entries.move_to_end(key)
@@ -142,13 +156,15 @@ class LRUCache:
         old = self._entries.pop(key, None)
         if old is not None:
             self.stats.record_eviction(old.nbytes)
+            self._emit("replace", key, old)
         self._entries[key] = CacheEntry(
             value=value, nbytes=nbytes, stored_at=self.clock(), tag=tag
         )
         self._record_store(nbytes)
         while len(self._entries) > self.max_entries:
-            __, evicted = self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
             self.stats.record_eviction(evicted.nbytes)
+            self._emit("evict", evicted_key, evicted)
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -159,6 +175,7 @@ class LRUCache:
         if entry is None:
             return False
         self.stats.record_invalidation(entry.nbytes)
+        self._emit("invalidate", key, entry)
         return True
 
     def invalidate_tag(self, tag: str) -> int:
@@ -168,13 +185,15 @@ class LRUCache:
         for key in doomed:
             entry = self._entries.pop(key)
             self.stats.record_invalidation(entry.nbytes)
+            self._emit("invalidate", key, entry)
         return len(doomed)
 
     def clear(self) -> int:
         """Drop everything; returns the number of entries removed."""
         n = len(self._entries)
-        for entry in self._entries.values():
+        for key, entry in self._entries.items():
             self.stats.record_invalidation(entry.nbytes)
+            self._emit("invalidate", key, entry)
         self._entries.clear()
         return n
 

@@ -32,6 +32,13 @@ disk tier under the result cache: artifacts are written atomically as
 ``<dataset-fp prefix>.<result key>.json`` and reloaded on memory
 misses, which is what makes the CLI's warm-vs-cold smoke test work
 across processes.
+
+Every serving decision is additionally instrumented on a
+process-lifetime :class:`~repro.serve.telemetry.ServiceTelemetry`
+(per-outcome latency quantile histograms, cache gauges, and an event
+journal); pass ``telemetry=False`` to disable it, ``journal_path=`` to
+put the event journal on disk, and read it back via
+``service.telemetry.snapshot()`` / ``repro stats``.
 """
 
 from __future__ import annotations
@@ -69,6 +76,7 @@ from repro.serve.skeleton import (
     build_skeleton,
     skeleton_key,
 )
+from repro.serve.telemetry import resolve_telemetry
 
 #: ``execute()`` keywords that force a plain cold run outside every
 #: cache tier (mirrors the optimizer's own ``cacheable`` gate).
@@ -105,6 +113,17 @@ class BatchItem:
     wall_seconds: float
     query_fingerprint: str
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable summary (the batch report's per-item row)."""
+        return {
+            "query": str(self.cfq),
+            "query_fingerprint": self.query_fingerprint,
+            "source": self.source,
+            "wall_seconds": round(self.wall_seconds, 9),
+            "status": getattr(self.result, "status", "complete"),
+            "cache_info": self.result.cache_info,
+        }
+
 
 @dataclass
 class BatchReport:
@@ -122,6 +141,16 @@ class BatchReport:
     def results(self) -> List[CFQResult]:
         return [item.result for item in self.items]
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable summary of the whole batch (items included);
+        round-trips through ``json.dumps``/``loads`` unchanged."""
+        return {
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "skeleton_build_seconds": round(self.skeleton_build_seconds, 9),
+            "failed_domains": list(self.failed_domains),
+            "items": [item.as_dict() for item in self.items],
+        }
+
 
 class QueryService:
     """Fingerprint-keyed serving of CFQs (see module docstring).
@@ -137,6 +166,14 @@ class QueryService:
         Optional directory for the persistent result tier.
     clock:
         Injectable monotonic clock driving TTL (tests pass a fake).
+    telemetry:
+        ``None``/``True`` builds a fresh enabled
+        :class:`~repro.serve.telemetry.ServiceTelemetry`; ``False``
+        disables instrumentation; an existing telemetry object is
+        adopted (shareable across services).
+    journal_path:
+        Optional JSONL path for the telemetry event journal (rotating
+        on disk); ignored when an existing telemetry object is passed.
     """
 
     def __init__(
@@ -146,13 +183,19 @@ class QueryService:
         max_skeletons: int = 8,
         cache_dir: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
+        telemetry=None,
+        journal_path: Optional[str] = None,
     ):
         self.stats = CacheStats()
+        self.telemetry = resolve_telemetry(
+            telemetry, journal_path=journal_path, clock=clock
+        )
         self._results = LRUCache(
             max_entries=max_entries,
             ttl_seconds=ttl_seconds,
             clock=clock,
             stats=self.stats,
+            on_event=self.telemetry.cache_event_hook("result"),
         )
         self._skeletons = LRUCache(
             max_entries=max_skeletons,
@@ -160,6 +203,7 @@ class QueryService:
             clock=clock,
             stats=self.stats,
             record_result_stats=False,
+            on_event=self.telemetry.cache_event_hook("skeleton"),
         )
         self.cache_dir = cache_dir
         if cache_dir is not None:
@@ -178,21 +222,26 @@ class QueryService:
         eviction (or in a fresh process) repopulates memory.
         """
         key = result_key(cfq, db, options)
+        dataset_fp = dataset_fingerprint(db)
         if self._results.peek(key) is not None:
             text = self._results.get(key)  # guaranteed hit: meters + recency
-            return self._hit_from_text(text, db, cfq)
+            self.telemetry.record_lookup("memory", key, dataset_fp, hit=True)
+            return self._hit_from_text(text, db, cfq, tier="memory")
         expired = key in self._results  # present but past TTL
         self._results.get(key)  # meters the miss (and evicts if expired)
         if expired:
             self._drop_disk(key, db)
+            self.telemetry.record_lookup("memory", key, dataset_fp, hit=False)
             return None
         text = self._load_disk(key, db)
         if text is None:
+            self.telemetry.record_lookup("disk", key, dataset_fp, hit=False)
             return None
-        self._results.put(key, text, len(text), tag=dataset_fingerprint(db))
+        self._results.put(key, text, len(text), tag=dataset_fp)
         self.stats.record_hit()
         self.stats.misses -= 1  # the probe above was not a real miss
-        return self._hit_from_text(text, db, cfq)
+        self.telemetry.record_lookup("disk", key, dataset_fp, hit=True)
+        return self._hit_from_text(text, db, cfq, tier="disk")
 
     def store(
         self,
@@ -225,6 +274,7 @@ class QueryService:
         )
         self._results.put(key, text, len(text), tag=dataset_fp)
         self._write_disk(key, db, text)
+        self.telemetry.record_store(key, dataset_fp, len(text))
         return self._info(
             "cold",
             dataset_fp,
@@ -233,7 +283,8 @@ class QueryService:
         )
 
     def _hit_from_text(
-        self, text: str, db: TransactionDatabase, cfq: CFQ
+        self, text: str, db: TransactionDatabase, cfq: CFQ,
+        tier: str = "memory",
     ) -> CacheHit:
         document = parse_artifact(text)
         meta = document.get("meta", {})
@@ -245,6 +296,7 @@ class QueryService:
                 meta.get("dataset_fingerprint") or dataset_fingerprint(db),
                 meta.get("query_fingerprint") or query_fingerprint(cfq, db),
                 cold_wall_seconds=meta.get("cold_wall_seconds"),
+                tier=tier,
             ),
         )
 
@@ -329,10 +381,13 @@ class QueryService:
         tracer = resolve_tracer(tracer)
         optimizer = CFQOptimizer(cfq)
         if any(options.get(name) for name in _BYPASS_OPTIONS):
-            return optimizer.execute(
+            start = time.perf_counter()
+            result = optimizer.execute(
                 db, counters=counters, backend=backend, tracer=tracer,
                 guard=guard, cache=self, **options,
             )
+            self._finish_serve(result, time.perf_counter() - start, db, cfq)
+            return result
         cache_options = {name: options.get(name) for name in RESULT_OPTIONS}
         start = time.perf_counter()
         oracle = self._existing_oracle(db, cfq)
@@ -360,7 +415,54 @@ class QueryService:
         info = result.cache_info
         if info is not None and info.get("source") in ("result-cache", "skeleton"):
             info["warm_wall_seconds"] = elapsed
+        self._finish_serve(result, elapsed, db, cfq)
         return result
+
+    # ------------------------------------------------------------------
+    # Telemetry helpers
+    # ------------------------------------------------------------------
+    def _serve_outcome(self, result: CFQResult, batch: bool = False) -> str:
+        """Classify how one query was answered, as a telemetry label."""
+        if getattr(result, "status", "complete") != "complete":
+            return "partial"
+        info = result.cache_info or {}
+        source = info.get("source")
+        if source == "result-cache":
+            return "warm-disk" if info.get("tier") == "disk" else "warm-memory"
+        if source == "skeleton":
+            return "skeleton-batch" if batch else "skeleton"
+        return "cold"
+
+    def _finish_serve(
+        self,
+        result: CFQResult,
+        elapsed: float,
+        db: TransactionDatabase,
+        cfq: CFQ,
+        batch: bool = False,
+    ) -> None:
+        """Record one serving on the lifetime telemetry (latency
+        histogram by outcome, guard trips, refreshed cache gauges)."""
+        if not self.telemetry.enabled:
+            return
+        outcome = self._serve_outcome(result, batch=batch)
+        if outcome == "partial":
+            trip = getattr(result, "interruption", None)
+            self.telemetry.record_guard_trip(
+                query_fingerprint(cfq, db),
+                getattr(trip, "reason", trip),
+            )
+        self.telemetry.record_serve(outcome, elapsed)
+        self._refresh_gauges()
+
+    def _refresh_gauges(self) -> None:
+        self.telemetry.update_cache_gauges(
+            self.stats,
+            len(self._results),
+            self._results.max_entries,
+            len(self._skeletons),
+            self._skeletons.max_entries,
+        )
 
     def _defaulted(self, cache_options: Dict[str, Any]) -> Dict[str, Any]:
         """Fill unspecified engine options with the optimizer defaults so
@@ -451,6 +553,7 @@ class QueryService:
             {name: options.get(name) for name in RESULT_OPTIONS}
         )
         dataset_fp = dataset_fingerprint(db)
+        batch_start = time.perf_counter()
         skeletons, build_seconds, failed = self._prepare_skeletons(
             db, cfqs, dataset_fp, backend=backend, tracer=tracer, guard=guard
         )
@@ -495,6 +598,7 @@ class QueryService:
                 "result-cache", "skeleton"
             ):
                 info["warm_wall_seconds"] = elapsed
+            self._finish_serve(result, elapsed, db, cfq, batch=True)
             items.append(
                 BatchItem(
                     cfq=cfq,
@@ -503,6 +607,16 @@ class QueryService:
                     wall_seconds=elapsed,
                     query_fingerprint=query_fp,
                 )
+            )
+        if self.telemetry.enabled:
+            sources: Dict[str, int] = {}
+            for item in items:
+                sources[item.source] = sources.get(item.source, 0) + 1
+            self.telemetry.record_batch(
+                n_queries=len(items),
+                build_seconds=build_seconds,
+                sources=sources,
+                wall_seconds=time.perf_counter() - batch_start,
             )
         return BatchReport(
             items=items,
@@ -554,6 +668,7 @@ class QueryService:
             cached = self._skeletons.get(key)
             if cached is not None and cached.serves(weakest):
                 skeletons[fp] = cached
+                self.telemetry.record_skeleton_reuse(fp)
                 continue
             start = time.perf_counter()
             try:
@@ -574,9 +689,13 @@ class QueryService:
                 skeletons[fp] = None
                 failed.append(fp)
                 continue
-            build_seconds += time.perf_counter() - start
+            built_seconds = time.perf_counter() - start
+            build_seconds += built_seconds
             self.stats.skeleton_builds += 1
             self._skeletons.put(key, skeleton, skeleton.nbytes, tag=dataset_fp)
+            self.telemetry.record_skeleton_build(
+                fp, built_seconds, skeleton.nbytes
+            )
             skeletons[fp] = skeleton
         return skeletons, build_seconds, failed
 
@@ -662,6 +781,8 @@ class QueryService:
             report.skeletons_refreshed += 1
             report.refreshes.append(stats)
         report.wall_seconds = time.perf_counter() - start
+        self.telemetry.record_delta(report)
+        self._refresh_gauges()
         tracer.event(
             "delta.applied",
             added=len(delta.added),
@@ -705,9 +826,13 @@ class QueryService:
                     removed += 1
                 except FileNotFoundError:
                     pass
+        self.telemetry.record_sweep(dataset_fp, removed)
         return removed
 
     def clear(self) -> int:
         """Drop both in-memory tiers (disk artifacts are kept; use
         :meth:`invalidate` for targeted disk removal)."""
-        return self._results.clear() + self._skeletons.clear()
+        removed = self._results.clear() + self._skeletons.clear()
+        self.telemetry.record_clear(removed)
+        self._refresh_gauges()
+        return removed

@@ -1,0 +1,122 @@
+"""Trend-record gate logic (repro.bench.trend).
+
+The benchmark that writes ``BENCH_8.json`` lives in ``benchmarks/``;
+this file pins the gate itself: direction-aware 20% thresholds,
+newest-prior selection by numeric suffix (not lexicographic), and the
+soft pass for a line's first record.
+"""
+
+import pytest
+
+from repro.bench.trend import (
+    Regression,
+    TrendRecord,
+    bench_index,
+    compare_records,
+    find_prior,
+    gate,
+    main,
+)
+
+
+def _record(label, **metrics):
+    record = TrendRecord(label=label)
+    for name, (value, direction) in metrics.items():
+        record.add(name, value, direction=direction)
+    return record
+
+
+def test_direction_aware_regressions():
+    prior = _record(
+        "old", qps=(1000.0, "higher"), p99=(0.010, "lower")
+    )
+    # qps -25% and p99 +50%: both regress.
+    bad = _record("new", qps=(750.0, "higher"), p99=(0.015, "lower"))
+    names = {r.name for r in compare_records(bad, prior)}
+    assert names == {"p99", "qps"}
+    # qps -10% and p99 +15%: inside the 20% allowance.
+    ok = _record("new", qps=(900.0, "higher"), p99=(0.0115, "lower"))
+    assert compare_records(ok, prior) == []
+    # Improvements never flag, however large.
+    better = _record("new", qps=(9000.0, "higher"), p99=(0.0001, "lower"))
+    assert compare_records(better, prior) == []
+
+
+def test_threshold_is_exclusive_and_tunable():
+    prior = _record("old", qps=(1000.0, "higher"))
+    exactly_20 = _record("new", qps=(800.0, "higher"))
+    assert compare_records(exactly_20, prior) == []  # >, not >=
+    assert compare_records(exactly_20, prior, threshold=0.1) != []
+
+
+def test_new_and_retired_metrics_never_flag():
+    prior = _record("old", retired=(5.0, "higher"))
+    current = _record("new", brand_new=(1.0, "higher"))
+    assert compare_records(current, prior) == []
+
+
+def test_regression_describe_is_directional():
+    drop = Regression("qps", current=700.0, prior=1000.0, change=0.3,
+                      direction="higher", unit="1/s")
+    assert "dropped 30.0%" in drop.describe()
+    rise = Regression("p99", current=0.015, prior=0.01, change=0.5,
+                      direction="lower", unit="s")
+    assert "rose 50.0%" in rise.describe()
+
+
+def test_record_round_trip_and_schema(tmp_path):
+    record = _record("PR8", qps=(1234.5, "higher"), p99=(0.002, "lower"))
+    record.meta["note"] = "test"
+    path = str(tmp_path / "BENCH_8.json")
+    record.write(path)
+    loaded = TrendRecord.load(path)
+    assert loaded.label == "PR8"
+    assert loaded.meta == {"note": "test"}
+    assert loaded.metrics == record.metrics
+
+
+def test_load_rejects_foreign_documents(tmp_path):
+    path = tmp_path / "BENCH_1.json"
+    path.write_text('{"schema": "something.else"}')
+    with pytest.raises(ValueError, match="not a trend record"):
+        TrendRecord.load(str(path))
+
+
+def test_invalid_direction_rejected():
+    with pytest.raises(ValueError, match="direction"):
+        _record("x", qps=(1.0, "sideways"))
+
+
+def test_find_prior_orders_numerically_not_lexicographically(tmp_path):
+    for n in (2, 9, 10):
+        _record(f"PR{n}", qps=(100.0 + n, "higher")).write(
+            str(tmp_path / f"BENCH_{n}.json")
+        )
+    (tmp_path / "BENCH_notes.txt").write_text("ignored")
+    current = str(tmp_path / "BENCH_11.json")
+    _record("PR11", qps=(50.0, "higher")).write(current)
+    # Lexicographic order would pick BENCH_9; numeric picks BENCH_10.
+    assert find_prior(current) == str(tmp_path / "BENCH_10.json")
+    assert bench_index("BENCH_10.json") == 10
+    assert bench_index("BENCH_x.json") is None
+
+
+def test_gate_soft_passes_on_first_record(tmp_path):
+    current = str(tmp_path / "BENCH_1.json")
+    _record("PR1", qps=(100.0, "higher")).write(current)
+    regressions, prior = gate(current)
+    assert regressions == [] and prior is None
+    assert main([current]) == 0
+
+
+def test_gate_fails_on_regression_and_passes_within_threshold(tmp_path):
+    _record("PR1", qps=(1000.0, "higher")).write(
+        str(tmp_path / "BENCH_1.json")
+    )
+    bad = str(tmp_path / "BENCH_2.json")
+    _record("PR2", qps=(700.0, "higher")).write(bad)
+    regressions, prior = gate(bad)
+    assert prior == str(tmp_path / "BENCH_1.json")
+    assert [r.name for r in regressions] == ["qps"]
+    assert main([bad]) == 1
+    assert main([bad, "--threshold", "0.5"]) == 0

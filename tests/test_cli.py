@@ -272,3 +272,125 @@ def test_experiments_report_dir(capsys, tmp_path):
     assert written
     for path in written:
         RunReport.validate(json.loads(path.read_text()))
+
+
+# ----------------------------------------------------------------------
+# Telemetry surfacing: --telemetry-out and the stats subcommand
+# ----------------------------------------------------------------------
+QUERY_2VAR = "{(S, T) | S.Type = T.Type & count(S) >= 2}"
+
+
+def test_query_telemetry_out_requires_cache_dir(capsys, tmp_path):
+    code = main(
+        [
+            "query", QUERY_2VAR,
+            "--transactions", "200",
+            "--telemetry-out", str(tmp_path / "telemetry.json"),
+        ]
+    )
+    assert code == 2
+    assert "--cache-dir" in capsys.readouterr().err
+
+
+def test_stats_on_telemetry_snapshot(capsys, tmp_path):
+    import json
+
+    telemetry_path = str(tmp_path / "telemetry.json")
+    args = [
+        "query", QUERY_2VAR,
+        "--transactions", "200",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--telemetry-out", telemetry_path,
+    ]
+    assert main(args) == 0
+    assert main(args) == 0  # warm run overwrites the snapshot
+    capsys.readouterr()
+
+    with open(telemetry_path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert document["schema"] == "repro.serve.telemetry"
+    # The second process served from the disk tier.
+    assert "warm-disk" in document["outcomes"]
+
+    assert main(["stats", telemetry_path]) == 0
+    out = capsys.readouterr().out
+    assert "serving telemetry" in out
+    assert "warm-disk" in out
+    assert "journal: seq" in out
+
+    assert main(["stats", telemetry_path, "--format", "prometheus"]) == 0
+    prom = capsys.readouterr().out
+    from repro.obs.export import lint_prometheus
+
+    assert lint_prometheus(prom) == []
+    assert "repro_serves_total" in prom
+
+    # Telemetry snapshots carry no span tree: chrome-trace must refuse.
+    assert main(
+        ["stats", telemetry_path, "--format", "chrome-trace"]
+    ) == 2
+    assert "chrome-trace" in capsys.readouterr().err
+
+
+def test_stats_on_run_report_with_chrome_trace(capsys, tmp_path):
+    import json
+
+    report_path = str(tmp_path / "report.json")
+    code = main(
+        [
+            "query", QUERY_2VAR,
+            "--transactions", "200",
+            "--trace-out", report_path,
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+
+    assert main(["stats", report_path]) == 0
+    out = capsys.readouterr().out
+    assert "run report v" in out
+    assert "frequent valid S-sets" in out
+
+    trace_path = str(tmp_path / "trace.json")
+    assert main(
+        ["stats", report_path, "--format", "chrome-trace",
+         "--out", trace_path]
+    ) == 0
+    from repro.obs.export import validate_chrome_trace
+
+    with open(trace_path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    assert validate_chrome_trace(doc) == []
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_stats_rejects_unrecognized_files(capsys, tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text('{"schema": "something.else"}')
+    assert main(["stats", str(path)]) == 2
+    assert "unrecognized schema" in capsys.readouterr().err
+
+    missing = str(tmp_path / "missing.json")
+    assert main(["stats", missing]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_batch_journal_out_writes_jsonl(capsys, tmp_path):
+    journal_path = str(tmp_path / "journal.jsonl")
+    code = main(
+        [
+            "batch", QUERY_2VAR,
+            "--transactions", "200",
+            "--journal-out", journal_path,
+        ]
+    )
+    assert code == 0
+    assert "event journal written" in capsys.readouterr().out
+    from repro.obs.events import read_journal
+
+    events = read_journal(journal_path)
+    assert events
+    kinds = {event["kind"] for event in events}
+    assert "batch_execute" in kinds
+    seqs = [event["seq"] for event in events]
+    assert seqs == sorted(seqs)

@@ -1,0 +1,162 @@
+"""Exporter contracts: Prometheus exposition and Chrome trace JSON.
+
+The exporters must produce output their own validators accept (CI runs
+``lint_prometheus`` / ``validate_chrome_trace`` over real exports), and
+label escaping must survive the full path: instrument key → registry →
+``parse_key`` → exposition text.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    lint_prometheus,
+    render_chrome_trace,
+    render_prometheus,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry, parse_key
+from repro.obs.trace import Tracer
+
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    registry.inc("serves", 3, outcome="warm-memory")
+    registry.inc("serves", 1, outcome="cold")
+    registry.set_gauge("cache_hit_ratio", 0.75)
+    registry.set_gauge("cache_entries", 4, tier="result")
+    for value in (0.001, 0.002, 0.004, 0.010):
+        registry.observe("serve_seconds", value, outcome="warm-memory")
+    return registry
+
+
+def test_prometheus_output_passes_own_lint():
+    text = render_prometheus(_populated_registry())
+    assert lint_prometheus(text) == []
+
+
+def test_prometheus_families_and_suffixes():
+    text = render_prometheus(_populated_registry())
+    assert "# TYPE repro_serves_total counter" in text
+    assert 'repro_serves_total{outcome="warm-memory"} 3.0' in text
+    assert "# TYPE repro_cache_hit_ratio gauge" in text
+    assert "# TYPE repro_serve_seconds summary" in text
+    assert 'repro_serve_seconds{outcome="warm-memory",quantile="0.5"}' in text
+    assert 'repro_serve_seconds_sum{outcome="warm-memory"}' in text
+    assert 'repro_serve_seconds_count{outcome="warm-memory"} 4' in text
+
+
+def test_prometheus_accepts_serialized_snapshots():
+    registry = _populated_registry()
+    live = render_prometheus(registry)
+    from_dict = render_prometheus(registry.as_dict())
+    assert from_dict == live
+    # to_state() histograms lack quantile summaries but keep sum/count —
+    # the render degrades gracefully and still lints clean.
+    from_state = render_prometheus(registry.to_state())
+    assert lint_prometheus(from_state) == []
+    assert "repro_serve_seconds_count" in from_state
+
+
+def test_prometheus_escapes_hostile_label_values():
+    registry = MetricsRegistry()
+    hostile = 'va"l\\ue\nwith={braces},'
+    registry.inc("lookups", 1, key=hostile)
+    # The instrument key itself survives parse_key (satellite S1)...
+    (key,) = registry.counters
+    name, labels = parse_key(key)
+    assert name == "lookups" and labels == {"key": hostile}
+    # ...and the exposition text both lints clean and decodes back to
+    # the original value under Prometheus unescaping rules.
+    text = render_prometheus(registry)
+    assert lint_prometheus(text) == []
+    (sample,) = [
+        line for line in text.splitlines() if line.startswith("repro_lookups")
+    ]
+    rendered = sample[sample.index('key="') + 5:sample.rindex('"')]
+    decoded = (
+        rendered.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+    assert decoded == hostile
+
+
+def test_prometheus_empty_registry_renders_empty():
+    assert render_prometheus(MetricsRegistry()) == ""
+    assert lint_prometheus("") == []
+
+
+def test_lint_catches_real_problems():
+    assert lint_prometheus("repro_orphan 1.0") == [
+        "line 1: sample 'repro_orphan' has no TYPE header"
+    ]
+    assert any(
+        "malformed TYPE" in p
+        for p in lint_prometheus("# TYPE repro_x wrongkind\n")
+    )
+    bad_value = "# TYPE repro_x gauge\nrepro_x abc"
+    assert any("non-numeric" in p for p in lint_prometheus(bad_value))
+
+
+def _traced_run():
+    tracer = Tracer()
+    with tracer.span("execute", query="q1"):
+        with tracer.span("count", var="S", level=1):
+            tracer.event("prune", dropped=3)
+        with tracer.span("count", var="S", level=2):
+            pass
+    return tracer
+
+
+def test_chrome_trace_validates_and_has_expected_events():
+    doc = render_chrome_trace(_traced_run())
+    assert validate_chrome_trace(doc) == []
+    assert validate_chrome_trace(json.dumps(doc)) == []
+
+    events = doc["traceEvents"]
+    assert events[0]["ph"] == "M"  # process_name metadata first
+    complete = [e for e in events if e["ph"] == "X"]
+    assert [e["name"] for e in complete] == ["execute", "count", "count"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert [e["name"] for e in instants] == ["prune"]
+    assert instants[0]["args"]["dropped"] == 3
+    # Span attributes ride in args; durations are microseconds.
+    root = complete[0]
+    assert root["args"]["query"] == "q1"
+    assert root["dur"] >= sum(e["dur"] for e in complete[1:]) - 1e-3
+
+
+def test_chrome_trace_accepts_serialized_trace_block():
+    tracer = _traced_run()
+    from_tracer = render_chrome_trace(tracer)
+    from_block = render_chrome_trace(tracer.to_dict())
+    assert from_block == from_tracer
+    from_list = render_chrome_trace(tracer.to_dict()["spans"])
+    assert from_list == from_tracer
+
+
+def test_chrome_trace_children_nest_within_parent_window():
+    doc = render_chrome_trace(_traced_run())
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    root, *children = complete
+    for child in children:
+        assert child["ts"] >= root["ts"] - 1e-3
+        assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-3
+
+
+def test_validator_catches_real_problems():
+    assert validate_chrome_trace("not json")[0].startswith("not valid JSON")
+    assert validate_chrome_trace({"spans": []}) == [
+        "'traceEvents' must be a list"
+    ]
+    missing = {"traceEvents": [{"ph": "X", "ts": 1.0, "dur": 1.0}]}
+    problems = validate_chrome_trace(missing)
+    assert any("missing 'pid'" in p for p in problems)
+    negative = {"traceEvents": [
+        {"ph": "X", "pid": 1, "tid": 1, "name": "s", "ts": -5, "dur": 1.0}
+    ]}
+    assert any("non-negative" in p for p in validate_chrome_trace(negative))
+    unknown = {"traceEvents": [
+        {"ph": "?", "pid": 1, "tid": 1, "name": "s"}
+    ]}
+    assert any("unknown phase" in p for p in validate_chrome_trace(unknown))

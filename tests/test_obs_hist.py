@@ -1,0 +1,195 @@
+"""Quantile-histogram guarantees: bounded relative error and mergeability.
+
+The log-bucketed :class:`~repro.obs.hist.QuantileHistogram` promises
+every returned quantile is within ``relative_error`` of the exact
+sample quantile (same nearest-rank definition, ``exact_quantile``).
+These tests prove the bound on random and adversarial distributions,
+and that merging is exact (bucket counts add), associative and
+commutative — the property the shard-registry fold relies on.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.hist import (
+    DEFAULT_RELATIVE_ERROR,
+    QuantileHistogram,
+    exact_quantile,
+)
+
+QUANTILES = (0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+
+def _assert_within_bound(hist, values, alpha):
+    for q in QUANTILES:
+        exact = exact_quantile(values, q)
+        estimate = hist.quantile(q)
+        if exact == 0.0:
+            assert estimate == pytest.approx(0.0, abs=1e-12)
+        else:
+            relative = abs(estimate - exact) / abs(exact)
+            assert relative <= alpha + 1e-9, (
+                f"q={q}: estimate {estimate} vs exact {exact} "
+                f"(relative {relative:.4f} > alpha {alpha})"
+            )
+
+
+def _distributions(rng):
+    yield "uniform", [rng.uniform(0.001, 10.0) for __ in range(2000)]
+    yield "lognormal", [rng.lognormvariate(0.0, 2.0) for __ in range(2000)]
+    yield "exponential", [rng.expovariate(3.0) for __ in range(2000)]
+    # Adversarial: many decades of magnitude in one stream.
+    yield "wide-decades", [10.0 ** rng.uniform(-9, 9) for __ in range(2000)]
+    # Adversarial: heavy ties at one value plus a far tail.
+    yield "ties-plus-tail", [0.5] * 1500 + [1e6] * 500
+    # Adversarial: signed values (latencies never are, but the histogram
+    # is a general metric type) plus exact zeros.
+    yield "signed", (
+        [-(10.0 ** rng.uniform(-3, 3)) for __ in range(600)]
+        + [0.0] * 100
+        + [10.0 ** rng.uniform(-3, 3) for __ in range(600)]
+    )
+    yield "tiny", [3.0]
+    yield "two", [1.0, 100.0]
+
+
+def test_relative_error_bound_on_random_and_adversarial_distributions():
+    rng = random.Random(7)
+    for name, values in _distributions(rng):
+        hist = QuantileHistogram()
+        for value in values:
+            hist.observe(value)
+        assert hist.count == len(values), name
+        _assert_within_bound(hist, values, hist.relative_error)
+
+
+def test_relative_error_bound_holds_at_coarser_accuracy():
+    rng = random.Random(11)
+    values = [rng.lognormvariate(0.0, 3.0) for __ in range(3000)]
+    for alpha in (0.001, 0.05, 0.10):
+        hist = QuantileHistogram(relative_error=alpha)
+        for value in values:
+            hist.observe(value)
+        _assert_within_bound(hist, values, alpha)
+
+
+def test_extreme_quantiles_are_exact_min_and_max():
+    hist = QuantileHistogram()
+    values = [0.003, 1.7, 42.0, 0.5]
+    for value in values:
+        hist.observe(value)
+    assert hist.quantile(0.0) == min(values)
+    assert hist.quantile(1.0) == max(values)
+    assert hist.min == min(values)
+    assert hist.max == max(values)
+
+
+def test_merge_is_exact_associative_and_commutative():
+    rng = random.Random(13)
+    streams = [
+        [rng.lognormvariate(0.0, 2.0) for __ in range(500)]
+        for __ in range(3)
+    ]
+    parts = []
+    for stream in streams:
+        hist = QuantileHistogram()
+        for value in stream:
+            hist.observe(value)
+        parts.append(hist)
+    a, b, c = parts
+
+    def structure(hist):
+        """Everything but the float running sum, whose low bits depend
+        on addition order (bucket counts — the quantile inputs — must
+        match *exactly*)."""
+        state = hist.to_state()
+        return {k: v for k, v in state.items() if k != "sum"}
+
+    # ((a+b)+c) == (a+(b+c)) == (c+b)+a — identical bucket state, not
+    # just close quantiles.
+    left = a.copy()
+    left.merge(b)
+    left.merge(c)
+    right = b.copy()
+    right.merge(c)
+    right_total = a.copy()
+    right_total.merge(right)
+    reversed_ = c.copy()
+    reversed_.merge(b)
+    reversed_.merge(a)
+    assert structure(left) == structure(right_total) == structure(reversed_)
+
+    # The merged histogram equals one built from the concatenation.
+    combined = QuantileHistogram()
+    for stream in streams:
+        for value in stream:
+            combined.observe(value)
+    assert structure(left) == structure(combined)
+    for q in QUANTILES:
+        assert left.quantile(q) == combined.quantile(q)
+    assert left.count == sum(len(s) for s in streams)
+    assert left.total == pytest.approx(sum(sum(s) for s in streams))
+
+
+def test_merge_preserves_error_bound():
+    rng = random.Random(17)
+    all_values = []
+    merged = QuantileHistogram()
+    for __ in range(4):
+        shard_values = [10.0 ** rng.uniform(-6, 6) for __ in range(400)]
+        shard = QuantileHistogram()
+        for value in shard_values:
+            shard.observe(value)
+        merged.merge(shard)
+        all_values.extend(shard_values)
+    _assert_within_bound(merged, all_values, merged.relative_error)
+
+
+def test_merge_rejects_mismatched_accuracy():
+    coarse = QuantileHistogram(relative_error=0.05)
+    fine = QuantileHistogram(relative_error=0.01)
+    with pytest.raises(ValueError):
+        fine.merge(coarse)
+
+
+def test_state_round_trip_is_lossless():
+    rng = random.Random(19)
+    hist = QuantileHistogram()
+    for __ in range(300):
+        hist.observe(rng.choice([-1.0, 0.0, 1.0]) * rng.expovariate(1.0))
+    restored = QuantileHistogram.from_state(hist.to_state())
+    assert restored == hist
+    for q in QUANTILES:
+        assert restored.quantile(q) == hist.quantile(q)
+
+
+def test_empty_histogram_is_safe():
+    hist = QuantileHistogram()
+    assert hist.count == 0
+    assert hist.quantile(0.5) == 0.0
+    assert hist.mean == 0.0
+    document = hist.as_dict()
+    assert document["count"] == 0
+    assert document["min"] == 0.0 and document["max"] == 0.0
+    restored = QuantileHistogram.from_state(hist.to_state())
+    assert restored == hist
+
+
+def test_bucket_count_stays_logarithmic():
+    """12 decades of magnitude cost ~115 buckets/decade at 1% accuracy —
+    the whole point of log bucketing over exact storage."""
+    hist = QuantileHistogram()
+    rng = random.Random(23)
+    for __ in range(50_000):
+        hist.observe(10.0 ** rng.uniform(-6, 6))
+    n_buckets = sum(1 for __ in hist.buckets())
+    per_decade = math.log(10.0) / math.log(hist._gamma)
+    assert n_buckets <= 12 * per_decade + 2
+    assert n_buckets < 1500  # vs 50k exact samples
+
+
+def test_default_accuracy_is_one_percent():
+    assert DEFAULT_RELATIVE_ERROR == 0.01
+    assert QuantileHistogram().relative_error == 0.01

@@ -1,0 +1,133 @@
+"""Metrics-registry contracts: key escaping (S1) and merging (S2).
+
+The flattened instrument key ``name{k=v,...}`` must be *injective* —
+before escaping existed, ``inc("x", q="a=1,b")`` and two-label
+``inc("x", q="a", b="1")``-style calls could collide on the same
+rendered key, silently summing unrelated series.  ``parse_key`` must
+invert the rendering exactly; ``merge`` must fold counters additively,
+gauges last-write, histograms bucket-exactly.
+"""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    _key,
+    parse_key,
+)
+
+
+# ----------------------------------------------------------------------
+# S1: label rendering and the parse_key inverse
+# ----------------------------------------------------------------------
+def test_key_is_plain_for_unlabeled_and_sorted_for_labeled():
+    assert _key("candidates", {}) == "candidates"
+    assert _key("candidates", {"var": "S", "level": 2}) == (
+        "candidates{level=2,var=S}"
+    )
+
+
+def test_structural_characters_are_escaped_and_keys_stay_injective():
+    """The regression that motivated the escaping: distinct label sets
+    rendering to identical keys."""
+    ambiguous_one = _key("x", {"q": "a=1,b"})
+    ambiguous_two = _key("x", {"b": "1", "q": "a"})
+    assert ambiguous_one != ambiguous_two
+    assert parse_key(ambiguous_one) == ("x", {"q": "a=1,b"})
+    assert parse_key(ambiguous_two) == ("x", {"b": "1", "q": "a"})
+
+
+@pytest.mark.parametrize(
+    "labels",
+    [
+        {"q": "a=b"},
+        {"q": "a,b"},
+        {"q": "{(S, T) | S.Type = T.Type}"},
+        {"q": "back\\slash"},
+        {"q": "}{=,\\"},
+        {"weird=key": "value"},
+        {"q": "", "r": "non-empty"},
+        {"unicode": "préfix—suffix"},
+    ],
+)
+def test_parse_key_inverts_rendering(labels):
+    name, parsed = parse_key(_key("metric", labels))
+    assert name == "metric"
+    assert parsed == {str(k): str(v) for k, v in labels.items()}
+
+
+def test_registry_separates_hostile_label_series():
+    registry = MetricsRegistry()
+    registry.inc("x", 1, q="a=1,b")
+    registry.inc("x", 10, b="1", q="a")
+    assert registry.counter("x", q="a=1,b") == 1
+    assert registry.counter("x", b="1", q="a") == 10
+    assert len(registry.counters) == 2
+
+
+def test_parse_key_on_unlabeled_and_odd_inputs():
+    assert parse_key("plain") == ("plain", {})
+    assert parse_key("name{}") == ("name", {})
+    # A trailing brace with no opening brace is not a label block.
+    assert parse_key("odd}") == ("odd}", {})
+
+
+# ----------------------------------------------------------------------
+# S2: merge semantics
+# ----------------------------------------------------------------------
+def _shard(counter, gauge, observations):
+    registry = MetricsRegistry()
+    registry.inc("shard_tuples", counter, var="S")
+    registry.set_gauge("last_level", gauge, var="S")
+    for value in observations:
+        registry.observe("shard_seconds", value, var="S")
+    return registry
+
+
+def test_merge_counters_add_gauges_last_write_histograms_fold():
+    run = MetricsRegistry()
+    run.merge(_shard(100, 2, [0.1, 0.2]))
+    run.merge(_shard(50, 3, [0.4]))
+    assert run.counter("shard_tuples", var="S") == 150
+    assert run.gauge("last_level", var="S") == 3
+    hist = run.histogram("shard_seconds", var="S")
+    assert hist.count == 3
+    assert hist.total == pytest.approx(0.7)
+
+
+def test_merge_copies_histograms_never_aliases():
+    shard = _shard(1, 1, [0.5])
+    run = MetricsRegistry()
+    run.merge(shard)
+    shard.observe("shard_seconds", 9.0, var="S")
+    assert run.histogram("shard_seconds", var="S").count == 1
+    assert shard.histogram("shard_seconds", var="S").count == 2
+
+
+def test_merge_returns_self_and_chains():
+    run = MetricsRegistry()
+    assert run.merge(_shard(1, 1, [])) is run
+
+
+def test_state_round_trip_preserves_merge_behavior():
+    registry = _shard(7, 4, [0.01, 0.02, 0.03])
+    restored = MetricsRegistry.from_state(registry.to_state())
+    assert restored.counters == registry.counters
+    assert restored.gauges == registry.gauges
+    assert restored.histogram("shard_seconds", var="S") == (
+        registry.histogram("shard_seconds", var="S")
+    )
+    # The restored registry keeps observing and merging exactly.
+    restored.observe("shard_seconds", 0.04, var="S")
+    assert restored.histogram("shard_seconds", var="S").count == 4
+
+
+def test_null_metrics_merge_is_inert():
+    assert NULL_METRICS.merge(_shard(5, 5, [1.0])) is NULL_METRICS
+    assert NULL_METRICS.as_dict() == {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+    assert NULL_METRICS.to_state() == {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }

@@ -232,3 +232,72 @@ def test_explain_renders_cold_store_info():
     explained = cold.explain()
     assert "cache: source cold" in explained
     assert "cold wall seconds:" in explained
+
+
+# ----------------------------------------------------------------------
+# v5: the serving layer's telemetry block
+# ----------------------------------------------------------------------
+def _served_run_with_telemetry():
+    from repro.serve import QueryService
+
+    workload = quickstart_workload(n_transactions=200)
+    cfq = workload.cfq()
+    service = QueryService()
+    service.execute(workload.db, cfq)
+    tracer = Tracer()
+    warm = service.execute(workload.db, cfq, tracer=tracer)
+    return warm, tracer, service
+
+
+def test_telemetry_block_round_trips_in_v5_reports():
+    warm, tracer, service = _served_run_with_telemetry()
+    snapshot = service.telemetry.snapshot(service.stats)
+    report = build_run_report(warm, tracer=tracer, telemetry=snapshot)
+    document = report.to_dict()
+    assert document["version"] == RUN_REPORT_VERSION == 5
+    telemetry = document["telemetry"]
+    assert telemetry["schema"] == "repro.serve.telemetry"
+    assert telemetry["runs_merged"] == 0
+    assert set(telemetry["outcomes"]) == {"cold", "warm-memory"}
+    assert telemetry["journal"]["seq"] >= 2
+    parsed = RunReport.from_json(report.to_json())
+    assert parsed.telemetry == report.telemetry
+    RunReport.validate(json.loads(report.to_json()))
+    # The embedded metrics state is lossless: the registry rebuilds.
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry.from_state(parsed.telemetry["metrics"])
+    assert registry.histogram("serve_seconds", outcome="cold").count == 1
+
+
+def test_reports_without_telemetry_keep_the_block_absent():
+    result, tracer = _run()
+    report = build_run_report(result, tracer=tracer)
+    assert report.telemetry is None
+    assert report.to_dict()["telemetry"] is None
+
+
+def test_v1_through_v4_documents_remain_readable():
+    """The versioned reader path: each prior version's documents (which
+    lack the keys later versions added) must parse without error."""
+    warm, tracer, service = _served_run_with_telemetry()
+    snapshot = service.telemetry.snapshot(service.stats)
+    document = build_run_report(
+        warm, tracer=tracer, telemetry=snapshot
+    ).to_dict()
+    removed_by_version = {
+        4: ["telemetry"],
+        3: ["telemetry", "delta"],
+        2: ["telemetry", "delta", "cache"],
+        1: ["telemetry", "delta", "cache", "budget", "interruption"],
+    }
+    for version, absent_keys in removed_by_version.items():
+        old = dict(document, version=version)
+        for key in absent_keys:
+            old.pop(key, None)
+        parsed = RunReport.from_dict(old)
+        assert parsed.answers == document["answers"]
+        assert parsed.telemetry is None
+        if "cache" in absent_keys:
+            assert parsed.cache is None
+        RunReport.validate(json.loads(json.dumps(old, default=str)))

@@ -1,0 +1,127 @@
+"""Serving serialization round-trips and ``explain()``'s cache section.
+
+Telemetry snapshots embed ``CacheStats.as_dict()`` and batch runs
+serialize through ``BatchReport.as_dict()`` — both must round-trip
+(satellite S3).  ``explain()`` must name the serving tier that answered
+each run: memory hit, disk hit, skeleton, and cold miss all read
+differently.
+"""
+
+import json
+
+import pytest
+
+from repro.datagen.workloads import quickstart_workload
+from repro.db.stats import CacheStats
+from repro.serve import QueryService
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return quickstart_workload(n_transactions=200)
+
+
+# ----------------------------------------------------------------------
+# CacheStats round-trip
+# ----------------------------------------------------------------------
+def test_cache_stats_round_trip_preserves_every_counter():
+    stats = CacheStats(
+        hits=7, misses=3, stores=4, evictions=2, expirations=1,
+        invalidations=5, skeleton_hits=6, skeleton_misses=2,
+        skeleton_builds=3, skeleton_refreshes=1, bytes_held=12345,
+    )
+    document = stats.as_dict()
+    restored = CacheStats.from_dict(document)
+    assert restored == stats
+    assert restored.as_dict() == document
+    assert restored.hit_rate == stats.hit_rate
+
+
+def test_cache_stats_from_dict_ignores_derived_and_unknown_keys():
+    restored = CacheStats.from_dict(
+        {"hits": 2, "misses": 2, "hit_rate": 0.99, "not_a_field": 7}
+    )
+    assert restored.hits == 2
+    assert restored.hit_rate == 0.5  # recomputed, not trusted from input
+    assert not hasattr(restored, "not_a_field")
+
+
+def test_cache_stats_round_trip_through_json(workload):
+    service = QueryService()
+    service.execute(workload.db, workload.cfq())
+    service.execute(workload.db, workload.cfq())
+    document = json.loads(json.dumps(service.stats.as_dict()))
+    assert CacheStats.from_dict(document) == service.stats
+
+
+# ----------------------------------------------------------------------
+# BatchReport round-trip
+# ----------------------------------------------------------------------
+def test_batch_report_as_dict_round_trips_through_json(workload):
+    service = QueryService()
+    cfqs = [workload.cfq(minsup=0.03), workload.cfq(minsup=0.05)]
+    report = service.execute_batch(workload.db, cfqs)
+    document = json.loads(json.dumps(report.as_dict()))
+
+    assert document["dataset_fingerprint"] == report.dataset_fingerprint
+    assert document["skeleton_build_seconds"] == pytest.approx(
+        report.skeleton_build_seconds, abs=1e-9
+    )
+    assert document["failed_domains"] == list(report.failed_domains)
+    assert len(document["items"]) == 2
+    for item_doc, item in zip(document["items"], report.items):
+        assert item_doc["query"] == str(item.cfq)
+        assert item_doc["query_fingerprint"] == item.query_fingerprint
+        assert item_doc["source"] == item.source
+        assert item_doc["status"] == item.result.status
+        assert item_doc["wall_seconds"] == pytest.approx(
+            item.wall_seconds, abs=1e-9
+        )
+        assert item_doc["cache_info"]["source"] == "skeleton"
+
+
+# ----------------------------------------------------------------------
+# explain() cache section under every hit kind
+# ----------------------------------------------------------------------
+def test_explain_cold_miss_names_cold_source(workload):
+    service = QueryService()
+    cold = service.execute(workload.db, workload.cfq())
+    text = cold.explain()
+    assert "cache: source cold" in text
+    assert "cold wall seconds:" in text
+    assert "dataset fingerprint:" in text
+
+
+def test_explain_memory_hit_names_memory_tier(workload):
+    service = QueryService()
+    service.execute(workload.db, workload.cfq())
+    warm = service.execute(workload.db, workload.cfq())
+    text = warm.explain()
+    assert "cache: source result-cache (memory tier)" in text
+    assert "warm wall seconds:" in text
+
+
+def test_explain_disk_hit_names_disk_tier(workload, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    QueryService(cache_dir=cache_dir).execute(workload.db, workload.cfq())
+    fresh = QueryService(cache_dir=cache_dir)
+    warm = fresh.execute(workload.db, workload.cfq())
+    text = warm.explain()
+    assert "cache: source result-cache (disk tier)" in text
+
+
+def test_explain_skeleton_answer_names_skeleton(workload):
+    service = QueryService()
+    service.prepare(workload.db, [workload.cfq()])
+    result = service.execute(workload.db, workload.cfq())
+    assert result.cache_info["source"] == "skeleton"
+    text = result.explain()
+    assert "cache: source skeleton" in text
+    assert "(memory tier)" not in text and "(disk tier)" not in text
+
+
+def test_explain_without_service_has_no_cache_section(workload):
+    from repro.core.optimizer import CFQOptimizer
+
+    result = CFQOptimizer(workload.cfq()).execute(workload.db)
+    assert "cache: source" not in result.explain()

@@ -293,7 +293,7 @@ def test_cli_query_cache_dir_warm_vs_cold(tmp_path, capsys):
     assert "cache: miss (cold run stored)" in cold_out
     assert main(argv) == 0
     warm_out = capsys.readouterr().out
-    assert "cache: hit (result-cache)" in warm_out
+    assert "cache: hit (result-cache, disk tier)" in warm_out
     # Identical answers modulo the cache line.
     strip = lambda text: [
         line for line in text.splitlines() if not line.startswith("cache:")
@@ -353,7 +353,9 @@ def test_cli_batch_churn_verifies_cold_and_writes_delta_report(
     import json
 
     doc = json.loads(report_path.read_text())
-    assert doc["version"] == 4
+    from repro.obs.report import RUN_REPORT_VERSION
+
+    assert doc["version"] == RUN_REPORT_VERSION
     steps = doc["delta"]["steps"]
     assert len(steps) == 2
     assert steps[0]["delta"]["added"] == 8
