@@ -4,8 +4,11 @@ This benchmark measures the repo's headline serving and kernel figures
 — warm-hit latency quantiles (from the serving telemetry histograms,
 not a side stopwatch), replay throughput, the bitmap counting-kernel
 speedup, and the churn-refresh speedup — and commits them as a
-``BENCH_8.json`` trend record at the repo root
-(:mod:`repro.bench.trend`).
+``BENCH_9.json`` trend record at the repo root
+(:mod:`repro.bench.trend`).  For PR 9 the record doubles as the proof
+that the fault-hardening hooks (injection sites compiled to a ``None``
+check, the disk circuit breaker, integrity checksums) left the
+fault-free serving path within the 20% drift bound.
 
 The gate then compares the fresh record against the newest prior
 ``BENCH_*.json``: any shared metric that moves the wrong way by more
@@ -26,8 +29,8 @@ from repro.mining.backends import BitmapBackend, HybridBackend
 from repro.serve import QueryService, build_skeleton, refresh_skeleton
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-TREND_PATH = REPO_ROOT / "BENCH_8.json"
-TREND_LABEL = "PR8-serving-telemetry"
+TREND_PATH = REPO_ROOT / "BENCH_9.json"
+TREND_LABEL = "PR9-fault-hardening"
 
 REPLAY_QUERIES = 10_000
 REPLAY_TRANSACTIONS = 600

@@ -121,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        "persisting artifacts in DIR: a repeated identical "
                        "invocation is answered from cache (incompatible "
                        "with --checkpoint-dir/--resume)")
+    query.add_argument("--fault-plan", metavar="PATH", default=None,
+                       help="JSON fault-injection plan installed for the "
+                       "whole run (testing hook; see docs/fault-tolerance.md)."
+                       " Faults degrade the serving tiers, never the answer")
     query.add_argument("--telemetry-out", metavar="PATH", default=None,
                        help="write the serving telemetry snapshot (per-"
                        "outcome latency histograms, cache gauges, event "
@@ -162,6 +166,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write a versioned JSON run report for the first "
                        "query's final answer, including the churn "
                        "maintenance 'delta' block")
+    batch.add_argument("--fault-plan", metavar="PATH", default=None,
+                       help="JSON fault-injection plan installed for the "
+                       "whole batch (testing hook; see "
+                       "docs/fault-tolerance.md)")
     batch.add_argument("--telemetry-out", metavar="PATH", default=None,
                        help="write the serving telemetry snapshot (per-"
                        "outcome latency histograms, cache gauges, event "
@@ -703,6 +711,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
     }
     try:
+        plan_path = getattr(args, "fault_plan", None)
+        if plan_path:
+            from repro.runtime import faults
+
+            plan = faults.FaultPlan.from_file(plan_path)
+            with faults.installed(plan):
+                code = handlers[args.command](args)
+            if plan.fired:
+                # A degraded-but-complete run keeps exit code 0: the
+                # answers are proven bit-identical to a fault-free run,
+                # and the degradation is narrated here + in telemetry.
+                print(f"fault plan: {len(plan.fired)} fault(s) fired "
+                      f"({', '.join(sorted({s for s, _, _ in plan.fired}))}); "
+                      "service degraded but answers are fault-free-identical")
+            return code
         return handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

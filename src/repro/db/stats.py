@@ -566,6 +566,10 @@ class CacheStats:
     #: skeletons migrated across a dataset delta instead of rebuilt
     skeleton_refreshes: int = 0
     bytes_held: int = 0
+    #: disk-tier I/O failures absorbed by the degradation ladder
+    disk_errors: int = 0
+    #: corrupt disk artifacts renamed aside (never re-read)
+    quarantined: int = 0
 
     def record_hit(self) -> None:
         self.hits += 1
@@ -609,6 +613,8 @@ class CacheStats:
             "skeleton_builds": self.skeleton_builds,
             "skeleton_refreshes": self.skeleton_refreshes,
             "bytes_held": self.bytes_held,
+            "disk_errors": self.disk_errors,
+            "quarantined": self.quarantined,
         }
 
     @classmethod
@@ -629,6 +635,8 @@ class CacheStats:
             "skeleton_builds",
             "skeleton_refreshes",
             "bytes_held",
+            "disk_errors",
+            "quarantined",
         ):
             if name in document:
                 setattr(stats, name, int(document[name]))
@@ -654,6 +662,11 @@ class CacheStats:
             )
             if d["skeleton_refreshes"]:
                 text += f", {d['skeleton_refreshes']} refresh(es)"
+        if d["disk_errors"] or d["quarantined"]:
+            text += (
+                f"; disk: {d['disk_errors']} error(s), "
+                f"{d['quarantined']} quarantined"
+            )
         return text
 
 

@@ -8,6 +8,15 @@ sweep, delta refresh, guard trip — and the journal keeps a bounded
 in-memory window plus an optional on-disk JSONL file with size-based
 rotation, so a long-lived service never grows without bound.
 
+Journal I/O is **never fatal to the host service**: a failed append or
+rotation (disk full, permissions, a yanked volume) is counted
+(``io_errors`` / ``rotation_failures``), the disk file is abandoned
+(``degraded``), and the bounded in-memory window keeps recording — the
+journal narrates degradations, so it must be the last thing to crash a
+serve.  Rotation is atomic-or-abandoned: a failure mid-shift leaves at
+worst a gap in the generation chain (``.2`` without ``.1``), never a
+torn or misnumbered file, and the live file keeps appending.
+
 Each event is one JSON object per line:
 
 ``{"seq": 17, "ts": 123.456, "kind": "result_evict", ...fields}``
@@ -36,6 +45,8 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
 
+from repro.runtime import faults
+
 #: The serving lifecycle vocabulary.  ``record()`` accepts only these —
 #: a typo'd kind raises immediately instead of polluting the journal.
 EVENT_KINDS = frozenset(
@@ -57,6 +68,13 @@ EVENT_KINDS = frozenset(
         "guard_trip",
         "batch_execute",
         "service_clear",
+        # fault-tolerance narration (docs/fault-tolerance.md)
+        "disk_error",
+        "disk_degraded",
+        "disk_recovered",
+        "result_quarantine",
+        "refresh_fallback",
+        "checkpoint_degraded",
     }
 )
 
@@ -112,14 +130,36 @@ class EventJournal:
         self.seq = 0
         self.dropped = 0
         self.rotations = 0
+        #: Failed disk appends/opens (the events still land in memory).
+        self.io_errors = 0
+        #: Rotations that were abandoned mid-shift.
+        self.rotation_failures = 0
         self._events: Deque[Dict[str, Any]] = deque(maxlen=max_events)
         self._file: Optional[io.TextIOBase] = None
         self._file_bytes = 0
+        self._closed = False
         if path is not None:
-            directory = os.path.dirname(path)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
-            self._open()
+            try:
+                directory = os.path.dirname(path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._open()
+            except OSError:
+                # An unwritable journal location degrades to memory-only
+                # instead of killing the service being instrumented.
+                self.io_errors += 1
+                self._file = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a disk journal was requested but has been abandoned
+        because of I/O failures (an explicit :meth:`close` is not a
+        degradation)."""
+        return (
+            self.path is not None
+            and self._file is None
+            and not self._closed
+        )
 
     # ------------------------------------------------------------------
     # Recording
@@ -142,10 +182,19 @@ class EventJournal:
             self.dropped += 1
         self._events.append(event)
         if self._file is not None:
-            line = json.dumps(event, sort_keys=False, default=str)
-            self._file.write(line + "\n")
-            self._file.flush()
-            self._file_bytes += len(line) + 1
+            try:
+                faults.fire("journal.write")
+                line = json.dumps(event, sort_keys=False, default=str)
+                self._file.write(line + "\n")
+                self._file.flush()
+                self._file_bytes += len(line) + 1
+            except (OSError, ValueError):
+                # A failed append (disk full, revoked handle) abandons
+                # the disk file; the memory window above already has the
+                # event, and the host service must never see the error.
+                self.io_errors += 1
+                self._abandon()
+                return event
             if self._file_bytes >= self.max_bytes:
                 self._rotate()
         return event
@@ -179,6 +228,9 @@ class EventJournal:
             "seq": self.seq,
             "dropped": self.dropped,
             "rotations": self.rotations,
+            "io_errors": self.io_errors,
+            "rotation_failures": self.rotation_failures,
+            "degraded": self.degraded,
             "path": self.path,
             "counts": self.counts(),
             "events": self.tail(),
@@ -189,29 +241,60 @@ class EventJournal:
     # ------------------------------------------------------------------
     def _open(self) -> None:
         assert self.path is not None
+        faults.fire("journal.open")
         self._file = open(self.path, "a", encoding="utf-8")
         self._file_bytes = self._file.tell()
 
+    def _abandon(self) -> None:
+        """Give up on the disk file (memory recording continues)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+
     def _rotate(self) -> None:
-        """Shift generations up: journal → .1 → .2 … drop beyond max."""
+        """Shift generations up: journal → .1 → .2 … drop beyond max.
+
+        Atomic-or-abandoned: every move is an ``os.replace`` (atomic on
+        POSIX), and any failure abandons the *rotation* — never the
+        journal.  A partial shift can leave a numbering gap (``.3``
+        moved before ``.2`` failed), which readers already tolerate;
+        the live file is then reopened (or recreated) and appending
+        continues.  Only if that reopen also fails does the journal
+        degrade to memory-only.
+        """
         assert self.path is not None and self._file is not None
         self._file.close()
         self._file = None
-        oldest = f"{self.path}.{self.max_files}"
-        if os.path.exists(oldest):
-            os.remove(oldest)
-        for generation in range(self.max_files - 1, 0, -1):
-            src = f"{self.path}.{generation}"
-            if os.path.exists(src):
-                os.replace(src, f"{self.path}.{generation + 1}")
-        os.replace(self.path, f"{self.path}.1")
-        self.rotations += 1
-        self._open()
+        try:
+            faults.fire("journal.rotate")
+            oldest = f"{self.path}.{self.max_files}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for generation in range(self.max_files - 1, 0, -1):
+                src = f"{self.path}.{generation}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{generation + 1}")
+            os.replace(self.path, f"{self.path}.1")
+            self.rotations += 1
+        except OSError:
+            self.rotation_failures += 1
+        try:
+            self._open()
+        except OSError:
+            self.io_errors += 1
+            self._file = None
 
     def close(self) -> None:
         """Close the on-disk file (memory window stays readable)."""
+        self._closed = True
         if self._file is not None:
-            self._file.close()
+            try:
+                self._file.close()
+            except OSError:
+                pass
             self._file = None
 
     def __enter__(self) -> "EventJournal":
@@ -240,6 +323,9 @@ class _NullJournal:
     seq = 0
     dropped = 0
     rotations = 0
+    io_errors = 0
+    rotation_failures = 0
+    degraded = False
 
     def record(self, kind: str, **fields: Any) -> None:
         return None
@@ -261,6 +347,9 @@ class _NullJournal:
             "seq": 0,
             "dropped": 0,
             "rotations": 0,
+            "io_errors": 0,
+            "rotation_failures": 0,
+            "degraded": False,
             "path": None,
             "counts": {},
             "events": [],

@@ -12,6 +12,17 @@ from repro.runtime.checkpoint import (
     dataset_digest,
     run_fingerprint,
 )
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
+from repro.runtime.faults import active as active_fault_plan
+from repro.runtime.faults import install as install_fault_plan
+from repro.runtime.faults import installed as installed_fault_plan
+from repro.runtime.faults import uninstall as uninstall_fault_plan
 from repro.runtime.guard import (
     NULL_GUARD,
     GuardTrip,
@@ -25,11 +36,20 @@ __all__ = [
     "Checkpoint",
     "CheckpointManager",
     "CountEvent",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
     "GuardTrip",
+    "InjectedFault",
     "NULL_GUARD",
     "NullGuard",
     "RunGuard",
+    "active_fault_plan",
     "dataset_digest",
+    "install_fault_plan",
+    "installed_fault_plan",
     "resolve_guard",
     "run_fingerprint",
+    "uninstall_fault_plan",
 ]

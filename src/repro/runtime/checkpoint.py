@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.db.stats import OpCounters
 from repro.errors import ExecutionError
 from repro.obs.logs import get_logger
+from repro.runtime import faults
 
 logger = get_logger(__name__)
 
@@ -64,6 +65,13 @@ Itemset = Tuple[int, ...]
 # (it is shared with the churn layer's DatasetDelta, which sits below the
 # runtime layer); re-exported here for the historical import path.
 from repro.db.digest import dataset_digest, transactions_digest  # noqa: E402,F401
+
+
+def checkpoint_integrity(document: Dict[str, Any]) -> str:
+    """Content checksum of a checkpoint document (minus the checksum)."""
+    payload = {k: v for k, v in document.items() if k != "integrity"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def run_fingerprint(query: str, db, options: Dict[str, Any]) -> str:
@@ -140,7 +148,7 @@ class Checkpoint:
     levels_completed: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "schema": CHECKPOINT_SCHEMA,
             "version": CHECKPOINT_VERSION,
             "fingerprint": self.fingerprint,
@@ -148,6 +156,11 @@ class Checkpoint:
             "events": [event.as_dict() for event in self.events],
             "counters": self.counters,
         }
+        # Content checksum over everything else: a bit-flip that happens
+        # to keep the JSON parseable (a digit in a support count!) must
+        # be caught before replay can turn it into a wrong answer.
+        document["integrity"] = checkpoint_integrity(document)
+        return document
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
@@ -169,6 +182,14 @@ class Checkpoint:
         for key in ("fingerprint", "events", "counters"):
             if key not in document:
                 raise ExecutionError(f"checkpoint missing required key {key!r}")
+        stored = document.get("integrity")
+        if stored is not None and stored != checkpoint_integrity(document):
+            # Parseable JSON but flipped content (a digit in a support
+            # count).  Refusing here is what keeps resume bit-identical.
+            raise ExecutionError(
+                "checkpoint integrity checksum mismatch: the file was "
+                "modified or corrupted after it was written"
+            )
         return cls(
             fingerprint=document["fingerprint"],
             events=tuple(CountEvent.from_dict(e) for e in document["events"]),
@@ -206,14 +227,43 @@ class CheckpointManager:
         The current run's :func:`run_fingerprint`.  Saves stamp it;
         :meth:`load_for_resume` refuses a stored checkpoint whose
         fingerprint differs (changed query, dataset, or engine options).
+
+    Degradation
+    -----------
+    Checkpointing is an *optimization* (crash recovery), never a
+    correctness dependency — so persistent save failures (disk full,
+    permissions) downgrade the run to checkpoint-less execution rather
+    than killing it: after :data:`FAILURE_THRESHOLD` consecutive
+    ``OSError`` saves the manager sets ``degraded`` and skips every
+    subsequent save.  A *corrupt* stored checkpoint (torn JSON, failed
+    integrity checksum) is quarantined — renamed to
+    ``checkpoint.json.quarantined`` so it is never re-read — and the run
+    starts fresh.  Only a fingerprint mismatch still raises: that file
+    is valid, it just belongs to a different run, and silently ignoring
+    it would surprise the operator who asked to resume it.
     """
+
+    #: Consecutive failed saves before downgrading to checkpoint-less.
+    FAILURE_THRESHOLD = 3
 
     def __init__(self, directory: str, fingerprint: str):
         self.directory = directory
         self.fingerprint = fingerprint
         self.path = os.path.join(directory, CHECKPOINT_FILENAME)
         self.saves = 0
-        os.makedirs(directory, exist_ok=True)
+        self.failures = 0
+        self.quarantined = 0
+        self._consecutive_failures = 0
+        self.degraded = False
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            logger.warning(
+                "cannot create checkpoint directory %s (%s); "
+                "running without checkpoints", directory, exc,
+            )
+            self.failures += 1
+            self.degraded = True
 
     # -- resume --------------------------------------------------------
     def load_for_resume(self) -> Optional[Checkpoint]:
@@ -228,8 +278,19 @@ class CheckpointManager:
         if not os.path.exists(self.path):
             logger.info("no checkpoint at %s; starting fresh", self.path)
             return None
-        with open(self.path, "r", encoding="utf-8") as handle:
-            checkpoint = Checkpoint.from_json(handle.read())
+        try:
+            text = faults.fs_read_text(self.path, "checkpoint.load")
+        except OSError as exc:
+            logger.warning(
+                "cannot read checkpoint at %s (%s); starting fresh",
+                self.path, exc,
+            )
+            return None
+        try:
+            checkpoint = Checkpoint.from_json(text)
+        except ExecutionError as exc:
+            self._quarantine(str(exc))
+            return None
         if checkpoint.fingerprint != self.fingerprint:
             raise ExecutionError(
                 f"checkpoint at {self.path} belongs to a different run "
@@ -244,29 +305,71 @@ class CheckpointManager:
         )
         return checkpoint
 
+    def _quarantine(self, reason: str) -> None:
+        """Rename a corrupt checkpoint aside so it is never re-read."""
+        aside = self.path + ".quarantined"
+        try:
+            os.replace(self.path, aside)
+            self.quarantined += 1
+            logger.warning(
+                "quarantined corrupt checkpoint %s -> %s (%s); "
+                "starting fresh", self.path, aside, reason,
+            )
+        except OSError as exc:
+            # Can't even rename it: leave it; the next load will fail
+            # the same way and the run still starts fresh.
+            logger.warning(
+                "corrupt checkpoint at %s (%s) could not be quarantined "
+                "(%s); starting fresh anyway", self.path, reason, exc,
+            )
+
     # -- save ----------------------------------------------------------
-    def save(self, checkpoint: Checkpoint) -> str:
+    def save(self, checkpoint: Checkpoint) -> Optional[str]:
         """Atomically persist ``checkpoint`` (write temp + fsync + rename).
 
         A crash at any instant leaves either the previous checkpoint or
-        the new one on disk, never a torn file.
+        the new one on disk, never a torn file.  An ``OSError`` (disk
+        full, permissions, injected fault) is absorbed: the failure is
+        counted, and after :data:`FAILURE_THRESHOLD` consecutive
+        failures the manager goes ``degraded`` and stops trying — the
+        run continues checkpoint-less.  Returns the checkpoint path on
+        success, ``None`` when the save was skipped or failed.
         """
+        if self.degraded:
+            return None
         payload = checkpoint.to_json()
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=".checkpoint-", suffix=".tmp", dir=self.directory
-        )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-                handle.write("\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, self.path)
-        except BaseException:
+            faults.fire("checkpoint.save")
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".checkpoint-", suffix=".tmp", dir=self.directory
+            )
             try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                    handle.write("\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self.failures += 1
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.FAILURE_THRESHOLD:
+                self.degraded = True
+                logger.warning(
+                    "checkpoint save failed %d time(s) in a row (%s); "
+                    "continuing without checkpoints",
+                    self._consecutive_failures, exc,
+                )
+            else:
+                logger.warning("checkpoint save failed (%s); will retry "
+                               "at the next boundary", exc)
+            return None
         self.saves += 1
+        self._consecutive_failures = 0
         return self.path

@@ -14,7 +14,7 @@ from repro.serve.artifacts import (
     serialize_result,
     validate_artifact,
 )
-from repro.serve.cache import CacheEntry, LRUCache
+from repro.serve.cache import CacheEntry, CircuitBreaker, LRUCache
 from repro.serve.delta import (
     DeltaMaintenanceReport,
     SkeletonRefreshStats,
@@ -57,6 +57,7 @@ __all__ = [
     "BatchReport",
     "CacheEntry",
     "CacheHit",
+    "CircuitBreaker",
     "DeltaMaintenanceReport",
     "LRUCache",
     "NULL_TELEMETRY",

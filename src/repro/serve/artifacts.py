@@ -16,6 +16,7 @@ checkpoint and run-report formats.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Optional
 
@@ -28,6 +29,20 @@ ARTIFACT_SCHEMA = "repro.serve.result"
 ARTIFACT_VERSION = 1
 
 Itemset = tuple
+
+
+def artifact_integrity(document: Dict[str, Any]) -> str:
+    """Content checksum of an artifact document (minus the checksum).
+
+    Canonical form: sorted keys, tight separators.  Floats (including
+    the ``Infinity`` literals in bound histories) round-trip through
+    ``json.loads``/``dumps`` exactly, so the checksum computed at write
+    time matches one recomputed from the parsed document — unless the
+    bytes changed in between.
+    """
+    payload = {k: v for k, v in document.items() if k != "integrity"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _lattice_document(result: LatticeResult) -> Dict[str, Any]:
@@ -101,11 +116,21 @@ def serialize_result(
         "counters": counters.snapshot(),
         "meta": dict(meta or {}),
     }
+    document["integrity"] = artifact_integrity(document)
     return json.dumps(document)
 
 
-def validate_artifact(document: Dict[str, Any]) -> Dict[str, Any]:
-    """Header + required-section validation; returns the document."""
+def validate_artifact(
+    document: Dict[str, Any], verify_integrity: bool = True
+) -> Dict[str, Any]:
+    """Header + required-section validation; returns the document.
+
+    ``verify_integrity=False`` skips the checksum re-computation for
+    text that never left the process (the in-memory result tier): the
+    checksum defends against bytes corrupted *on disk*, and hashing a
+    canonical re-dump on every warm-memory hit would tax exactly the
+    latency the trend gate protects.
+    """
     if not isinstance(document, dict):
         raise ExecutionError("result artifact must be a JSON object")
     if document.get("schema") != ARTIFACT_SCHEMA:
@@ -121,16 +146,31 @@ def validate_artifact(document: Dict[str, Any]) -> Dict[str, Any]:
     for key in ("lattices", "bound_histories", "counters"):
         if key not in document:
             raise ExecutionError(f"result artifact missing required key {key!r}")
+    stored = document.get("integrity")
+    if (
+        verify_integrity
+        and stored is not None
+        and stored != artifact_integrity(document)
+    ):
+        # Parseable but flipped content — a support digit, a bound.
+        # Refusing here is what lets the disk tier quarantine silent
+        # corruption instead of serving a wrong answer from it.
+        raise ExecutionError(
+            "result artifact integrity checksum mismatch: the file was "
+            "modified or corrupted after it was written"
+        )
     return document
 
 
-def parse_artifact(text: str) -> Dict[str, Any]:
+def parse_artifact(
+    text: str, verify_integrity: bool = True
+) -> Dict[str, Any]:
     """Parse and validate an artifact document from JSON text."""
     try:
         document = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ExecutionError(f"result artifact is not valid JSON: {exc}") from exc
-    return validate_artifact(document)
+    return validate_artifact(document, verify_integrity=verify_integrity)
 
 
 def rebuild_result(document: Dict[str, Any]) -> DovetailResult:

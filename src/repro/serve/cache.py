@@ -199,3 +199,110 @@ class LRUCache:
 
     def items(self) -> Iterator[Tuple[str, CacheEntry]]:
         return iter(list(self._entries.items()))
+
+
+class CircuitBreaker:
+    """Closed → open → half-open availability breaker for the disk tier.
+
+    The serving layer keeps answering from memory when the disk tier
+    misbehaves — but *retrying a dead disk on every request* would tax
+    the hot path with syscall latency (or hanging NFS mounts) for
+    nothing.  The breaker bounds that: ``failure_threshold`` consecutive
+    failures **open** it, and while open every ``allow()`` is an instant
+    ``False`` — the disk tier is skipped wholesale (memory-only mode).
+    After ``cooldown_seconds`` the next ``allow()`` transitions to
+    **half-open**: exactly one probe operation is let through; its
+    success re-closes the breaker (full health), its failure re-opens it
+    for another cooldown.
+
+    Time comes from the injected ``clock`` (the service's cache clock),
+    so TTL tests and the chaos harness drive recovery deterministically.
+    ``on_transition(new_state, old_state)`` fires on every state change
+    — the serving telemetry journals ``disk_degraded`` /
+    ``disk_recovered`` from it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ExecutionError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds <= 0:
+            raise ExecutionError(
+                f"cooldown_seconds must be positive, got {cooldown_seconds}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock
+        self.on_transition = on_transition
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+
+    def _transition(self, new_state: str) -> None:
+        old, self.state = self.state, new_state
+        if new_state == self.OPEN:
+            self.opened_at = self.clock()
+            self.opens += 1
+        elif new_state == self.CLOSED:
+            self.opened_at = None
+            self.closes += 1
+        if self.on_transition is not None and old != new_state:
+            self.on_transition(new_state, old)
+
+    def allow(self) -> bool:
+        """Whether the guarded operation may run right now."""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if (
+                self.opened_at is not None
+                and self.clock() - self.opened_at >= self.cooldown_seconds
+            ):
+                self._transition(self.HALF_OPEN)
+                self.probes += 1
+                return True
+            return False
+        # half-open: a probe is already in flight this serving; further
+        # operations wait for its verdict.
+        return True
+
+    def record_success(self) -> None:
+        """A guarded operation completed: half-open probes re-close."""
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        """A guarded operation failed (after its own retries)."""
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            self._transition(self.OPEN)
+        elif (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(self.OPEN)
+
+    def snapshot(self) -> dict:
+        """Serializable breaker state (telemetry snapshots, tests)."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opens": self.opens,
+            "closes": self.closes,
+            "probes": self.probes,
+        }

@@ -76,6 +76,7 @@ from repro.db.transactions import TransactionDatabase
 from repro.errors import ExecutionError
 from repro.mining.candidates import join_and_prune
 from repro.mining.delta import SupportIndex, count_over, relevant_candidates
+from repro.runtime import faults
 from repro.serve.skeleton import Skeleton, _approx_bytes
 
 Itemset = Tuple[int, ...]
@@ -187,6 +188,7 @@ def refresh_skeleton(
     :class:`~repro.errors.RunInterrupted` (the caller must drop the
     skeleton, exactly like an interrupted cold build).
     """
+    faults.fire("skeleton.refresh")
     if skeleton.dataset != delta.base_digest:
         raise ExecutionError(
             "refresh_skeleton: delta starts from dataset "

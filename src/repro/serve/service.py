@@ -55,6 +55,7 @@ from repro.db.stats import CacheStats, OpCounters
 from repro.db.transactions import TransactionDatabase
 from repro.errors import ExecutionError, RunInterrupted
 from repro.obs.trace import resolve_tracer
+from repro.runtime import faults
 from repro.serve.delta import DeltaMaintenanceReport, refresh_skeleton
 from repro.serve.artifacts import (
     parse_artifact,
@@ -62,7 +63,7 @@ from repro.serve.artifacts import (
     rebuild_result,
     serialize_result,
 )
-from repro.serve.cache import LRUCache
+from repro.serve.cache import CircuitBreaker, LRUCache
 from repro.serve.fingerprint import (
     RESULT_OPTIONS,
     dataset_fingerprint,
@@ -174,6 +175,27 @@ class QueryService:
     journal_path:
         Optional JSONL path for the telemetry event journal (rotating
         on disk); ignored when an existing telemetry object is passed.
+    disk_retries / disk_backoff_seconds:
+        Bounded retry for disk-tier I/O: each failed operation is
+        retried up to ``disk_retries`` times with exponential backoff
+        starting at ``disk_backoff_seconds`` (tests set 0).
+    disk_failure_threshold / disk_cooldown_seconds:
+        The disk tier's :class:`~repro.serve.cache.CircuitBreaker`:
+        after ``disk_failure_threshold`` consecutive failed operations
+        (each already retried) the tier is skipped wholesale
+        (memory-only mode) until a half-open probe succeeds after
+        ``disk_cooldown_seconds`` on the service clock.
+
+    Degradation ladder (docs/fault-tolerance.md)
+    --------------------------------------------
+    Disk-tier I/O failures are **absorbed, never propagated**: a failed
+    write leaves the entry memory-only, a failed read is a miss (the
+    query re-mines cold — slower, bit-identical), a corrupt or
+    checksum-failing artifact is *quarantined* (renamed to
+    ``<name>.quarantined`` so it is never re-read) — every step counted
+    (``CacheStats.disk_errors`` / ``quarantined``), journaled
+    (``disk_error`` / ``result_quarantine`` / ``disk_degraded`` /
+    ``disk_recovered``), and bounded by the circuit breaker.
     """
 
     def __init__(
@@ -185,6 +207,10 @@ class QueryService:
         clock: Callable[[], float] = time.monotonic,
         telemetry=None,
         journal_path: Optional[str] = None,
+        disk_retries: int = 1,
+        disk_backoff_seconds: float = 0.05,
+        disk_failure_threshold: int = 3,
+        disk_cooldown_seconds: float = 30.0,
     ):
         self.stats = CacheStats()
         self.telemetry = resolve_telemetry(
@@ -206,8 +232,22 @@ class QueryService:
             on_event=self.telemetry.cache_event_hook("skeleton"),
         )
         self.cache_dir = cache_dir
+        self.disk_retries = disk_retries
+        self.disk_backoff_seconds = disk_backoff_seconds
+        self.disk_breaker = CircuitBreaker(
+            failure_threshold=disk_failure_threshold,
+            cooldown_seconds=disk_cooldown_seconds,
+            clock=clock,
+            on_transition=self.telemetry.record_disk_transition,
+        )
         if cache_dir is not None:
-            os.makedirs(cache_dir, exist_ok=True)
+            try:
+                os.makedirs(cache_dir, exist_ok=True)
+            except OSError as exc:
+                # An uncreatable cache dir is counted like any other disk
+                # failure; subsequent writes keep failing until the
+                # breaker opens (memory-only mode) or the disk heals.
+                self._disk_failure("mkdir", exc)
 
     # ------------------------------------------------------------------
     # The optimizer's cache hook (duck-typed contract)
@@ -224,9 +264,18 @@ class QueryService:
         key = result_key(cfq, db, options)
         dataset_fp = dataset_fingerprint(db)
         if self._results.peek(key) is not None:
-            text = self._results.get(key)  # guaranteed hit: meters + recency
-            self.telemetry.record_lookup("memory", key, dataset_fp, hit=True)
-            return self._hit_from_text(text, db, cfq, tier="memory")
+            text = self._results.get(key)  # meters + recency
+            if text is not None:
+                self.telemetry.record_lookup(
+                    "memory", key, dataset_fp, hit=True
+                )
+                return self._hit_from_text(text, db, cfq, tier="memory")
+            # The entry expired *between* peek and get — possible when
+            # the clock jumps mid-lookup.  The get metered the expiry;
+            # kill the disk copy like any other TTL expiry.
+            self._drop_disk(key, db)
+            self.telemetry.record_lookup("memory", key, dataset_fp, hit=False)
+            return None
         expired = key in self._results  # present but past TTL
         self._results.get(key)  # meters the miss (and evicts if expired)
         if expired:
@@ -237,11 +286,20 @@ class QueryService:
         if text is None:
             self.telemetry.record_lookup("disk", key, dataset_fp, hit=False)
             return None
+        try:
+            hit = self._hit_from_text(text, db, cfq, tier="disk")
+        except ExecutionError as exc:
+            # Corrupt on-disk artifact (torn JSON, failed checksum, a
+            # short read): quarantine it and fall through to a cold run
+            # — degraded, never wrong.
+            self._quarantine_disk(key, db, str(exc))
+            self.telemetry.record_lookup("disk", key, dataset_fp, hit=False)
+            return None
         self._results.put(key, text, len(text), tag=dataset_fp)
         self.stats.record_hit()
         self.stats.misses -= 1  # the probe above was not a real miss
         self.telemetry.record_lookup("disk", key, dataset_fp, hit=True)
-        return self._hit_from_text(text, db, cfq, tier="disk")
+        return hit
 
     def store(
         self,
@@ -286,7 +344,9 @@ class QueryService:
         self, text: str, db: TransactionDatabase, cfq: CFQ,
         tier: str = "memory",
     ) -> CacheHit:
-        document = parse_artifact(text)
+        # The checksum defends bytes that crossed the disk; memory-tier
+        # text was serialized in-process and skips the re-hash.
+        document = parse_artifact(text, verify_integrity=(tier == "disk"))
         meta = document.get("meta", {})
         return CacheHit(
             raw=rebuild_result(document),
@@ -319,7 +379,7 @@ class QueryService:
         return info
 
     # ------------------------------------------------------------------
-    # Disk tier
+    # Disk tier (every operation absorbed by the degradation ladder)
     # ------------------------------------------------------------------
     def _disk_path(self, key: str, db: TransactionDatabase) -> Optional[str]:
         if self.cache_dir is None:
@@ -331,32 +391,108 @@ class QueryService:
             self.cache_dir, f"{dataset_fingerprint(db)}.{key}.json"
         )
 
+    def _disk_failure(self, op: str, error: OSError) -> None:
+        """Count, journal, and feed the breaker one absorbed failure."""
+        self.stats.disk_errors += 1
+        self.disk_breaker.record_failure()
+        self.telemetry.record_disk_error(
+            op, f"{type(error).__name__}: {error}", self.disk_breaker.state
+        )
+
+    def _disk_attempts(self, op: str, attempt: Callable[[], Any]) -> Any:
+        """Run one disk operation with bounded retry + backoff; raises
+        the last ``OSError`` once the retries are spent."""
+        last: Optional[OSError] = None
+        for n in range(self.disk_retries + 1):
+            if n and self.disk_backoff_seconds:
+                time.sleep(self.disk_backoff_seconds * (2 ** (n - 1)))
+            try:
+                return attempt()
+            except OSError as exc:
+                last = exc
+        assert last is not None
+        raise last
+
     def _write_disk(self, key: str, db: TransactionDatabase, text: str) -> None:
         path = self._disk_path(key, db)
-        if path is None:
+        if path is None or not self.disk_breaker.allow():
             return
         tmp = f"{path}.tmp"
+
+        def attempt() -> None:
+            try:
+                faults.fs_write_text(tmp, text, "serve.disk.write")
+            except FileNotFoundError:
+                # cache_dir removed out-of-band: recreate and retry once.
+                os.makedirs(self.cache_dir, exist_ok=True)
+                faults.fs_write_text(tmp, text, "serve.disk.write")
+            faults.fs_replace(tmp, path, "serve.disk.replace")
+
         try:
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(text)
-        except FileNotFoundError:
-            # cache_dir removed out-of-band: recreate and retry once.
-            os.makedirs(self.cache_dir, exist_ok=True)
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(text)
-        os.replace(tmp, path)
+            self._disk_attempts("write", attempt)
+        except OSError as exc:
+            # The entry stays memory-only; a torn temp file can never
+            # shadow the real artifact (writes go tmp → atomic replace).
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            self._disk_failure("write", exc)
+            return
+        self.disk_breaker.record_success()
 
     def _load_disk(self, key: str, db: TransactionDatabase) -> Optional[str]:
         path = self._disk_path(key, db)
         if path is None or not os.path.exists(path):
             return None
-        with open(path, "r", encoding="utf-8") as handle:
-            return handle.read()
+        if not self.disk_breaker.allow():
+            return None
+
+        def attempt() -> str:
+            return faults.fs_read_text(path, "serve.disk.read")
+
+        try:
+            text = self._disk_attempts("read", attempt)
+        except OSError as exc:
+            # An unreadable artifact is a miss: the query re-mines cold.
+            self._disk_failure("read", exc)
+            return None
+        self.disk_breaker.record_success()
+        return text
+
+    def _quarantine_disk(
+        self, key: str, db: TransactionDatabase, reason: str
+    ) -> None:
+        """Rename a corrupt artifact aside so it is never re-read."""
+        path = self._disk_path(key, db)
+        if path is None:
+            return
+        try:
+            os.replace(path, f"{path}.quarantined")
+        except OSError:
+            # Can't rename it either: best effort is removal; if even
+            # that fails the next read hits the same corruption and
+            # falls through to a cold run again — still never wrong.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self.stats.quarantined += 1
+        self.telemetry.record_quarantine(path, reason)
 
     def _drop_disk(self, key: str, db: TransactionDatabase) -> None:
         path = self._disk_path(key, db)
-        if path is not None and os.path.exists(path):
-            os.remove(path)
+        if path is None or not os.path.exists(path):
+            return
+        try:
+            faults.fs_remove(path, "serve.disk.remove")
+        except OSError as exc:
+            # The stale artifact survives, but its content is still the
+            # bit-exact answer for this key, so correctness holds; it is
+            # re-dropped at the next expiry or sweep.
+            self._disk_failure("remove", exc)
+            return
+        self.disk_breaker.record_success()
 
     # ------------------------------------------------------------------
     # Single-query serving
@@ -764,11 +900,14 @@ class QueryService:
                     refreshed, stats = refresh_skeleton(
                         skeleton, new_db, delta, guard=guard,
                     )
-                except (ExecutionError, RunInterrupted):
+                except (ExecutionError, RunInterrupted, OSError) as exc:
                     # A partial or impossible refresh must never serve:
                     # drop the skeleton and let queries rebuild cold.
                     self._skeletons.invalidate(key)
                     report.skeletons_dropped += 1
+                    self.telemetry.record_refresh_fallback(
+                        skeleton.domain, f"{type(exc).__name__}: {exc}"
+                    )
                     continue
             self._skeletons.invalidate(key)
             self._skeletons.put(
@@ -816,15 +955,17 @@ class QueryService:
         prefix = f"{dataset_fp}."
         try:
             names = os.listdir(self.cache_dir)
-        except FileNotFoundError:
+        except OSError:
             return 0
         removed = 0
         for name in names:
-            if name.startswith(prefix) and name.endswith(".json"):
+            if name.startswith(prefix) and (
+                name.endswith(".json") or name.endswith(".json.quarantined")
+            ):
                 try:
                     os.remove(os.path.join(self.cache_dir, name))
                     removed += 1
-                except FileNotFoundError:
+                except OSError:
                     pass
         self.telemetry.record_sweep(dataset_fp, removed)
         return removed

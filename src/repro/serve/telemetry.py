@@ -145,6 +145,58 @@ class ServiceTelemetry:
         self.journal.record("guard_trip", query=query_fp[:16], reason=str(reason))
 
     # ------------------------------------------------------------------
+    # Fault tolerance (docs/fault-tolerance.md)
+    # ------------------------------------------------------------------
+    def record_disk_error(self, op: str, error: str, state: str) -> None:
+        """One absorbed disk-tier I/O failure (after its own retries)."""
+        if not self.enabled:
+            return
+        self.metrics.inc("disk_errors", op=op)
+        self.journal.record(
+            "disk_error", op=op, error=error[:120], breaker=state
+        )
+
+    def record_disk_transition(self, new_state: str, old_state: str) -> None:
+        """The disk-tier circuit breaker changed state."""
+        if not self.enabled:
+            return
+        self.metrics.set_gauge(
+            "disk_breaker_open", 0.0 if new_state == "closed" else 1.0
+        )
+        if new_state == "closed":
+            self.journal.record("disk_recovered", from_state=old_state)
+        elif new_state == "open":
+            self.journal.record("disk_degraded", from_state=old_state)
+
+    def record_quarantine(self, path: str, reason: str) -> None:
+        """One corrupt disk artifact renamed aside (never re-read)."""
+        if not self.enabled:
+            return
+        self.metrics.inc("quarantined")
+        self.journal.record(
+            "result_quarantine",
+            file=path.rsplit("/", 1)[-1][:48],
+            reason=reason[:120],
+        )
+
+    def record_refresh_fallback(self, domain_fp: str, reason: str) -> None:
+        """One skeleton whose delta refresh failed and was dropped (its
+        queries fall back to cold rebuilds)."""
+        if not self.enabled:
+            return
+        self.metrics.inc("refresh_fallbacks")
+        self.journal.record(
+            "refresh_fallback", domain=domain_fp[:16], reason=reason[:120]
+        )
+
+    def record_checkpoint_degraded(self, failures: int) -> None:
+        """A run downgraded to checkpoint-less execution."""
+        if not self.enabled:
+            return
+        self.metrics.inc("checkpoint_degradations")
+        self.journal.record("checkpoint_degraded", failures=failures)
+
+    # ------------------------------------------------------------------
     # Skeleton tier
     # ------------------------------------------------------------------
     def record_skeleton_build(
@@ -357,6 +409,21 @@ class _NullTelemetry:
         return None
 
     def record_guard_trip(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_disk_error(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_disk_transition(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_quarantine(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_refresh_fallback(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_checkpoint_degraded(self, *args: Any, **kwargs: Any) -> None:
         return None
 
     def record_skeleton_build(self, *args: Any, **kwargs: Any) -> None:

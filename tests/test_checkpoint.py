@@ -200,8 +200,12 @@ def test_failed_save_cleans_up_temp_file(tmp_path, monkeypatch):
         raise OSError("disk full")
 
     monkeypatch.setattr(os, "replace", boom)
-    with pytest.raises(OSError):
-        manager.save(checkpoint)
+    assert manager.save(checkpoint) is None  # absorbed, not raised
     monkeypatch.undo()
     assert os.listdir(directory) == []  # temp file unlinked, no torn file
     assert manager.saves == 0
+    assert manager.failures == 1
+    assert not manager.degraded  # one failure is below the threshold
+    # The disk recovered: the next boundary saves normally again.
+    assert manager.save(checkpoint) == manager.path
+    assert manager.saves == 1

@@ -1,0 +1,199 @@
+"""Corrupt on-disk state: quarantined, never re-read, never wrong.
+
+Unlike ``test_fault_matrix.py`` (which injects faults into live I/O),
+this file corrupts the *bytes on disk* directly — bit-flips that keep
+the JSON parseable (caught only by the integrity checksum), truncation,
+and zero-length files — then proves a **fresh** service or checkpoint
+manager (a new process reloading a dirty directory) quarantines the
+file, falls through to cold execution bit-identically, and never reads
+the quarantined copy again.
+"""
+
+import json
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.core.optimizer import CFQOptimizer
+from repro.datagen.workloads import quickstart_workload
+from repro.db.stats import OpCounters
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    CountEvent,
+)
+from repro.serve import QueryService
+
+WORKLOAD = quickstart_workload(n_transactions=120)
+MINSUP = 0.03
+
+
+@lru_cache(maxsize=None)
+def _cold_answer():
+    result = CFQOptimizer(WORKLOAD.cfq(minsup=MINSUP)).execute(WORKLOAD.db)
+    return _answer(result)
+
+
+def _answer(result):
+    return {
+        "frequent_valid": {
+            var: tuple(result.frequent_valid(var).items())
+            for var in result.cfq.variables
+        },
+        "pairs": tuple(result.pairs(limit=None)),
+        "bounds": {
+            key: tuple(history)
+            for key, history in result.raw.bound_histories.items()
+        },
+    }
+
+
+def _populated_cache_dir(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    service = QueryService(cache_dir=cache_dir, disk_backoff_seconds=0.0)
+    result = service.execute(WORKLOAD.db, WORKLOAD.cfq(minsup=MINSUP))
+    assert result.status == "complete"
+    [artifact] = (tmp_path / "cache").glob("*.json")
+    return cache_dir, artifact
+
+
+def _bit_flip_a_digit(path):
+    """Flip one support digit, keeping the JSON parseable: only the
+    integrity checksum can catch this."""
+    text = path.read_text()
+    document = json.loads(text)
+    snapshot = document["counters"]
+    key = next(k for k, v in snapshot.items() if isinstance(v, int))
+    snapshot[key] = snapshot[key] + 1
+    path.write_text(json.dumps(document))
+
+
+CORRUPTIONS = {
+    "bit-flip": _bit_flip_a_digit,
+    "truncate": lambda path: path.write_text(path.read_text()[: len(
+        path.read_text()) // 2]),
+    "zero-length": lambda path: path.write_text(""),
+    "not-json": lambda path: path.write_text("!!not json!!"),
+    "wrong-schema": lambda path: path.write_text(
+        '{"schema": "something.else", "version": 1}'
+    ),
+}
+
+
+@pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+def test_fresh_service_quarantines_corrupt_artifacts(tmp_path, corruption):
+    cache_dir, artifact = _populated_cache_dir(tmp_path)
+    CORRUPTIONS[corruption](artifact)
+
+    # A fresh process: new service over the dirty cache dir.
+    service = QueryService(cache_dir=cache_dir, disk_backoff_seconds=0.0)
+    result = service.execute(WORKLOAD.db, WORKLOAD.cfq(minsup=MINSUP))
+    assert result.status == "complete"
+    assert _answer(result) == _cold_answer()
+    assert result.cache_info["source"] == "cold"
+    assert service.stats.quarantined == 1
+    quarantined = artifact.with_suffix(".json.quarantined")
+    assert quarantined.exists()
+    kinds = [e["kind"] for e in service.telemetry.journal.tail()]
+    assert "result_quarantine" in kinds
+
+    # The cold run re-stored a good artifact; yet another fresh process
+    # warm-serves from it and never touches the quarantined copy.
+    corrupt_bytes = quarantined.read_text()
+    reloaded = QueryService(cache_dir=cache_dir, disk_backoff_seconds=0.0)
+    warm = reloaded.execute(WORKLOAD.db, WORKLOAD.cfq(minsup=MINSUP))
+    assert _answer(warm) == _cold_answer()
+    assert warm.cache_info["source"] == "result-cache"
+    assert warm.cache_info["tier"] == "disk"
+    assert reloaded.stats.quarantined == 0
+    assert quarantined.read_text() == corrupt_bytes  # untouched
+
+
+def test_invalidate_sweeps_quarantined_files_too(tmp_path):
+    cache_dir, artifact = _populated_cache_dir(tmp_path)
+    CORRUPTIONS["truncate"](artifact)
+    service = QueryService(cache_dir=cache_dir, disk_backoff_seconds=0.0)
+    service.execute(WORKLOAD.db, WORKLOAD.cfq(minsup=MINSUP))
+    assert list((tmp_path / "cache").glob("*.quarantined"))
+    service.invalidate(WORKLOAD.db)
+    assert not list((tmp_path / "cache").glob("*"))
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+def _saved_checkpoint(tmp_path, fp):
+    manager = CheckpointManager(str(tmp_path), fp)
+    event = CountEvent(var="S", level=1, candidates_in=2,
+                       supports=(((1,), 5), ((2,), 3)))
+    path = manager.save(Checkpoint(
+        fingerprint=fp, events=(event,),
+        counters=OpCounters().snapshot(),
+        levels_completed={"S": 1},
+    ))
+    assert path is not None
+    return manager
+
+
+def test_checkpoint_bit_flip_is_caught_by_integrity(tmp_path):
+    """A flipped support count keeps the JSON valid — only the
+    checksum refuses it; the run quarantines and starts fresh."""
+    fp = "a" * 64
+    _saved_checkpoint(tmp_path, fp)
+    path = tmp_path / "checkpoint.json"
+    document = json.loads(path.read_text())
+    document["events"][0]["supports"][0][1] += 1  # 5 -> 6
+    path.write_text(json.dumps(document))
+
+    fresh = CheckpointManager(str(tmp_path), fp)
+    assert fresh.load_for_resume() is None
+    assert fresh.quarantined == 1
+    assert (tmp_path / "checkpoint.json.quarantined").exists()
+    assert not path.exists()
+    # Never re-read: the next resume just starts fresh again.
+    assert fresh.load_for_resume() is None
+
+
+@pytest.mark.parametrize("corruption", ["truncate", "zero-length",
+                                        "not-json"])
+def test_corrupt_checkpoints_are_quarantined(tmp_path, corruption):
+    fp = "b" * 64
+    _saved_checkpoint(tmp_path, fp)
+    CORRUPTIONS[corruption](tmp_path / "checkpoint.json")
+    fresh = CheckpointManager(str(tmp_path), fp)
+    assert fresh.load_for_resume() is None
+    assert fresh.quarantined == 1
+    assert (tmp_path / "checkpoint.json.quarantined").exists()
+
+
+def test_fingerprint_mismatch_still_refuses_loudly(tmp_path):
+    """A *valid* checkpoint of a different run is not corruption: it is
+    refused with an explanation, never quarantined silently."""
+    from repro.errors import ExecutionError
+
+    _saved_checkpoint(tmp_path, "c" * 64)
+    other = CheckpointManager(str(tmp_path), "d" * 64)
+    with pytest.raises(ExecutionError, match="different run"):
+        other.load_for_resume()
+    assert other.quarantined == 0
+    assert (tmp_path / "checkpoint.json").exists()
+
+
+def test_resume_after_quarantine_is_bit_identical(tmp_path):
+    """End to end: a corrupted checkpoint directory must not poison a
+    resumed run — it restarts cold and matches the pristine answer."""
+    cfq = WORKLOAD.cfq(minsup=MINSUP)
+    baseline = CFQOptimizer(cfq).execute(WORKLOAD.db)
+    first = CFQOptimizer(cfq).execute(
+        WORKLOAD.db, checkpoint_dir=str(tmp_path)
+    )
+    assert first.status == "complete"
+    path = tmp_path / "checkpoint.json"
+    if path.exists():
+        CORRUPTIONS["truncate"](path)
+    resumed = CFQOptimizer(cfq).execute(
+        WORKLOAD.db, checkpoint_dir=str(tmp_path), resume=True
+    )
+    assert resumed.status == "complete"
+    assert _answer(resumed) == _answer(baseline)

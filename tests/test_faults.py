@@ -1,0 +1,238 @@
+"""Unit semantics of the fault-injection plan and the circuit breaker.
+
+The fault matrix (``test_fault_matrix.py``) and the chaos harness
+(``test_chaos_differential.py``) prove the *service* degrades correctly;
+this file pins the primitives they stand on: rule windows, determinism,
+plan (de)serialization, the injection helpers, and the breaker's
+closed → open → half-open → closed lifecycle.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime import faults
+from repro.runtime.faults import FaultPlan, FaultRule, InjectedFault
+from repro.serve.cache import CircuitBreaker
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    """Every test starts and ends with no process-wide plan installed."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+# ----------------------------------------------------------------------
+# FaultRule windows
+# ----------------------------------------------------------------------
+def test_rule_window_is_half_open():
+    rule = FaultRule("serve.disk.write", "enospc", times=2, after=3)
+    assert [n for n in range(8) if rule.covers(n)] == [3, 4]
+
+
+def test_rule_forever_from_after():
+    rule = FaultRule("serve.disk.read", "eio", times=-1, after=1)
+    assert not rule.covers(0)
+    assert all(rule.covers(n) for n in (1, 2, 100))
+
+
+@pytest.mark.parametrize("bad", [
+    dict(site="nope.site", kind="eio"),
+    dict(site="serve.disk.read", kind="nope"),
+    dict(site="serve.disk.read", kind="eio", times=0),
+    dict(site="serve.disk.read", kind="eio", after=-1),
+])
+def test_rule_validation(bad):
+    with pytest.raises(ExecutionError):
+        FaultRule(**bad)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: determinism, counters, serialization
+# ----------------------------------------------------------------------
+def test_plan_counts_every_hit_and_logs_fired():
+    plan = FaultPlan().add("serve.disk.write", "enospc", times=1, after=1)
+    assert plan.hit("serve.disk.write") is None
+    rule = plan.hit("serve.disk.write")
+    assert rule is not None and rule.kind == "enospc"
+    assert plan.hit("serve.disk.write") is None
+    assert plan.hits["serve.disk.write"] == 3
+    assert plan.fired == [("serve.disk.write", "enospc", 1)]
+    assert plan.fired_kinds("serve.disk.write") == ["enospc"]
+
+
+def test_clear_rules_keeps_history():
+    plan = FaultPlan().add("journal.write", "eio", times=-1)
+    plan.hit("journal.write")
+    plan.clear_rules()
+    assert plan.hit("journal.write") is None  # faults cleared
+    assert plan.fired == [("journal.write", "eio", 0)]
+    assert plan.hits["journal.write"] == 2  # counters keep advancing
+
+
+def test_plan_round_trips_through_json():
+    plan = FaultPlan(seed=7).add("serve.disk.read", "corrupt", times=2,
+                                 after=1)
+    plan.add("clock", "clock_jump", jump_seconds=120.0)
+    rebuilt = FaultPlan.from_json(json.dumps(plan.as_dict()))
+    assert rebuilt.as_dict() == plan.as_dict()
+
+
+@pytest.mark.parametrize("text", [
+    "{not json",
+    '{"rules": 3}',
+    '{"unknown_key": 1}',
+    '{"rules": [{"site": "serve.disk.read"}]}',
+])
+def test_plan_rejects_malformed_documents(text):
+    with pytest.raises(ExecutionError):
+        FaultPlan.from_json(text)
+
+
+def test_mangle_is_deterministic_and_always_changes():
+    text = '{"a": 1, "b": 2}'
+    a = FaultPlan(seed=3).mangle(text)
+    b = FaultPlan(seed=3).mangle(text)
+    assert a == b != text
+    assert FaultPlan(seed=4).mangle(text) != text
+
+
+# ----------------------------------------------------------------------
+# Injection helpers
+# ----------------------------------------------------------------------
+def test_helpers_are_plain_io_without_a_plan(tmp_path):
+    path = str(tmp_path / "f.txt")
+    faults.fs_write_text(path, "hello", "serve.disk.write")
+    assert faults.fs_read_text(path, "serve.disk.read") == "hello"
+    faults.fs_replace(path, path + ".2", "serve.disk.replace")
+    faults.fs_remove(path + ".2", "serve.disk.remove")
+    faults.fire("skeleton.refresh")  # no-op
+
+
+def test_torn_write_leaves_a_prefix(tmp_path):
+    path = str(tmp_path / "torn.json")
+    plan = FaultPlan().add("serve.disk.write", "torn")
+    with faults.installed(plan):
+        with pytest.raises(InjectedFault) as exc:
+            faults.fs_write_text(path, "0123456789", "serve.disk.write")
+    assert exc.value.errno == errno.ENOSPC
+    with open(path) as handle:
+        assert handle.read() == "01234"
+
+
+def test_short_and_corrupt_reads(tmp_path):
+    path = str(tmp_path / "doc.json")
+    with open(path, "w") as handle:
+        handle.write("0123456789")
+    plan = FaultPlan(seed=1).add("serve.disk.read", "short")
+    plan.add("serve.disk.read", "corrupt", after=1)
+    with faults.installed(plan):
+        assert faults.fs_read_text(path, "serve.disk.read") == "01234"
+        mangled = faults.fs_read_text(path, "serve.disk.read")
+    assert mangled != "0123456789" and len(mangled) == 10
+
+
+def test_errno_kinds_raise_real_oserrors(tmp_path):
+    path = str(tmp_path / "f.txt")
+    plan = (
+        FaultPlan()
+        .add("serve.disk.write", "eacces")
+        .add("serve.disk.replace", "rename")
+    )
+    with faults.installed(plan):
+        with pytest.raises(OSError) as exc:
+            faults.fs_write_text(path, "x", "serve.disk.write")
+        assert exc.value.errno == errno.EACCES
+        assert not (tmp_path / "f.txt").exists()  # nothing landed
+        with open(path, "w") as handle:
+            handle.write("x")
+        with pytest.raises(OSError):
+            faults.fs_replace(path, path + ".2", "serve.disk.replace")
+
+
+def test_fire_error_kind_raises_execution_error():
+    plan = FaultPlan().add("skeleton.refresh", "error")
+    with faults.installed(plan):
+        with pytest.raises(ExecutionError):
+            faults.fire("skeleton.refresh")
+
+
+def test_installed_restores_previous_plan():
+    outer = faults.install(FaultPlan())
+    inner = FaultPlan()
+    with faults.installed(inner):
+        assert faults.active() is inner
+    assert faults.active() is outer
+
+
+def test_wrapped_clock_applies_jumps_permanently():
+    plan = FaultPlan().add("clock", "clock_jump", jump_seconds=100.0,
+                           after=1)
+    ticks = iter([1.0, 2.0, 3.0])
+    clock = plan.wrap_clock(lambda: next(ticks))
+    assert clock() == 1.0
+    assert clock() == 102.0  # the jump fires...
+    assert clock() == 103.0  # ...and sticks
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker lifecycle
+# ----------------------------------------------------------------------
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_opens_at_threshold_and_probes_after_cooldown():
+    clock = _Clock()
+    transitions = []
+    breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=10.0,
+                             clock=clock,
+                             on_transition=lambda n, o: transitions.append(n))
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == breaker.CLOSED
+    breaker.record_failure()
+    assert breaker.state == breaker.OPEN
+    assert not breaker.allow()  # open: disk tier skipped wholesale
+    clock.now = 9.9
+    assert not breaker.allow()
+    clock.now = 10.0
+    assert breaker.allow()  # half-open probe
+    assert breaker.state == breaker.HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == breaker.CLOSED
+    assert breaker.allow()
+    assert transitions == ["open", "half-open", "closed"]
+    assert breaker.snapshot()["opens"] == 1
+    assert breaker.snapshot()["closes"] == 1
+
+
+def test_breaker_failed_probe_reopens():
+    clock = _Clock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                             clock=clock)
+    breaker.record_failure()
+    clock.now = 5.0
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state == breaker.OPEN
+    assert not breaker.allow()
+    clock.now = 10.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == breaker.CLOSED
+
+
+def test_breaker_validates_parameters():
+    with pytest.raises(ExecutionError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ExecutionError):
+        CircuitBreaker(cooldown_seconds=0)
