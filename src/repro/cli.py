@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands:
+Subcommands:
 
 ``query``
     Run a CFQ (in the paper's ``{(S, T) | ...}`` notation) against a
@@ -19,6 +19,15 @@ Three subcommands:
     Render a telemetry snapshot (``--telemetry-out``) or a run report
     (``--trace-out`` / ``--report-out``) as a human summary, Prometheus
     text exposition, or Chrome trace-event JSON.
+``serve``
+    Run the multi-tenant HTTP/JSON query server (single-flight dedup,
+    shared-scan coalescing, per-tenant rate limits and budgets from
+    ``--tenants tenants.json``); see ``docs/server.md``.
+``replay``
+    Load-replay a server (an in-process one when ``--url`` is omitted)
+    with interleaved tenant sessions and print latency/throughput and
+    sharing statistics; ``--verify-cold`` re-checks every served
+    answer against a cold single-threaded run.
 
 Examples::
 
@@ -29,12 +38,16 @@ Examples::
     python -m repro experiments --scale smoke --only fig8a
     python -m repro classify 'sum(S.Price) <= sum(T.Price)'
     python -m repro stats telemetry.json --format prometheus
+    python -m repro serve --port 8399 --tenants tenants.json
+    python -m repro replay --queries 200 --threads 8 --verify-cold
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.constraints.ast import is_onevar, is_twovar
@@ -222,6 +235,77 @@ def _build_parser() -> argparse.ArgumentParser:
                        "JSON of the span tree (run reports only)")
     stats.add_argument("--out", metavar="PATH", default=None,
                        help="write the rendering to PATH instead of stdout")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP/JSON query server",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8399,
+                       help="listen port; 0 picks a free one (default 8399)")
+    serve.add_argument("--tenants", metavar="PATH", default=None,
+                       help="tenants.json admission table "
+                       "({'tenants': {name: {rate, burst, deadline_seconds, "
+                       "...}}}); omitted = one permissive shared profile")
+    serve.add_argument("--transactions", type=int, default=1500,
+                       help="synthetic dataset size (default 1500)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--minsup", type=float, default=0.02,
+                       help="default support threshold for requests that "
+                       "set none (default 0.02)")
+    serve.add_argument("--window-ms", type=float, default=4.0,
+                       help="coalescing admission window in milliseconds; "
+                       "0 disables coalescing (default 4)")
+    serve.add_argument("--max-width", type=int, default=16,
+                       help="coalesced batch size cap (default 16)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="bound on concurrently admitted requests; "
+                       "beyond it arrivals are shed with 503 (default 64)")
+    serve.add_argument("--http-workers", type=int, default=8,
+                       help="HTTP worker-thread pool size (default 8)")
+    serve.add_argument("--cache-entries", type=int, default=64,
+                       help="memory result-cache capacity (default 64)")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persist results under DIR (the warm disk tier)")
+    serve.add_argument("--backend", default="hybrid", metavar="BACKEND",
+                       help=f"counting backend ({', '.join(sorted(BACKENDS))}; "
+                       "default hybrid)")
+    serve.add_argument("--journal-out", metavar="PATH", default=None,
+                       help="append serving events to PATH as JSON lines")
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a threaded query workload against a server",
+    )
+    replay.add_argument("--url", default=None, metavar="URL",
+                        help="server to drive; omitted = start an "
+                        "in-process server on a free port first")
+    replay.add_argument("--queries", type=int, default=200,
+                        help="number of requests to send (default 200)")
+    replay.add_argument("--threads", type=int, default=8,
+                        help="client threads (default 8)")
+    replay.add_argument("--steps", type=int, default=4,
+                        help="refinement-session length the workload "
+                        "cycles over (default 4)")
+    replay.add_argument("--relax", type=float, default=0.5,
+                        help="session opening-threshold relaxation "
+                        "(default 0.5; 1.0 = no relaxation)")
+    replay.add_argument("--min-step", type=int, default=0,
+                        help="skip the session's first N (broadest) "
+                        "queries (default 0)")
+    replay.add_argument("--transactions", type=int, default=1500,
+                        help="synthetic dataset size (default 1500); must "
+                        "match the server's when --url is given")
+    replay.add_argument("--seed", type=int, default=7)
+    replay.add_argument("--window-ms", type=float, default=4.0,
+                        help="in-process server's coalescing window "
+                        "(ignored with --url; default 4)")
+    replay.add_argument("--verify-cold", action="store_true",
+                        help="after the replay, re-execute every unique "
+                        "query cold and require bit-identical answers "
+                        "(exit 2 on any mismatch)")
+    replay.add_argument("--report-out", metavar="PATH", default=None,
+                        help="write the replay report JSON to PATH")
     return parser
 
 
@@ -697,6 +781,135 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_server(
+    transactions: int,
+    seed: int,
+    minsup: float = 0.02,
+    tenants_path: Optional[str] = None,
+    window_seconds: float = 0.004,
+    max_width: int = 16,
+    queue_limit: int = 64,
+    cache_entries: int = 64,
+    cache_dir: Optional[str] = None,
+    backend_name: str = "hybrid",
+    journal_path: Optional[str] = None,
+):
+    """A QueryServer over the quickstart workload (serve/replay share it)."""
+    from repro.serve.admission import TenantRegistry
+    from repro.serve.server import QueryServer
+    from repro.serve.service import QueryService
+
+    workload = quickstart_workload(n_transactions=transactions, seed=seed)
+    service = QueryService(
+        max_entries=cache_entries,
+        cache_dir=cache_dir,
+        telemetry=True,
+        journal_path=journal_path,
+    )
+    tenants = (
+        TenantRegistry.load(tenants_path)
+        if tenants_path
+        else TenantRegistry.open_registry()
+    )
+    core = QueryServer(
+        service,
+        workload.db,
+        workload.domains,
+        tenants=tenants,
+        window_seconds=window_seconds,
+        max_width=max_width,
+        queue_limit=queue_limit,
+        default_minsup=minsup,
+        backend=make_backend(backend_name),
+    )
+    return workload, core
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import start_server
+
+    workload, core = _build_server(
+        transactions=args.transactions,
+        seed=args.seed,
+        minsup=args.minsup,
+        tenants_path=args.tenants,
+        window_seconds=args.window_ms / 1000.0,
+        max_width=args.max_width,
+        queue_limit=args.queue_limit,
+        cache_entries=args.cache_entries,
+        cache_dir=args.cache_dir,
+        backend_name=args.backend,
+        journal_path=args.journal_out,
+    )
+    handle = start_server(
+        core, host=args.host, port=args.port, workers=args.http_workers
+    )
+    print(f"serving workload {workload.name!r} "
+          f"({len(workload.db)} transactions) at {handle.url}")
+    print("endpoints: POST /query   GET /healthz   GET /stats")
+    print("Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        handle.shutdown()
+        return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.serve import replay as replay_mod
+    from repro.serve.server import start_server
+
+    workload, core = _build_server(
+        transactions=args.transactions,
+        seed=args.seed,
+        window_seconds=args.window_ms / 1000.0,
+    )
+    requests = replay_mod.session_requests(
+        workload, n_requests=args.queries, steps=args.steps,
+        relax=args.relax, min_step=args.min_step,
+    )
+    handle = None
+    url = args.url
+    if url is None:
+        handle = start_server(core, port=0)
+        url = handle.url
+        print(f"replaying against in-process server at {url}")
+    try:
+        start = time.perf_counter()
+        outcomes = replay_mod.replay(url, requests, threads=args.threads)
+        report = replay_mod.summarize(
+            outcomes, wall_seconds=time.perf_counter() - start
+        )
+        if args.verify_cold:
+            report.verify = replay_mod.verify_cold(
+                outcomes, workload.db, workload.domains,
+                default_minsup=workload.minsup,
+            )
+    finally:
+        if handle is not None:
+            handle.shutdown()
+    document = report.as_dict()
+    print(json.dumps(document, indent=2))
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as out:
+            json.dump(document, out, indent=2)
+            out.write("\n")
+        print(f"report written to {args.report_out}")
+    if report.n_errors:
+        print(f"error: {report.n_errors} request(s) failed", file=sys.stderr)
+        return 2
+    if args.verify_cold and not report.verify["ok"]:
+        print(
+            f"error: {len(report.verify['mismatches'])} served answer(s) "
+            "diverged from the cold oracle",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -709,6 +922,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "classify": _cmd_classify,
         "stats": _cmd_stats,
+        "serve": _cmd_serve,
+        "replay": _cmd_replay,
     }
     try:
         plan_path = getattr(args, "fault_plan", None)

@@ -19,6 +19,7 @@ deterministic, machine-independent cost.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import ClassVar, Dict, List, Sequence, Tuple
 
@@ -552,6 +553,17 @@ class CacheStats:
     the frequency-skeleton tier fared, and how many payload bytes the
     caches currently hold.  ``as_dict`` feeds the run report's ``cache``
     block and ``--explain`` output.
+
+    **Thread safety.**  One stats object is written by every serving
+    thread of the concurrent query server, and ``count += 1`` is a
+    non-atomic read-modify-write in CPython — two racing threads can
+    lose an increment.  Every mutation therefore goes through
+    :meth:`bump` (or a ``record_*`` helper built on it), which holds the
+    instance lock.  The lock is **innermost** in the serving lock order
+    (see ``docs/server.md``): code holding it never calls out, so it can
+    be taken while a cache-tier lock is held.  Reads of individual
+    fields stay lock-free (a torn multi-field snapshot is acceptable for
+    monitoring output; individual int reads are atomic under the GIL).
     """
 
     hits: int = 0
@@ -570,27 +582,45 @@ class CacheStats:
     disk_errors: int = 0
     #: corrupt disk artifacts renamed aside (never re-read)
     quarantined: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, name: str, delta: int = 1) -> None:
+        """Atomically add ``delta`` to one counter field by name."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + delta)
 
     def record_hit(self) -> None:
-        self.hits += 1
+        self.bump("hits")
 
     def record_miss(self) -> None:
-        self.misses += 1
+        self.bump("misses")
+
+    def record_disk_promotion(self) -> None:
+        """A disk-tier hit after a memory miss: the memory probe above it
+        was metered as a miss, so convert it into a hit atomically."""
+        with self._lock:
+            self.hits += 1
+            self.misses -= 1
 
     def record_store(self, nbytes: int) -> None:
-        self.stores += 1
-        self.bytes_held += nbytes
+        with self._lock:
+            self.stores += 1
+            self.bytes_held += nbytes
 
     def record_eviction(self, nbytes: int, expired: bool = False) -> None:
-        if expired:
-            self.expirations += 1
-        else:
-            self.evictions += 1
-        self.bytes_held -= nbytes
+        with self._lock:
+            if expired:
+                self.expirations += 1
+            else:
+                self.evictions += 1
+            self.bytes_held -= nbytes
 
     def record_invalidation(self, nbytes: int) -> None:
-        self.invalidations += 1
-        self.bytes_held -= nbytes
+        with self._lock:
+            self.invalidations += 1
+            self.bytes_held -= nbytes
 
     @property
     def hit_rate(self) -> float:

@@ -41,6 +41,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
@@ -75,6 +76,12 @@ EVENT_KINDS = frozenset(
         "result_quarantine",
         "refresh_fallback",
         "checkpoint_degraded",
+        # query-server narration (docs/server.md)
+        "server_admit",
+        "server_reject",
+        "server_shed",
+        "server_coalesce",
+        "flight_dedup",
     }
 )
 
@@ -138,6 +145,12 @@ class EventJournal:
         self._file: Optional[io.TextIOBase] = None
         self._file_bytes = 0
         self._closed = False
+        # One journal is shared by every server worker thread; ``seq``
+        # is a non-atomic increment and interleaved appends would tear
+        # the JSONL file, so recording and window reads are serialized.
+        # Leaf lock in the docs/server.md order: record() calls nothing
+        # that takes another lock.
+        self._lock = threading.Lock()
         if path is not None:
             try:
                 directory = os.path.dirname(path)
@@ -171,54 +184,59 @@ class EventJournal:
                 f"unknown event kind {kind!r}; expected one of "
                 f"{sorted(EVENT_KINDS)}"
             )
-        self.seq += 1
-        event: Dict[str, Any] = {
-            "seq": self.seq,
-            "ts": round(self.clock(), 6),
-            "kind": kind,
-        }
-        event.update(fields)
-        if len(self._events) == self.max_events:
-            self.dropped += 1
-        self._events.append(event)
-        if self._file is not None:
-            try:
-                faults.fire("journal.write")
-                line = json.dumps(event, sort_keys=False, default=str)
-                self._file.write(line + "\n")
-                self._file.flush()
-                self._file_bytes += len(line) + 1
-            except (OSError, ValueError):
-                # A failed append (disk full, revoked handle) abandons
-                # the disk file; the memory window above already has the
-                # event, and the host service must never see the error.
-                self.io_errors += 1
-                self._abandon()
-                return event
-            if self._file_bytes >= self.max_bytes:
-                self._rotate()
-        return event
+        with self._lock:
+            self.seq += 1
+            event: Dict[str, Any] = {
+                "seq": self.seq,
+                "ts": round(self.clock(), 6),
+                "kind": kind,
+            }
+            event.update(fields)
+            if len(self._events) == self.max_events:
+                self.dropped += 1
+            self._events.append(event)
+            if self._file is not None:
+                try:
+                    faults.fire("journal.write")
+                    line = json.dumps(event, sort_keys=False, default=str)
+                    self._file.write(line + "\n")
+                    self._file.flush()
+                    self._file_bytes += len(line) + 1
+                except (OSError, ValueError):
+                    # A failed append (disk full, revoked handle)
+                    # abandons the disk file; the memory window above
+                    # already has the event, and the host service must
+                    # never see the error.
+                    self.io_errors += 1
+                    self._abandon()
+                    return event
+                if self._file_bytes >= self.max_bytes:
+                    self._rotate()
+            return event
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
     def tail(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
         """The most recent ``n`` events (all windowed events if None)."""
-        events = list(self._events)
+        with self._lock:
+            events = list(self._events)
         if n is not None:
             events = events[-n:]
         return events
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def __iter__(self) -> Iterable[Dict[str, Any]]:
-        return iter(list(self._events))
+        with self._lock:
+            return iter(list(self._events))
 
     def counts(self) -> Dict[str, int]:
         """Event counts per kind over the in-memory window."""
         out: Dict[str, int] = {}
-        for event in self._events:
+        for event in self.tail():
             out[event["kind"]] = out.get(event["kind"], 0) + 1
         return dict(sorted(out.items()))
 
@@ -289,13 +307,14 @@ class EventJournal:
 
     def close(self) -> None:
         """Close the on-disk file (memory window stays readable)."""
-        self._closed = True
-        if self._file is not None:
-            try:
-                self._file.close()
-            except OSError:
-                pass
-            self._file = None
+        with self._lock:
+            self._closed = True
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
 
     def __enter__(self) -> "EventJournal":
         return self

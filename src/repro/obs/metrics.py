@@ -23,6 +23,7 @@ runs pay one no-op call per recording site.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -121,11 +122,25 @@ def parse_key(key: str) -> Tuple[str, Dict[str, str]]:
 
 @dataclass
 class MetricsRegistry:
-    """Named, labeled counters, gauges and histograms for one run."""
+    """Named, labeled counters, gauges and histograms for one run.
+
+    Thread safety: the query server's worker threads record into one
+    shared registry, and ``counters[k] = counters.get(k, 0) + v`` is a
+    non-atomic read-modify-write (two threads can read the same old
+    value and lose one increment), while histogram bucket updates
+    mutate a dict a concurrent ``as_dict``/``merge`` may be iterating.
+    Every mutator and every whole-registry read therefore holds the
+    per-registry lock.  The lock is leaf-level (``docs/server.md`` lock
+    order): no callback ever runs under it, so it can be taken while
+    holding any cache or server lock.
+    """
 
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, QuantileHistogram] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     enabled = True
 
@@ -135,34 +150,40 @@ class MetricsRegistry:
     def inc(self, name: str, value: float = 1, **labels: Any) -> None:
         """Add ``value`` to a (monotone) counter."""
         key = _key(name, labels)
-        self.counters[key] = self.counters.get(key, 0) + value
+        with self._lock:
+            self.counters[key] = self.counters.get(key, 0) + value
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
         """Set a gauge to its latest value."""
-        self.gauges[_key(name, labels)] = value
+        with self._lock:
+            self.gauges[_key(name, labels)] = value
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Feed one observation into a histogram."""
         key = _key(name, labels)
-        histogram = self.histograms.get(key)
-        if histogram is None:
-            histogram = self.histograms[key] = QuantileHistogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self.histograms.get(key)
+            if histogram is None:
+                histogram = self.histograms[key] = QuantileHistogram()
+            histogram.observe(value)
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
     def counter(self, name: str, **labels: Any) -> float:
         """Current value of a counter (0 if never incremented)."""
-        return self.counters.get(_key(name, labels), 0)
+        with self._lock:
+            return self.counters.get(_key(name, labels), 0)
 
     def gauge(self, name: str, **labels: Any) -> Optional[float]:
         """Current value of a gauge (None if never set)."""
-        return self.gauges.get(_key(name, labels))
+        with self._lock:
+            return self.gauges.get(_key(name, labels))
 
     def histogram(self, name: str, **labels: Any) -> Optional[QuantileHistogram]:
         """The histogram for a name/label set (None if never observed)."""
-        return self.histograms.get(_key(name, labels))
+        with self._lock:
+            return self.histograms.get(_key(name, labels))
 
     # ------------------------------------------------------------------
     # Merging (shard → run → process roll-ups)
@@ -185,38 +206,54 @@ class MetricsRegistry:
         process-lifetime registry; before it existed, shard metrics
         beyond ``ParallelStats`` were silently dropped.
         """
-        for key, value in other.counters.items():
-            self.counters[key] = self.counters.get(key, 0) + value
-        self.gauges.update(other.gauges)
-        for key, histogram in other.histograms.items():
-            mine = self.histograms.get(key)
-            if mine is None:
-                self.histograms[key] = histogram.copy()
-            else:
-                mine.merge(histogram)
+        # Snapshot ``other`` under its own lock first, then fold under
+        # ours — never both at once, so two registries can merge in
+        # either direction without a lock-order cycle.
+        other_lock = getattr(other, "_lock", None)
+        if other_lock is not None:
+            with other_lock:
+                counters = dict(other.counters)
+                gauges = dict(other.gauges)
+                histograms = {k: h.copy() for k, h in other.histograms.items()}
+        else:
+            counters = dict(other.counters)
+            gauges = dict(other.gauges)
+            histograms = {k: h.copy() for k, h in other.histograms.items()}
+        with self._lock:
+            for key, value in counters.items():
+                self.counters[key] = self.counters.get(key, 0) + value
+            self.gauges.update(gauges)
+            for key, histogram in histograms.items():
+                mine = self.histograms.get(key)
+                if mine is None:
+                    self.histograms[key] = histogram
+                else:
+                    mine.merge(histogram)
         return self
 
     def as_dict(self) -> Dict[str, Dict[str, Any]]:
         """Serializable form (the run report's ``metrics`` section)."""
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "gauges": dict(sorted(self.gauges.items())),
-            "histograms": {
-                k: h.as_dict() for k, h in sorted(self.histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "gauges": dict(sorted(self.gauges.items())),
+                "histograms": {
+                    k: h.as_dict() for k, h in sorted(self.histograms.items())
+                },
+            }
 
     def to_state(self) -> Dict[str, Dict[str, Any]]:
         """Lossless serializable form: histograms keep their bucket
         state, so :meth:`from_state` rebuilds a registry that continues
         to observe and merge exactly (telemetry snapshots use this)."""
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "gauges": dict(sorted(self.gauges.items())),
-            "histograms": {
-                k: h.to_state() for k, h in sorted(self.histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "gauges": dict(sorted(self.gauges.items())),
+                "histograms": {
+                    k: h.to_state() for k, h in sorted(self.histograms.items())
+                },
+            }
 
     @classmethod
     def from_state(cls, state: Dict[str, Dict[str, Any]]) -> "MetricsRegistry":

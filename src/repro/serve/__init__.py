@@ -5,6 +5,16 @@ See :mod:`repro.serve.service` for the architecture overview and
 invalidation, batch semantics, cold-run fallback triggers).
 """
 
+from repro.serve.admission import (
+    ERROR_CODES,
+    ERROR_SCHEMA,
+    ERROR_VERSION,
+    TenantProfile,
+    TenantRegistry,
+    TokenBucket,
+    error_body,
+    validate_error_body,
+)
 from repro.serve.artifacts import (
     ARTIFACT_SCHEMA,
     ARTIFACT_VERSION,
@@ -21,6 +31,7 @@ from repro.serve.delta import (
     refresh_skeleton,
     scaled_min_count,
 )
+from repro.serve.flight import Coalescer, Flight, Group, SingleFlight
 from repro.serve.fingerprint import (
     RESULT_OPTIONS,
     dataset_fingerprint,
@@ -28,6 +39,15 @@ from repro.serve.fingerprint import (
     options_fingerprint,
     query_fingerprint,
     result_key,
+)
+from repro.serve.server import (
+    ANSWER_COUNTERS,
+    SERVER_SCHEMA,
+    SERVER_VERSION,
+    QueryServer,
+    ServerHandle,
+    answer_document,
+    start_server,
 )
 from repro.serve.service import (
     BatchItem,
@@ -51,8 +71,27 @@ from repro.serve.telemetry import (
 )
 
 __all__ = [
+    "ANSWER_COUNTERS",
     "ARTIFACT_SCHEMA",
     "ARTIFACT_VERSION",
+    "Coalescer",
+    "ERROR_CODES",
+    "ERROR_SCHEMA",
+    "ERROR_VERSION",
+    "Flight",
+    "Group",
+    "QueryServer",
+    "SERVER_SCHEMA",
+    "SERVER_VERSION",
+    "ServerHandle",
+    "SingleFlight",
+    "TenantProfile",
+    "TenantRegistry",
+    "TokenBucket",
+    "answer_document",
+    "error_body",
+    "start_server",
+    "validate_error_body",
     "BatchItem",
     "BatchReport",
     "CacheEntry",

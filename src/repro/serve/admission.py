@@ -1,0 +1,357 @@
+"""Per-tenant admission control for the concurrent query server.
+
+Tatti's complexity results (arXiv:1902.00633) are the design brief:
+adversarial constrained-frequent-set query mixes are *expensive*, so a
+multi-tenant server must be able to say no — cheaply, predictably, and
+per tenant — before any mining work starts.  This module supplies the
+three admission primitives :mod:`repro.serve.server` composes:
+
+* :class:`TokenBucket` — the classic rate limiter.  A bucket holds up to
+  ``burst`` tokens and refills continuously at ``rate`` tokens/second
+  from an injected monotonic clock; each admitted request spends one
+  token, and an empty bucket means 429.  Zero-rate and zero-burst
+  buckets are legal and mean "never admit" (a suspended tenant).  The
+  clock may be wrapped by :meth:`repro.runtime.faults.FaultPlan.
+  wrap_clock`, so injected forward jumps refill deterministically in
+  tests; backwards motion (a misbehaving clock) is clamped — time never
+  un-refills a bucket.
+
+* :class:`TenantProfile` — one tenant's admission policy: rate/burst
+  plus the :class:`~repro.runtime.guard.RunGuard` budget trio
+  (``deadline_seconds`` / ``max_memory_mb`` / ``max_candidates``)
+  applied to every run executed on the tenant's behalf.  Profiles load
+  from the ``tenants.json`` format documented in ``docs/server.md``.
+
+* :class:`TenantRegistry` — the tenant table, with an optional
+  ``default`` profile for unauthenticated/unknown callers (when absent,
+  unknown tenants are rejected with 403-style bodies).
+
+Rejections are JSON documents with a fixed schema
+(:func:`error_body` / :func:`validate_error_body`) so clients can
+machine-parse the reason and honor ``retry_after_seconds``.
+
+Thread safety: one bucket is hammered by every server worker thread;
+``allow()`` holds the bucket's lock across the refill-and-spend
+read-modify-write.  Bucket locks are leaf-level in the ``docs/server.md``
+lock order (``allow()`` calls nothing that takes another lock).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ExecutionError
+from repro.runtime.guard import RunGuard
+
+#: JSON error-body schema identifier (mirrors the telemetry document's
+#: ``schema`` discipline so payloads are self-describing).
+ERROR_SCHEMA = "repro.serve.error"
+ERROR_VERSION = 1
+
+#: Machine-readable rejection codes the server emits.
+ERROR_CODES = frozenset(
+    {
+        "rate_limit",       # token bucket empty → HTTP 429
+        "queue_full",       # bounded global queue shed → HTTP 503
+        "unknown_tenant",   # no profile and no default → HTTP 403
+        "bad_request",      # malformed query/JSON → HTTP 400
+        "internal",         # unexpected server-side failure → HTTP 500
+    }
+)
+
+
+class TokenBucket:
+    """Continuous-refill token bucket over an injected monotonic clock.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate in tokens per second.  ``0.0`` never refills.
+    burst:
+        Bucket capacity (and initial fill).  ``0`` never admits.
+    clock:
+        Monotonic time source; tests inject fakes or fault-wrapped
+        clocks (:meth:`FaultPlan.wrap_clock`) to drive refill
+        deterministically.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate < 0:
+            raise ExecutionError(f"rate must be >= 0, got {rate}")
+        if burst < 0:
+            raise ExecutionError(f"burst must be >= 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        # Backwards clock motion: keep the tokens, advance the anchor to
+        # ``now`` so the lost interval is never double-credited once the
+        # clock recovers.
+        self._refilled_at = now
+
+    def allow(self, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if available; False means rejected."""
+        with self._lock:
+            self._refill(self.clock())
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True
+            return False
+
+    def retry_after(self, cost: float = 1.0) -> Optional[float]:
+        """Seconds until ``cost`` tokens will be available (0.0 if they
+        already are; ``None`` if they never will be — zero rate or a
+        cost above capacity)."""
+        with self._lock:
+            self._refill(self.clock())
+            if self._tokens >= cost:
+                return 0.0
+            if self.rate <= 0 or cost > self.burst:
+                return None
+            return (cost - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current fill after an on-demand refill (monitoring only)."""
+        with self._lock:
+            self._refill(self.clock())
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's admission policy and per-run budgets.
+
+    ``rate``/``burst`` feed the tenant's :class:`TokenBucket`;
+    the budget trio maps 1:1 onto :class:`RunGuard` (``None`` disables
+    that budget, all three ``None`` means the tenant runs unguarded).
+    """
+
+    name: str
+    rate: float = 10.0
+    burst: float = 20.0
+    deadline_seconds: Optional[float] = None
+    max_memory_mb: Optional[float] = None
+    max_candidates: Optional[int] = None
+
+    def guard(self) -> Optional[RunGuard]:
+        """A fresh armed-on-use guard for one run, or ``None`` when the
+        profile carries no budgets (the unguarded fast path)."""
+        if (
+            self.deadline_seconds is None
+            and self.max_memory_mb is None
+            and self.max_candidates is None
+        ):
+            return None
+        return RunGuard(
+            deadline_seconds=self.deadline_seconds,
+            max_memory_mb=self.max_memory_mb,
+            max_candidates=self.max_candidates,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "deadline_seconds": self.deadline_seconds,
+            "max_memory_mb": self.max_memory_mb,
+            "max_candidates": self.max_candidates,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, document: Dict[str, Any]) -> "TenantProfile":
+        unknown = set(document) - {
+            "rate",
+            "burst",
+            "deadline_seconds",
+            "max_memory_mb",
+            "max_candidates",
+        }
+        if unknown:
+            raise ExecutionError(
+                f"unknown tenant profile keys for {name!r}: {sorted(unknown)}"
+            )
+        profile = cls(
+            name=name,
+            rate=float(document.get("rate", 10.0)),
+            burst=float(document.get("burst", 20.0)),
+            deadline_seconds=document.get("deadline_seconds"),
+            max_memory_mb=document.get("max_memory_mb"),
+            max_candidates=document.get("max_candidates"),
+        )
+        # Validate the budget trio eagerly (RunGuard would reject them
+        # at query time otherwise — config errors should fail at load).
+        profile.guard()
+        TokenBucket(profile.rate, profile.burst)
+        return profile
+
+
+class TenantRegistry:
+    """The tenant table: profiles, their buckets, unknown-tenant policy.
+
+    A profile named ``"default"`` (or passed as ``default=``) is applied
+    to tenants without their own entry — *one shared bucket* for all of
+    them, so anonymous traffic is rate-limited as a single class rather
+    than per-name (a per-name bucket would let an attacker mint fresh
+    names faster than buckets drain).  Without a default, unknown
+    tenants are rejected (``unknown_tenant``).
+    """
+
+    def __init__(
+        self,
+        profiles: Dict[str, TenantProfile],
+        default: Optional[TenantProfile] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.clock = clock
+        self.profiles = dict(profiles)
+        self.default = default
+        self._buckets: Dict[str, TokenBucket] = {
+            name: TokenBucket(p.rate, p.burst, clock=clock)
+            for name, p in self.profiles.items()
+        }
+        self._default_bucket = (
+            TokenBucket(default.rate, default.burst, clock=clock)
+            if default is not None
+            else None
+        )
+
+    def resolve(self, tenant: str) -> Optional[TenantProfile]:
+        """The profile serving ``tenant`` (the default for unknown
+        names), or ``None`` when the tenant must be rejected."""
+        return self.profiles.get(tenant, self.default)
+
+    def bucket(self, tenant: str) -> Optional[TokenBucket]:
+        """The bucket that meters ``tenant`` (shared default bucket for
+        unknown names), or ``None`` when the tenant is unknown and no
+        default exists."""
+        if tenant in self._buckets:
+            return self._buckets[tenant]
+        return self._default_bucket
+
+    @classmethod
+    def from_dict(
+        cls,
+        document: Dict[str, Any],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "TenantRegistry":
+        """Build from the ``tenants.json`` document
+        (``{"tenants": {name: {...profile...}}}``; a ``"default"``
+        entry becomes the unknown-tenant profile)."""
+        if not isinstance(document, dict):
+            raise ExecutionError("tenants document must be a JSON object")
+        table = document.get("tenants", document)
+        if not isinstance(table, dict):
+            raise ExecutionError('"tenants" must map names to profiles')
+        profiles: Dict[str, TenantProfile] = {}
+        default: Optional[TenantProfile] = None
+        for name, body in table.items():
+            if not isinstance(body, dict):
+                raise ExecutionError(
+                    f"tenant profile {name!r} must be a JSON object"
+                )
+            profile = TenantProfile.from_dict(name, body)
+            if name == "default":
+                default = profile
+            else:
+                profiles[name] = profile
+        return cls(profiles, default=default, clock=clock)
+
+    @classmethod
+    def load(
+        cls, path: str, clock: Callable[[], float] = time.monotonic
+    ) -> "TenantRegistry":
+        """Read and validate a ``tenants.json`` file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                document = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ExecutionError(f"invalid tenants file {path}: {exc}")
+        return cls.from_dict(document, clock=clock)
+
+    @classmethod
+    def open_registry(
+        cls, clock: Callable[[], float] = time.monotonic
+    ) -> "TenantRegistry":
+        """A registry that admits anyone under one permissive shared
+        default profile (the no-``--tenants`` server default)."""
+        return cls(
+            {},
+            default=TenantProfile(name="default", rate=1000.0, burst=2000.0),
+            clock=clock,
+        )
+
+
+# ----------------------------------------------------------------------
+# JSON error bodies
+# ----------------------------------------------------------------------
+def error_body(
+    status: int,
+    code: str,
+    message: str,
+    tenant: Optional[str] = None,
+    retry_after_seconds: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The canonical rejection document (see ``docs/server.md``)."""
+    if code not in ERROR_CODES:
+        raise ExecutionError(
+            f"unknown error code {code!r}; expected one of {sorted(ERROR_CODES)}"
+        )
+    body: Dict[str, Any] = {
+        "schema": ERROR_SCHEMA,
+        "version": ERROR_VERSION,
+        "status": int(status),
+        "code": code,
+        "message": message,
+    }
+    if tenant is not None:
+        body["tenant"] = tenant
+    if retry_after_seconds is not None:
+        body["retry_after_seconds"] = round(float(retry_after_seconds), 6)
+    return body
+
+
+def validate_error_body(document: Dict[str, Any]) -> None:
+    """Raise :class:`ExecutionError` unless ``document`` is a
+    well-formed error body (clients and tests share this check)."""
+    if not isinstance(document, dict):
+        raise ExecutionError("error body must be a JSON object")
+    if document.get("schema") != ERROR_SCHEMA:
+        raise ExecutionError(
+            f"error body schema is {document.get('schema')!r}, "
+            f"expected {ERROR_SCHEMA!r}"
+        )
+    if document.get("version") != ERROR_VERSION:
+        raise ExecutionError(
+            f"unsupported error body version {document.get('version')!r}"
+        )
+    status = document.get("status")
+    if not isinstance(status, int) or not 400 <= status <= 599:
+        raise ExecutionError(f"error status must be 4xx/5xx, got {status!r}")
+    if document.get("code") not in ERROR_CODES:
+        raise ExecutionError(f"unknown error code {document.get('code')!r}")
+    if not isinstance(document.get("message"), str):
+        raise ExecutionError("error message must be a string")
+    retry = document.get("retry_after_seconds")
+    if retry is not None and (
+        not isinstance(retry, (int, float)) or retry < 0
+    ):
+        raise ExecutionError(
+            f"retry_after_seconds must be a non-negative number, got {retry!r}"
+        )

@@ -20,10 +20,21 @@ expirations, invalidations, bytes held), which the run report's
 
 Time is injected (``clock``) so tests drive TTL deterministically; the
 default is :func:`time.monotonic`.
+
+**Thread safety.**  Both tiers are hit concurrently by the query
+server's worker threads, and an ``OrderedDict`` is not safe under
+concurrent mutation (``move_to_end`` during an eviction loop corrupts
+the list; check-then-act ``get``/``put`` pairs lose entries).  Every
+public operation therefore holds the per-cache ``RLock``.  Lock order
+(``docs/server.md``): the cache lock may be held while taking the
+shared :class:`~repro.db.stats.CacheStats` lock, the telemetry
+``on_event`` hook's metrics/journal locks, or neither — never the
+reverse, and never another cache's lock.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -82,6 +93,10 @@ class LRUCache:
         self._result_stats = record_result_stats
         self.on_event = on_event
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        # Reentrant: an on_event hook must be able to run while the
+        # cache lock is held without self-deadlocking a same-thread
+        # re-entry (e.g. a hook that reads len(cache)).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Accounting helpers
@@ -90,13 +105,13 @@ class LRUCache:
         if self._result_stats:
             self.stats.record_hit()
         else:
-            self.stats.skeleton_hits += 1
+            self.stats.bump("skeleton_hits")
 
     def _record_miss(self) -> None:
         if self._result_stats:
             self.stats.record_miss()
         else:
-            self.stats.skeleton_misses += 1
+            self.stats.bump("skeleton_misses")
 
     def _record_store(self, nbytes: int) -> None:
         if self._result_stats:
@@ -104,7 +119,7 @@ class LRUCache:
         else:
             # Skeleton stores are counted by ``skeleton_builds`` (the
             # service meters them); only the held bytes are shared.
-            self.stats.bytes_held += nbytes
+            self.stats.bump("bytes_held", nbytes)
 
     def _emit(self, event: str, key: str, entry: CacheEntry) -> None:
         if self.on_event is not None:
@@ -114,13 +129,16 @@ class LRUCache:
     # Core operations
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> Iterator[str]:
-        return iter(list(self._entries))
+        with self._lock:
+            return iter(list(self._entries))
 
     def _expired(self, entry: CacheEntry) -> bool:
         return (
@@ -130,75 +148,82 @@ class LRUCache:
 
     def get(self, key: str) -> Optional[Any]:
         """The cached value, or ``None`` on miss/expiry (metered)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._record_miss()
-            return None
-        if self._expired(entry):
-            del self._entries[key]
-            self.stats.record_eviction(entry.nbytes, expired=True)
-            self._emit("expire", key, entry)
-            self._record_miss()
-            return None
-        self._entries.move_to_end(key)
-        self._record_hit()
-        return entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._record_miss()
+                return None
+            if self._expired(entry):
+                del self._entries[key]
+                self.stats.record_eviction(entry.nbytes, expired=True)
+                self._emit("expire", key, entry)
+                self._record_miss()
+                return None
+            self._entries.move_to_end(key)
+            self._record_hit()
+            return entry.value
 
     def peek(self, key: str) -> Optional[CacheEntry]:
         """The live entry without touching recency or hit/miss stats."""
-        entry = self._entries.get(key)
-        if entry is None or self._expired(entry):
-            return None
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or self._expired(entry):
+                return None
+            return entry
 
     def put(self, key: str, value: Any, nbytes: int, tag: Optional[str] = None) -> None:
         """Store (or replace) an entry, evicting LRU past capacity."""
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self.stats.record_eviction(old.nbytes)
-            self._emit("replace", key, old)
-        self._entries[key] = CacheEntry(
-            value=value, nbytes=nbytes, stored_at=self.clock(), tag=tag
-        )
-        self._record_store(nbytes)
-        while len(self._entries) > self.max_entries:
-            evicted_key, evicted = self._entries.popitem(last=False)
-            self.stats.record_eviction(evicted.nbytes)
-            self._emit("evict", evicted_key, evicted)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.stats.record_eviction(old.nbytes)
+                self._emit("replace", key, old)
+            self._entries[key] = CacheEntry(
+                value=value, nbytes=nbytes, stored_at=self.clock(), tag=tag
+            )
+            self._record_store(nbytes)
+            while len(self._entries) > self.max_entries:
+                evicted_key, evicted = self._entries.popitem(last=False)
+                self.stats.record_eviction(evicted.nbytes)
+                self._emit("evict", evicted_key, evicted)
 
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
     def invalidate(self, key: str) -> bool:
         """Drop one entry by key; returns whether it existed."""
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return False
-        self.stats.record_invalidation(entry.nbytes)
-        self._emit("invalidate", key, entry)
-        return True
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self.stats.record_invalidation(entry.nbytes)
+            self._emit("invalidate", key, entry)
+            return True
 
     def invalidate_tag(self, tag: str) -> int:
         """Drop every entry stored under ``tag`` (a dataset fingerprint);
         returns the number of entries removed."""
-        doomed = [k for k, e in self._entries.items() if e.tag == tag]
-        for key in doomed:
-            entry = self._entries.pop(key)
-            self.stats.record_invalidation(entry.nbytes)
-            self._emit("invalidate", key, entry)
-        return len(doomed)
+        with self._lock:
+            doomed = [k for k, e in self._entries.items() if e.tag == tag]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                self.stats.record_invalidation(entry.nbytes)
+                self._emit("invalidate", key, entry)
+            return len(doomed)
 
     def clear(self) -> int:
         """Drop everything; returns the number of entries removed."""
-        n = len(self._entries)
-        for key, entry in self._entries.items():
-            self.stats.record_invalidation(entry.nbytes)
-            self._emit("invalidate", key, entry)
-        self._entries.clear()
-        return n
+        with self._lock:
+            n = len(self._entries)
+            for key, entry in self._entries.items():
+                self.stats.record_invalidation(entry.nbytes)
+                self._emit("invalidate", key, entry)
+            self._entries.clear()
+            return n
 
     def items(self) -> Iterator[Tuple[str, CacheEntry]]:
-        return iter(list(self._entries.items()))
+        with self._lock:
+            return iter(list(self._entries.items()))
 
 
 class CircuitBreaker:

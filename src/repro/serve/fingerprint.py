@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from typing import Any, Dict
 
 from repro.core.query import CFQ
@@ -61,20 +62,34 @@ class _IdentityMemo:
     relies on); both classes build their content immutably at
     construction, which is what makes identity a sound proxy for
     content *for the same object*.
+
+    Thread safety: the memo dict is shared process-wide and the query
+    server hashes from many worker threads at once.  An unlocked
+    ``while len >= limit: pop(next(iter(...)))`` eviction loop races
+    with concurrent stores (``RuntimeError: dictionary changed size
+    during iteration``, or popping a key another thread just inserted),
+    so lookup and store each hold ``_lock``; ``compute()`` runs outside
+    it — hashing a large database under a global lock would serialize
+    every cold fingerprint.  Two threads may both compute the digest of
+    the same new object; both results are identical (content hash), so
+    last-store-wins is harmless.
     """
 
     def __init__(self, limit: int = 16):
         self.limit = limit
         self._entries: Dict[int, tuple] = {}
+        self._lock = threading.Lock()
 
     def digest(self, obj: Any, compute) -> str:
-        memo = self._entries.get(id(obj))
-        if memo is not None and memo[0] is obj:
-            return memo[1]
+        with self._lock:
+            memo = self._entries.get(id(obj))
+            if memo is not None and memo[0] is obj:
+                return memo[1]
         digest = compute()
-        while len(self._entries) >= self.limit:
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[id(obj)] = (obj, digest)
+        with self._lock:
+            while len(self._entries) >= self.limit:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[id(obj)] = (obj, digest)
         return digest
 
 

@@ -1,0 +1,290 @@
+"""Single-flight deduplication and shared-scan coalescing.
+
+The paper's thesis is that constrained frequent-set queries get cheap
+when work is *shared*; :mod:`repro.serve.service` shares within one
+session (caches, skeletons, ``execute_batch``).  This module shares
+across concurrent callers, in two layers the server stacks:
+
+**Single-flight** (:class:`SingleFlight`): N threads asking the *same*
+query — identical :func:`~repro.serve.fingerprint.result_key`, i.e.
+identical dataset, thresholds, constraints, and engine options — elect
+one **leader** that executes; the other N-1 **join** the leader's
+flight and block until the leader publishes its response document.
+Everything the leader saw propagates: a guard-tripped partial answer, a
+degraded-disk serving, an error.  Joiners receive the *published
+document*, not a cache read — so even uncacheable outcomes (partials
+are never stored) reach every waiter exactly once.
+
+**Coalescing** (:class:`Coalescer`): threads asking *different* queries
+over the same dataset fingerprint are grouped during a short admission
+window (default a few ms) and dispatched as one shared-scan
+``execute_batch``.  The first arrival becomes the **group leader**; it
+waits out the window (waking early if the group fills to
+``max_width``), closes the group, executes the batch, and publishes a
+result per member.  Joiners block on the group.  A group of one falls
+back to singleton execution — the window cost is bounded and the answer
+path identical.
+
+Both tables are plain lock + ``threading.Event`` machinery: no
+background threads, no timers — the *callers'* threads do all the work,
+so a crashed leader can be detected (``leader_failed``) and the
+flight/group re-run rather than hanging every waiter.
+
+Thread safety / lock order (``docs/server.md``): the flight-table lock
+and coalescer lock are level-0 server locks.  They are held only for
+dict/membership bookkeeping — never across query execution — and code
+holding them calls nothing that takes another lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+
+
+class Flight:
+    """One in-progress execution of one result key.
+
+    The leader runs the query and calls :meth:`SingleFlight.finish`;
+    joiners block in :meth:`SingleFlight.wait`.  ``waiters`` counts the
+    joiners (not the leader) — tests and telemetry read it, and the
+    concurrency suite uses it to hold a leader until all joiners have
+    arrived.
+    """
+
+    __slots__ = ("key", "done", "waiters", "response", "error")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.done = threading.Event()
+        self.waiters = 0
+        self.response: Optional[Any] = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """The in-flight table: at most one execution per result key."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict = {}
+
+    def begin(self, key: str) -> Tuple[Flight, bool]:
+        """Join or open the flight for ``key``.
+
+        Returns ``(flight, is_leader)``: the leader must execute and
+        then :meth:`finish` (success or failure — a leader that forgets
+        strands its joiners), joiners :meth:`wait`.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.waiters += 1
+                return flight, False
+            flight = Flight(key)
+            self._flights[key] = flight
+            return flight, True
+
+    def waiters(self, key: str) -> int:
+        """Current joiner count for ``key`` (0 when not in flight)."""
+        with self._lock:
+            flight = self._flights.get(key)
+            return flight.waiters if flight is not None else 0
+
+    def finish(
+        self,
+        flight: Flight,
+        response: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Publish the leader's outcome and release every joiner.
+
+        The flight leaves the table *before* the event is set: a new
+        request arriving after ``finish`` opens a fresh flight (and will
+        re-check the result cache first), it never joins a completed
+        one.
+        """
+        with self._lock:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+        flight.response = response
+        flight.error = error
+        flight.done.set()
+
+    def wait(self, flight: Flight, timeout: Optional[float] = None) -> Any:
+        """Block until the leader publishes; returns its response or
+        re-raises its error.  A timeout raises ``ExecutionError`` (the
+        caller turns it into a 500 — it means a leader died without
+        calling :meth:`finish`, which is a server bug by construction)."""
+        if not flight.done.wait(timeout):
+            raise ExecutionError(
+                f"single-flight leader for {flight.key[:16]} never published"
+            )
+        if flight.error is not None:
+            raise flight.error
+        return flight.response
+
+
+class Group:
+    """One coalescing window's worth of queries on one dataset.
+
+    ``members`` holds the submitted work items in arrival order; member
+    ``i``'s answer is ``results[i]`` once the leader publishes.
+    """
+
+    __slots__ = (
+        "dataset_fp",
+        "members",
+        "closed",
+        "filled",
+        "done",
+        "results",
+        "error",
+    )
+
+    def __init__(self, dataset_fp: str):
+        self.dataset_fp = dataset_fp
+        self.members: List[Any] = []
+        self.closed = False
+        #: Set when the group reaches ``max_width`` — wakes the leader
+        #: out of its admission-window wait early.
+        self.filled = threading.Event()
+        self.done = threading.Event()
+        self.results: Optional[List[Any]] = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def width(self) -> int:
+        return len(self.members)
+
+
+class Coalescer:
+    """Admission-window batching of in-flight queries per dataset.
+
+    Parameters
+    ----------
+    window_seconds:
+        How long a group leader lingers for company before dispatching.
+        ``0.0`` disables coalescing (every group is a singleton and the
+        leader never sleeps).
+    max_width:
+        Group size cap; a full group dispatches immediately and later
+        arrivals open the next group.
+    clock:
+        Injected monotonic time source for the window deadline (the
+        actual blocking happens on the group's ``filled`` event, so a
+        fake clock still can't hang a leader past the real window).
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 0.004,
+        max_width: int = 16,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_seconds < 0:
+            raise ExecutionError(
+                f"window_seconds must be >= 0, got {window_seconds}"
+            )
+        if max_width < 1:
+            raise ExecutionError(f"max_width must be >= 1, got {max_width}")
+        self.window_seconds = window_seconds
+        self.max_width = max_width
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._groups: dict = {}
+
+    def join(self, dataset_fp: str, item: Any) -> Tuple[Group, int, bool]:
+        """Add one work item to the dataset's open group.
+
+        Returns ``(group, index, is_leader)``.  The leader must call
+        :meth:`close_after_window` then :meth:`publish`; joiners call
+        :meth:`wait`.
+        """
+        with self._lock:
+            group = self._groups.get(dataset_fp)
+            if (
+                group is not None
+                and not group.closed
+                and group.width < self.max_width
+            ):
+                index = group.width
+                group.members.append(item)
+                if group.width >= self.max_width:
+                    group.filled.set()
+                return group, index, False
+            group = Group(dataset_fp)
+            group.members.append(item)
+            if self.max_width == 1 or self.window_seconds == 0:
+                # Nothing can ever join: close eagerly so concurrent
+                # arrivals open their own groups instead of appending
+                # to one a non-waiting leader is about to dispatch.
+                group.closed = True
+            else:
+                self._groups[dataset_fp] = group
+            return group, 0, True
+
+    def close_after_window(self, group: Group) -> List[Any]:
+        """Leader-only: wait out the admission window (waking early on a
+        full group), then close the group to new members and return the
+        final member list in arrival order."""
+        if not group.closed and self.window_seconds > 0:
+            deadline = self.clock() + self.window_seconds
+            # A frozen injected clock must not pin the leader: bound the
+            # linger by the *real* window too, or `remaining` never
+            # shrinks and the loop re-arms forever.
+            real_deadline = time.monotonic() + self.window_seconds
+            while not group.filled.is_set():
+                remaining = min(
+                    deadline - self.clock(),
+                    real_deadline - time.monotonic(),
+                )
+                if remaining <= 0:
+                    break
+                group.filled.wait(remaining)
+        with self._lock:
+            group.closed = True
+            if self._groups.get(group.dataset_fp) is group:
+                del self._groups[group.dataset_fp]
+        return list(group.members)
+
+    def publish(
+        self,
+        group: Group,
+        results: Optional[List[Any]] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Leader-only: hand every member its result (or the shared
+        failure) and wake the joiners."""
+        if error is None and (
+            results is None or len(results) != group.width
+        ):
+            error = ExecutionError(
+                f"coalesced batch published {0 if results is None else len(results)} "
+                f"results for {group.width} members"
+            )
+        group.results = results
+        group.error = error
+        group.done.set()
+
+    def wait(
+        self, group: Group, index: int, timeout: Optional[float] = None
+    ) -> Any:
+        """Joiner-only: block for the leader's publish; returns this
+        member's result or re-raises the group-wide error."""
+        if not group.done.wait(timeout):
+            raise ExecutionError(
+                f"coalesce leader for {group.dataset_fp[:16]} never published"
+            )
+        if group.error is not None:
+            raise group.error
+        assert group.results is not None
+        return group.results[index]
+
+    def open_groups(self) -> int:
+        """Number of groups currently collecting (monitoring only)."""
+        with self._lock:
+            return len(self._groups)

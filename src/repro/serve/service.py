@@ -44,6 +44,7 @@ put the event journal on disk, and read it back via
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -296,8 +297,10 @@ class QueryService:
             self.telemetry.record_lookup("disk", key, dataset_fp, hit=False)
             return None
         self._results.put(key, text, len(text), tag=dataset_fp)
-        self.stats.record_hit()
-        self.stats.misses -= 1  # the probe above was not a real miss
+        # The memory probe above was not a real miss: atomically convert
+        # it into a hit (two separate +=/-= writes would let a
+        # concurrent snapshot observe hits+misses double-counted).
+        self.stats.record_disk_promotion()
         self.telemetry.record_lookup("disk", key, dataset_fp, hit=True)
         return hit
 
@@ -393,7 +396,7 @@ class QueryService:
 
     def _disk_failure(self, op: str, error: OSError) -> None:
         """Count, journal, and feed the breaker one absorbed failure."""
-        self.stats.disk_errors += 1
+        self.stats.bump("disk_errors")
         self.disk_breaker.record_failure()
         self.telemetry.record_disk_error(
             op, f"{type(error).__name__}: {error}", self.disk_breaker.state
@@ -417,7 +420,13 @@ class QueryService:
         path = self._disk_path(key, db)
         if path is None or not self.disk_breaker.allow():
             return
-        tmp = f"{path}.tmp"
+        # Per-thread temp name: two workers storing the same key (e.g.
+        # a coalesced batch racing a singleton) must not write through
+        # one shared ``.tmp`` — a torn interleaving would then be
+        # atomically renamed into place.  Both writers hold identical
+        # bytes (the key is content-addressed), so whichever replace
+        # lands last is correct.
+        tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
 
         def attempt() -> None:
             try:
@@ -477,7 +486,7 @@ class QueryService:
                 os.remove(path)
             except OSError:
                 pass
-        self.stats.quarantined += 1
+        self.stats.bump("quarantined")
         self.telemetry.record_quarantine(path, reason)
 
     def _drop_disk(self, key: str, db: TransactionDatabase) -> None:
@@ -493,6 +502,19 @@ class QueryService:
             self._disk_failure("remove", exc)
             return
         self.disk_breaker.record_success()
+
+    def is_warm(self, db: TransactionDatabase, cfq: CFQ, **options: Any) -> bool:
+        """Whether an identical query would be served from the *memory*
+        result tier right now — a side-effect-free peek (no stats, no
+        recency touch).  The query server's fast path uses this to skip
+        single-flight/coalescing for already-warm queries."""
+        if any(options.get(name) for name in _BYPASS_OPTIONS):
+            return False
+        cache_options = self._defaulted(
+            {name: options.get(name) for name in RESULT_OPTIONS}
+        )
+        key = result_key(cfq, db, cache_options)
+        return self._results.peek(key) is not None
 
     # ------------------------------------------------------------------
     # Single-query serving
@@ -827,7 +849,7 @@ class QueryService:
                 continue
             built_seconds = time.perf_counter() - start
             build_seconds += built_seconds
-            self.stats.skeleton_builds += 1
+            self.stats.bump("skeleton_builds")
             self._skeletons.put(key, skeleton, skeleton.nbytes, tag=dataset_fp)
             self.telemetry.record_skeleton_build(
                 fp, built_seconds, skeleton.nbytes
@@ -916,7 +938,7 @@ class QueryService:
                 refreshed.nbytes,
                 tag=new_fp,
             )
-            self.stats.skeleton_refreshes += 1
+            self.stats.bump("skeleton_refreshes")
             report.skeletons_refreshed += 1
             report.refreshes.append(stats)
         report.wall_seconds = time.perf_counter() - start

@@ -145,6 +145,56 @@ class ServiceTelemetry:
         self.journal.record("guard_trip", query=query_fp[:16], reason=str(reason))
 
     # ------------------------------------------------------------------
+    # Query server (docs/server.md)
+    # ------------------------------------------------------------------
+    def record_admit(self, tenant: str, query_fp: str) -> None:
+        """One request admitted past rate-limit and queue checks."""
+        if not self.enabled:
+            return
+        self.metrics.inc("server_admits", tenant=tenant)
+        self.journal.record("server_admit", tenant=tenant, query=query_fp[:16])
+
+    def record_reject(self, tenant: str, reason: str) -> None:
+        """One request rejected by admission control (``rate_limit``,
+        ``unknown_tenant``, ``bad_request`` ...)."""
+        if not self.enabled:
+            return
+        self.metrics.inc("server_rejections", tenant=tenant, reason=reason)
+        self.journal.record("server_reject", tenant=tenant, reason=reason)
+
+    def record_shed(self, tenant: str) -> None:
+        """One request shed because the bounded global queue was full."""
+        if not self.enabled:
+            return
+        self.metrics.inc("server_sheds", tenant=tenant)
+        self.journal.record("server_shed", tenant=tenant)
+
+    def record_dedup(self, key: str, waiters: int) -> None:
+        """One single-flight join: ``waiters`` requests shared a leader's
+        execution instead of mining themselves."""
+        if not self.enabled:
+            return
+        self.metrics.inc("flight_dedup_hits", waiters)
+        self.journal.record("flight_dedup", key=key[:16], waiters=waiters)
+
+    def record_coalesce(self, dataset_fp: str, width: int) -> None:
+        """One coalesced dispatch of ``width`` distinct in-flight queries
+        as a single shared-scan batch."""
+        if not self.enabled:
+            return
+        self.metrics.inc("coalesced_batches")
+        self.metrics.observe("coalesce_width", width)
+        self.journal.record(
+            "server_coalesce", dataset=dataset_fp[:16], width=width
+        )
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Point-in-time depth of the server's bounded work queue."""
+        if not self.enabled:
+            return
+        self.metrics.set_gauge("server_queue_depth", depth)
+
+    # ------------------------------------------------------------------
     # Fault tolerance (docs/fault-tolerance.md)
     # ------------------------------------------------------------------
     def record_disk_error(self, op: str, error: str, state: str) -> None:
@@ -409,6 +459,24 @@ class _NullTelemetry:
         return None
 
     def record_guard_trip(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_admit(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_reject(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_shed(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_dedup(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_coalesce(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def set_queue_depth(self, *args: Any, **kwargs: Any) -> None:
         return None
 
     def record_disk_error(self, *args: Any, **kwargs: Any) -> None:

@@ -120,3 +120,39 @@ def test_gate_fails_on_regression_and_passes_within_threshold(tmp_path):
     assert [r.name for r in regressions] == ["qps"]
     assert main([bad]) == 1
     assert main([bad, "--threshold", "0.5"]) == 0
+
+
+def test_declared_noise_band_widens_one_metric_only():
+    prior = _record(
+        "PR1", speedup=(9.0, "higher"), qps=(1000.0, "higher")
+    )
+    current = TrendRecord(label="PR2")
+    # 40% down, inside the declared 50% band for THIS metric...
+    current.add("speedup", 5.4, direction="higher", noise=0.5)
+    # ...which must not leak onto undeclared metrics: 40% down flags.
+    current.add("qps", 600.0, direction="higher")
+    regressions = compare_records(current, prior)
+    assert [r.name for r in regressions] == ["qps"]
+    # Past its own band the noisy metric still flags.
+    current.add("speedup", 4.0, direction="higher", noise=0.5)
+    assert {r.name for r in compare_records(current, prior)} == {
+        "speedup", "qps"
+    }
+
+
+def test_noise_band_from_either_record_counts(tmp_path):
+    prior = TrendRecord(label="PR1")
+    prior.add("speedup", 9.0, direction="higher", noise=0.5)
+    current = _record("PR2", speedup=(5.4, "higher"))
+    # The *prior* record declared the band; the comparison honors it.
+    assert compare_records(current, prior) == []
+    # And the declaration survives a JSON round trip.
+    path = str(tmp_path / "BENCH_1.json")
+    prior.write(path)
+    assert TrendRecord.load(path).metrics["speedup"].noise == 0.5
+
+
+def test_negative_noise_rejected():
+    record = TrendRecord(label="PR1")
+    with pytest.raises(ValueError):
+        record.add("speedup", 2.0, noise=-0.1)

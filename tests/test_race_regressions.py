@@ -1,0 +1,238 @@
+"""Threaded regression pins for serving-layer race fixes.
+
+Each test targets one shared structure the multi-tenant query server
+hammers from many worker threads, and encodes the invariant whose
+violation was the original bug: torn read-modify-writes in
+``CacheStats``, a ``dictionary changed size during iteration`` eviction
+loop in ``_IdentityMemo``, LRU/TTL accounting drift in ``LRUCache``,
+lost increments in ``MetricsRegistry``, and duplicate sequence numbers
+in ``EventJournal``.
+
+Races are probabilistic, so the hammers use barriers (maximal
+contention at the racy window) and assert *exact* totals — a lost
+update anywhere shows up as an off-by-N, not a flake.
+"""
+
+import threading
+
+from repro.db.stats import CacheStats
+from repro.obs.events import EventJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.cache import LRUCache
+from repro.serve.fingerprint import _IdentityMemo
+
+THREADS = 8
+ROUNDS = 400
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def _hammer(n_threads, target):
+    """Start ``n_threads`` workers on ``target(i)`` behind one barrier
+    and re-raise the first worker exception (the pre-fix code *threw*
+    from some of these races — that must stay a test failure, not a
+    silently dead thread)."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def runner(i):
+        try:
+            barrier.wait(timeout=10)
+            target(i)
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors
+
+
+# ----------------------------------------------------------------------
+# CacheStats: every bump lands
+# ----------------------------------------------------------------------
+def test_cache_stats_bump_is_exact_under_contention():
+    stats = CacheStats()
+
+    def worker(i):
+        for _ in range(ROUNDS):
+            stats.record_hit()
+            stats.record_miss()
+            stats.record_store(3)
+            stats.record_eviction(1)
+            stats.record_eviction(1, expired=True)
+            stats.record_invalidation(1)
+
+    _hammer(THREADS, worker)
+    total = THREADS * ROUNDS
+    assert stats.hits == total
+    assert stats.misses == total
+    assert stats.stores == total
+    assert stats.evictions == total
+    assert stats.expirations == total
+    assert stats.invalidations == total
+    assert stats.bytes_held == 0  # +3 then -1-1-1 per round, exactly
+
+
+def test_cache_stats_disk_promotion_is_atomic():
+    stats = CacheStats()
+
+    def worker(i):
+        for _ in range(ROUNDS):
+            stats.record_miss()
+            stats.record_disk_promotion()  # miss -> hit conversion
+
+    _hammer(THREADS, worker)
+    assert stats.hits == THREADS * ROUNDS
+    assert stats.misses == 0
+
+
+# ----------------------------------------------------------------------
+# _IdentityMemo: locked eviction loop
+# ----------------------------------------------------------------------
+def test_identity_memo_eviction_survives_concurrent_stores():
+    memo = _IdentityMemo(limit=4)
+    # Far more pinned objects than the limit, live across the whole
+    # test, so every store runs the eviction loop other threads are
+    # mutating under — the pre-fix crash site.
+    objects = [object() for _ in range(THREADS * 32)]
+    digests = [f"digest-{i}" for i in range(len(objects))]
+
+    def worker(i):
+        for round_no in range(ROUNDS // 4):
+            for j, obj in enumerate(objects):
+                got = memo.digest(obj, lambda j=j: digests[j])
+                # Identity hits must never cross wires between objects.
+                assert got == digests[j]
+
+    _hammer(THREADS, worker)
+    assert len(memo._entries) <= memo.limit
+
+
+def test_identity_memo_returns_memoized_digest_for_live_object():
+    memo = _IdentityMemo(limit=4)
+    obj = object()
+    computes = []
+
+    def compute():
+        computes.append(1)
+        return "d"
+
+    def worker(i):
+        for _ in range(ROUNDS):
+            assert memo.digest(obj, compute) == "d"
+
+    _hammer(THREADS, worker)
+    # The object stays hot (limit 4, one key): after the racy warmup the
+    # digest is memoized, so computes stay far below the call count.
+    assert len(computes) < THREADS * ROUNDS
+
+
+# ----------------------------------------------------------------------
+# LRUCache: structure + accounting stay consistent
+# ----------------------------------------------------------------------
+def test_lru_cache_accounting_survives_put_get_invalidate_races():
+    clock = FakeClock()
+    cache = LRUCache(max_entries=8, ttl_seconds=10.0, clock=clock)
+
+    def worker(i):
+        for round_no in range(ROUNDS):
+            key = f"k{(i * ROUNDS + round_no) % 24}"
+            cache.put(key, round_no, nbytes=5, tag=f"tag{i % 2}")
+            cache.get(key)
+            cache.get(f"k{round_no % 24}")
+            if round_no % 7 == 0:
+                cache.invalidate(key)
+            if round_no % 31 == 0:
+                cache.invalidate_tag(f"tag{(i + 1) % 2}")
+            if round_no % 97 == 0:
+                clock.now += 3.0  # stagger entries toward TTL expiry
+
+    _hammer(THREADS, worker)
+    assert len(cache) <= cache.max_entries
+    # bytes_held must equal the bytes of the entries actually resident:
+    # any torn eviction/store pairing drifts this for good.
+    live_bytes = sum(entry.nbytes for _, entry in cache.items())
+    assert cache.stats.bytes_held == live_bytes
+    stats = cache.stats
+    arrivals = stats.stores
+    departures = (
+        stats.evictions + stats.expirations + stats.invalidations + len(cache)
+    )
+    assert arrivals == departures
+
+
+def test_lru_cache_ttl_expiry_is_metered_once():
+    clock = FakeClock()
+    cache = LRUCache(max_entries=64, ttl_seconds=1.0, clock=clock)
+    for i in range(16):
+        cache.put(f"k{i}", i, nbytes=2)
+    clock.now += 2.0  # everything is now expired
+
+    def worker(i):
+        for j in range(16):
+            assert cache.get(f"k{j}") is None
+
+    _hammer(THREADS, worker)
+    # 16 entries expired exactly once each, no double-delete double
+    # counting from concurrent expiry of the same entry.
+    assert cache.stats.expirations == 16
+    assert cache.stats.bytes_held == 0
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry: no lost increments or observations
+# ----------------------------------------------------------------------
+def test_metrics_registry_counts_exactly_under_contention():
+    metrics = MetricsRegistry()
+
+    def worker(i):
+        for _ in range(ROUNDS):
+            metrics.inc("requests", tenant=f"t{i % 2}")
+            metrics.observe("latency", 0.01 * (i + 1))
+            metrics.set_gauge("depth", i)
+
+    _hammer(THREADS, worker)
+    total = sum(
+        metrics.counter("requests", tenant=f"t{i}") for i in range(2)
+    )
+    assert total == THREADS * ROUNDS
+    histogram = metrics.histogram("latency")
+    assert histogram is not None
+    assert histogram.count == THREADS * ROUNDS
+    assert metrics.gauge("depth") in set(range(THREADS))
+
+
+# ----------------------------------------------------------------------
+# EventJournal: sequence numbers never collide
+# ----------------------------------------------------------------------
+def test_event_journal_sequence_is_gapless_under_contention():
+    journal = EventJournal(max_events=THREADS * ROUNDS + 1)
+    seen = [None] * THREADS
+
+    def worker(i):
+        seqs = []
+        for _ in range(ROUNDS):
+            event = journal.record("server_admit", tenant=f"t{i}")
+            seqs.append(event["seq"])
+        seen[i] = seqs
+
+    _hammer(THREADS, worker)
+    all_seqs = [seq for seqs in seen for seq in seqs]
+    total = THREADS * ROUNDS
+    # Unique, gapless, and exactly one per record call: a torn
+    # ``seq += 1`` collides two events on one number and skips another.
+    assert sorted(all_seqs) == list(range(1, total + 1))
+    assert journal.seq == total
+    assert len(journal.tail()) == total
